@@ -1,0 +1,51 @@
+"""Fig. 10: cumulative distribution of leaf depths per method.
+
+Paper shape: OAPT's CDF dominates (smaller depths at all percentiles);
+for Internet2, 80% of OAPT leaves have depth < 11; Stanford < 21.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from conftest import emit
+
+from repro.analysis.reporting import render_table
+from repro.analysis.stats import percentile
+from repro.core.construction import best_from_random, build_oapt, build_quick_ordering
+
+
+@pytest.mark.parametrize("which", ["i2", "stan"])
+def test_fig10_depth_cdf(which, i2, stan, benchmark):
+    ds = i2 if which == "i2" else stan
+    best_tree, _ = best_from_random(ds.universe, trials=15, rng=random.Random(10))
+    trees = {
+        "Best from Random": best_tree,
+        "Quick-Ordering": build_quick_ordering(ds.universe),
+        "OAPT": build_oapt(ds.universe),
+    }
+    depth_lists = {
+        name: sorted(tree.leaf_depths().values()) for name, tree in trees.items()
+    }
+    quantiles = (20, 40, 60, 80, 95, 100)
+    rows = [
+        (name, *(f"{percentile(depths, q):.0f}" for q in quantiles))
+        for name, depths in depth_lists.items()
+    ]
+    emit(
+        f"fig10_{ds.name}",
+        render_table(
+            f"Fig. 10 ({ds.name}): leaf-depth percentiles per method",
+            ["method", *(f"p{q}" for q in quantiles)],
+            rows,
+        ),
+    )
+
+    # OAPT dominates at the upper percentiles (where query cost lives).
+    for q in (80, 95, 100):
+        assert percentile(depth_lists["OAPT"], q) <= percentile(
+            depth_lists["Best from Random"], q
+        )
+
+    benchmark(lambda: sorted(trees["OAPT"].leaf_depths().values()))

@@ -1,0 +1,53 @@
+"""Fig. 11: overall construction time (atomic predicates + AP Tree).
+
+Paper values: Internet2 -- Quick-Ordering 201.4 ms, OAPT 204.4 ms;
+Stanford -- 293.4 ms / 342.8 ms; one Random build is cheapest.  The shape:
+Random < Quick-Ordering <= OAPT, all the same order of magnitude, because
+atomic-predicate computation dominates and is common to all three.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+from conftest import emit
+
+from repro.analysis.reporting import render_table
+from repro.core.atomic import AtomicUniverse
+from repro.core.construction import build_oapt, build_quick_ordering, build_random
+
+
+def overall_time(ds, builder) -> float:
+    """Atomic predicates + tree build, the paper's 'overall' time."""
+    started = time.perf_counter()
+    universe = AtomicUniverse.compute(ds.dataplane.manager, ds.dataplane.predicates())
+    builder(universe)
+    return time.perf_counter() - started
+
+
+@pytest.mark.parametrize("which", ["i2", "stan"])
+def test_fig11_construction_time(which, i2, stan, benchmark):
+    ds = i2 if which == "i2" else stan
+    rng = random.Random(11)
+    times = {
+        "Random (one)": overall_time(ds, lambda u: build_random(u, rng)),
+        "Quick-Ordering": overall_time(ds, build_quick_ordering),
+        "OAPT": overall_time(ds, build_oapt),
+    }
+    emit(
+        f"fig11_{ds.name}",
+        render_table(
+            f"Fig. 11 ({ds.name}): overall construction time",
+            ["method", "time"],
+            [(name, f"{seconds * 1e3:.1f} ms") for name, seconds in times.items()],
+        ),
+    )
+    # All three are dominated by the shared atomic-predicate phase: OAPT
+    # must stay within a small factor of the cheapest.
+    assert times["OAPT"] < times["Random (one)"] * 5
+
+    benchmark.pedantic(
+        lambda: overall_time(ds, build_oapt), rounds=2, iterations=1
+    )

@@ -1,0 +1,103 @@
+"""Fig. 12: query throughput for static networks, all methods.
+
+Paper values (queries/second): Internet2 -- AP Classifier (OAPT) 3.4 M,
+Quick-Ordering ~2.2 M, Best-from-Random ~1.7 M, Forwarding Simulation
+0.2 M, AP Verifier linear scan lower, Hassel-C (HSA) 6 K.  Stanford --
+1.8 M / ~1.35 M / ~1.25 M / 0.16 M / lower / 4.7 K.
+
+Shapes to reproduce: OAPT > Quick-Ordering > Best-from-Random; AP
+Classifier an order of magnitude above Forwarding Simulation and PScan;
+HSA around three orders of magnitude below AP Classifier.
+
+Absolute numbers here are pure-Python, so everything is uniformly slower
+than the paper's C/Java -- the ratios are the result.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from conftest import emit
+
+from repro.analysis.reporting import format_qps, render_table
+from repro.analysis.stats import measure_throughput
+from repro.baselines import (
+    APLinearClassifier,
+    ForwardingSimulator,
+    HsaQuerier,
+    PScanIdentifier,
+)
+from repro.core.construction import best_from_random, build_quick_ordering
+
+HSA_SAMPLE = 60  # HSA is slow enough that a subsample suffices
+
+
+def _warm_qps(query, headers) -> float:
+    """Measure after a warmup pass; keeps method order from biasing results."""
+    measure_throughput(query, headers[: max(len(headers) // 4, 1)])
+    return measure_throughput(query, headers).qps
+
+
+@pytest.mark.parametrize("which", ["i2", "stan"])
+def test_fig12_static_throughput(which, i2, stan, benchmark):
+    ds = i2 if which == "i2" else stan
+    rng = random.Random(12)
+    boxes = sorted(ds.network.boxes)
+    ingresses = [rng.choice(boxes) for _ in ds.headers]
+
+    # --- stage-1 classification methods -------------------------------
+    oapt_qps = _warm_qps(ds.classifier.tree.classify, ds.headers)
+    quick_tree = build_quick_ordering(ds.universe)
+    quick_qps = _warm_qps(quick_tree.classify, ds.headers)
+    bfr_tree, _ = best_from_random(ds.universe, trials=10, rng=rng)
+    bfr_qps = _warm_qps(bfr_tree.classify, ds.headers)
+    aplinear = APLinearClassifier(ds.dataplane, ds.universe)
+    aplinear_qps = _warm_qps(aplinear.classify, ds.headers)
+    pscan = PScanIdentifier(ds.dataplane)
+    pscan_qps = _warm_qps(pscan.verdicts, ds.headers)
+
+    # --- full path-computation methods ---------------------------------
+    fsim = ForwardingSimulator(ds.dataplane)
+    pairs = list(zip(ds.headers, ingresses))
+    fsim_qps = len(pairs) / _timed(lambda: [fsim.query(h, b) for h, b in pairs])
+    hsa = HsaQuerier(ds.network)
+    hsa_pairs = pairs[:HSA_SAMPLE]
+    hsa_qps = len(hsa_pairs) / _timed(lambda: [hsa.query(h, b) for h, b in hsa_pairs])
+
+    rows = [
+        ("AP Classifier (OAPT)", format_qps(oapt_qps), "1.0x"),
+        ("Quick-Ordering", format_qps(quick_qps), f"{oapt_qps / quick_qps:.1f}x"),
+        ("Best from Random", format_qps(bfr_qps), f"{oapt_qps / bfr_qps:.1f}x"),
+        ("APLinear (AP Verifier)", format_qps(aplinear_qps), f"{oapt_qps / aplinear_qps:.1f}x"),
+        ("PScan", format_qps(pscan_qps), f"{oapt_qps / pscan_qps:.1f}x"),
+        ("Forwarding Simulation", format_qps(fsim_qps), f"{oapt_qps / fsim_qps:.1f}x"),
+        ("HSA (Hassel-style)", format_qps(hsa_qps), f"{oapt_qps / hsa_qps:.0f}x"),
+    ]
+    emit(
+        f"fig12_{ds.name}",
+        render_table(
+            f"Fig. 12 ({ds.name}): static query throughput "
+            "(speedup = AP Classifier / method)",
+            ["method", "throughput", "AP Classifier speedup"],
+            rows,
+        ),
+    )
+
+    assert oapt_qps >= quick_qps * 0.9 >= bfr_qps * 0.8
+    assert oapt_qps > pscan_qps * 5
+    assert oapt_qps > aplinear_qps * 2
+    # HSA's per-query cost scales with the rule count (the paper's ~1000x
+    # gap comes from 126K-757K rules); at our reduced rule counts the gap
+    # shrinks proportionally but must stay decisive.
+    assert oapt_qps > hsa_qps * 5
+
+    benchmark(lambda: ds.classifier.tree.classify(ds.headers[0]))
+
+
+def _timed(fn) -> float:
+    import time
+
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started

@@ -1,0 +1,94 @@
+"""Fig. 14: query throughput over time for dynamic networks.
+
+Paper setup: initial AP Tree from a random predicate subset; Poisson
+add/delete events at 100 or 200 updates/s; reconstruction every 0.4 s;
+compare AP Classifier vs APLinear vs PScan.
+
+Shapes to reproduce: AP Classifier an order of magnitude above both
+baselines throughout; its throughput decays between reconstructions and
+snaps back at each swap; doubling the update rate barely moves the mean.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from conftest import emit
+
+from repro.analysis.reporting import format_qps, render_series, render_table
+from repro.core.reconstruction import DynamicSimulation
+
+DURATION_S = 1.2
+BUCKET_S = 0.05
+
+
+def run_method(ds, method: str, rate: float, seed: int):
+    simulation = DynamicSimulation(
+        ds.dataplane.predicates(),
+        initial_count=max(len(ds.dataplane.predicates()) // 2, 10),
+        method=method,
+        reconstruct_interval_s=0.4,
+        bucket_s=BUCKET_S,
+        rng=random.Random(seed),
+        cost_samples=120,
+    )
+    return simulation.run(duration_s=DURATION_S, update_rate_per_s=rate)
+
+
+@pytest.mark.parametrize("rate", [100, 200])
+def test_fig14_dynamic_throughput(rate, i2, benchmark):
+    ds = i2
+    timelines = {
+        method: run_method(ds, method, rate, seed=14)
+        for method in ("apclassifier", "aplinear", "pscan")
+    }
+    means = {
+        method: sum(s.throughput_qps for s in samples) / len(samples)
+        for method, samples in timelines.items()
+    }
+
+    series = [
+        (
+            f"{s.time_s:.2f}s" + (f" [{s.event}]" if s.event else ""),
+            format_qps(s.throughput_qps),
+        )
+        for s in timelines["apclassifier"]
+    ]
+    emit(
+        f"fig14_rate{rate}_timeline",
+        render_series(
+            f"Fig. 14 ({ds.name}, {rate} updates/s): AP Classifier throughput",
+            "time", "throughput", series,
+        ),
+    )
+    emit(
+        f"fig14_rate{rate}_means",
+        render_table(
+            f"Fig. 14 ({ds.name}, {rate} updates/s): mean throughput",
+            ["method", "mean throughput", "vs AP Classifier"],
+            [
+                (m, format_qps(q), f"{means['apclassifier'] / q:.1f}x")
+                for m, q in means.items()
+            ],
+        ),
+    )
+
+    # AP Classifier clearly above both baselines.
+    assert means["apclassifier"] > means["aplinear"] * 3
+    assert means["apclassifier"] > means["pscan"] * 3
+
+    # Sawtooth: after each swap, throughput must not be below the level
+    # just before the swap (the rebuilt tree is at least as good).
+    samples = timelines["apclassifier"]
+    for index, sample in enumerate(samples):
+        if sample.event == "swap" and 0 < index < len(samples) - 2:
+            before = min(s.throughput_qps for s in samples[max(0, index - 3):index])
+            after = max(s.throughput_qps for s in samples[index + 1:index + 4])
+            assert after > before * 0.7
+
+    benchmark.pedantic(
+        lambda: run_method(ds, "apclassifier", rate, seed=15),
+        rounds=1,
+        iterations=1,
+    )

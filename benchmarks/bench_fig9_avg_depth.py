@@ -1,0 +1,48 @@
+"""Fig. 9: average leaf depth per construction method.
+
+Paper values: Internet2 -- Best-from-Random 16.0, Quick-Ordering 13.0,
+OAPT 10.6; Stanford -- 39.0 / 24.2 / 16.9.  The shape to reproduce:
+OAPT < Quick-Ordering < Best-from-Random, with OAPT's win larger on the
+bigger network.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from conftest import emit
+
+from repro.analysis.reporting import render_table
+from repro.core.construction import best_from_random, build_oapt, build_quick_ordering
+
+RANDOM_TRIALS = 25
+
+
+@pytest.mark.parametrize("which", ["i2", "stan"])
+def test_fig9_average_depth(which, i2, stan, benchmark):
+    ds = i2 if which == "i2" else stan
+    best_tree, _ = best_from_random(
+        ds.universe, trials=RANDOM_TRIALS, rng=random.Random(9)
+    )
+    quick_tree = build_quick_ordering(ds.universe)
+    oapt_tree = build_oapt(ds.universe)
+
+    bfr = best_tree.average_depth()
+    quick = quick_tree.average_depth()
+    oapt = oapt_tree.average_depth()
+    emit(
+        f"fig9_{ds.name}",
+        render_table(
+            f"Fig. 9 ({ds.name}): average depth of leaves",
+            ["method", "avg depth", "vs Best-from-Random"],
+            [
+                ("Best from Random", f"{bfr:.2f}", "--"),
+                ("Quick-Ordering", f"{quick:.2f}", f"-{(1 - quick / bfr) * 100:.0f}%"),
+                ("OAPT", f"{oapt:.2f}", f"-{(1 - oapt / bfr) * 100:.0f}%"),
+            ],
+        ),
+    )
+    assert oapt <= quick * 1.01 <= bfr * 1.05
+
+    benchmark(lambda: build_oapt(ds.universe))

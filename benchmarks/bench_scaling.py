@@ -1,0 +1,117 @@
+"""Scaling study: construction cost vs network size (§V-C complexity).
+
+The paper bounds OAPT construction by O(k n^2 log n) for k predicates and
+n atoms. This bench grows two knobs independently and records how the
+measured build time and the AP Tree depth respond:
+
+* Internet2-like with increasing prefixes per router (k grows, n grows
+  proportionally);
+* fat-trees of increasing arity (topology grows, atoms stay modest).
+
+Asserted: cost grows monotonically-ish with size (each step no more than
+the predicted polynomial envelope), and average depth stays ~log2(n)-ish,
+i.e. far below k.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from conftest import emit
+
+from repro.analysis.reporting import render_table
+from repro.core.atomic import AtomicUniverse
+from repro.core.construction import build_oapt
+from repro.datasets import fattree, internet2_like
+from repro.network.dataplane import DataPlane
+
+
+def measure(network) -> tuple[int, int, float, float]:
+    dataplane = DataPlane(network)
+    started = time.perf_counter()
+    universe = AtomicUniverse.compute(dataplane.manager, dataplane.predicates())
+    tree = build_oapt(universe)
+    elapsed = time.perf_counter() - started
+    return (
+        universe.predicate_count,
+        universe.atom_count,
+        elapsed,
+        tree.average_depth(),
+    )
+
+
+def test_scaling_internet2(benchmark):
+    rows = []
+    series = []
+    for prefixes in (2, 5, 9, 14):
+        k, n, seconds, depth = measure(internet2_like(prefixes_per_router=prefixes))
+        rows.append(
+            (
+                f"{prefixes}/router",
+                k,
+                n,
+                f"{seconds * 1e3:.1f} ms",
+                f"{depth:.2f}",
+                f"{math.log2(max(n, 2)):.2f}",
+            )
+        )
+        series.append((k, n, seconds, depth))
+    emit(
+        "scaling_internet2",
+        render_table(
+            "Scaling (internet2-like): build cost vs size",
+            ["prefixes", "predicates k", "atoms n", "build", "avg depth",
+             "log2(n)"],
+            rows,
+        ),
+    )
+    # Depth tracks log n, never k.
+    for k, n, _, depth in series:
+        assert depth < k / 2
+        assert depth < 4 * math.log2(max(n, 2))
+    # Build cost grows no faster than the paper's k n^2 log n envelope
+    # between consecutive sizes (with slack for constant factors).
+    for (k0, n0, t0, _), (k1, n1, t1, _) in zip(series, series[1:]):
+        envelope = (k1 * n1**2 * math.log2(max(n1, 2))) / (
+            k0 * n0**2 * math.log2(max(n0, 2))
+        )
+        assert t1 <= t0 * envelope * 8
+
+    benchmark.pedantic(
+        lambda: measure(internet2_like(prefixes_per_router=5)),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_scaling_fattree(benchmark):
+    rows = []
+    previous_boxes = 0
+    for k in (4, 6, 8):
+        network = fattree(k)
+        preds, atoms, seconds, depth = measure(network)
+        boxes = len(network.boxes)
+        assert boxes > previous_boxes
+        previous_boxes = boxes
+        rows.append(
+            (
+                f"k={k}",
+                boxes,
+                network.rule_count(),
+                preds,
+                atoms,
+                f"{seconds * 1e3:.1f} ms",
+                f"{depth:.2f}",
+            )
+        )
+    emit(
+        "scaling_fattree",
+        render_table(
+            "Scaling (fat-tree): build cost vs arity",
+            ["arity", "boxes", "rules", "predicates", "atoms", "build",
+             "avg depth"],
+            rows,
+        ),
+    )
+    benchmark.pedantic(lambda: measure(fattree(4)), rounds=2, iterations=1)

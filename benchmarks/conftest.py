@@ -1,0 +1,90 @@
+"""Shared fixtures for the evaluation benchmarks.
+
+Two bench-scale datasets are built once per session:
+
+* ``i2`` -- Internet2-like at 14 prefixes/router: 159 predicates (paper:
+  161), ~136 atoms, OAPT depth ~11 (paper: 10.6);
+* ``stan`` -- Stanford-like at 16 subnets x 8 ports/zone: ~210 predicates
+  (paper: 507 at full scale), ~2000 atoms, OAPT depth ~15 (paper: 16.8).
+
+Every bench prints its table/series through :func:`emit`, which also
+writes ``benchmarks/results/<name>.txt`` so results survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.core.atomic import AtomicUniverse
+from repro.core.classifier import APClassifier
+from repro.datasets import internet2_like, stanford_like, uniform_over_atoms
+from repro.datasets.workloads import PacketTrace
+from repro.network.dataplane import DataPlane
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+TRACE_LEN = 2000
+
+
+@dataclass
+class BenchDataset:
+    """Everything a bench needs about one dataset."""
+
+    name: str
+    network: object
+    dataplane: DataPlane
+    universe: AtomicUniverse
+    classifier: APClassifier
+    trace: PacketTrace
+
+    @property
+    def headers(self) -> tuple[int, ...]:
+        return self.trace.headers
+
+
+def _bundle(name: str, network) -> BenchDataset:
+    classifier = APClassifier.build(network, strategy="oapt")
+    trace = uniform_over_atoms(classifier.universe, TRACE_LEN, random.Random(17))
+    return BenchDataset(
+        name=name,
+        network=network,
+        dataplane=classifier.dataplane,
+        universe=classifier.universe,
+        classifier=classifier,
+        trace=trace,
+    )
+
+
+@pytest.fixture(scope="session")
+def i2() -> BenchDataset:
+    return _bundle("internet2-like", internet2_like(prefixes_per_router=14))
+
+
+@pytest.fixture(scope="session")
+def stan() -> BenchDataset:
+    return _bundle(
+        "stanford-like",
+        stanford_like(
+            subnets_per_zone=16,
+            host_ports_per_zone=8,
+            acl_templates=5,
+            te_fraction=0.15,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def datasets(i2, stan) -> list[BenchDataset]:
+    return [i2, stan]
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Policy verification: the Section I management applications.
+
+Assembles a small enterprise network by hand (edge -> firewall -> IDS ->
+core, plus a guest segment) and uses AP Classifier to check the flow
+properties the paper lists:
+
+* forwarding correctness  -- packets reach their destination or are
+  dropped if disallowed;
+* policy enforcement      -- web traffic traverses firewall and IDS;
+* isolation               -- guest traffic can never reach the datacenter.
+
+Run:  python examples/policy_verification.py
+"""
+
+from __future__ import annotations
+
+from repro import AclRule, APClassifier, Match, Network, Packet, dst_ip_layout
+from repro.headerspace.fields import parse_ipv4
+
+
+def build_enterprise() -> Network:
+    network = Network(dst_ip_layout(), name="enterprise")
+    for box in ("edge", "fw", "ids", "core", "guest_sw"):
+        network.add_box(box)
+    network.link("edge", "to_fw", "fw", "from_edge")
+    network.link("fw", "to_ids", "ids", "from_fw")
+    network.link("ids", "to_core", "core", "from_ids")
+    network.link("edge", "to_guest", "guest_sw", "from_edge")
+    network.attach_host("core", "dc", "datacenter")
+    network.attach_host("guest_sw", "wifi", "guest_wifi")
+
+    datacenter = Match.prefix("dst_ip", parse_ipv4("10.50.0.0"), 16)
+    guest = Match.prefix("dst_ip", parse_ipv4("192.168.0.0"), 16)
+
+    # Datacenter-bound traffic goes through the security chain.
+    network.add_forwarding_rule("edge", datacenter, "to_fw", 16)
+    network.add_forwarding_rule("fw", datacenter, "to_ids", 16)
+    network.add_forwarding_rule("ids", datacenter, "to_core", 16)
+    network.add_forwarding_rule("core", datacenter, "dc", 16)
+    # Guest traffic goes to the guest switch.
+    network.add_forwarding_rule("edge", guest, "to_guest", 16)
+    network.add_forwarding_rule("guest_sw", guest, "wifi", 16)
+    # Firewall policy: a quarantined /24 must not reach the datacenter.
+    network.add_input_acl(
+        "fw",
+        "from_edge",
+        [
+            AclRule(Match.prefix("dst_ip", parse_ipv4("10.50.99.0"), 24), permit=False),
+            AclRule(Match.any(), permit=True),
+        ],
+    )
+    return network
+
+
+def verify(classifier: APClassifier, description: str, condition: bool) -> None:
+    marker = "PASS" if condition else "FAIL"
+    print(f"  [{marker}] {description}")
+    if not condition:
+        raise SystemExit(f"flow property violated: {description}")
+
+
+def main() -> None:
+    network = build_enterprise()
+    classifier = APClassifier.build(network)
+    print(f"built classifier: {classifier}\n")
+    layout = network.layout
+
+    print("forwarding correctness:")
+    web = classifier.query(Packet.of(layout, dst_ip="10.50.1.10"), "edge")
+    verify(classifier, "datacenter flow is delivered", web.delivered_hosts() == {"datacenter"})
+    unknown = classifier.query(Packet.of(layout, dst_ip="8.8.8.8"), "edge")
+    verify(classifier, "unroutable flow is dropped", unknown.is_dropped_everywhere)
+
+    print("\npolicy enforcement (waypoints):")
+    traversed = web.boxes_traversed()
+    verify(classifier, "flow passes the firewall", "fw" in traversed)
+    verify(classifier, "flow passes the IDS after the firewall",
+           traversed.index("ids") > traversed.index("fw"))
+
+    print("\nquarantine:")
+    quarantined = classifier.query(Packet.of(layout, dst_ip="10.50.99.7"), "edge")
+    verify(classifier, "quarantined prefix blocked at the firewall",
+           ("fw", "input_acl") in quarantined.drops())
+
+    print("\nisolation (exhaustive over all atomic predicates):")
+    # Because atoms partition the header space, checking every atom checks
+    # EVERY possible packet -- this is the power of the representation.
+    leaky = []
+    for atom_id in classifier.universe.atom_ids():
+        behavior = classifier.behavior_of_atom(atom_id, "edge")
+        hosts = behavior.delivered_hosts()
+        if "guest_wifi" in hosts and "datacenter" in hosts:
+            leaky.append(atom_id)
+    verify(classifier, "no packet class reaches both guest wifi and the datacenter",
+           not leaky)
+
+    print("\nall flow properties hold.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: build AP Classifier for a network and query packet behaviors.
+
+Builds the Internet2-like dataset, constructs the classifier (atomic
+predicates + OAPT AP Tree), and walks through the two-stage query API:
+
+    stage 1  packet -> atomic predicate   (AP Tree search)
+    stage 2  atomic predicate + ingress -> network-wide behavior
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import APClassifier, Packet
+from repro.analysis import format_qps, measure_throughput
+from repro.datasets import internet2_like, uniform_over_atoms
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Build a network.  internet2_like() gives the 9-router backbone
+    #    with destination-prefix forwarding; you can also assemble your
+    #    own via repro.Network (see policy_verification.py).
+    # ------------------------------------------------------------------
+    network = internet2_like()
+    print(f"network: {network}")
+    print(f"  stats: {network.stats()}")
+
+    # ------------------------------------------------------------------
+    # 2. Build the classifier.  This compiles every forwarding table and
+    #    ACL to BDD predicates, computes the atomic predicates, and
+    #    builds the OAPT-optimized AP Tree.
+    # ------------------------------------------------------------------
+    started = time.perf_counter()
+    classifier = APClassifier.build(network, strategy="oapt")
+    elapsed_ms = (time.perf_counter() - started) * 1e3
+    stats = classifier.stats()
+    print(f"\nbuilt AP Classifier in {elapsed_ms:.1f} ms")
+    print(f"  predicates:        {stats.predicates}")
+    print(f"  atomic predicates: {stats.atoms}")
+    print(f"  tree avg depth:    {stats.tree_average_depth:.2f}")
+    print(f"  est. memory:       {stats.estimated_bytes / 1e6:.2f} MB")
+
+    # ------------------------------------------------------------------
+    # 3. Query one packet.
+    # ------------------------------------------------------------------
+    packet = Packet.of(network.layout, dst_ip="10.3.0.42")
+    behavior = classifier.query(packet, ingress_box="SEAT")
+    print(f"\nquery: {packet} entering at SEAT")
+    print(f"  atomic predicate: a{behavior.atom_id}")
+    for path in behavior.paths():
+        print(f"  path: {' -> '.join(path)}")
+    print(f"  delivered to: {sorted(behavior.delivered_hosts()) or 'nowhere'}")
+
+    # ------------------------------------------------------------------
+    # 4. Throughput: classify a trace of packets drawn uniformly over the
+    #    atomic predicates, the paper's query workload.
+    # ------------------------------------------------------------------
+    rng = random.Random(0)
+    trace = uniform_over_atoms(classifier.universe, 5000, rng)
+    result = measure_throughput(classifier.tree.classify, trace.headers, repeat=2)
+    print(f"\nstage-1 classification throughput: {format_qps(result.qps)}")
+
+    # ------------------------------------------------------------------
+    # 5. Real-time update: install a rule, observe behavior change.
+    # ------------------------------------------------------------------
+    from repro import ForwardingRule, Match
+    from repro.headerspace.fields import parse_ipv4
+
+    detour = ForwardingRule(
+        Match.prefix("dst_ip", parse_ipv4("10.3.0.0"), 24),
+        ("to_SALT",),
+        priority=24,
+    )
+    results = classifier.insert_rule("SEAT", detour)
+    print(f"\ninstalled a /24 detour at SEAT ({len(results)} predicate changes)")
+    rerouted = classifier.query(packet, ingress_box="SEAT")
+    for path in rerouted.paths():
+        print(f"  new path: {' -> '.join(path)}")
+
+
+if __name__ == "__main__":
+    main()

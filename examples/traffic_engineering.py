@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Traffic engineering on a datacenter fat-tree (Section I application).
+
+Centralized traffic engineering needs, for each new flow, its *current*
+path in the data plane before deciding whether to reroute it. This
+example runs that loop on a k=4 fat-tree:
+
+1. a new elephant flow arrives; AP Classifier reports its current path;
+2. the controller notices the path shares a core switch with another
+   elephant flow (a collision the two-level routing cannot avoid);
+3. it installs a higher-priority /24 detour onto a different core and
+   re-queries to confirm the new path -- verification before and after a
+   data plane update, in milliseconds.
+
+Run:  python examples/traffic_engineering.py
+"""
+
+from __future__ import annotations
+
+from repro import APClassifier, ForwardingRule, Match, Packet
+from repro.datasets import fattree
+from repro.headerspace.fields import parse_ipv4
+
+
+def path_of(classifier: APClassifier, dst: str, ingress: str) -> list[str]:
+    packet = Packet.of(classifier.dataplane.layout, dst_ip=dst)
+    behavior = classifier.query(packet, ingress_box=ingress)
+    paths = behavior.paths()
+    assert len(paths) == 1, "unicast flow expected"
+    return paths[0]
+
+
+def core_of(path: list[str]) -> str | None:
+    return next((box for box in path if box.startswith("core")), None)
+
+
+def main() -> None:
+    network = fattree(4)
+    classifier = APClassifier.build(network)
+    print(f"fat-tree k=4: {network.stats()}")
+    print(f"classifier: {classifier.stats()}\n")
+
+    # Two inter-pod elephant flows from pod 0.
+    flow_a = ("10.2.0.2", "edge_0_0")  # to pod 2
+    flow_b = ("10.2.1.2", "edge_0_1")  # also to pod 2
+
+    path_a = path_of(classifier, *flow_a)
+    path_b = path_of(classifier, *flow_b)
+    print("flow A path:", " -> ".join(path_a))
+    print("flow B path:", " -> ".join(path_b))
+
+    shared = core_of(path_a) == core_of(path_b)
+    print(f"\ncore collision: {shared} (both via {core_of(path_a)})")
+    if not shared:
+        print("no collision; nothing to reroute")
+        return
+
+    # Reroute flow B's destination /24 onto the other aggregation uplink
+    # at its edge and aggregation switches (higher-priority rules).
+    detour_prefix = Match.prefix("dst_ip", parse_ipv4("10.2.1.0"), 24)
+    edge_rule = ForwardingRule(detour_prefix, ("up_1",), priority=25)
+    agg_rule = ForwardingRule(detour_prefix, ("core_1",), priority=25)
+    changes = classifier.insert_rule("edge_0_1", edge_rule)
+    changes += classifier.insert_rule("agg_0_1", agg_rule)
+    print(f"\ninstalled detour ({len(changes)} predicate changes)")
+
+    new_path_b = path_of(classifier, *flow_b)
+    print("flow B new path:", " -> ".join(new_path_b))
+    print("flow A path unchanged:", path_of(classifier, *flow_a) == path_a)
+    print(
+        "collision resolved:",
+        core_of(new_path_b) != core_of(path_a),
+        f"(A via {core_of(path_a)}, B via {core_of(new_path_b)})",
+    )
+
+    # TE must not break reachability: verify the flow still lands at the
+    # same host, and no class started looping.
+    from repro.core.verifier import NetworkVerifier
+
+    verifier = NetworkVerifier.from_classifier(classifier)
+    assert new_path_b[-1] == path_b[-1], "detour changed the destination!"
+    assert not verifier.find_loops("edge_0_1"), "detour introduced a loop!"
+    print("\npost-update verification: destination preserved, no loops.")
+
+
+if __name__ == "__main__":
+    main()

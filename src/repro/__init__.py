@@ -1,0 +1,77 @@
+"""AP Classifier: practical network-wide packet behavior identification.
+
+A from-scratch Python reproduction of Wang, Qian, Yu, Yang & Lam,
+"Practical Network-Wide Packet Behavior Identification by AP Classifier"
+(ACM CoNEXT 2015; IEEE/ACM ToN 2017), including every substrate the system
+needs: a BDD engine, a network/data-plane model, atomic-predicate
+computation, the AP Tree with its construction and update algorithms, and
+the comparison baselines (HSA, AP Verifier linear scan, predicate scan,
+forwarding simulation, Veriflow trie).
+
+Quickstart::
+
+    from repro import APClassifier, Packet
+    from repro.datasets import internet2_like
+
+    network = internet2_like()
+    classifier = APClassifier.build(network)
+    packet = Packet.of(network.layout, dst_ip="10.1.0.1")
+    behavior = classifier.query(packet, ingress_box="SEAT")
+    print(behavior.paths(), behavior.delivered_hosts())
+"""
+
+from .bdd import BDDManager, Function
+from .core import (
+    APClassifier,
+    APTree,
+    AtomicUniverse,
+    Behavior,
+    BehaviorComputer,
+    VisitCounter,
+)
+from .headerspace import (
+    HeaderLayout,
+    Packet,
+    Wildcard,
+    WildcardSet,
+    dst_ip_layout,
+    five_tuple_layout,
+)
+from .network import (
+    Acl,
+    AclRule,
+    Box,
+    DataPlane,
+    ForwardingRule,
+    ForwardingTable,
+    Match,
+    Network,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APClassifier",
+    "APTree",
+    "AtomicUniverse",
+    "Behavior",
+    "BehaviorComputer",
+    "VisitCounter",
+    "BDDManager",
+    "Function",
+    "HeaderLayout",
+    "Packet",
+    "Wildcard",
+    "WildcardSet",
+    "dst_ip_layout",
+    "five_tuple_layout",
+    "Network",
+    "DataPlane",
+    "Box",
+    "Match",
+    "ForwardingRule",
+    "ForwardingTable",
+    "Acl",
+    "AclRule",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Measurement and reporting helpers for the evaluation harness."""
+
+from .memory import MemoryReport, memory_report
+from .reporting import format_qps, render_cdf, render_series, render_table
+from .timeline import SwapRecovery, TimelineSummary, summarize_timeline
+from .stats import (
+    DepthStats,
+    ThroughputResult,
+    cdf,
+    measure_throughput,
+    pearson,
+    percentile,
+)
+
+__all__ = [
+    "cdf",
+    "percentile",
+    "pearson",
+    "DepthStats",
+    "ThroughputResult",
+    "measure_throughput",
+    "render_table",
+    "render_series",
+    "render_cdf",
+    "format_qps",
+    "MemoryReport",
+    "memory_report",
+    "TimelineSummary",
+    "SwapRecovery",
+    "summarize_timeline",
+]

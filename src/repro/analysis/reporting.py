@@ -1,0 +1,70 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+Every bench target prints its result through these helpers so the output
+reads like the corresponding table/figure of the paper (EXPERIMENTS.md
+records the paper-vs-measured comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "format_qps", "render_cdf"]
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    divider = "-+-".join("-" * width for width in widths)
+
+    def render_row(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    lines = [title, render_row(headers), divider]
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple[object, object]],
+    max_points: int = 40,
+) -> str:
+    """A figure series as two columns, downsampled for readability."""
+    if len(points) > max_points:
+        step = len(points) / max_points
+        indices = [int(index * step) for index in range(max_points)]
+        if indices[-1] != len(points) - 1:
+            indices.append(len(points) - 1)
+        points = [points[index] for index in indices]
+    rows = [(x, y) for x, y in points]
+    return render_table(title, [x_label, y_label], rows)
+
+
+def render_cdf(
+    title: str,
+    distribution: Sequence[tuple[float, float]],
+    value_label: str = "value",
+) -> str:
+    """A CDF as (value, percentile) rows."""
+    rows = [(f"{value:g}", f"{fraction * 100:.1f}%") for value, fraction in distribution]
+    return render_table(title, [value_label, "cumulative"], rows)
+
+
+def format_qps(qps: float) -> str:
+    """Human-readable queries/second (the paper's Kqps/Mqps style)."""
+    if qps >= 1e6:
+        return f"{qps / 1e6:.2f} Mqps"
+    if qps >= 1e3:
+        return f"{qps / 1e3:.1f} Kqps"
+    return f"{qps:.0f} qps"

@@ -1,0 +1,128 @@
+"""Statistics helpers for the evaluation harness."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.aptree import APTree
+
+__all__ = [
+    "cdf",
+    "percentile",
+    "pearson",
+    "DepthStats",
+    "measure_throughput",
+    "ThroughputResult",
+]
+
+
+def cdf(values: Sequence[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) steps."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    points: list[tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / n)
+        else:
+            points.append((value, index / n))
+    return points
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("cannot take a percentile of no data")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * q / 100.0
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return float(ordered[lower])
+    fraction = position - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient (Fig. 4's depth/throughput link)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two equal-length samples of size >= 2")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        raise ValueError("degenerate sample: zero variance")
+    return cov / math.sqrt(var_x * var_y)
+
+
+@dataclass(frozen=True)
+class DepthStats:
+    """Leaf-depth summary of one AP Tree (Figs. 9-10 material)."""
+
+    average: float
+    maximum: int
+    count: int
+    distribution: tuple[tuple[float, float], ...]  # CDF points
+
+    @classmethod
+    def from_tree(cls, tree: APTree) -> "DepthStats":
+        depths = list(tree.leaf_depths().values())
+        return cls(
+            average=sum(depths) / len(depths) if depths else 0.0,
+            maximum=max(depths, default=0),
+            count=len(depths),
+            distribution=tuple(cdf([float(d) for d in depths])),
+        )
+
+    def fraction_at_most(self, depth: float) -> float:
+        """CDF evaluated at ``depth``."""
+        result = 0.0
+        for value, fraction in self.distribution:
+            if value <= depth:
+                result = fraction
+            else:
+                break
+        return result
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Measured query throughput."""
+
+    queries: int
+    elapsed_s: float
+
+    @property
+    def qps(self) -> float:
+        return self.queries / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+    def __repr__(self) -> str:
+        return f"ThroughputResult({self.qps:,.0f} qps over {self.queries} queries)"
+
+
+def measure_throughput(
+    query: Callable[[int], object],
+    headers: Sequence[int],
+    repeat: int = 1,
+) -> ThroughputResult:
+    """Time ``query`` over a header trace; the paper's Mqps numbers."""
+    if not headers:
+        raise ValueError("need at least one header")
+    started = time.perf_counter()
+    for _ in range(repeat):
+        for header in headers:
+            query(header)
+    elapsed = time.perf_counter() - started
+    return ThroughputResult(queries=len(headers) * repeat, elapsed_s=elapsed)

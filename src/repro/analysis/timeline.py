@@ -1,0 +1,85 @@
+"""Timeline summaries for dynamic-throughput experiments (Fig. 14).
+
+Turns a list of :class:`~repro.core.reconstruction.ThroughputSample` into
+the quantities the paper discusses: mean throughput, degradation between
+reconstructions, and the recovery at each swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["TimelineSummary", "summarize_timeline", "SwapRecovery"]
+
+
+@dataclass(frozen=True)
+class SwapRecovery:
+    """Throughput around one reconstruction swap."""
+
+    time_s: float
+    before_qps: float
+    after_qps: float
+
+    @property
+    def gain(self) -> float:
+        return self.after_qps / self.before_qps if self.before_qps else float("inf")
+
+
+@dataclass(frozen=True)
+class TimelineSummary:
+    """Aggregates of one dynamic run."""
+
+    samples: int
+    mean_qps: float
+    min_qps: float
+    max_qps: float
+    swaps: tuple[SwapRecovery, ...]
+
+    @property
+    def degradation(self) -> float:
+        """Worst-case throughput as a fraction of the mean."""
+        return self.min_qps / self.mean_qps if self.mean_qps else 0.0
+
+    def describe(self) -> str:
+        swap_text = ", ".join(
+            f"t={swap.time_s:.2f}s x{swap.gain:.2f}" for swap in self.swaps
+        )
+        return (
+            f"{self.samples} samples, mean {self.mean_qps:,.0f} qps "
+            f"(min {self.min_qps:,.0f}, max {self.max_qps:,.0f}); "
+            f"swaps: {swap_text or 'none'}"
+        )
+
+
+def summarize_timeline(samples: Sequence, window: int = 3) -> TimelineSummary:
+    """Summarize a throughput timeline.
+
+    ``window`` buckets before/after each swap are averaged to estimate the
+    recovery factor (single buckets are noisy).
+    """
+    if not samples:
+        raise ValueError("cannot summarize an empty timeline")
+    rates = [sample.throughput_qps for sample in samples]
+    swaps: list[SwapRecovery] = []
+    for index, sample in enumerate(samples):
+        if sample.event != "swap":
+            continue
+        before_slice = rates[max(0, index - window):index]
+        after_slice = rates[index + 1:index + 1 + window]
+        if not before_slice or not after_slice:
+            continue
+        swaps.append(
+            SwapRecovery(
+                time_s=sample.time_s,
+                before_qps=sum(before_slice) / len(before_slice),
+                after_qps=sum(after_slice) / len(after_slice),
+            )
+        )
+    return TimelineSummary(
+        samples=len(samples),
+        mean_qps=sum(rates) / len(rates),
+        min_qps=min(rates),
+        max_qps=max(rates),
+        swaps=tuple(swaps),
+    )

@@ -1,0 +1,32 @@
+"""Comparator implementations evaluated against AP Classifier.
+
+Each baseline answers the same query -- "what happens to this packet,
+network-wide?" -- by a different published mechanism:
+
+* :class:`APLinearClassifier` -- AP Verifier atoms + linear scan (§VII-E);
+* :class:`PScanIdentifier` -- evaluate all predicates per query (§VII-E);
+* :class:`ForwardingSimulator` -- per-box linear simulation (§VII-D);
+* :class:`HsaQuerier` -- Hassel-style header space analysis (§VII-D);
+* :class:`VeriflowTrie` -- Veriflow's all-rules trie (§II discussion).
+"""
+
+from .aplinear import APLinearClassifier
+from .forwarding_sim import ForwardingSimulator, SimulationResult
+from .hsa_query import HsaQuerier
+from .mdd import MddClassifier
+from .netplumber import NetPlumber, Probe
+from .pscan import PScanIdentifier
+from .veriflow_trie import TrieRule, VeriflowTrie
+
+__all__ = [
+    "APLinearClassifier",
+    "PScanIdentifier",
+    "ForwardingSimulator",
+    "SimulationResult",
+    "HsaQuerier",
+    "VeriflowTrie",
+    "TrieRule",
+    "MddClassifier",
+    "NetPlumber",
+    "Probe",
+]

@@ -1,0 +1,40 @@
+"""APLinear baseline: linear scan over atomic-predicate BDDs.
+
+One possible packet-behavior identifier built from AP Verifier alone
+(Sections II and VII-E): compute the atomic predicates, then classify each
+query packet by checking it against every atom's BDD until one evaluates
+true.  Exact but slow -- atom BDDs are more complex than predicate BDDs and
+there is no search structure -- which is precisely why the paper built the
+AP Tree.
+"""
+
+from __future__ import annotations
+
+from ..core.atomic import AtomicUniverse
+from ..core.behavior import Behavior, BehaviorComputer
+from ..headerspace.header import Packet
+from ..network.dataplane import DataPlane
+
+__all__ = ["APLinearClassifier"]
+
+
+class APLinearClassifier:
+    """AP Verifier's atoms + linear search; stage 2 identical to AP Classifier."""
+
+    def __init__(self, dataplane: DataPlane, universe: AtomicUniverse | None = None) -> None:
+        self.dataplane = dataplane
+        self.universe = (
+            universe
+            if universe is not None
+            else AtomicUniverse.compute(dataplane.manager, dataplane.predicates())
+        )
+        self._behavior = BehaviorComputer(dataplane, self.universe)
+
+    def classify(self, packet: Packet | int) -> int:
+        header = packet.value if isinstance(packet, Packet) else packet
+        return self.universe.classify(header)
+
+    def query(
+        self, packet: Packet | int, ingress_box: str, in_port: str | None = None
+    ) -> Behavior:
+        return self._behavior.compute(self.classify(packet), ingress_box, in_port)

@@ -1,0 +1,108 @@
+"""Forwarding Simulation baseline (Section VII-D).
+
+Determines the behavior of a packet by simulating it box by box: at each
+visited box the packet is checked against that box's predicates linearly
+until matches are found, then the walk continues at the next hop.  Unlike
+PScan it only evaluates predicates of boxes actually on the path, but it
+still averages ~100-230 BDD evaluations per query on the paper's datasets
+versus ~11-17 AP Tree node visits for AP Classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.behavior import (
+    DROP_INPUT_ACL,
+    DROP_NO_ROUTE,
+    DROP_OUTPUT_ACL,
+    STOP_LOOP,
+    Behavior,
+    TraceEdge,
+    TraceNode,
+)
+from ..headerspace.header import Packet
+from ..network.dataplane import DataPlane
+
+__all__ = ["ForwardingSimulator", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """A behavior plus the evaluation count the paper reports."""
+
+    behavior: Behavior
+    predicates_checked: int
+
+
+class ForwardingSimulator:
+    """Per-box linear predicate evaluation along the forwarding path."""
+
+    def __init__(self, dataplane: DataPlane) -> None:
+        self.dataplane = dataplane
+        self.topology = dataplane.network.topology
+
+    def query(
+        self, packet: Packet | int, ingress_box: str, in_port: str | None = None
+    ) -> Behavior:
+        return self.simulate(packet, ingress_box, in_port).behavior
+
+    def simulate(
+        self, packet: Packet | int, ingress_box: str, in_port: str | None = None
+    ) -> SimulationResult:
+        header = packet.value if isinstance(packet, Packet) else packet
+        checked = [0]
+        root = self._visit(header, ingress_box, in_port, frozenset(), checked)
+        return SimulationResult(
+            behavior=Behavior(ingress_box=ingress_box, atom_id=-1, root=root),
+            predicates_checked=checked[0],
+        )
+
+    def _visit(
+        self,
+        header: int,
+        box: str,
+        in_port: str | None,
+        on_path: frozenset[str],
+        checked: list[int],
+    ) -> TraceNode:
+        node = TraceNode(box=box, in_port=in_port)
+        if in_port is not None:
+            acl_in = self.dataplane.input_acl_predicate(box, in_port)
+            if acl_in is not None:
+                checked[0] += 1
+                if not acl_in.fn.evaluate(header):
+                    node.dropped = DROP_INPUT_ACL
+                    return node
+        on_path = on_path | {box}
+        forwarded = False
+        for entry in self.dataplane.forwarding_entries(box):
+            checked[0] += 1
+            if not entry.fn.evaluate(header):
+                continue
+            forwarded = True
+            edge = TraceEdge(out_port=entry.port)
+            node.edges.append(edge)
+            acl_out = self.dataplane.output_acl_predicate(box, entry.port)
+            if acl_out is not None:
+                checked[0] += 1
+                if not acl_out.fn.evaluate(header):
+                    edge.stopped = DROP_OUTPUT_ACL
+                    continue
+            host = self.topology.host_at(box, entry.port)
+            if host is not None:
+                edge.to_host = host
+                continue
+            next_ref = self.topology.next_hop(box, entry.port)
+            if next_ref is None:
+                edge.stopped = "egress"
+                continue
+            if next_ref.box in on_path:
+                edge.stopped = STOP_LOOP
+                continue
+            edge.child = self._visit(
+                header, next_ref.box, next_ref.port, on_path, checked
+            )
+        if not forwarded:
+            node.dropped = DROP_NO_ROUTE
+        return node

@@ -1,0 +1,90 @@
+"""PScan baseline: evaluate the query packet against every predicate.
+
+The second comparator of Section VII-E: no atoms, no tree -- for each query
+the packet is checked against all ``k`` predicate BDDs, and the resulting
+verdict vector drives the same topology walk as stage 2 (with membership
+tests replaced by the precomputed verdicts).
+"""
+
+from __future__ import annotations
+
+from ..core.behavior import (
+    DROP_INPUT_ACL,
+    DROP_NO_ROUTE,
+    DROP_OUTPUT_ACL,
+    STOP_LOOP,
+    Behavior,
+    TraceEdge,
+    TraceNode,
+)
+from ..headerspace.header import Packet
+from ..network.dataplane import DataPlane
+
+__all__ = ["PScanIdentifier"]
+
+
+class PScanIdentifier:
+    """Full predicate scan per query."""
+
+    def __init__(self, dataplane: DataPlane) -> None:
+        self.dataplane = dataplane
+        self.topology = dataplane.network.topology
+
+    def verdicts(self, packet: Packet | int) -> dict[int, bool]:
+        """pid -> does the predicate evaluate true for the packet.
+
+        This is the whole per-query cost of PScan: ``k`` BDD evaluations.
+        """
+        header = packet.value if isinstance(packet, Packet) else packet
+        return {
+            predicate.pid: predicate.fn.evaluate(header)
+            for predicate in self.dataplane.predicates()
+        }
+
+    def query(
+        self, packet: Packet | int, ingress_box: str, in_port: str | None = None
+    ) -> Behavior:
+        verdicts = self.verdicts(packet)
+        root = self._visit(verdicts, ingress_box, in_port, frozenset())
+        return Behavior(ingress_box=ingress_box, atom_id=-1, root=root)
+
+    def _visit(
+        self,
+        verdicts: dict[int, bool],
+        box: str,
+        in_port: str | None,
+        on_path: frozenset[str],
+    ) -> TraceNode:
+        node = TraceNode(box=box, in_port=in_port)
+        if in_port is not None:
+            acl_in = self.dataplane.input_acl_predicate(box, in_port)
+            if acl_in is not None and not verdicts[acl_in.pid]:
+                node.dropped = DROP_INPUT_ACL
+                return node
+        on_path = on_path | {box}
+        forwarded = False
+        for entry in self.dataplane.forwarding_entries(box):
+            if not verdicts[entry.pid]:
+                continue
+            forwarded = True
+            edge = TraceEdge(out_port=entry.port)
+            node.edges.append(edge)
+            acl_out = self.dataplane.output_acl_predicate(box, entry.port)
+            if acl_out is not None and not verdicts[acl_out.pid]:
+                edge.stopped = DROP_OUTPUT_ACL
+                continue
+            host = self.topology.host_at(box, entry.port)
+            if host is not None:
+                edge.to_host = host
+                continue
+            next_ref = self.topology.next_hop(box, entry.port)
+            if next_ref is None:
+                edge.stopped = "egress"
+                continue
+            if next_ref.box in on_path:
+                edge.stopped = STOP_LOOP
+                continue
+            edge.child = self._visit(verdicts, next_ref.box, next_ref.port, on_path)
+        if not forwarded:
+            node.dropped = DROP_NO_ROUTE
+        return node

@@ -1,0 +1,285 @@
+"""Veriflow-style multi-dimensional trie baseline.
+
+Veriflow (NSDI'13) stores all data plane rules in a prefix trie and, per
+query, collects the rules overlapping the queried packet to derive its
+equivalence class and forwarding graph.  Section II discusses using this
+trie for packet behavior identification: workable but memory-hungry and
+slow, since every query walks the trie and then simulates forwarding over
+the collected rules.
+
+The trie here is a bit-level binary trie with a third ``*`` branch per
+node (the classic ternary trie over header bits).  Rules from all boxes
+share one trie; each payload records its box, priority, and action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.behavior import (
+    DROP_INPUT_ACL,
+    DROP_NO_ROUTE,
+    Behavior,
+    STOP_LOOP,
+    TraceEdge,
+    TraceNode,
+)
+from ..headerspace.header import Packet
+from ..network.builder import Network
+
+__all__ = ["VeriflowTrie", "TrieRule"]
+
+
+@dataclass(frozen=True)
+class TrieRule:
+    """One forwarding rule as stored in the trie."""
+
+    box: str
+    priority: int
+    order: int  # insertion order; earlier wins priority ties
+    out_ports: tuple[str, ...]
+
+
+@dataclass
+class _TrieNode:
+    zero: "_TrieNode | None" = None
+    one: "_TrieNode | None" = None
+    star: "_TrieNode | None" = None
+    rules: list[TrieRule] = field(default_factory=list)
+
+
+class VeriflowTrie:
+    """All-rules ternary trie plus per-packet forwarding simulation."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.topology = network.topology
+        self.width = network.layout.total_width
+        self._root = _TrieNode()
+        self._node_count = 1
+        self._next_order = 0
+        for name, box in network.boxes.items():
+            for rule in box.table:
+                self.insert_rule(name, rule)
+
+    # ------------------------------------------------------------------
+    # Trie maintenance
+    # ------------------------------------------------------------------
+
+    def _insert(self, mask: int, value: int, payload: TrieRule) -> None:
+        node = self._root
+        for position in range(self.width - 1, -1, -1):
+            bit = 1 << position
+            if not mask & bit:
+                branch = "star"
+            elif value & bit:
+                branch = "one"
+            else:
+                branch = "zero"
+            child = getattr(node, branch)
+            if child is None:
+                child = _TrieNode()
+                setattr(node, branch, child)
+                self._node_count += 1
+            node = child
+        node.rules.append(payload)
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    # ------------------------------------------------------------------
+    # Incremental updates (Veriflow sits on the controller's update path)
+    # ------------------------------------------------------------------
+
+    def insert_rule(self, box: str, rule) -> TrieRule:
+        """Index one forwarding rule; returns the stored payload.
+
+        Does NOT touch the network model -- callers updating a live plane
+        mutate the box's table and mirror the change here (as Veriflow
+        mirrors switch state).
+        """
+        wildcard = rule.match.to_wildcard(self.network.layout)
+        payload = TrieRule(box, rule.priority, self._next_order, rule.out_ports)
+        self._next_order += 1
+        self._insert(wildcard.mask, wildcard.value, payload)
+        return payload
+
+    def remove_rule(self, box: str, rule) -> None:
+        """Un-index one forwarding rule (first matching payload)."""
+        wildcard = rule.match.to_wildcard(self.network.layout)
+        node = self._root
+        for position in range(self.width - 1, -1, -1):
+            bit = 1 << position
+            if not wildcard.mask & bit:
+                branch = "star"
+            elif wildcard.value & bit:
+                branch = "one"
+            else:
+                branch = "zero"
+            child = getattr(node, branch)
+            if child is None:
+                raise KeyError(f"rule not indexed: {rule}")
+            node = child
+        for index, payload in enumerate(node.rules):
+            if (
+                payload.box == box
+                and payload.priority == rule.priority
+                and payload.out_ports == rule.out_ports
+            ):
+                del node.rules[index]
+                return
+        raise KeyError(f"rule not indexed: {rule}")
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+
+    def matching_rules(self, header: int) -> list[TrieRule]:
+        """All rules (any box) whose match covers the packet.
+
+        Walks the trie following, at each level, both the packet's bit
+        branch and the ``*`` branch -- the per-query cost Veriflow pays.
+        """
+        matches: list[TrieRule] = []
+        frontier = [self._root]
+        for position in range(self.width - 1, -1, -1):
+            bit_set = bool(header & (1 << position))
+            next_frontier: list[_TrieNode] = []
+            for node in frontier:
+                exact = node.one if bit_set else node.zero
+                if exact is not None:
+                    next_frontier.append(exact)
+                if node.star is not None:
+                    next_frontier.append(node.star)
+            frontier = next_frontier
+            if not frontier:
+                return []
+        for node in frontier:
+            matches.extend(node.rules)
+        return matches
+
+    def query(
+        self, packet: Packet | int, ingress_box: str, in_port: str | None = None
+    ) -> Behavior:
+        """Packet behavior from the trie-collected rules.
+
+        ACLs are evaluated from the raw network model (Veriflow's trie
+        holds forwarding rules; its ACL handling was out of scope, so this
+        baseline consults the model directly, which only makes it faster).
+        """
+        concrete = (
+            packet if isinstance(packet, Packet) else Packet(self.network.layout, packet)
+        )
+        rules = self.matching_rules(concrete.value)
+        by_box: dict[str, TrieRule] = {}
+        for rule in rules:
+            winner = by_box.get(rule.box)
+            if (
+                winner is None
+                or rule.priority > winner.priority
+                or (rule.priority == winner.priority and rule.order < winner.order)
+            ):
+                by_box[rule.box] = rule
+        root = self._visit(concrete, by_box, ingress_box, in_port, frozenset())
+        return Behavior(ingress_box=ingress_box, atom_id=-1, root=root)
+
+    def _visit(
+        self,
+        packet: Packet,
+        by_box: dict[str, TrieRule],
+        box: str,
+        in_port: str | None,
+        on_path: frozenset[str],
+    ) -> TraceNode:
+        node = TraceNode(box=box, in_port=in_port)
+        model_box = self.network.box(box)
+        if in_port is not None and not model_box.admits(packet, in_port):
+            node.dropped = DROP_INPUT_ACL
+            return node
+        winner = by_box.get(box)
+        if winner is None or not winner.out_ports:
+            node.dropped = DROP_NO_ROUTE
+            return node
+        on_path = on_path | {box}
+        for port in winner.out_ports:
+            edge = TraceEdge(out_port=port)
+            node.edges.append(edge)
+            if not model_box.emits(packet, port):
+                edge.stopped = "output_acl"
+                continue
+            host = self.topology.host_at(box, port)
+            if host is not None:
+                edge.to_host = host
+                continue
+            next_ref = self.topology.next_hop(box, port)
+            if next_ref is None:
+                edge.stopped = "egress"
+                continue
+            if next_ref.box in on_path:
+                edge.stopped = STOP_LOOP
+                continue
+            edge.child = self._visit(packet, by_box, next_ref.box, next_ref.port, on_path)
+        return node
+
+    # ------------------------------------------------------------------
+    # Equivalence classes (Veriflow's per-dimension interval cut)
+    # ------------------------------------------------------------------
+
+    def field_boundaries(self) -> dict[str, list[int]]:
+        """Per-field sorted cut points induced by all rules and ACLs.
+
+        Veriflow slices each header dimension at every rule boundary; an
+        equivalence class is one cell of the resulting grid. Because the
+        cut is per-dimension (no cross-field reasoning), the grid is a
+        refinement of the true behavioral partition -- it can only have
+        *more* classes than the atomic predicates, which is the paper's
+        minimality claim in testable form.
+        """
+        layout = self.network.layout
+        boundaries: dict[str, set[int]] = {
+            field.name: {0, 1 << field.width} for field in layout.fields
+        }
+
+        def add_match(match) -> None:
+            for constraint in match.constraints():
+                if constraint.prefix_len == 0:
+                    continue
+                field = layout.field(constraint.field)
+                shift = field.width - constraint.prefix_len
+                start = (constraint.value >> shift) << shift
+                boundaries[constraint.field].add(start)
+                boundaries[constraint.field].add(start + (1 << shift))
+
+        for box in self.network.boxes.values():
+            for rule in box.table:
+                add_match(rule.match)
+            for acl in list(box.input_acls.values()) + list(box.output_acls.values()):
+                for acl_rule in acl:
+                    add_match(acl_rule.match)
+        return {name: sorted(values) for name, values in boundaries.items()}
+
+    def equivalence_class_count(self) -> int:
+        """Number of grid cells (Veriflow's EC count upper bound)."""
+        count = 1
+        for cuts in self.field_boundaries().values():
+            count *= len(cuts) - 1
+        return count
+
+    def equivalence_class_of(self, packet: Packet | int) -> tuple[int, ...]:
+        """The grid cell containing a packet, as per-field interval ids."""
+        import bisect
+
+        concrete = (
+            packet if isinstance(packet, Packet) else Packet(self.network.layout, packet)
+        )
+        boundaries = self.field_boundaries()
+        cell = []
+        for field in self.network.layout.fields:
+            cuts = boundaries[field.name]
+            value = concrete.field(field.name)
+            cell.append(bisect.bisect_right(cuts, value) - 1)
+        return tuple(cell)
+
+    def __repr__(self) -> str:
+        return f"VeriflowTrie({self._node_count} trie nodes)"

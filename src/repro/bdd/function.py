@@ -1,0 +1,154 @@
+"""Operator-friendly wrapper around raw BDD node ids.
+
+:class:`BDDManager` works on bare integers for speed; :class:`Function`
+wraps one ``(manager, node)`` pair and gives predicates natural Boolean
+syntax (``&``, ``|``, ``~``, ``^``, ``-``).  Two functions compare equal iff
+they denote the same Boolean function in the same manager -- hash-consing
+makes that a pair of integer comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .manager import FALSE, TRUE, BDDManager
+
+__all__ = ["Function"]
+
+
+class Function:
+    """An immutable Boolean function handle tied to a manager."""
+
+    __slots__ = ("manager", "node")
+
+    def __init__(self, manager: BDDManager, node: int) -> None:
+        self.manager = manager
+        self.node = node
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def true(cls, manager: BDDManager) -> "Function":
+        return cls(manager, TRUE)
+
+    @classmethod
+    def false(cls, manager: BDDManager) -> "Function":
+        return cls(manager, FALSE)
+
+    @classmethod
+    def variable(cls, manager: BDDManager, index: int) -> "Function":
+        return cls(manager, manager.var(index))
+
+    @classmethod
+    def cube(cls, manager: BDDManager, literals: dict[int, bool]) -> "Function":
+        return cls(manager, manager.cube(literals))
+
+    # ------------------------------------------------------------------
+    # Boolean algebra
+    # ------------------------------------------------------------------
+
+    def _coerce(self, other: "Function") -> int:
+        if not isinstance(other, Function):
+            raise TypeError(f"expected Function, got {type(other).__name__}")
+        if other.manager is not self.manager:
+            raise ValueError("cannot combine functions from different managers")
+        return other.node
+
+    def __and__(self, other: "Function") -> "Function":
+        return Function(self.manager, self.manager.apply_and(self.node, self._coerce(other)))
+
+    def __or__(self, other: "Function") -> "Function":
+        return Function(self.manager, self.manager.apply_or(self.node, self._coerce(other)))
+
+    def __xor__(self, other: "Function") -> "Function":
+        return Function(self.manager, self.manager.apply_xor(self.node, self._coerce(other)))
+
+    def __sub__(self, other: "Function") -> "Function":
+        """Set difference: ``self AND NOT other``."""
+        return Function(self.manager, self.manager.apply_diff(self.node, self._coerce(other)))
+
+    def __invert__(self) -> "Function":
+        return Function(self.manager, self.manager.negate(self.node))
+
+    def implies(self, other: "Function") -> bool:
+        return self.manager.implies(self.node, self._coerce(other))
+
+    def ite(self, then_fn: "Function", else_fn: "Function") -> "Function":
+        return Function(
+            self.manager,
+            self.manager.ite(self.node, self._coerce(then_fn), self._coerce(else_fn)),
+        )
+
+    def restrict(self, var: int, value: bool) -> "Function":
+        return Function(self.manager, self.manager.restrict(self.node, var, value))
+
+    def exists(self, variables: set[int]) -> "Function":
+        """Existentially quantify out ``variables`` (field projection)."""
+        return Function(self.manager, self.manager.exists(self.node, variables))
+
+    def forall(self, variables: set[int]) -> "Function":
+        """Universally quantify out ``variables``."""
+        return Function(self.manager, self.manager.forall(self.node, variables))
+
+    # ------------------------------------------------------------------
+    # Predicates about the function
+    # ------------------------------------------------------------------
+
+    @property
+    def is_false(self) -> bool:
+        return self.node == FALSE
+
+    @property
+    def is_true(self) -> bool:
+        return self.node == TRUE
+
+    def evaluate(self, assignment: int) -> bool:
+        return self.manager.evaluate(self.node, assignment)
+
+    def sat_count(self) -> int:
+        return self.manager.sat_count(self.node)
+
+    def random_sat(self, rng) -> int:
+        return self.manager.random_sat(self.node, rng)
+
+    def count_nodes(self) -> int:
+        return self.manager.count_nodes(self.node)
+
+    def support(self) -> set[int]:
+        return self.manager.support(self.node)
+
+    def iter_cubes(self) -> Iterator[dict[int, bool]]:
+        return self.manager.iter_cubes(self.node)
+
+    def disjoint(self, other: "Function") -> bool:
+        return self.manager.apply_and(self.node, self._coerce(other)) == FALSE
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Function)
+            and other.manager is self.manager
+            and other.node == self.node
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.node))
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Function truth value is ambiguous; use .is_true / .is_false"
+        )
+
+    def __repr__(self) -> str:
+        if self.is_false:
+            body = "FALSE"
+        elif self.is_true:
+            body = "TRUE"
+        else:
+            body = f"node={self.node}, size={self.count_nodes()}"
+        return f"Function({body})"

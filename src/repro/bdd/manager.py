@@ -1,0 +1,523 @@
+"""Hash-consed reduced ordered binary decision diagram (ROBDD) manager.
+
+The paper represents every predicate -- every ACL and every forwarding-table
+output port -- as a BDD over the bits of the packet header (Section III,
+footnote 3).  The authors used the JDD Java library; this module is a
+from-scratch pure-Python replacement providing the same operation set.
+
+Design notes
+------------
+* Nodes are identified by small integers.  ``0`` and ``1`` are the FALSE and
+  TRUE terminals.  Every internal node is a triple ``(var, low, high)`` where
+  ``low`` is followed when the variable is 0 and ``high`` when it is 1.
+* The manager keeps a *unique table* mapping triples to node ids, so
+  structurally equal functions always share the same id.  Equality of Boolean
+  functions is therefore integer equality, which the rest of the library
+  leans on heavily (e.g. atomic-predicate deduplication).
+* Binary operations are computed by the classic memoized Shannon-expansion
+  ``apply`` algorithm.  Negation is a memoized terminal swap (no complement
+  edges; simplicity wins over the constant-factor saving).
+* Variable order is fixed at construction time: variable 0 is closest to the
+  root.  Callers lay out header bits most-significant-first per field, which
+  keeps prefix-match predicates linear in prefix length.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["BDDManager", "FALSE", "TRUE"]
+
+FALSE = 0
+TRUE = 1
+
+# Operator codes for the shared apply cache.  Using small ints keeps the
+# cache keys cheap to hash.
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
+_OP_DIFF = 3
+
+_TERMINAL_VAR = 1 << 30  # sentinel "variable" for terminals; orders last
+
+
+class BDDManager:
+    """Owns a universe of BDD nodes over ``num_vars`` Boolean variables.
+
+    All node ids returned by one manager are only meaningful within that
+    manager.  The manager never garbage-collects nodes; for this workload
+    (predicates of a data plane snapshot) the node population is small and
+    stable, and keeping ids immortal keeps every cache valid forever.
+    """
+
+    def __init__(self, num_vars: int) -> None:
+        if num_vars <= 0:
+            raise ValueError(f"num_vars must be positive, got {num_vars}")
+        self.num_vars = num_vars
+        # Parallel arrays for node fields; indices 0/1 are terminals and the
+        # var entries hold a sentinel that sorts after every real variable.
+        self._var = [_TERMINAL_VAR, _TERMINAL_VAR]
+        self._low = [0, 1]
+        self._high = [0, 1]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._apply_cache: dict[tuple[int, int, int], int] = {}
+        self._not_cache: dict[int, int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        # Single-variable nodes are requested constantly; precompute them.
+        self._var_nodes = [self._mk(i, FALSE, TRUE) for i in range(num_vars)]
+        self._nvar_nodes = [self._mk(i, TRUE, FALSE) for i in range(num_vars)]
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        """Return the node for ``var ? high : low``, reusing or creating it."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def var(self, index: int) -> int:
+        """BDD for the single variable ``index``."""
+        return self._var_nodes[index]
+
+    def nvar(self, index: int) -> int:
+        """BDD for the negation of variable ``index``."""
+        return self._nvar_nodes[index]
+
+    # ------------------------------------------------------------------
+    # Node inspection
+    # ------------------------------------------------------------------
+
+    def top_var(self, node: int) -> int:
+        """Topmost variable of ``node`` (sentinel for terminals)."""
+        return self._var[node]
+
+    def low(self, node: int) -> int:
+        return self._low[node]
+
+    def high(self, node: int) -> int:
+        return self._high[node]
+
+    def is_terminal(self, node: int) -> bool:
+        return node <= TRUE
+
+    def __len__(self) -> int:
+        """Total number of nodes ever created (including terminals)."""
+        return len(self._var)
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+
+    def apply_and(self, u: int, v: int) -> int:
+        return self._apply(_OP_AND, u, v)
+
+    def apply_or(self, u: int, v: int) -> int:
+        return self._apply(_OP_OR, u, v)
+
+    def apply_xor(self, u: int, v: int) -> int:
+        return self._apply(_OP_XOR, u, v)
+
+    def apply_diff(self, u: int, v: int) -> int:
+        """``u AND NOT v`` without materializing ``NOT v``."""
+        return self._apply(_OP_DIFF, u, v)
+
+    def _apply(self, op: int, u: int, v: int) -> int:
+        # Terminal short-cuts keep the recursion shallow for the common
+        # "predicate vs. complement" pattern of atomic-predicate refinement.
+        if op == _OP_AND:
+            if u == FALSE or v == FALSE:
+                return FALSE
+            if u == TRUE:
+                return v
+            if v == TRUE:
+                return u
+            if u == v:
+                return u
+            if u > v:  # AND commutes; canonicalize for the cache
+                u, v = v, u
+        elif op == _OP_OR:
+            if u == TRUE or v == TRUE:
+                return TRUE
+            if u == FALSE:
+                return v
+            if v == FALSE:
+                return u
+            if u == v:
+                return u
+            if u > v:
+                u, v = v, u
+        elif op == _OP_XOR:
+            if u == v:
+                return FALSE
+            if u == FALSE:
+                return v
+            if v == FALSE:
+                return u
+            if u == TRUE:
+                return self.negate(v)
+            if v == TRUE:
+                return self.negate(u)
+            if u > v:
+                u, v = v, u
+        else:  # _OP_DIFF: u AND NOT v
+            if u == FALSE or v == TRUE:
+                return FALSE
+            if v == FALSE:
+                return u
+            if u == v:
+                return FALSE
+            if u == TRUE:
+                return self.negate(v)
+
+        key = (op, u, v)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+
+        var_u = self._var[u]
+        var_v = self._var[v]
+        if var_u == var_v:
+            result = self._mk(
+                var_u,
+                self._apply(op, self._low[u], self._low[v]),
+                self._apply(op, self._high[u], self._high[v]),
+            )
+        elif var_u < var_v:
+            result = self._mk(
+                var_u,
+                self._apply(op, self._low[u], v),
+                self._apply(op, self._high[u], v),
+            )
+        else:
+            result = self._mk(
+                var_v,
+                self._apply(op, u, self._low[v]),
+                self._apply(op, u, self._high[v]),
+            )
+        self._apply_cache[key] = result
+        return result
+
+    def negate(self, u: int) -> int:
+        """Logical NOT, via a memoized terminal swap."""
+        if u == FALSE:
+            return TRUE
+        if u == TRUE:
+            return FALSE
+        cached = self._not_cache.get(u)
+        if cached is not None:
+            return cached
+        result = self._mk(
+            self._var[u], self.negate(self._low[u]), self.negate(self._high[u])
+        )
+        self._not_cache[u] = result
+        self._not_cache[result] = u
+        return result
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f AND g) OR (NOT f AND h)``."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._var[f], self._var[g], self._var[h])
+        f0, f1 = self._branches(f, top)
+        g0, g1 = self._branches(g, top)
+        h0, h1 = self._branches(h, top)
+        result = self._mk(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def _branches(self, node: int, var: int) -> tuple[int, int]:
+        """Cofactors of ``node`` with respect to ``var``."""
+        if self._var[node] == var:
+            return self._low[node], self._high[node]
+        return node, node
+
+    def implies(self, u: int, v: int) -> bool:
+        """True iff the function of ``u`` implies that of ``v``."""
+        return self.apply_diff(u, v) == FALSE
+
+    # ------------------------------------------------------------------
+    # Cube and cofactor helpers
+    # ------------------------------------------------------------------
+
+    def cube(self, literals: dict[int, bool]) -> int:
+        """Conjunction of literals given as ``{var_index: polarity}``.
+
+        Built bottom-up in descending variable order so construction is
+        linear and needs no apply calls -- the hot path when converting
+        thousands of prefix rules.
+        """
+        node = TRUE
+        for index in sorted(literals, reverse=True):
+            if literals[index]:
+                node = self._mk(index, FALSE, node)
+            else:
+                node = self._mk(index, node, FALSE)
+        return node
+
+    def restrict(self, u: int, var: int, value: bool) -> int:
+        """Cofactor of ``u`` with variable ``var`` fixed to ``value``."""
+        memo: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if self._var[node] > var:
+                return node
+            hit = memo.get(node)
+            if hit is not None:
+                return hit
+            if self._var[node] == var:
+                result = self._high[node] if value else self._low[node]
+            else:
+                result = self._mk(
+                    self._var[node],
+                    walk(self._low[node]),
+                    walk(self._high[node]),
+                )
+            memo[node] = result
+            return result
+
+        return walk(u)
+
+    def exists(self, u: int, variables: set[int]) -> int:
+        """Existential quantification over ``variables``.
+
+        ``exists(u, V)`` is true for an assignment iff *some* completion
+        of the V-bits satisfies ``u``. Used to project predicates onto a
+        subset of header fields (e.g. "which destinations does this
+        predicate cover, for any source?").
+        """
+        if not variables:
+            return u
+        frozen = frozenset(variables)
+        memo: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= TRUE:
+                return node
+            hit = memo.get(node)
+            if hit is not None:
+                return hit
+            var = self._var[node]
+            low = walk(self._low[node])
+            high = walk(self._high[node])
+            if var in frozen:
+                result = self.apply_or(low, high)
+            else:
+                result = self._mk(var, low, high)
+            memo[node] = result
+            return result
+
+        return walk(u)
+
+    def forall(self, u: int, variables: set[int]) -> int:
+        """Universal quantification: true iff *every* completion satisfies."""
+        if not variables:
+            return u
+        frozen = frozenset(variables)
+        memo: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= TRUE:
+                return node
+            hit = memo.get(node)
+            if hit is not None:
+                return hit
+            var = self._var[node]
+            low = walk(self._low[node])
+            high = walk(self._high[node])
+            if var in frozen:
+                result = self.apply_and(low, high)
+            else:
+                result = self._mk(var, low, high)
+            memo[node] = result
+            return result
+
+        return walk(u)
+
+    # ------------------------------------------------------------------
+    # Evaluation and model counting
+    # ------------------------------------------------------------------
+
+    def evaluate(self, u: int, assignment: int) -> bool:
+        """Evaluate ``u`` under a packed assignment.
+
+        ``assignment`` carries variable ``i`` in bit position
+        ``num_vars - 1 - i`` so that the integer reads naturally as the
+        packet header with variable 0 as the most significant bit.  This is
+        the single hottest operation of the whole library: every AP Tree
+        node visit and every linear-scan baseline step lands here.
+        """
+        var = self._var
+        low = self._low
+        high = self._high
+        shift = self.num_vars - 1
+        while u > TRUE:
+            if (assignment >> (shift - var[u])) & 1:
+                u = high[u]
+            else:
+                u = low[u]
+        return u == TRUE
+
+    def sat_count(self, u: int) -> int:
+        """Number of satisfying assignments over all ``num_vars`` variables."""
+        if u == FALSE:
+            return 0
+        if u == TRUE:
+            return 1 << self.num_vars
+        memo: dict[int, int] = {}
+
+        def models(node: int) -> int:
+            """Models of ``node`` over variables var(node)..num_vars-1."""
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1
+            hit = memo.get(node)
+            if hit is not None:
+                return hit
+            var = self._var[node]
+            lo, hi = self._low[node], self._high[node]
+            result = (models(lo) << (self._gap(var, lo) - 1)) + (
+                models(hi) << (self._gap(var, hi) - 1)
+            )
+            memo[node] = result
+            return result
+
+        # Scale for variables skipped above the root.
+        return models(u) << (self._gap(-1, u) - 1)
+
+    def _gap(self, var: int, node: int) -> int:
+        """Number of variable levels skipped from ``var`` down to ``node``."""
+        below = self.num_vars if node <= TRUE else self._var[node]
+        return below - var
+
+    def random_sat(self, u: int, rng) -> int:
+        """Sample a uniformly random satisfying assignment of ``u``.
+
+        Returns a packed integer in the same layout as :meth:`evaluate`.
+        Used by workload generators to synthesize packets "randomly with
+        respect to the atomic predicates" (Section VII-D).
+        """
+        if u == FALSE:
+            raise ValueError("cannot sample from an unsatisfiable BDD")
+        memo: dict[int, int] = {}
+
+        def models(node: int) -> int:
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1
+            hit = memo.get(node)
+            if hit is None:
+                var = self._var[node]
+                hit = models(self._low[node]) << (
+                    self._gap(var, self._low[node]) - 1
+                )
+                hit += models(self._high[node]) << (
+                    self._gap(var, self._high[node]) - 1
+                )
+                memo[node] = hit
+            return hit
+
+        assignment = 0
+        shift = self.num_vars - 1
+        var = 0
+        node = u
+        while var < self.num_vars:
+            if node <= TRUE or self._var[node] > var:
+                # Variable unconstrained here: flip a fair coin.
+                if rng.random() < 0.5:
+                    assignment |= 1 << (shift - var)
+                var += 1
+                continue
+            lo, hi = self._low[node], self._high[node]
+            lo_weight = models(lo) << (self._gap(var, lo) - 1)
+            hi_weight = models(hi) << (self._gap(var, hi) - 1)
+            total = lo_weight + hi_weight
+            if rng.randrange(total) < hi_weight:
+                assignment |= 1 << (shift - var)
+                node = hi
+            else:
+                node = lo
+            var += 1
+        return assignment
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def count_nodes(self, u: int) -> int:
+        """Number of distinct nodes reachable from ``u`` (incl. terminals)."""
+        seen: set[int] = set()
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node > TRUE:
+                stack.append(self._low[node])
+                stack.append(self._high[node])
+        return len(seen)
+
+    def support(self, u: int) -> set[int]:
+        """Set of variable indices the function of ``u`` depends on."""
+        result: set[int] = set()
+        seen: set[int] = set()
+        stack = [u]
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            result.add(self._var[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return result
+
+    def iter_cubes(self, u: int) -> Iterator[dict[int, bool]]:
+        """Yield the cubes (partial assignments) of each path to TRUE."""
+        path: dict[int, bool] = {}
+
+        def walk(node: int) -> Iterator[dict[int, bool]]:
+            if node == FALSE:
+                return
+            if node == TRUE:
+                yield dict(path)
+                return
+            var = self._var[node]
+            path[var] = False
+            yield from walk(self._low[node])
+            path[var] = True
+            yield from walk(self._high[node])
+            del path[var]
+
+        yield from walk(u)
+
+    def cache_stats(self) -> dict[str, int]:
+        """Sizes of the internal caches, for memory accounting."""
+        return {
+            "nodes": len(self._var),
+            "apply_cache": len(self._apply_cache),
+            "not_cache": len(self._not_cache),
+            "ite_cache": len(self._ite_cache),
+        }

@@ -1,0 +1,152 @@
+"""Flat serialization of BDD functions for snapshotting and debugging.
+
+A serialized function is a topologically ordered list of
+``(var, low_ref, high_ref)`` triples where references index earlier entries
+(with ``-2``/``-1`` denoting FALSE/TRUE).  This is enough to move predicate
+sets between processes (e.g. the reconstruction process of Section VI-B) or
+persist a data plane snapshot to disk.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .function import Function
+from .manager import FALSE, TRUE, BDDManager
+
+__all__ = [
+    "dump_node",
+    "load_node",
+    "dump_functions",
+    "load_functions",
+    "to_dot",
+]
+
+_FALSE_REF = -2
+_TRUE_REF = -1
+
+
+def dump_node(manager: BDDManager, node: int) -> list[tuple[int, int, int]]:
+    """Flatten the DAG under ``node`` into a list of triples."""
+    order: list[int] = []
+    index: dict[int, int] = {}
+
+    def visit(current: int) -> None:
+        if current <= TRUE or current in index:
+            return
+        visit(manager.low(current))
+        visit(manager.high(current))
+        index[current] = len(order)
+        order.append(current)
+
+    visit(node)
+
+    def ref(current: int) -> int:
+        if current == FALSE:
+            return _FALSE_REF
+        if current == TRUE:
+            return _TRUE_REF
+        return index[current]
+
+    triples = [
+        (manager.top_var(n), ref(manager.low(n)), ref(manager.high(n)))
+        for n in order
+    ]
+    # The root must be resolvable by the loader: encode it as a final ref.
+    triples.append((-1, ref(node), ref(node)))
+    return triples
+
+
+def load_node(manager: BDDManager, triples: Sequence[Sequence[int]]) -> int:
+    """Rebuild a node in ``manager`` from :func:`dump_node` output."""
+    if not triples:
+        raise ValueError("empty serialization")
+    built: list[int] = []
+
+    def deref(ref: int) -> int:
+        if ref == _FALSE_REF:
+            return FALSE
+        if ref == _TRUE_REF:
+            return TRUE
+        return built[ref]
+
+    *body, root_marker = triples
+    for var, low_ref, high_ref in body:
+        built.append(manager._mk(var, deref(low_ref), deref(high_ref)))
+    marker_var, root_ref, _ = root_marker
+    if marker_var != -1:
+        raise ValueError("malformed serialization: missing root marker")
+    return deref(root_ref)
+
+
+def to_dot(
+    manager: BDDManager,
+    node: int,
+    name: str = "bdd",
+    var_names: dict[int, str] | None = None,
+) -> str:
+    """Render the DAG under ``node`` as Graphviz DOT (debugging aid).
+
+    Dashed edges are the low (false) branch, solid edges the high (true)
+    branch, following the usual BDD drawing convention.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    lines.append('  node_F [label="0", shape=box];')
+    lines.append('  node_T [label="1", shape=box];')
+    seen: set[int] = set()
+
+    def label(current: int) -> str:
+        if current == FALSE:
+            return "node_F"
+        if current == TRUE:
+            return "node_T"
+        return f"node_{current}"
+
+    def visit(current: int) -> None:
+        if current <= TRUE or current in seen:
+            return
+        seen.add(current)
+        var = manager.top_var(current)
+        var_label = (var_names or {}).get(var, f"x{var}")
+        lines.append(f'  node_{current} [label="{var_label}", shape=circle];')
+        low, high = manager.low(current), manager.high(current)
+        lines.append(f"  node_{current} -> {label(low)} [style=dashed];")
+        lines.append(f"  node_{current} -> {label(high)};")
+        visit(low)
+        visit(high)
+
+    visit(node)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dump_functions(functions: Sequence[Function]) -> str:
+    """Serialize functions sharing one manager to a JSON string."""
+    if not functions:
+        return json.dumps({"num_vars": 0, "functions": []})
+    manager = functions[0].manager
+    for fn in functions:
+        if fn.manager is not manager:
+            raise ValueError("all functions must share one manager")
+    payload = {
+        "num_vars": manager.num_vars,
+        "functions": [dump_node(manager, fn.node) for fn in functions],
+    }
+    return json.dumps(payload)
+
+
+def load_functions(text: str, manager: BDDManager | None = None) -> list[Function]:
+    """Inverse of :func:`dump_functions`; creates a manager if none given."""
+    payload = json.loads(text)
+    if manager is None:
+        manager = BDDManager(max(payload["num_vars"], 1))
+    elif payload["functions"] and manager.num_vars != payload["num_vars"]:
+        raise ValueError(
+            f"manager has {manager.num_vars} vars, payload needs "
+            f"{payload['num_vars']}"
+        )
+    return [
+        Function(manager, load_node(manager, triples))
+        for triples in payload["functions"]
+    ]

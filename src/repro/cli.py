@@ -1,0 +1,310 @@
+"""Command-line interface: inspect datasets, query behaviors, verify
+invariants, and snapshot networks.
+
+Examples::
+
+    ap-classifier stats --dataset internet2
+    ap-classifier query --dataset internet2 --dst-ip 10.1.0.1 --ingress SEAT
+    ap-classifier tree --dataset stanford --strategy quick_ordering
+    ap-classifier verify --dataset fattree --ingress edge_0_0
+    ap-classifier snapshot --dataset internet2 --out /tmp/i2.json
+    ap-classifier query --snapshot /tmp/i2.json --dst-ip 10.1.0.1 --ingress SEAT
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.memory import memory_report
+from .analysis.reporting import render_table
+from .core.classifier import APClassifier
+from .core.verifier import NetworkVerifier
+from .datasets import fattree, internet2_like, stanford_like, toy_network
+from .headerspace.fields import parse_ipv4
+from .headerspace.header import Packet
+from .network.builder import Network
+from .network.serialize import load_network, save_network
+
+__all__ = ["main"]
+
+_DATASETS = {
+    "internet2": internet2_like,
+    "stanford": stanford_like,
+    "toy": toy_network,
+    "fattree": fattree,
+}
+
+
+def _load(args: argparse.Namespace) -> Network:
+    snapshot = getattr(args, "snapshot", "")
+    if snapshot:
+        return load_network(snapshot)
+    try:
+        factory = _DATASETS[args.dataset]
+    except KeyError:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r}; choose from {sorted(_DATASETS)}"
+        ) from None
+    return factory()
+
+
+def _build(args: argparse.Namespace) -> APClassifier:
+    return APClassifier.build(_load(args), strategy=args.strategy)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    classifier = _build(args)
+    network_stats = classifier.dataplane.network.stats()
+    stats = classifier.stats()
+    rows = [
+        ("boxes", network_stats["boxes"]),
+        ("links", network_stats["links"]),
+        ("forwarding rules", network_stats["forwarding_rules"]),
+        ("ACL rules", network_stats["acl_rules"]),
+        ("predicates", stats.predicates),
+        ("atomic predicates", stats.atoms),
+        ("AP Tree leaves", stats.tree_leaves),
+        ("AP Tree avg depth", f"{stats.tree_average_depth:.2f}"),
+        ("AP Tree max depth", stats.tree_max_depth),
+        ("BDD nodes", stats.bdd_nodes),
+        ("estimated memory", f"{stats.estimated_bytes / 1e6:.2f} MB"),
+    ]
+    print(render_table(f"dataset: {args.dataset}", ["metric", "value"], rows))
+    if args.memory:
+        print()
+        print(
+            render_table(
+                "memory breakdown",
+                ["component", "value"],
+                memory_report(classifier).rows(),
+            )
+        )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    classifier = _build(args)
+    layout = classifier.dataplane.layout
+    fields = {"dst_ip": parse_ipv4(args.dst_ip)}
+    if "src_ip" in layout and args.src_ip:
+        fields["src_ip"] = parse_ipv4(args.src_ip)
+    if "dst_port" in layout:
+        fields["dst_port"] = args.dst_port
+    if "src_port" in layout:
+        fields["src_port"] = args.src_port
+    if "proto" in layout:
+        fields["proto"] = args.proto
+    packet = Packet(layout, layout.pack(fields))
+    if args.ingress not in classifier.dataplane.network.boxes:
+        raise SystemExit(f"unknown ingress box {args.ingress!r}")
+    behavior = classifier.query(packet, ingress_box=args.ingress)
+    print(f"packet: {packet}")
+    print(f"atomic predicate: a{behavior.atom_id}")
+    for path in behavior.paths():
+        print("path: " + " -> ".join(path))
+    hosts = sorted(behavior.delivered_hosts())
+    print(f"delivered to: {hosts if hosts else 'nowhere (dropped)'}")
+    for box, reason in behavior.drops():
+        print(f"dropped at {box}: {reason}")
+    if args.trace:
+        print("\ntrace:")
+        print(behavior.format_trace())
+        print("\nAP Tree search:")
+        for pid, verdict in classifier.tree.explain(packet.value):
+            labeled = classifier.dataplane.predicate(pid)
+            print(
+                f"  {labeled.kind} {labeled.box}:{labeled.port} -> "
+                f"{'true' if verdict else 'false'}"
+            )
+    return 0
+
+
+def _cmd_reachability(args: argparse.Namespace) -> int:
+    from .core.propagation import AtomPropagation
+
+    classifier = _build(args)
+    propagation = AtomPropagation(classifier.dataplane, classifier.universe)
+    matrix = propagation.all_pairs_host_reachability()
+    hosts = sorted({host for _, host in matrix})
+    boxes = sorted({box for box, _ in matrix})
+    rows = [
+        (box, *(len(matrix[(box, host)]) for host in hosts)) for box in boxes
+    ]
+    print(
+        render_table(
+            f"reachability matrix ({args.dataset}): packet classes delivered",
+            ["ingress \\ host", *hosts],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    classifier = _build(args)
+    depths = sorted(classifier.tree.leaf_depths().values())
+    stats = classifier.stats()
+    rows = [
+        ("strategy", args.strategy),
+        ("leaves", stats.tree_leaves),
+        ("average depth", f"{stats.tree_average_depth:.2f}"),
+        ("median depth", depths[len(depths) // 2] if depths else 0),
+        ("max depth", stats.tree_max_depth),
+    ]
+    print(render_table(f"AP Tree ({args.dataset})", ["metric", "value"], rows))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    classifier = _build(args)
+    if args.ingress not in classifier.dataplane.network.boxes:
+        raise SystemExit(f"unknown ingress box {args.ingress!r}")
+    verifier = NetworkVerifier.from_classifier(classifier)
+    loops = verifier.find_loops(args.ingress)
+    blackholes = verifier.find_blackholes(args.ingress)
+    rows = [
+        ("atomic predicates checked", classifier.universe.atom_count),
+        ("looping classes", len(loops)),
+        ("undeliverable classes", len(blackholes)),
+    ]
+    exit_code = 0
+    if args.waypoint and args.host:
+        violations = verifier.verify_waypoint(args.ingress, args.host, args.waypoint)
+        rows.append(
+            (f"waypoint {args.waypoint} -> {args.host} violations", len(violations))
+        )
+        if violations:
+            exit_code = 1
+    print(
+        render_table(
+            f"verification from {args.ingress} ({args.dataset})",
+            ["check", "result"],
+            rows,
+        )
+    )
+    for atom_id in sorted(loops)[:5]:
+        print(f"loop witness: {verifier.describe_atom(atom_id)}")
+    if loops:
+        exit_code = 1
+    return exit_code
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    network = _load(args)
+    save_network(network, args.out)
+    print(f"wrote {args.dataset} snapshot to {args.out}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .core.delta import behavior_delta
+    from .network.dataplane import DataPlane
+
+    before_net = load_network(args.before)
+    after_net = load_network(args.after)
+    if before_net.layout != after_net.layout:
+        raise SystemExit("snapshots use different header layouts")
+    before = APClassifier.build(before_net, strategy=args.strategy)
+    # Share the manager so the delta sweep is exact.
+    after = APClassifier.from_dataplane(
+        DataPlane(after_net, before.dataplane.manager), strategy=args.strategy
+    )
+    if args.ingress not in before_net.boxes or args.ingress not in after_net.boxes:
+        raise SystemExit(f"unknown ingress box {args.ingress!r}")
+    deltas = behavior_delta(before, after, args.ingress)
+    if not deltas:
+        print(f"no behavior changes from {args.ingress}")
+        return 0
+    print(f"{len(deltas)} packet class(es) changed behavior from {args.ingress}:")
+    for delta in deltas[: args.limit]:
+        print(f"  {delta.describe()}")
+    if len(deltas) > args.limit:
+        print(f"  ... and {len(deltas) - args.limit} more")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ap-classifier",
+        description="Network-wide packet behavior identification (AP Classifier).",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="oapt",
+        choices=("random", "best_from_random", "quick_ordering", "oapt"),
+        help="AP Tree construction strategy (default: oapt)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--dataset", default="internet2")
+        sub_parser.add_argument(
+            "--snapshot", default="", help="load the network from a JSON snapshot"
+        )
+
+    stats = sub.add_parser("stats", help="dataset and classifier statistics")
+    common(stats)
+    stats.add_argument(
+        "--memory", action="store_true", help="include the memory breakdown"
+    )
+    stats.set_defaults(func=_cmd_stats)
+
+    query = sub.add_parser("query", help="identify one packet's behavior")
+    common(query)
+    query.add_argument("--dst-ip", required=True)
+    query.add_argument("--src-ip", default="")
+    query.add_argument("--dst-port", type=int, default=80)
+    query.add_argument("--src-port", type=int, default=40000)
+    query.add_argument("--proto", type=int, default=6)
+    query.add_argument("--ingress", required=True)
+    query.add_argument(
+        "--trace",
+        action="store_true",
+        help="show the forwarding tree and AP Tree search trace",
+    )
+    query.set_defaults(func=_cmd_query)
+
+    reach = sub.add_parser(
+        "reachability", help="all-pairs (ingress, host) class counts"
+    )
+    common(reach)
+    reach.set_defaults(func=_cmd_reachability)
+
+    tree = sub.add_parser("tree", help="AP Tree shape statistics")
+    common(tree)
+    tree.set_defaults(func=_cmd_tree)
+
+    verify = sub.add_parser(
+        "verify", help="check loops/blackholes/waypoints from an ingress"
+    )
+    common(verify)
+    verify.add_argument("--ingress", required=True)
+    verify.add_argument("--waypoint", default="")
+    verify.add_argument("--host", default="")
+    verify.set_defaults(func=_cmd_verify)
+
+    snapshot = sub.add_parser("snapshot", help="save a dataset to JSON")
+    common(snapshot)
+    snapshot.add_argument("--out", required=True)
+    snapshot.set_defaults(func=_cmd_snapshot)
+
+    diff = sub.add_parser(
+        "diff", help="behavior changes between two network snapshots"
+    )
+    diff.add_argument("--before", required=True, help="baseline snapshot JSON")
+    diff.add_argument("--after", required=True, help="changed snapshot JSON")
+    diff.add_argument("--ingress", required=True)
+    diff.add_argument("--limit", type=int, default=10)
+    diff.set_defaults(func=_cmd_diff, dataset="(snapshots)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

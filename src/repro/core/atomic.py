@@ -1,0 +1,297 @@
+"""Atomic predicates: the minimal packet equivalence classes.
+
+For a predicate set ``P = {p1..pk}`` the atomic predicates are the
+non-false conjunctions ``q1 & q2 & ... & qk`` with ``qi in {pi, ~pi}``
+(Section III, following Yang & Lam's AP Verifier).  They form the minimal
+partition of the header space such that all packets in one class have
+identical behavior at every box.
+
+:class:`AtomicUniverse` computes the atoms by iterative refinement and
+maintains, for every predicate ``p``, the set ``R(p)`` of atom ids whose
+disjunction equals ``p`` -- the integer-set representation that all AP Tree
+construction decisions use instead of BDD operations (Section V-C, "Time
+Efficiency").  It also supports the incremental predicate addition/removal
+that real-time updates need (Section VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..bdd import BDDManager, Function
+from ..network.dataplane import LabeledPredicate
+
+__all__ = ["AtomicUniverse", "LeafSplit"]
+
+
+@dataclass(frozen=True)
+class LeafSplit:
+    """How one existing atom reacted to a newly added predicate.
+
+    Exactly one of three shapes:
+
+    * split: ``inside_id`` and ``outside_id`` are two *new* atom ids
+      replacing ``old_id`` (``a & p`` and ``a & ~p`` both non-false);
+    * absorbed inside: ``inside_id == old_id``, ``outside_id is None``;
+    * absorbed outside: ``outside_id == old_id``, ``inside_id is None``.
+    """
+
+    old_id: int
+    inside_id: int | None
+    outside_id: int | None
+
+    @property
+    def is_split(self) -> bool:
+        return self.inside_id is not None and self.outside_id is not None
+
+
+class AtomicUniverse:
+    """The live atoms, the live predicates, and the ``R`` mapping."""
+
+    def __init__(self, manager: BDDManager) -> None:
+        self.manager = manager
+        self._atoms: dict[int, Function] = {}
+        self._next_atom_id = 0
+        # pid -> predicate function (live predicates only).
+        self._pred_fns: dict[int, Function] = {}
+        # pid -> set of atom ids whose disjunction is the predicate.
+        self._r: dict[int, set[int]] = {}
+        # atom id -> set of pids whose R contains that atom.
+        self._containing: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def compute(
+        cls, manager: BDDManager, predicates: Iterable[LabeledPredicate]
+    ) -> "AtomicUniverse":
+        """Full refinement over a predicate snapshot.
+
+        Starts from the single class TRUE and splits every class by every
+        predicate in turn, tracking which side each class lands on so the
+        ``R`` sets come out of the same pass.
+        """
+        universe = cls(manager)
+        root = universe._mint_atom(Function.true(manager))
+        # Each working atom carries the set of pids that contain it so far.
+        memberships: dict[int, set[int]] = {root: set()}
+        for labeled in predicates:
+            universe._register_predicate(labeled.pid, labeled.fn)
+            replacements: dict[int, tuple[tuple[int, set[int]], ...]] = {}
+            for atom_id, inside_pids in memberships.items():
+                atom = universe._atoms[atom_id]
+                inside = atom & labeled.fn
+                if inside.is_false:
+                    continue  # atom entirely outside p: membership unchanged
+                outside = atom - labeled.fn
+                if outside.is_false:
+                    inside_pids.add(labeled.pid)
+                    continue  # atom entirely inside p
+                in_id = universe._mint_atom(inside)
+                out_id = universe._mint_atom(outside)
+                universe._drop_atom(atom_id)
+                replacements[atom_id] = (
+                    (in_id, inside_pids | {labeled.pid}),
+                    (out_id, set(inside_pids)),
+                )
+            for old_id, children in replacements.items():
+                del memberships[old_id]
+                for child_id, pids in children:
+                    memberships[child_id] = pids
+        for atom_id, inside_pids in memberships.items():
+            for pid in inside_pids:
+                universe._r[pid].add(atom_id)
+                universe._containing[atom_id].add(pid)
+        return universe
+
+    def _mint_atom(self, fn: Function) -> int:
+        atom_id = self._next_atom_id
+        self._next_atom_id += 1
+        self._atoms[atom_id] = fn
+        self._containing[atom_id] = set()
+        return atom_id
+
+    def _drop_atom(self, atom_id: int) -> None:
+        del self._atoms[atom_id]
+        for pid in self._containing.pop(atom_id):
+            self._r[pid].discard(atom_id)
+
+    def _register_predicate(self, pid: int, fn: Function) -> None:
+        if pid in self._pred_fns:
+            raise ValueError(f"predicate pid {pid} already registered")
+        self._pred_fns[pid] = fn
+        self._r[pid] = set()
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+
+    @property
+    def atom_count(self) -> int:
+        return len(self._atoms)
+
+    @property
+    def predicate_count(self) -> int:
+        return len(self._pred_fns)
+
+    def atom_ids(self) -> frozenset[int]:
+        return frozenset(self._atoms)
+
+    def atom_fn(self, atom_id: int) -> Function:
+        return self._atoms[atom_id]
+
+    def atoms(self) -> Mapping[int, Function]:
+        return dict(self._atoms)
+
+    def predicate_ids(self) -> list[int]:
+        return sorted(self._pred_fns)
+
+    def predicate_fn(self, pid: int) -> Function:
+        return self._pred_fns[pid]
+
+    def has_predicate(self, pid: int) -> bool:
+        return pid in self._pred_fns
+
+    def r(self, pid: int) -> frozenset[int]:
+        """``R(p)``: ids of the atoms whose disjunction equals predicate ``pid``."""
+        return frozenset(self._r[pid])
+
+    def contains(self, pid: int, atom_id: int) -> bool:
+        """Is the atom inside the predicate?  (``ap in R(p)``, Section IV-B.)"""
+        r_set = self._r.get(pid)
+        return r_set is not None and atom_id in r_set
+
+    def classify(self, header: int) -> int:
+        """Atom id of a packed header, by linear scan over atom BDDs.
+
+        This is the reference classifier (and the APLinear baseline's inner
+        loop); the AP Tree must always agree with it.
+        """
+        for atom_id, fn in self._atoms.items():
+            if fn.evaluate(header):
+                return atom_id
+        raise RuntimeError("atoms must cover the full header space")
+
+    def verify_partition(self) -> bool:
+        """Check the defining invariants: atoms are pairwise disjoint,
+        cover the space, and each R(p) reconstitutes p.  Test hook."""
+        union = Function.false(self.manager)
+        atoms = list(self._atoms.values())
+        for i, atom in enumerate(atoms):
+            if atom.is_false:
+                return False
+            for other in atoms[i + 1 :]:
+                if not atom.disjoint(other):
+                    return False
+            union = union | atom
+        if not union.is_true:
+            return False
+        for pid, fn in self._pred_fns.items():
+            rebuilt = Function.false(self.manager)
+            for atom_id in self._r[pid]:
+                rebuilt = rebuilt | self._atoms[atom_id]
+            if rebuilt.node != fn.node:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Incremental updates (Section VI-A)
+    # ------------------------------------------------------------------
+
+    def add_predicate(self, pid: int, fn: Function) -> list[LeafSplit]:
+        """Refine the universe by one new predicate.
+
+        For every live atom ``a`` computes ``a & p`` and ``a & ~p``; atoms
+        cut by ``p`` are replaced by two fresh atoms (inheriting all their
+        ``R`` memberships), others keep their id.  Returns one
+        :class:`LeafSplit` per atom so the AP Tree can mirror the change on
+        its leaves.
+        """
+        self._register_predicate(pid, fn)
+        splits: list[LeafSplit] = []
+        r_set = self._r[pid]
+        for atom_id in list(self._atoms):
+            atom = self._atoms[atom_id]
+            inside = atom & fn
+            if inside.is_false:
+                splits.append(LeafSplit(atom_id, None, atom_id))
+                continue
+            outside = atom - fn
+            if outside.is_false:
+                r_set.add(atom_id)
+                self._containing[atom_id].add(pid)
+                splits.append(LeafSplit(atom_id, atom_id, None))
+                continue
+            in_id = self._mint_atom(inside)
+            out_id = self._mint_atom(outside)
+            # Children inherit every membership of the parent.
+            parent_pids = self._containing[atom_id]
+            for member_pid in parent_pids:
+                self._r[member_pid].add(in_id)
+                self._r[member_pid].add(out_id)
+                self._containing[in_id].add(member_pid)
+                self._containing[out_id].add(member_pid)
+            r_set.add(in_id)
+            self._containing[in_id].add(pid)
+            self._drop_atom(atom_id)
+            splits.append(LeafSplit(atom_id, in_id, out_id))
+        return splits
+
+    def remove_predicate(self, pid: int) -> None:
+        """Forget a predicate (tombstone semantics, Section VI-A).
+
+        The atoms are left as-is -- they remain a correct (if no longer
+        minimal) partition, and any AP Tree nodes labeled by the predicate
+        keep evaluating it.  Stage 2 simply no longer consults it.
+        """
+        if pid not in self._pred_fns:
+            raise KeyError(f"unknown predicate pid {pid}")
+        del self._pred_fns[pid]
+        for atom_id in self._r.pop(pid):
+            self._containing[atom_id].discard(pid)
+
+    def coalesce(self) -> dict[int, int]:
+        """Merge atoms no live predicate distinguishes.
+
+        Predicate *deletions* leave the partition finer than necessary:
+        two atoms split only by a tombstoned predicate now have identical
+        membership in every live ``R`` set. Tree rebuilds over the same
+        universe need the minimal partition back (otherwise no candidate
+        predicate can separate the fragments). Returns an old->new atom id
+        mapping (identity for untouched atoms) so callers can translate
+        weights or counters.
+        """
+        groups: dict[frozenset[int], list[int]] = {}
+        for atom_id in self._atoms:
+            groups.setdefault(
+                frozenset(self._containing[atom_id]), []
+            ).append(atom_id)
+        mapping: dict[int, int] = {}
+        for membership, members in groups.items():
+            if len(members) == 1:
+                mapping[members[0]] = members[0]
+                continue
+            merged = self._atoms[members[0]]
+            for member in members[1:]:
+                merged = merged | self._atoms[member]
+            new_id = self._mint_atom(merged)
+            for pid in membership:
+                self._r[pid].add(new_id)
+                self._containing[new_id].add(pid)
+            for member in members:
+                mapping[member] = new_id
+                self._drop_atom(member)
+        return mapping
+
+    def snapshot_predicates(self) -> list[tuple[int, Function]]:
+        """The live (pid, function) pairs, for reconstruction."""
+        return sorted(self._pred_fns.items())
+
+    def __repr__(self) -> str:
+        return (
+            f"AtomicUniverse({self.predicate_count} predicates, "
+            f"{self.atom_count} atoms)"
+        )

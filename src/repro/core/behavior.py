@@ -1,0 +1,239 @@
+"""Stage 2: computing network-wide behaviors from an atomic predicate.
+
+Given the atomic predicate of a packet and its ingress box, AP Classifier
+walks the topology (Section IV-B): at each box it asks, for every relevant
+predicate ``p``, whether the atom is in ``R(p)`` -- a set-membership test,
+never a BDD operation.  The walk yields the packet's full forwarding tree:
+output ports taken (several for multicast), hosts reached, drops and where
+they happened, and loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..network.dataplane import DataPlane
+from ..network.topology import Topology
+from .atomic import AtomicUniverse
+
+__all__ = [
+    "BehaviorComputer",
+    "Behavior",
+    "TraceNode",
+    "TraceEdge",
+    "DROP_INPUT_ACL",
+    "DROP_OUTPUT_ACL",
+    "DROP_NO_ROUTE",
+    "STOP_LOOP",
+]
+
+DROP_INPUT_ACL = "input_acl"
+DROP_OUTPUT_ACL = "output_acl"
+DROP_NO_ROUTE = "no_route"
+STOP_LOOP = "loop"
+
+
+@dataclass
+class TraceEdge:
+    """One forwarding decision out of a box."""
+
+    out_port: str
+    to_host: str | None = None  # delivered to this host
+    child: "TraceNode | None" = None  # next box visited
+    stopped: str | None = None  # STOP_LOOP / DROP_OUTPUT_ACL / exited network
+
+
+@dataclass
+class TraceNode:
+    """The packet's visit to one box."""
+
+    box: str
+    in_port: str | None
+    dropped: str | None = None  # drop reason at this box, if any
+    edges: list[TraceEdge] = field(default_factory=list)
+
+
+@dataclass
+class Behavior:
+    """Network-wide behavior of one packet class from one ingress box."""
+
+    ingress_box: str
+    atom_id: int
+    root: TraceNode
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def paths(self) -> list[list[str]]:
+        """All root-to-end forwarding paths as box-name sequences."""
+        results: list[list[str]] = []
+
+        def walk(node: TraceNode, prefix: list[str]) -> None:
+            here = prefix + [node.box]
+            if node.dropped is not None or not node.edges:
+                results.append(here)
+                return
+            for edge in node.edges:
+                if edge.child is not None:
+                    walk(edge.child, here)
+                else:
+                    results.append(here + ([edge.to_host] if edge.to_host else []))
+
+        walk(self.root, [])
+        return results
+
+    def delivered_hosts(self) -> set[str]:
+        return {
+            edge.to_host
+            for node in self._nodes()
+            for edge in node.edges
+            if edge.to_host is not None
+        }
+
+    def boxes_traversed(self) -> list[str]:
+        """Boxes visited, in discovery order (useful for waypoint checks)."""
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for node in self._nodes():
+            if node.box not in seen:
+                seen.add(node.box)
+                ordered.append(node.box)
+        return ordered
+
+    def drops(self) -> list[tuple[str, str]]:
+        """(box, reason) for every drop in the forwarding tree."""
+        found = [
+            (node.box, node.dropped)
+            for node in self._nodes()
+            if node.dropped is not None
+        ]
+        found.extend(
+            (node.box, edge.stopped)
+            for node in self._nodes()
+            for edge in node.edges
+            if edge.stopped == DROP_OUTPUT_ACL
+        )
+        return found
+
+    @property
+    def is_dropped_everywhere(self) -> bool:
+        """True when no copy of the packet reaches any host."""
+        return not self.delivered_hosts()
+
+    @property
+    def has_loop(self) -> bool:
+        return any(
+            edge.stopped == STOP_LOOP
+            for node in self._nodes()
+            for edge in node.edges
+        )
+
+    def _nodes(self) -> Iterator[TraceNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            for edge in node.edges:
+                if edge.child is not None:
+                    stack.append(edge.child)
+
+    def format_trace(self, indent: str = "  ") -> str:
+        """Multi-line rendering of the forwarding tree, for humans.
+
+        Example::
+
+            b1 (in: None)
+              -> to_b2 -> b2
+                -> to_h2 => host h2
+        """
+        lines: list[str] = []
+
+        def walk(node: TraceNode, depth: int) -> None:
+            prefix = indent * depth
+            drop = f"  [dropped: {node.dropped}]" if node.dropped else ""
+            lines.append(f"{prefix}{node.box} (in: {node.in_port}){drop}")
+            for edge in node.edges:
+                edge_prefix = indent * (depth + 1) + f"-> {edge.out_port}"
+                if edge.to_host is not None:
+                    lines.append(f"{edge_prefix} => host {edge.to_host}")
+                elif edge.stopped is not None:
+                    lines.append(f"{edge_prefix} [stopped: {edge.stopped}]")
+                elif edge.child is not None:
+                    lines.append(f"{edge_prefix} ->")
+                    walk(edge.child, depth + 2)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        hosts = sorted(self.delivered_hosts())
+        return (
+            f"Behavior(atom={self.atom_id}, ingress={self.ingress_box!r}, "
+            f"hosts={hosts}, loops={self.has_loop})"
+        )
+
+
+class BehaviorComputer:
+    """Computes behaviors by ``R(p)`` membership tests over the topology."""
+
+    def __init__(self, dataplane: DataPlane, universe: AtomicUniverse) -> None:
+        self.dataplane = dataplane
+        self.universe = universe
+        self.topology: Topology = dataplane.network.topology
+
+    def compute(
+        self, atom_id: int, ingress_box: str, in_port: str | None = None
+    ) -> Behavior:
+        """Full forwarding tree for packets of ``atom_id`` entering at
+        ``ingress_box`` (optionally through a specific input port)."""
+        if ingress_box not in self.dataplane.network.boxes:
+            raise KeyError(f"unknown ingress box {ingress_box!r}")
+        root = self._visit(atom_id, ingress_box, in_port, frozenset())
+        return Behavior(ingress_box=ingress_box, atom_id=atom_id, root=root)
+
+    def _visit(
+        self,
+        atom_id: int,
+        box: str,
+        in_port: str | None,
+        on_path: frozenset[str],
+    ) -> TraceNode:
+        node = TraceNode(box=box, in_port=in_port)
+        universe = self.universe
+
+        if in_port is not None:
+            acl_in = self.dataplane.input_acl_predicate(box, in_port)
+            if acl_in is not None and not universe.contains(acl_in.pid, atom_id):
+                node.dropped = DROP_INPUT_ACL
+                return node
+
+        on_path = on_path | {box}
+        forwarded = False
+        for entry in self.dataplane.forwarding_entries(box):
+            if not universe.contains(entry.pid, atom_id):
+                continue
+            forwarded = True
+            edge = TraceEdge(out_port=entry.port)
+            node.edges.append(edge)
+            acl_out = self.dataplane.output_acl_predicate(box, entry.port)
+            if acl_out is not None and not universe.contains(acl_out.pid, atom_id):
+                edge.stopped = DROP_OUTPUT_ACL
+                continue
+            host = self.topology.host_at(box, entry.port)
+            if host is not None:
+                edge.to_host = host
+                continue
+            next_ref = self.topology.next_hop(box, entry.port)
+            if next_ref is None:
+                # Unconnected port: the packet leaves the modeled network.
+                edge.stopped = "egress"
+                continue
+            if next_ref.box in on_path:
+                edge.stopped = STOP_LOOP
+                continue
+            edge.child = self._visit(atom_id, next_ref.box, next_ref.port, on_path)
+        if not forwarded:
+            node.dropped = DROP_NO_ROUTE
+        return node

@@ -1,0 +1,271 @@
+"""AP Classifier: the user-facing two-stage query engine (Section IV).
+
+Stage 1 classifies a packet to its atomic predicate by searching the AP
+Tree; stage 2 computes the packet's network-wide behavior from that atom,
+the topology, and the ingress box.  The classifier also owns the dynamic
+machinery: rule updates (Section VI-A), visit counting for
+distribution-aware trees (Section V-D), and tree rebuilds (Section VI-B).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..bdd import BDDManager
+from ..headerspace.header import Packet
+from ..network.builder import Network
+from ..network.dataplane import DataPlane, PredicateChange
+from ..network.rules import ForwardingRule
+from .aptree import APTree
+from .atomic import AtomicUniverse
+from .behavior import Behavior, BehaviorComputer
+from .construction import build_tree
+from .update import UpdateEngine, UpdateResult
+from .weights import VisitCounter
+
+__all__ = ["APClassifier", "ClassifierStats"]
+
+
+@dataclass(frozen=True)
+class ClassifierStats:
+    """Point-in-time structural statistics (Table I / §VII-B material)."""
+
+    predicates: int
+    atoms: int
+    tree_leaves: int
+    tree_average_depth: float
+    tree_max_depth: int
+    bdd_nodes: int
+    updates_since_rebuild: int
+    estimated_bytes: int
+
+
+class APClassifier:
+    """Network-wide packet behavior identification."""
+
+    #: Rough per-BDD-node footprint of a C implementation (var + two child
+    #: pointers + unique-table slot), used for the memory estimate the
+    #: paper reports; the pure-Python objects are larger, but the estimate
+    #: tracks the quantity that matters -- node counts.
+    BYTES_PER_BDD_NODE = 20
+    BYTES_PER_TREE_NODE = 40
+
+    def __init__(
+        self,
+        dataplane: DataPlane,
+        universe: AtomicUniverse,
+        tree: APTree,
+        strategy: str = "oapt",
+        count_visits: bool = False,
+    ) -> None:
+        self.dataplane = dataplane
+        self.universe = universe
+        self.tree = tree
+        self.strategy = strategy
+        self.counter = VisitCounter() if count_visits else None
+        self.behavior_computer = BehaviorComputer(dataplane, universe)
+        self._engine = UpdateEngine(universe, tree, self.counter)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        network: Network,
+        strategy: str = "oapt",
+        manager: BDDManager | None = None,
+        rng: random.Random | None = None,
+        trials: int = 100,
+        count_visits: bool = False,
+    ) -> "APClassifier":
+        """Compile a network and build the classifier in one step."""
+        dataplane = DataPlane(network, manager)
+        return cls.from_dataplane(
+            dataplane,
+            strategy=strategy,
+            rng=rng,
+            trials=trials,
+            count_visits=count_visits,
+        )
+
+    @classmethod
+    def from_dataplane(
+        cls,
+        dataplane: DataPlane,
+        strategy: str = "oapt",
+        rng: random.Random | None = None,
+        trials: int = 100,
+        count_visits: bool = False,
+    ) -> "APClassifier":
+        universe = AtomicUniverse.compute(dataplane.manager, dataplane.predicates())
+        report = build_tree(universe, strategy=strategy, rng=rng, trials=trials)
+        return cls(
+            dataplane,
+            universe,
+            report.tree,
+            strategy=strategy,
+            count_visits=count_visits,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def classify(self, packet: Packet | int) -> int:
+        """Stage 1: the atomic predicate (atom id) of a packet."""
+        header = packet.value if isinstance(packet, Packet) else packet
+        atom_id = self.tree.classify(header)
+        if self.counter is not None:
+            self.counter.record(atom_id)
+        return atom_id
+
+    def behavior_of_atom(
+        self, atom_id: int, ingress_box: str, in_port: str | None = None
+    ) -> Behavior:
+        """Stage 2 only: behavior of a known atom from an ingress box."""
+        return self.behavior_computer.compute(atom_id, ingress_box, in_port)
+
+    def query(
+        self, packet: Packet | int, ingress_box: str, in_port: str | None = None
+    ) -> Behavior:
+        """Both stages: full network-wide behavior of a packet."""
+        return self.behavior_of_atom(self.classify(packet), ingress_box, in_port)
+
+    # ------------------------------------------------------------------
+    # Flow-set queries (Section I: "a flow or a set of flows")
+    # ------------------------------------------------------------------
+
+    def atoms_matching(self, match) -> frozenset[int]:
+        """Atomic predicates intersecting a rule-style match.
+
+        This is how "which flows does this update affect?" is asked: the
+        atoms overlapping the new rule's match are exactly the packet
+        classes whose behavior could change.
+        """
+        fn = self.dataplane.compiler.match_predicate(match)
+        if fn.is_true:
+            return self.universe.atom_ids()
+        return frozenset(
+            atom_id
+            for atom_id, atom_fn in self.universe.atoms().items()
+            if not atom_fn.disjoint(fn)
+        )
+
+    def query_flow_set(
+        self, match, ingress_box: str, in_port: str | None = None
+    ) -> dict[int, Behavior]:
+        """Behaviors of every packet class covered by ``match``.
+
+        One stage-2 walk per overlapping atom -- the verification step the
+        controller runs on the affected flows before committing a rule.
+        """
+        return {
+            atom_id: self.behavior_of_atom(atom_id, ingress_box, in_port)
+            for atom_id in sorted(self.atoms_matching(match))
+        }
+
+    # ------------------------------------------------------------------
+    # Updates (Section VI-A)
+    # ------------------------------------------------------------------
+
+    @property
+    def updates_since_rebuild(self) -> int:
+        return self._engine.updates_applied
+
+    def apply_changes(self, changes: list[PredicateChange]) -> list[UpdateResult]:
+        """Apply predicate diffs produced by the data plane."""
+        return self._engine.apply_all(changes)
+
+    def insert_rule(self, box: str, rule: ForwardingRule) -> list[UpdateResult]:
+        """Install a forwarding rule and update the classifier in real time."""
+        return self.apply_changes(self.dataplane.insert_rule(box, rule))
+
+    def remove_rule(self, box: str, rule: ForwardingRule) -> list[UpdateResult]:
+        """Remove a forwarding rule and update the classifier in real time."""
+        return self.apply_changes(self.dataplane.remove_rule(box, rule))
+
+    def transaction(self):
+        """Open a verify-then-commit update transaction (Section I).
+
+        Returns an :class:`repro.core.transactions.UpdateTransaction`;
+        use it as a context manager so failures roll back automatically.
+        """
+        from .transactions import UpdateTransaction
+
+        return UpdateTransaction(self)
+
+    # ------------------------------------------------------------------
+    # Rebuilds (Sections V-D and VI-B)
+    # ------------------------------------------------------------------
+
+    def rebuild_tree(self, use_weights: bool = False) -> None:
+        """Rebuild the AP Tree over the *current* universe.
+
+        Cheap compared to :meth:`reconstruct`; used when only tree balance
+        (not atom minimality) has degraded, and for distribution-aware
+        rebuilds from the visit counter. Atoms fragmented by tombstoned
+        predicates are coalesced first, so the rebuilt tree is over the
+        minimal partition for the *live* predicates.
+        """
+        mapping = self.universe.coalesce()
+        if self.counter is not None:
+            self.counter.on_merge(mapping)
+        weights = None
+        if use_weights:
+            if self.counter is None:
+                raise ValueError("classifier was built without visit counting")
+            weights = self.counter.weights()
+        report = build_tree(self.universe, strategy=self.strategy, weights=weights)
+        self._swap_tree(self.universe, report.tree)
+
+    def reconstruct(self) -> None:
+        """Full reconstruction (Section VI-B).
+
+        Recomputes the atomic predicates from the live data plane
+        predicates -- shedding tombstoned predicates and re-merging atoms
+        that updates fragmented -- then rebuilds the tree.
+        """
+        universe = AtomicUniverse.compute(
+            self.dataplane.manager, self.dataplane.predicates()
+        )
+        report = build_tree(universe, strategy=self.strategy)
+        self._swap_tree(universe, report.tree)
+
+    def _swap_tree(self, universe: AtomicUniverse, tree: APTree) -> None:
+        if universe is not self.universe:
+            self.universe = universe
+            self.behavior_computer = BehaviorComputer(self.dataplane, universe)
+            if self.counter is not None:
+                self.counter.reset()
+        self.tree = tree
+        self._engine = UpdateEngine(universe, tree, self.counter)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ClassifierStats:
+        bdd_nodes = len(self.dataplane.manager)
+        tree_nodes = self.tree.node_count()
+        return ClassifierStats(
+            predicates=len(self.dataplane),
+            atoms=self.universe.atom_count,
+            tree_leaves=self.tree.leaf_count(),
+            tree_average_depth=self.tree.average_depth(),
+            tree_max_depth=self.tree.max_depth(),
+            bdd_nodes=bdd_nodes,
+            updates_since_rebuild=self.updates_since_rebuild,
+            estimated_bytes=(
+                bdd_nodes * self.BYTES_PER_BDD_NODE
+                + tree_nodes * self.BYTES_PER_TREE_NODE
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"APClassifier({self.strategy}, {len(self.dataplane)} predicates, "
+            f"{self.universe.atom_count} atoms)"
+        )

@@ -1,0 +1,220 @@
+"""Thread-based parallel reconstruction (Section VI-B, real threads).
+
+:class:`repro.core.reconstruction.DynamicSimulation` reproduces Fig. 14's
+timeline deterministically; this module is the production shape: a
+query-serving classifier whose AP Tree is rebuilt by a background thread
+and atomically swapped in, exactly following Fig. 8:
+
+* the query path keeps answering on the old tree while a rebuild runs;
+* updates arriving during the rebuild are applied to the old tree (so
+  queries stay exact) *and* journaled;
+* when the rebuild finishes, the journal is replayed onto the fresh tree
+  before it replaces the old one.
+
+Queries never block on reconstruction: the live (universe, tree, engine)
+triple is swapped as one atomic reference. Mutations are serialized by a
+single lock, which is held only for the (fast) incremental update -- not
+for the rebuild itself.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..headerspace.header import Packet
+from ..network.dataplane import DataPlane, PredicateChange
+from ..network.rules import ForwardingRule
+from .atomic import AtomicUniverse
+from .behavior import Behavior, BehaviorComputer
+from .construction import build_tree
+from .update import UpdateEngine
+
+__all__ = ["ConcurrentClassifier"]
+
+
+@dataclass
+class _State:
+    """One immutable-by-convention generation of classifier state."""
+
+    universe: AtomicUniverse
+    tree: object
+    engine: UpdateEngine
+    behavior: BehaviorComputer
+
+
+class ConcurrentClassifier:
+    """AP Classifier with a background reconstruction thread.
+
+    Use as a context manager (``with ConcurrentClassifier.build(...)``) or
+    call :meth:`close` explicitly. A rebuild is triggered whenever the
+    number of updates applied since the last swap reaches
+    ``rebuild_after_updates`` (the paper's alternative trigger -- a
+    throughput threshold -- can be driven externally via
+    :meth:`request_rebuild`).
+    """
+
+    def __init__(
+        self,
+        dataplane: DataPlane,
+        strategy: str = "oapt",
+        rebuild_after_updates: int = 32,
+    ) -> None:
+        if rebuild_after_updates <= 0:
+            raise ValueError("rebuild_after_updates must be positive")
+        self.dataplane = dataplane
+        self.strategy = strategy
+        self.rebuild_after_updates = rebuild_after_updates
+        self._state = self._fresh_state()
+        self._lock = threading.Lock()
+        self._journal: list[PredicateChange] = []
+        self._journal_active = False
+        self._updates_since_swap = 0
+        self._rebuild_requested = threading.Event()
+        self._shutdown = threading.Event()
+        self.swaps_completed = 0
+        self._thread = threading.Thread(
+            target=self._reconstruction_loop,
+            name="ap-reconstruction",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @classmethod
+    def build(
+        cls,
+        network,
+        strategy: str = "oapt",
+        rebuild_after_updates: int = 32,
+    ) -> "ConcurrentClassifier":
+        return cls(
+            DataPlane(network),
+            strategy=strategy,
+            rebuild_after_updates=rebuild_after_updates,
+        )
+
+    def _fresh_state(self) -> _State:
+        universe = AtomicUniverse.compute(
+            self.dataplane.manager, self.dataplane.predicates()
+        )
+        tree = build_tree(universe, strategy=self.strategy).tree
+        return _State(
+            universe=universe,
+            tree=tree,
+            engine=UpdateEngine(universe, tree),
+            behavior=BehaviorComputer(self.dataplane, universe),
+        )
+
+    # ------------------------------------------------------------------
+    # Query path (lock-free: reads one generation snapshot)
+    # ------------------------------------------------------------------
+
+    def classify(self, packet: Packet | int) -> int:
+        header = packet.value if isinstance(packet, Packet) else packet
+        return self._state.tree.classify(header)
+
+    def query(
+        self, packet: Packet | int, ingress_box: str, in_port: str | None = None
+    ) -> Behavior:
+        state = self._state  # one generation for both stages
+        header = packet.value if isinstance(packet, Packet) else packet
+        atom_id = state.tree.classify(header)
+        return state.behavior.compute(atom_id, ingress_box, in_port)
+
+    # ------------------------------------------------------------------
+    # Update path (serialized)
+    # ------------------------------------------------------------------
+
+    def insert_rule(self, box: str, rule: ForwardingRule) -> None:
+        with self._lock:
+            self._apply(self.dataplane.insert_rule(box, rule))
+
+    def remove_rule(self, box: str, rule: ForwardingRule) -> None:
+        with self._lock:
+            self._apply(self.dataplane.remove_rule(box, rule))
+
+    def _apply(self, changes: list[PredicateChange]) -> None:
+        for change in changes:
+            self._state.engine.apply(change)
+            if self._journal_active:
+                self._journal.append(change)
+            self._updates_since_swap += 1
+        if self._updates_since_swap >= self.rebuild_after_updates:
+            self._rebuild_requested.set()
+
+    @property
+    def updates_since_swap(self) -> int:
+        return self._updates_since_swap
+
+    def request_rebuild(self) -> None:
+        """Trigger a reconstruction regardless of the update counter."""
+        self._rebuild_requested.set()
+
+    # ------------------------------------------------------------------
+    # Reconstruction thread
+    # ------------------------------------------------------------------
+
+    def _reconstruction_loop(self) -> None:
+        while not self._shutdown.is_set():
+            self._rebuild_requested.wait(timeout=0.05)
+            if self._shutdown.is_set():
+                return
+            if not self._rebuild_requested.is_set():
+                continue
+            self._rebuild_requested.clear()
+            self._rebuild_once()
+
+    def _rebuild_once(self) -> None:
+        # Snapshot the live predicates and start journaling updates.
+        with self._lock:
+            snapshot = self.dataplane.predicates()
+            self._journal = []
+            self._journal_active = True
+        # Heavy work off-lock: queries and updates proceed on the old tree.
+        universe = AtomicUniverse.compute(self.dataplane.manager, snapshot)
+        tree = build_tree(universe, strategy=self.strategy).tree
+        staged = _State(
+            universe=universe,
+            tree=tree,
+            engine=UpdateEngine(universe, tree),
+            behavior=BehaviorComputer(self.dataplane, universe),
+        )
+        # Replay journaled updates, then swap. Replays are fast (Section
+        # VI-A), so holding the lock here is acceptable.
+        with self._lock:
+            for change in self._journal:
+                if change.removed is not None and staged.universe.has_predicate(
+                    change.removed.pid
+                ):
+                    staged.engine.remove_predicate(change.removed.pid)
+                if change.added is not None and not staged.universe.has_predicate(
+                    change.added.pid
+                ):
+                    staged.engine.add_predicate(change.added)
+            self._journal = []
+            self._journal_active = False
+            self._state = staged
+            self._updates_since_swap = 0
+            self.swaps_completed += 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        self._shutdown.set()
+        self._rebuild_requested.set()
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ConcurrentClassifier":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ConcurrentClassifier({self.strategy}, "
+            f"{self._state.universe.atom_count} atoms, "
+            f"{self.swaps_completed} swaps)"
+        )

@@ -1,0 +1,348 @@
+"""Packet header changes by middleboxes (Sections V-E and VII-G).
+
+Middleboxes (NATs, proxies, ...) may rewrite headers, after which the
+packet's downstream behavior is governed by its *new* atomic predicate.
+The paper models three change types:
+
+* **Type 1, deterministic on the header** -- the middlebox flow table
+  stores, per entry, the rewrite *and* the precomputed atomic predicate of
+  the rewritten header, so no re-classification is needed;
+* **Type 2, deterministic on the payload** -- the rewrite is only known at
+  query time, so AP Classifier must search the AP Tree again with the new
+  header;
+* **Type 3, probabilistic** -- like Type 2 but with several possible
+  rewrites; the classifier reports every possible behavior with its
+  probability.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .behavior import (
+    DROP_INPUT_ACL,
+    DROP_NO_ROUTE,
+    DROP_OUTPUT_ACL,
+    STOP_LOOP,
+    Behavior,
+    TraceEdge,
+    TraceNode,
+)
+from .classifier import APClassifier
+
+__all__ = [
+    "HeaderRewrite",
+    "FlowEntry",
+    "MiddleboxTable",
+    "Middlebox",
+    "MiddleboxAwareComputer",
+    "PossibleBehavior",
+    "DETERMINISTIC",
+    "PAYLOAD_DEPENDENT",
+    "PROBABILISTIC",
+]
+
+DETERMINISTIC = "deterministic"
+PAYLOAD_DEPENDENT = "payload_dependent"
+PROBABILISTIC = "probabilistic"
+
+
+@dataclass(frozen=True)
+class HeaderRewrite:
+    """Force the bits in ``mask`` to ``value`` (e.g. a NAT address swap)."""
+
+    mask: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value & ~self.mask:
+            raise ValueError("rewrite value has bits outside the mask")
+
+    def apply(self, header: int) -> int:
+        return (header & ~self.mask) | self.value
+
+    @property
+    def is_identity(self) -> bool:
+        return self.mask == 0
+
+
+@dataclass(frozen=True)
+class RewriteBranch:
+    """One possible outcome of a flow entry."""
+
+    rewrite: HeaderRewrite
+    probability: float = 1.0
+    #: Precomputed atomic predicate of the rewritten header; only Type 1
+    #: entries can know it ahead of time.
+    new_atom: int | None = None
+
+
+@dataclass(frozen=True)
+class FlowEntry:
+    """One middlebox flow-table entry (Section V-E).
+
+    ``match_atoms`` plays the role of the entry's match fields: the set of
+    atomic predicates whose packets the entry applies to (the paper builds
+    these by grouping atomic predicates, Section VII-G).
+    """
+
+    match_atoms: frozenset[int]
+    kind: str
+    branches: tuple[RewriteBranch, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in (DETERMINISTIC, PAYLOAD_DEPENDENT, PROBABILISTIC):
+            raise ValueError(f"unknown flow entry kind {self.kind!r}")
+        if not self.branches:
+            raise ValueError("a flow entry needs at least one branch")
+        if self.kind != PROBABILISTIC and len(self.branches) != 1:
+            raise ValueError(f"{self.kind} entries must have exactly one branch")
+        if self.kind == DETERMINISTIC and self.branches[0].new_atom is None:
+            raise ValueError("deterministic entries must precompute new_atom")
+        total = sum(branch.probability for branch in self.branches)
+        if not math.isclose(total, 1.0, rel_tol=1e-9):
+            raise ValueError(f"branch probabilities sum to {total}, expected 1")
+
+    @classmethod
+    def from_match(
+        cls,
+        classifier,
+        match,
+        kind: str,
+        branches: tuple[RewriteBranch, ...],
+    ) -> "FlowEntry":
+        """Build an entry whose match fields are a rule-style ``Match``.
+
+        The paper's flow tables carry match fields; the classifier
+        compiles them to the atom-set form used at query time (the atoms
+        intersecting the match), exactly like grouping atomic predicates
+        into coarser predicates (Section VII-G).
+        """
+        atoms = classifier.atoms_matching(match)
+        if not atoms:
+            raise ValueError("match selects no packets; entry would be dead")
+        return cls(match_atoms=atoms, kind=kind, branches=branches)
+
+
+class MiddleboxTable:
+    """First-match flow table over atomic predicates."""
+
+    def __init__(self, entries: Sequence[FlowEntry] = ()) -> None:
+        self._entries: list[FlowEntry] = list(entries)
+
+    def append(self, entry: FlowEntry) -> None:
+        self._entries.append(entry)
+
+    def entry_for(self, atom_id: int) -> FlowEntry | None:
+        for entry in self._entries:
+            if atom_id in entry.match_atoms:
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+
+@dataclass
+class Middlebox:
+    """A header-modifying middlebox attached in front of one box.
+
+    Packets entering the attachment box traverse the middlebox flow table
+    before the box's own filters (as in the paper's Fig. 7 example).
+    """
+
+    name: str
+    table: MiddleboxTable
+
+
+@dataclass(frozen=True)
+class PossibleBehavior:
+    """One possible network-wide behavior with its probability."""
+
+    probability: float
+    behavior: Behavior
+    tree_searches: int  # AP Tree re-searches forced by Type 2/3 changes
+
+
+class MiddleboxAwareComputer:
+    """Behavior computation in the presence of header-changing middleboxes.
+
+    Wraps a built :class:`APClassifier`; ``middleboxes`` maps box names to
+    the middlebox guarding that box's ingress.
+    """
+
+    def __init__(
+        self,
+        classifier: APClassifier,
+        middleboxes: Mapping[str, "Middlebox | Sequence[Middlebox]"],
+    ) -> None:
+        self.classifier = classifier
+        # Normalize to chains: a box may front several middleboxes in
+        # sequence (firewall then IDS then proxy, the Section I example);
+        # each processes the packet in order, possibly rewriting it.
+        self.middleboxes: dict[str, tuple[Middlebox, ...]] = {}
+        for box, value in middleboxes.items():
+            if isinstance(value, Middlebox):
+                self.middleboxes[box] = (value,)
+            else:
+                self.middleboxes[box] = tuple(value)
+
+    def query(
+        self, header: int, ingress_box: str, in_port: str | None = None
+    ) -> list[PossibleBehavior]:
+        """All possible behaviors of a packet, with probabilities.
+
+        A single behavior (probability 1.0) unless some traversed flow
+        entry is probabilistic.
+        """
+        atom_id = self.classifier.classify(header)
+        outcomes = self._visit(atom_id, header, ingress_box, in_port, frozenset())
+        return [
+            PossibleBehavior(
+                probability=probability,
+                behavior=Behavior(
+                    ingress_box=ingress_box, atom_id=atom_id, root=node
+                ),
+                tree_searches=searches,
+            )
+            for probability, searches, node in outcomes
+        ]
+
+    # ------------------------------------------------------------------
+    # Recursive walk
+    # ------------------------------------------------------------------
+
+    def _options(
+        self, box: str, atom_id: int, header: int
+    ) -> list[tuple[float, int, int, int]]:
+        """(probability, atom, header, extra tree searches) after the
+        middlebox chain at ``box``, if any, has processed the packet."""
+        chain = self.middleboxes.get(box)
+        if not chain:
+            return [(1.0, atom_id, header, 0)]
+        options = [(1.0, atom_id, header, 0)]
+        for middlebox in chain:
+            options = [
+                expanded
+                for probability, atom, current, searches in options
+                for expanded in self._apply_middlebox(
+                    middlebox, probability, atom, current, searches
+                )
+            ]
+        return options
+
+    def _apply_middlebox(
+        self,
+        middlebox: Middlebox,
+        probability: float,
+        atom_id: int,
+        header: int,
+        searches: int,
+    ) -> list[tuple[float, int, int, int]]:
+        entry = middlebox.table.entry_for(atom_id)
+        if entry is None:
+            return [(probability, atom_id, header, searches)]
+        options: list[tuple[float, int, int, int]] = []
+        for branch in entry.branches:
+            new_header = branch.rewrite.apply(header)
+            if branch.new_atom is not None:
+                options.append(
+                    (probability * branch.probability, branch.new_atom,
+                     new_header, searches)
+                )
+            else:
+                # Type 2/3: the new atomic predicate is not precomputed;
+                # search the AP Tree again with the rewritten header.
+                new_atom = self.classifier.tree.classify(new_header)
+                options.append(
+                    (probability * branch.probability, new_atom,
+                     new_header, searches + 1)
+                )
+        return options
+
+    def _visit(
+        self,
+        atom_id: int,
+        header: int,
+        box: str,
+        in_port: str | None,
+        on_path: frozenset[str],
+    ) -> list[tuple[float, int, TraceNode]]:
+        """All (probability, tree_searches, trace) outcomes from ``box``."""
+        dataplane = self.classifier.dataplane
+        universe = self.classifier.universe
+        topology = dataplane.network.topology
+        outcomes: list[tuple[float, int, TraceNode]] = []
+
+        for probability, atom, current_header, searches in self._options(
+            box, atom_id, header
+        ):
+            if in_port is not None:
+                acl_in = dataplane.input_acl_predicate(box, in_port)
+                if acl_in is not None and not universe.contains(acl_in.pid, atom):
+                    node = TraceNode(box=box, in_port=in_port, dropped=DROP_INPUT_ACL)
+                    outcomes.append((probability, searches, node))
+                    continue
+
+            next_path = on_path | {box}
+            # Each element below is the list of weighted alternatives for
+            # one out-edge; a cartesian product combines the edges.
+            edge_alternatives: list[list[tuple[float, int, TraceEdge]]] = []
+            for entry in dataplane.forwarding_entries(box):
+                if not universe.contains(entry.pid, atom):
+                    continue
+                acl_out = dataplane.output_acl_predicate(box, entry.port)
+                if acl_out is not None and not universe.contains(acl_out.pid, atom):
+                    edge = TraceEdge(out_port=entry.port, stopped=DROP_OUTPUT_ACL)
+                    edge_alternatives.append([(1.0, 0, edge)])
+                    continue
+                host = topology.host_at(box, entry.port)
+                if host is not None:
+                    edge_alternatives.append(
+                        [(1.0, 0, TraceEdge(out_port=entry.port, to_host=host))]
+                    )
+                    continue
+                next_ref = topology.next_hop(box, entry.port)
+                if next_ref is None:
+                    edge_alternatives.append(
+                        [(1.0, 0, TraceEdge(out_port=entry.port, stopped="egress"))]
+                    )
+                    continue
+                if next_ref.box in next_path:
+                    edge_alternatives.append(
+                        [(1.0, 0, TraceEdge(out_port=entry.port, stopped=STOP_LOOP))]
+                    )
+                    continue
+                child_outcomes = self._visit(
+                    atom, current_header, next_ref.box, next_ref.port, next_path
+                )
+                edge_alternatives.append(
+                    [
+                        (child_prob, child_searches,
+                         TraceEdge(out_port=entry.port, child=child_node))
+                        for child_prob, child_searches, child_node in child_outcomes
+                    ]
+                )
+
+            if not edge_alternatives:
+                node = TraceNode(box=box, in_port=in_port, dropped=DROP_NO_ROUTE)
+                outcomes.append((probability, searches, node))
+                continue
+
+            for combo in itertools.product(*edge_alternatives):
+                combo_prob = probability
+                combo_searches = searches
+                edges = []
+                for edge_prob, edge_searches, edge in combo:
+                    combo_prob *= edge_prob
+                    combo_searches += edge_searches
+                    edges.append(edge)
+                node = TraceNode(box=box, in_port=in_port, edges=edges)
+                outcomes.append((combo_prob, combo_searches, node))
+        return outcomes

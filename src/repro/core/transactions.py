@@ -1,0 +1,116 @@
+"""Verify-then-commit update transactions.
+
+Section I's verification workflow: "Prior to data plane updates, the
+controller needs to verify that the data plane, with the new updates, can
+forward the packets correctly and comply with the flow properties."
+
+A :class:`UpdateTransaction` applies a batch of rule changes to the live
+classifier immediately (updates are cheap and exactly reversible), lets
+the caller run any checks against the *resulting* state, and either
+commits -- keeping the changes -- or rolls back by replaying the exact
+inverse operations. Used as a context manager, an exception (including a
+failed verification) rolls back automatically::
+
+    with classifier.transaction() as txn:
+        txn.insert_rule("SEAT", detour)
+        txn.ensure(lambda clf: not NetworkVerifier.from_classifier(clf)
+                   .find_loops("SEAT"), "detour must not loop")
+    # committed here; raised -> rolled back
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..network.rules import ForwardingRule
+
+__all__ = ["UpdateTransaction", "VerificationFailed"]
+
+
+class VerificationFailed(RuntimeError):
+    """A transaction check rejected the staged data plane state."""
+
+
+class UpdateTransaction:
+    """A reversible batch of forwarding-rule changes."""
+
+    def __init__(self, classifier) -> None:
+        self.classifier = classifier
+        # Inverse operations, applied in reverse order on rollback.
+        self._inverses: list[tuple[str, str, ForwardingRule]] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Staged operations
+    # ------------------------------------------------------------------
+
+    def insert_rule(self, box: str, rule: ForwardingRule) -> None:
+        self._check_open()
+        self.classifier.insert_rule(box, rule)
+        self._inverses.append(("remove", box, rule))
+
+    def remove_rule(self, box: str, rule: ForwardingRule) -> None:
+        self._check_open()
+        self.classifier.remove_rule(box, rule)
+        self._inverses.append(("insert", box, rule))
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def ensure(
+        self, check: Callable[[object], bool], message: str = "verification failed"
+    ) -> None:
+        """Run a predicate against the staged state; raise to abort.
+
+        ``check`` receives the classifier (whose data plane already
+        includes this transaction's changes) and returns truthiness.
+        """
+        self._check_open()
+        if not check(self.classifier):
+            raise VerificationFailed(message)
+
+    # ------------------------------------------------------------------
+    # Outcome
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_operations(self) -> int:
+        return len(self._inverses)
+
+    def commit(self) -> None:
+        """Keep the staged changes; the transaction is finished."""
+        self._check_open()
+        self._inverses.clear()
+        self._closed = True
+
+    def rollback(self) -> None:
+        """Undo every staged change, newest first."""
+        self._check_open()
+        while self._inverses:
+            action, box, rule = self._inverses.pop()
+            if action == "remove":
+                self.classifier.remove_rule(box, rule)
+            else:
+                self.classifier.insert_rule(box, rule)
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("transaction already committed or rolled back")
+
+    # ------------------------------------------------------------------
+    # Context manager protocol
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "UpdateTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._closed:
+            return False
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False  # propagate any exception after rolling back

@@ -1,0 +1,101 @@
+"""Real-time update engine (Section VI-A).
+
+Data plane changes arrive as :class:`PredicateChange` diffs from the
+:class:`DataPlane`.  Applying one keeps the classifier exact:
+
+* **removal** tombstones the predicate -- the AP Tree keeps evaluating it
+  (removing internal nodes would require merging subtrees), but stage 2 and
+  the ``R`` mapping forget it immediately;
+* **addition** refines every atom against the new predicate (``a & p`` /
+  ``a & ~p``) and mirrors the splits onto the tree's leaves.
+
+Both operations are local and fast; they degrade tree balance over time,
+which is what periodic reconstruction (Section VI-B) repairs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..network.dataplane import LabeledPredicate, PredicateChange
+from .aptree import APTree
+from .atomic import AtomicUniverse
+from .weights import VisitCounter
+
+__all__ = ["UpdateEngine", "UpdateResult"]
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Accounting for one applied predicate change (Fig. 13 material)."""
+
+    removed_pid: int | None
+    added_pid: int | None
+    atoms_split: int
+    elapsed_s: float
+
+
+class UpdateEngine:
+    """Applies predicate changes to a (universe, tree) pair in lock-step."""
+
+    def __init__(
+        self,
+        universe: AtomicUniverse,
+        tree: APTree | None,
+        counter: VisitCounter | None = None,
+    ) -> None:
+        self.universe = universe
+        self.tree = tree
+        self.counter = counter
+        self.updates_applied = 0
+
+    def apply(self, change: PredicateChange) -> UpdateResult:
+        """Apply one diff; returns timing and split statistics."""
+        started = time.perf_counter()
+        removed_pid: int | None = None
+        added_pid: int | None = None
+        atoms_split = 0
+        if change.removed is not None:
+            removed_pid = change.removed.pid
+            self.remove_predicate(removed_pid)
+        if change.added is not None:
+            added_pid = change.added.pid
+            atoms_split = self.add_predicate(change.added)
+        self.updates_applied += 1
+        return UpdateResult(
+            removed_pid=removed_pid,
+            added_pid=added_pid,
+            atoms_split=atoms_split,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    def apply_all(self, changes: list[PredicateChange]) -> list[UpdateResult]:
+        return [self.apply(change) for change in changes]
+
+    def add_predicate(self, labeled: LabeledPredicate) -> int:
+        """Refine the universe by one predicate and split tree leaves.
+
+        Returns the number of atoms that were split in two.
+        """
+        splits = self.universe.add_predicate(labeled.pid, labeled.fn)
+        split_count = 0
+        if self.counter is not None:
+            for split in splits:
+                if split.is_split:
+                    assert split.inside_id is not None
+                    assert split.outside_id is not None
+                    self.counter.on_split(
+                        split.old_id, split.inside_id, split.outside_id
+                    )
+        if self.tree is not None:
+            split_count = self.tree.apply_splits(
+                labeled.pid, labeled.fn.node, splits
+            )
+        else:
+            split_count = sum(1 for split in splits if split.is_split)
+        return split_count
+
+    def remove_predicate(self, pid: int) -> None:
+        """Tombstone a predicate; the tree is intentionally untouched."""
+        self.universe.remove_predicate(pid)

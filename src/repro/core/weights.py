@@ -1,0 +1,80 @@
+"""Atom visit counters for distribution-aware trees (Section V-D).
+
+Practical traffic is not uniform over the atomic predicates; AP Classifier
+counts how often each leaf is visited over a period, converts counts to
+weights "after reduction of a fraction", and rebuilds the tree so hot
+leaves sit close to the root.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping
+
+__all__ = ["VisitCounter"]
+
+
+class VisitCounter:
+    """Per-atom query visit counts with split-aware carry-over."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[int] = Counter()
+        self.total = 0
+
+    def record(self, atom_id: int, count: int = 1) -> None:
+        self._counts[atom_id] += count
+        self.total += count
+
+    def count(self, atom_id: int) -> int:
+        return self._counts.get(atom_id, 0)
+
+    def on_split(self, old_id: int, inside_id: int, outside_id: int) -> None:
+        """Carry a split atom's history to its children, half each.
+
+        The true split of traffic is unknown until new queries arrive; an
+        even split keeps totals conserved and is corrected by subsequent
+        measurements.
+        """
+        count = self._counts.pop(old_id, 0)
+        if count:
+            half = count // 2
+            self._counts[inside_id] += count - half
+            self._counts[outside_id] += half
+
+    def on_merge(self, mapping: Mapping[int, int]) -> None:
+        """Translate counts through an atom-coalescing mapping.
+
+        Counts of merged atoms are summed onto the surviving id; totals
+        are conserved.
+        """
+        merged: Counter[int] = Counter()
+        for atom_id, count in self._counts.items():
+            merged[mapping.get(atom_id, atom_id)] += count
+        self._counts = merged
+
+    def weights(self, floor: float = 1.0) -> dict[int, float]:
+        """Counts scaled to weights.
+
+        Normalizes by the mean count so weights hover around 1.0 (the
+        paper's "reduction of a fraction"), then clamps to ``floor`` so a
+        never-visited atom still counts as a leaf worth placing.
+        """
+        if not self._counts:
+            return {}
+        mean = self.total / len(self._counts)
+        if mean <= 0:
+            return {atom_id: floor for atom_id in self._counts}
+        return {
+            atom_id: max(count / mean, floor)
+            for atom_id, count in self._counts.items()
+        }
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self.total = 0
+
+    def as_mapping(self) -> Mapping[int, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        return f"VisitCounter({len(self._counts)} atoms, {self.total} visits)"

@@ -1,0 +1,42 @@
+"""Dataset, workload, and update generators.
+
+The paper evaluates on the Internet2 and Stanford backbone snapshots,
+which are not redistributable; :func:`internet2_like` and
+:func:`stanford_like` build structurally equivalent synthetic planes (see
+DESIGN.md for the substitution argument).  Workload generators reproduce
+the paper's query traces and update streams.
+"""
+
+from .fattree import fattree
+from .internet2 import INTERNET2_LINKS, INTERNET2_ROUTERS, internet2_like
+from .middleboxes import group_atoms, make_middlebox
+from .stanford import ZONE_COUNT, stanford_like
+from .synthetic import random_network, toy_network
+from .updates import RuleUpdate, rule_update_stream
+from .workloads import (
+    PacketTrace,
+    pareto_atom_counts,
+    pareto_over_atoms,
+    random_headers,
+    uniform_over_atoms,
+)
+
+__all__ = [
+    "fattree",
+    "internet2_like",
+    "INTERNET2_ROUTERS",
+    "INTERNET2_LINKS",
+    "stanford_like",
+    "ZONE_COUNT",
+    "toy_network",
+    "random_network",
+    "RuleUpdate",
+    "rule_update_stream",
+    "PacketTrace",
+    "uniform_over_atoms",
+    "pareto_over_atoms",
+    "pareto_atom_counts",
+    "random_headers",
+    "make_middlebox",
+    "group_atoms",
+]

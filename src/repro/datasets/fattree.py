@@ -1,0 +1,140 @@
+"""k-ary fat-tree datacenter data plane.
+
+The paper motivates AP Classifier with datacenter-scale query rates
+("hundreds of thousands of new flows per second", Section I, citing the
+IMC datacenter traffic studies). This generator builds the standard k-ary
+fat-tree (Al-Fares et al., SIGCOMM'08) with two-level routing:
+
+* ``(k/2)^2`` core switches, ``k`` pods of ``k/2`` aggregation and ``k/2``
+  edge switches, hosts on edge ports;
+* downward routes on /24 pod/subnet prefixes;
+* upward default routes that spread traffic across uplinks by suffix
+  (a deterministic stand-in for ECMP, which keeps behavior per-packet
+  well-defined as the model requires).
+
+Useful for scale tests (predicate and atom counts grow with k) and for
+the traffic-engineering example.
+"""
+
+from __future__ import annotations
+
+from ..headerspace.fields import dst_ip_layout
+from ..network.builder import Network
+from ..network.rules import Match
+
+__all__ = ["fattree"]
+
+
+def _pod_subnet(pod: int, edge: int) -> int:
+    """Address plan 10.pod.edge.0/24 (the SIGCOMM'08 convention)."""
+    return (10 << 24) | (pod << 16) | (edge << 8)
+
+
+def fattree(k: int = 4, hosts_per_edge: int = 1) -> Network:
+    """Build a k-ary fat-tree network (k even, >= 2)."""
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree arity k must be even and >= 2")
+    half = k // 2
+    network = Network(dst_ip_layout(), name=f"fattree-{k}")
+
+    cores = [f"core_{i}_{j}" for i in range(half) for j in range(half)]
+    for name in cores:
+        network.add_box(name)
+    aggs: dict[tuple[int, int], str] = {}
+    edges: dict[tuple[int, int], str] = {}
+    for pod in range(k):
+        for index in range(half):
+            aggs[(pod, index)] = f"agg_{pod}_{index}"
+            edges[(pod, index)] = f"edge_{pod}_{index}"
+            network.add_box(aggs[(pod, index)])
+            network.add_box(edges[(pod, index)])
+
+    # Wiring: edge <-> agg full mesh within a pod; agg i <-> cores row i.
+    for pod in range(k):
+        for agg_index in range(half):
+            agg = aggs[(pod, agg_index)]
+            for edge_index in range(half):
+                edge = edges[(pod, edge_index)]
+                network.link(agg, f"down_{edge_index}", edge, f"up_{agg_index}")
+                network.link(edge, f"up_{agg_index}", agg, f"down_{edge_index}")
+            for j in range(half):
+                core = f"core_{agg_index}_{j}"
+                network.link(agg, f"core_{j}", core, f"pod_{pod}")
+                network.link(core, f"pod_{pod}", agg, f"core_{j}")
+
+    # Hosts and their /32 routes; the subnet's remaining addresses fall to
+    # a /24 pointing at the first host port (gateway-style).
+    for pod in range(k):
+        for edge_index in range(half):
+            edge = edges[(pod, edge_index)]
+            subnet = _pod_subnet(pod, edge_index)
+            for host_index in range(hosts_per_edge):
+                port = f"host_{host_index}"
+                network.attach_host(edge, port, f"h_{pod}_{edge_index}_{host_index}")
+                network.add_forwarding_rule(
+                    edge,
+                    Match.prefix("dst_ip", subnet | (host_index + 2), 32),
+                    port,
+                    priority=32,
+                )
+            network.add_forwarding_rule(
+                edge, Match.prefix("dst_ip", subnet, 24), "host_0", priority=24
+            )
+
+    for pod in range(k):
+        for agg_index in range(half):
+            agg = aggs[(pod, agg_index)]
+            # Downward: /24 per edge subnet in this pod.
+            for edge_index in range(half):
+                network.add_forwarding_rule(
+                    agg,
+                    Match.prefix("dst_ip", _pod_subnet(pod, edge_index), 24),
+                    f"down_{edge_index}",
+                    priority=24,
+                )
+            # Upward: spread other pods across core uplinks by pod parity.
+            for other_pod in range(k):
+                if other_pod == pod:
+                    continue
+                network.add_forwarding_rule(
+                    agg,
+                    Match.prefix("dst_ip", (10 << 24) | (other_pod << 16), 16),
+                    f"core_{other_pod % half}",
+                    priority=16,
+                )
+
+    for pod in range(k):
+        for edge_index in range(half):
+            edge = edges[(pod, edge_index)]
+            # Upward from edge: in-pod subnets to the right agg, rest split.
+            for other_edge in range(half):
+                if other_edge == edge_index:
+                    continue
+                network.add_forwarding_rule(
+                    edge,
+                    Match.prefix("dst_ip", _pod_subnet(pod, other_edge), 24),
+                    f"up_{other_edge % half}",
+                    priority=24,
+                )
+            for other_pod in range(k):
+                if other_pod == pod:
+                    continue
+                network.add_forwarding_rule(
+                    edge,
+                    Match.prefix("dst_ip", (10 << 24) | (other_pod << 16), 16),
+                    f"up_{other_pod % half}",
+                    priority=16,
+                )
+
+    # Core: pod /16 -> pod port.
+    for i in range(half):
+        for j in range(half):
+            core = f"core_{i}_{j}"
+            for pod in range(k):
+                network.add_forwarding_rule(
+                    core,
+                    Match.prefix("dst_ip", (10 << 24) | (pod << 16), 16),
+                    f"pod_{pod}",
+                    priority=16,
+                )
+    return network

@@ -1,0 +1,102 @@
+"""Middlebox flow-table generators for the Table II experiments.
+
+Section VII-G: "we create ten entries for each flow table ... Match fields
+are produced by dividing the packet header space into ten disjoint sets.
+We obtain match fields by grouping all atomic predicates into ten
+predicates."  The *deterministic ratio* is the portion of entries whose
+post-rewrite atomic predicate is precomputed (Type 1); the rest force an
+AP Tree re-search (Type 2/3).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.atomic import AtomicUniverse
+from ..core.middlebox import (
+    DETERMINISTIC,
+    PAYLOAD_DEPENDENT,
+    PROBABILISTIC,
+    FlowEntry,
+    HeaderRewrite,
+    Middlebox,
+    MiddleboxTable,
+    RewriteBranch,
+)
+
+__all__ = ["make_middlebox", "group_atoms"]
+
+
+def group_atoms(
+    universe: AtomicUniverse, groups: int, rng: random.Random
+) -> list[frozenset[int]]:
+    """Partition the atom ids into ``groups`` non-empty disjoint sets."""
+    atom_ids = sorted(universe.atom_ids())
+    if groups <= 0:
+        raise ValueError("groups must be positive")
+    groups = min(groups, len(atom_ids))
+    shuffled = atom_ids[:]
+    rng.shuffle(shuffled)
+    buckets: list[list[int]] = [[] for _ in range(groups)]
+    for index, atom_id in enumerate(shuffled):
+        buckets[index % groups].append(atom_id)
+    return [frozenset(bucket) for bucket in buckets]
+
+
+def make_middlebox(
+    name: str,
+    universe: AtomicUniverse,
+    rng: random.Random,
+    entries: int = 10,
+    deterministic_ratio: float = 0.9,
+    probabilistic_fraction: float = 0.5,
+) -> Middlebox:
+    """A middlebox whose flow table rewrites headers between atom groups.
+
+    Each entry matches one atom group and rewrites matching packets'
+    headers to land in a randomly chosen target atom (a full-header
+    rewrite, the NAT-like worst case).  A ``deterministic_ratio`` fraction
+    of entries are Type 1 (new atom precomputed); the remainder split
+    between Type 2 (payload-dependent) and Type 3 (probabilistic over two
+    targets) per ``probabilistic_fraction``.
+    """
+    if not 0.0 <= deterministic_ratio <= 1.0:
+        raise ValueError("deterministic_ratio must be in [0, 1]")
+    width = universe.manager.num_vars
+    full_mask = (1 << width) - 1
+    atom_ids = sorted(universe.atom_ids())
+    table = MiddleboxTable()
+
+    def rewrite_into(atom_id: int) -> tuple[HeaderRewrite, int]:
+        header = universe.atom_fn(atom_id).random_sat(rng)
+        return HeaderRewrite(mask=full_mask, value=header), atom_id
+
+    for match_atoms in group_atoms(universe, entries, rng):
+        target = rng.choice(atom_ids)
+        rewrite, target_atom = rewrite_into(target)
+        if rng.random() < deterministic_ratio:
+            entry = FlowEntry(
+                match_atoms=match_atoms,
+                kind=DETERMINISTIC,
+                branches=(
+                    RewriteBranch(rewrite, probability=1.0, new_atom=target_atom),
+                ),
+            )
+        elif rng.random() < probabilistic_fraction:
+            alt_rewrite, _ = rewrite_into(rng.choice(atom_ids))
+            entry = FlowEntry(
+                match_atoms=match_atoms,
+                kind=PROBABILISTIC,
+                branches=(
+                    RewriteBranch(rewrite, probability=0.5),
+                    RewriteBranch(alt_rewrite, probability=0.5),
+                ),
+            )
+        else:
+            entry = FlowEntry(
+                match_atoms=match_atoms,
+                kind=PAYLOAD_DEPENDENT,
+                branches=(RewriteBranch(rewrite, probability=1.0),),
+            )
+        table.append(entry)
+    return Middlebox(name=name, table=table)

@@ -1,0 +1,155 @@
+"""Stanford-backbone-like synthetic data plane.
+
+The paper's second dataset is the Stanford campus backbone used by the HSA
+authors: 16 boxes (2 backbone + 14 zone routers), 757,170 forwarding rules
+and 1,584 ACL rules, reducing to 507 predicates (Table I).  This generator
+reproduces its structure at configurable scale:
+
+* two backbone routers (``bbra``, ``bbrb``), 14 zone routers, every zone
+  dual-homed to both backbones;
+* a 5-tuple header (ACLs filter on source, destination, and ports);
+* each zone owns one /16 split into /24 subnets spread over its customer
+  ports; zones default-route to a backbone, backbones route /16s to zones
+  plus traffic-engineered /24 exceptions;
+* first-match ACLs (deny-some, permit-rest) on a configurable fraction of
+  customer ports, filtering on source prefixes and destination ports --
+  these are what push the predicate count up and make atoms genuinely
+  multi-dimensional.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..headerspace.fields import five_tuple_layout
+from ..network.builder import Network
+from ..network.rules import AclRule, Match
+
+__all__ = ["stanford_like", "ZONE_COUNT"]
+
+ZONE_COUNT = 14
+
+#: Well-known destination ports ACLs commonly block.
+_BLOCKED_PORTS = (23, 135, 139, 445, 1433)
+
+
+def stanford_like(
+    subnets_per_zone: int = 4,
+    host_ports_per_zone: int = 2,
+    acl_zone_fraction: float = 0.5,
+    acl_rules_per_list: int = 4,
+    acl_templates: int = 3,
+    te_fraction: float = 0.2,
+    seed: int = 2017,
+) -> Network:
+    """Build the Stanford-like network.
+
+    ``subnets_per_zone`` /24s per zone distributed round-robin over
+    ``host_ports_per_zone`` customer ports; roughly ``acl_zone_fraction``
+    of zones get output ACLs on their customer ports, drawn from a pool of
+    ``acl_templates`` distinct lists.  Sharing ACL templates across ports
+    mirrors real campus configs (the same security policy is stamped onto
+    many interfaces) and keeps the atomic-predicate count in the same
+    regime as the paper's dataset; raising ``acl_templates`` makes the
+    cross-product of source/port classes with destination classes grow
+    quickly.
+    """
+    if subnets_per_zone <= 0 or host_ports_per_zone <= 0:
+        raise ValueError("zone sizing parameters must be positive")
+    rng = random.Random(seed)
+    network = Network(five_tuple_layout(), name="stanford-like")
+    backbones = ("bbra", "bbrb")
+    zones = [f"zr{index:02d}" for index in range(1, ZONE_COUNT + 1)]
+
+    for name in backbones:
+        network.add_box(name)
+    for name in zones:
+        network.add_box(name)
+    network.link("bbra", "to_bbrb", "bbrb", "to_bbra")
+    network.link("bbrb", "to_bbra", "bbra", "to_bbrb")
+    for zone in zones:
+        for backbone in backbones:
+            network.link(zone, f"to_{backbone}", backbone, f"to_{zone}")
+            network.link(backbone, f"to_{zone}", zone, f"to_{backbone}")
+
+    def zone_net(index: int) -> int:
+        # 171.(64+index).0.0/16 -- the real campus uses 171.64.0.0/14.
+        return (171 << 24) | ((64 + index) << 16)
+
+    # Zone-internal subnets and routes.
+    zone_subnets: dict[str, list[int]] = {}
+    for index, zone in enumerate(zones):
+        subnets = []
+        for sub in range(subnets_per_zone):
+            subnet = zone_net(index) | ((sub + 1) << 8)
+            subnets.append(subnet)
+            port = f"cust{sub % host_ports_per_zone}"
+            network.add_forwarding_rule(
+                zone, Match.prefix("dst_ip", subnet, 24), port, priority=24
+            )
+        zone_subnets[zone] = subnets
+        for port_index in range(host_ports_per_zone):
+            port = f"cust{port_index}"
+            network.attach_host(zone, port, f"hosts_{zone}_{port}")
+        # Default route: even zones prefer bbra, odd prefer bbrb.
+        uplink = backbones[index % 2]
+        network.add_forwarding_rule(
+            zone, Match.any(), f"to_{uplink}", priority=0
+        )
+
+    # Backbone routes: /16 per zone, plus TE /24 exceptions to other zones.
+    for backbone in backbones:
+        for index, zone in enumerate(zones):
+            network.add_forwarding_rule(
+                backbone,
+                Match.prefix("dst_ip", zone_net(index), 16),
+                f"to_{zone}",
+                priority=16,
+            )
+        for index, zone in enumerate(zones):
+            for subnet in zone_subnets[zone]:
+                if rng.random() >= te_fraction:
+                    continue
+                detour = rng.choice([z for z in zones if z != zone])
+                network.add_forwarding_rule(
+                    backbone,
+                    Match.prefix("dst_ip", subnet, 24),
+                    f"to_{detour}",
+                    priority=24,
+                )
+    # Backbone-to-backbone transit for anything unknown is intentionally
+    # absent: unallocated destinations are dropped, as in the real plane.
+
+    # ACLs: deny a few source zones and blocked destination ports, then
+    # permit the rest.  Lists come from a small template pool stamped onto
+    # the customer ports of every other zone.
+    templates: list[list[AclRule]] = []
+    for _ in range(max(acl_templates, 1)):
+        rules = []
+        for _ in range(acl_rules_per_list - 1):
+            if rng.random() < 0.5:
+                blocked_zone = rng.randrange(ZONE_COUNT)
+                rules.append(
+                    AclRule(
+                        Match.prefix("src_ip", zone_net(blocked_zone), 16),
+                        permit=False,
+                    )
+                )
+            else:
+                port_value = rng.choice(_BLOCKED_PORTS)
+                rules.append(
+                    AclRule(
+                        Match.prefix("dst_port", port_value, 16),
+                        permit=False,
+                    )
+                )
+        rules.append(AclRule(Match.any(), permit=True))
+        templates.append(rules)
+    for index, zone in enumerate(zones):
+        if rng.random() >= acl_zone_fraction:
+            continue
+        for port_index in range(host_ports_per_zone):
+            network.add_output_acl(
+                zone, f"cust{port_index}", rng.choice(templates)
+            )
+    return network

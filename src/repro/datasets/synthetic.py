@@ -1,0 +1,120 @@
+"""Generic synthetic networks: the paper's running example and a random
+topology generator for stress/property testing."""
+
+from __future__ import annotations
+
+import random
+
+from ..headerspace.fields import dst_ip_layout, parse_ipv4
+from ..network.builder import Network
+from ..network.rules import Match
+
+__all__ = ["toy_network", "random_network"]
+
+
+def toy_network() -> Network:
+    """The running example of Fig. 1(c)/Fig. 3.
+
+    Two boxes ``b1 -> b2``; ``p1`` = packets b1 forwards to host h1,
+    ``p2`` = packets b1 forwards to b2, ``p3`` = packets b2 forwards to
+    host h2.  ``p3`` straddles ``p1`` and ``p2``, producing the five
+    non-empty atoms of Fig. 1(b) (plus the all-drop remainder class).
+    """
+    network = Network(dst_ip_layout(), name="toy")
+    network.add_box("b1")
+    network.add_box("b2")
+    network.link("b1", "to_b2", "b2", "from_b1")
+    network.attach_host("b1", "to_h1", "h1")
+    network.attach_host("b2", "to_h2", "h2")
+
+    def prefix(text: str, plen: int) -> Match:
+        return Match.prefix("dst_ip", parse_ipv4(text), plen)
+
+    # p1: b1 -> h1 for 10.1.0.0/16.
+    network.add_forwarding_rule("b1", prefix("10.1.0.0", 16), "to_h1", priority=16)
+    # p2: b1 -> b2 for 10.2.0.0/16.
+    network.add_forwarding_rule("b1", prefix("10.2.0.0", 16), "to_b2", priority=16)
+    # p3: b2 -> h2 for half of p1, half of p2, and 10.3.0.0/16.
+    network.add_forwarding_rule("b2", prefix("10.1.0.0", 17), "to_h2", priority=17)
+    network.add_forwarding_rule("b2", prefix("10.2.0.0", 17), "to_h2", priority=17)
+    network.add_forwarding_rule("b2", prefix("10.3.0.0", 16), "to_h2", priority=16)
+    return network
+
+
+def random_network(
+    boxes: int = 6,
+    extra_links: int = 4,
+    prefixes: int = 12,
+    te_fraction: float = 0.3,
+    seed: int = 0,
+) -> Network:
+    """A random connected dst-prefix network for property tests.
+
+    Topology is a random spanning tree plus ``extra_links`` chords; each
+    prefix is homed at a random box's host port and routed from everywhere
+    along shortest paths; a fraction get /24 exceptions homed elsewhere.
+    """
+    if boxes < 2:
+        raise ValueError("need at least two boxes")
+    rng = random.Random(seed)
+    network = Network(dst_ip_layout(), name=f"random-{seed}")
+    names = [f"s{index}" for index in range(boxes)]
+    for name in names:
+        network.add_box(name)
+
+    adjacency: dict[str, set[str]] = {name: set() for name in names}
+
+    def connect(left: str, right: str) -> None:
+        if right in adjacency[left] or left == right:
+            return
+        adjacency[left].add(right)
+        adjacency[right].add(left)
+        network.link(left, f"to_{right}", right, f"to_{left}")
+        network.link(right, f"to_{left}", left, f"to_{right}")
+
+    shuffled = names[:]
+    rng.shuffle(shuffled)
+    for index in range(1, len(shuffled)):
+        connect(shuffled[index], rng.choice(shuffled[:index]))
+    for _ in range(extra_links):
+        connect(rng.choice(names), rng.choice(names))
+
+    # Deterministic shortest-path next hops (BFS per destination).
+    from collections import deque
+
+    def next_hops(destination: str) -> dict[str, str]:
+        parent = {destination: destination}
+        queue = deque([destination])
+        while queue:
+            current = queue.popleft()
+            for neighbor in sorted(adjacency[current]):
+                if neighbor not in parent:
+                    parent[neighbor] = current
+                    queue.append(neighbor)
+        return parent
+
+    towards = {name: next_hops(name) for name in names}
+
+    plan: list[tuple[int, int, str]] = []
+    for index in range(prefixes):
+        owner = rng.choice(names)
+        value = (10 << 24) | ((index + 1) << 16)
+        plan.append((value, 16, owner))
+        if rng.random() < te_fraction:
+            other = rng.choice([name for name in names if name != owner])
+            plan.append((value | (rng.randrange(1, 255) << 8), 24, other))
+
+    hosted: set[str] = set()
+    for value, plen, owner in plan:
+        if owner not in hosted:
+            hosted.add(owner)
+            network.attach_host(owner, "cust0", f"net_{owner}")
+        for router in names:
+            if router == owner:
+                out_port = "cust0"
+            else:
+                out_port = f"to_{towards[owner][router]}"
+            network.add_forwarding_rule(
+                router, Match.prefix("dst_ip", value, plen), out_port, priority=plen
+            )
+    return network

@@ -1,0 +1,76 @@
+"""Data plane update workload generators (Sections VI and VII-E).
+
+Two granularities:
+
+* **rule-level** streams -- insert/withdraw forwarding rules on a live
+  :class:`DataPlane`, the way an SDN controller actually changes state;
+* **predicate-level** pools -- the abstraction Fig. 13/14 use directly
+  (add/delete whole predicates), served by
+  :class:`repro.core.reconstruction.DynamicSimulation`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..network.builder import Network
+from ..network.rules import ForwardingRule, Match
+
+__all__ = ["RuleUpdate", "rule_update_stream"]
+
+
+@dataclass(frozen=True)
+class RuleUpdate:
+    """One rule-level event for a network box."""
+
+    kind: str  # "insert" | "remove"
+    box: str
+    rule: ForwardingRule
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "remove"):
+            raise ValueError(f"unknown update kind {self.kind!r}")
+
+
+def rule_update_stream(
+    network: Network,
+    count: int,
+    rng: random.Random,
+    insert_fraction: float = 0.5,
+) -> list[RuleUpdate]:
+    """A mixed insert/withdraw stream against an existing network.
+
+    Inserts add /24 exceptions under 10.0.0.0/8 pointing at an existing
+    out port of the chosen box (a realistic BGP-churn shape); removals
+    withdraw rules previously inserted by this stream, falling back to an
+    insert when none remain.  The stream never withdraws the base plane's
+    own rules, so it can be replayed against a fresh copy of the network.
+    """
+    boxes = sorted(network.boxes)
+    inserted: list[RuleUpdate] = []
+    stream: list[RuleUpdate] = []
+    for _ in range(count):
+        do_insert = rng.random() < insert_fraction or not inserted
+        if do_insert:
+            box = rng.choice(boxes)
+            ports = network.box(box).table.out_ports()
+            if not ports:
+                continue
+            value = (
+                (10 << 24)
+                | (rng.randrange(1, 200) << 16)
+                | (rng.randrange(1, 255) << 8)
+            )
+            rule = ForwardingRule(
+                Match.prefix("dst_ip", value, 24),
+                (rng.choice(ports),),
+                priority=24,
+            )
+            update = RuleUpdate("insert", box, rule)
+            inserted.append(update)
+            stream.append(update)
+        else:
+            victim = inserted.pop(rng.randrange(len(inserted)))
+            stream.append(RuleUpdate("remove", victim.box, victim.rule))
+    return stream

@@ -1,0 +1,103 @@
+"""Query workload generators.
+
+The paper's query packets are "generated randomly with respect to the
+atomic predicates" (Section VII-D): pick an atom, then a uniformly random
+header inside it.  For Section VII-F the per-atom packet counts follow a
+Pareto distribution (xm = 1, alpha = 1), making the trace heavily skewed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.atomic import AtomicUniverse
+from ..headerspace.fields import HeaderLayout
+
+__all__ = [
+    "PacketTrace",
+    "uniform_over_atoms",
+    "pareto_over_atoms",
+    "pareto_atom_counts",
+    "random_headers",
+]
+
+
+@dataclass(frozen=True)
+class PacketTrace:
+    """A query trace: packed headers plus the atom each was drawn from."""
+
+    headers: tuple[int, ...]
+    atom_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.headers) != len(self.atom_ids):
+            raise ValueError("headers and atom_ids must align")
+
+    def __len__(self) -> int:
+        return len(self.headers)
+
+    def atom_histogram(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for atom_id in self.atom_ids:
+            counts[atom_id] = counts.get(atom_id, 0) + 1
+        return counts
+
+
+def uniform_over_atoms(
+    universe: AtomicUniverse, count: int, rng: random.Random
+) -> PacketTrace:
+    """``count`` packets, atoms drawn uniformly (Section VII-D traces)."""
+    atom_ids = sorted(universe.atom_ids())
+    headers: list[int] = []
+    chosen: list[int] = []
+    for _ in range(count):
+        atom_id = rng.choice(atom_ids)
+        headers.append(universe.atom_fn(atom_id).random_sat(rng))
+        chosen.append(atom_id)
+    return PacketTrace(tuple(headers), tuple(chosen))
+
+
+def pareto_atom_counts(
+    universe: AtomicUniverse,
+    rng: random.Random,
+    base_packets: int = 1000,
+    alpha: float = 1.0,
+    xm: float = 1.0,
+    cap: int = 50_000,
+) -> dict[int, int]:
+    """Per-atom packet counts from a Pareto(xm, alpha) draw.
+
+    With the paper's xm = 1, alpha = 1: about half the atoms get the base
+    1,000 packets and a heavy tail gets 20x that or more (Section VII-F).
+    ``cap`` bounds the tail so a single draw cannot dominate a run.
+    """
+    counts: dict[int, int] = {}
+    for atom_id in sorted(universe.atom_ids()):
+        draw = xm / max(1.0 - rng.random(), 1e-12) ** (1.0 / alpha)
+        counts[atom_id] = min(int(base_packets * draw), cap)
+    return counts
+
+
+def pareto_over_atoms(
+    universe: AtomicUniverse,
+    count: int,
+    rng: random.Random,
+    alpha: float = 1.0,
+    xm: float = 1.0,
+) -> PacketTrace:
+    """``count`` packets with atoms weighted by a Pareto draw."""
+    weights = pareto_atom_counts(universe, rng, alpha=alpha, xm=xm)
+    atom_ids = sorted(weights)
+    population = [weights[atom_id] for atom_id in atom_ids]
+    chosen = rng.choices(atom_ids, weights=population, k=count)
+    headers = [universe.atom_fn(atom_id).random_sat(rng) for atom_id in chosen]
+    return PacketTrace(tuple(headers), tuple(chosen))
+
+
+def random_headers(
+    layout: HeaderLayout, count: int, rng: random.Random
+) -> Sequence[int]:
+    """Uniform headers over the whole space (no atom awareness)."""
+    return [rng.getrandbits(layout.total_width) for _ in range(count)]

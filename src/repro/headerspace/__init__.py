@@ -1,0 +1,37 @@
+"""Packet header model and ternary header-space algebra.
+
+Provides the header layouts used by every predicate in the library, the
+:class:`Packet` query type, and the wildcard algebra backing the Header
+Space Analysis baseline.
+"""
+
+from .fields import (
+    HeaderField,
+    HeaderLayout,
+    dst_ip6_layout,
+    dst_ip_layout,
+    five_tuple6_layout,
+    five_tuple_layout,
+    format_ipv4,
+    format_ipv6,
+    parse_ipv4,
+    parse_ipv6,
+)
+from .header import Packet
+from .wildcard import Wildcard, WildcardSet
+
+__all__ = [
+    "HeaderField",
+    "HeaderLayout",
+    "Packet",
+    "Wildcard",
+    "WildcardSet",
+    "dst_ip_layout",
+    "five_tuple_layout",
+    "dst_ip6_layout",
+    "five_tuple6_layout",
+    "parse_ipv4",
+    "format_ipv4",
+    "parse_ipv6",
+    "format_ipv6",
+]

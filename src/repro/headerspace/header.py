@@ -1,0 +1,82 @@
+"""Concrete packets: a packed header value interpreted through a layout."""
+
+from __future__ import annotations
+
+from .fields import (
+    HeaderLayout,
+    format_ipv4,
+    format_ipv6,
+    parse_ipv4,
+    parse_ipv6,
+)
+
+__all__ = ["Packet"]
+
+
+class Packet:
+    """A fully specified packet header.
+
+    Queries to AP Classifier are packets -- equivalently flows, since all
+    packets agreeing on the evaluated header fields behave identically
+    (Section III).  The header is stored packed, so BDD evaluation and
+    wildcard matching never re-encode anything.
+    """
+
+    __slots__ = ("layout", "value")
+
+    def __init__(self, layout: HeaderLayout, value: int) -> None:
+        if not 0 <= value < 1 << layout.total_width:
+            raise ValueError(f"header value {value} out of range for layout")
+        self.layout = layout
+        self.value = value
+
+    @classmethod
+    def of(cls, layout: HeaderLayout, **fields: int | str) -> "Packet":
+        """Build a packet from keyword fields.
+
+        IP-typed fields accept text: names ending in ``_ip`` parse as
+        dotted-quad IPv4, names ending in ``_ip6`` as IPv6.
+        """
+        values: dict[str, int] = {}
+        for name, raw in fields.items():
+            if isinstance(raw, str):
+                if name.endswith("_ip6"):
+                    values[name] = parse_ipv6(raw)
+                elif name.endswith("_ip"):
+                    values[name] = parse_ipv4(raw)
+                else:
+                    raise TypeError(
+                        f"string value only allowed for *_ip/_ip6 fields, "
+                        f"got {name!r}"
+                    )
+            else:
+                values[name] = raw
+        return cls(layout, layout.pack(values))
+
+    def field(self, name: str) -> int:
+        return self.layout.extract(self.value, name)
+
+    def fields(self) -> dict[str, int]:
+        return self.layout.unpack(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Packet)
+            and other.layout == self.layout
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.layout, self.value))
+
+    def __repr__(self) -> str:
+        parts = []
+        for field in self.layout.fields:
+            value = self.layout.extract(self.value, field.name)
+            if field.name.endswith("_ip6") and field.width == 128:
+                parts.append(f"{field.name}={format_ipv6(value)}")
+            elif field.name.endswith("_ip") and field.width == 32:
+                parts.append(f"{field.name}={format_ipv4(value)}")
+            else:
+                parts.append(f"{field.name}={value}")
+        return f"Packet({', '.join(parts)})"

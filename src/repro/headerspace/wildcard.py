@@ -1,0 +1,284 @@
+"""Ternary wildcard algebra over packed headers.
+
+This is the substrate of the Header Space Analysis baseline (Kazemian et
+al., NSDI'12; the paper compares against its Hassel-C implementation in
+Section VII-D).  A :class:`Wildcard` is a ternary string over ``width``
+bits: each bit is 0, 1, or ``*``.  A :class:`WildcardSet` is a union of
+wildcards, which is what HSA transfer functions propagate.
+
+Representation: two integers, ``mask`` (1 = bit is cared about) and
+``value`` (the cared bits; don't-care positions are forced to 0 so the
+representation is canonical and hashable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["Wildcard", "WildcardSet", "range_to_prefixes"]
+
+
+def range_to_prefixes(low: int, high: int, width: int) -> list[tuple[int, int]]:
+    """Cover the inclusive integer range [low, high] with prefixes.
+
+    Returns ``(value, prefix_len)`` pairs -- the classic TCAM range
+    expansion (a range over a w-bit field needs at most ``2w - 2``
+    prefixes). Used to turn ACL port ranges into prefix rules.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    top = (1 << width) - 1
+    if not 0 <= low <= high <= top:
+        raise ValueError(f"invalid range [{low}, {high}] for width {width}")
+    prefixes: list[tuple[int, int]] = []
+    current = low
+    while current <= high:
+        # Largest power-of-two block aligned at `current` that fits.
+        size = current & -current if current else 1 << width
+        while current + size - 1 > high:
+            size >>= 1
+        prefix_len = width - size.bit_length() + 1
+        prefixes.append((current, prefix_len))
+        current += size
+    return prefixes
+
+
+@dataclass(frozen=True)
+class Wildcard:
+    """One ternary match over ``width`` bits."""
+
+    width: int
+    mask: int
+    value: int
+
+    def __post_init__(self) -> None:
+        full = (1 << self.width) - 1
+        if self.mask & ~full:
+            raise ValueError("mask has bits outside the header width")
+        if self.value & ~self.mask:
+            raise ValueError("value has bits in don't-care positions")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def any(cls, width: int) -> "Wildcard":
+        """The all-``*`` wildcard matching every header."""
+        return cls(width, 0, 0)
+
+    @classmethod
+    def exact(cls, width: int, value: int) -> "Wildcard":
+        full = (1 << width) - 1
+        return cls(width, full, value & full)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Wildcard":
+        """Parse a ternary string like ``"10**1"`` (MSB first)."""
+        mask = 0
+        value = 0
+        for ch in text:
+            mask <<= 1
+            value <<= 1
+            if ch == "1":
+                mask |= 1
+                value |= 1
+            elif ch == "0":
+                mask |= 1
+            elif ch not in ("*", "x", "X"):
+                raise ValueError(f"invalid ternary character {ch!r}")
+        return cls(len(text), mask, value)
+
+    @classmethod
+    def from_prefix(
+        cls, width: int, offset: int, field_width: int, value: int, prefix_len: int
+    ) -> "Wildcard":
+        """Wildcard constraining the top ``prefix_len`` bits of one field.
+
+        ``offset`` is the field's bit offset from the MSB of the header,
+        mirroring :meth:`HeaderLayout.prefix_literals`.
+        """
+        if not 0 <= prefix_len <= field_width:
+            raise ValueError(f"prefix length {prefix_len} out of range")
+        field_mask = ((1 << prefix_len) - 1) << (field_width - prefix_len)
+        shift = width - offset - field_width
+        return cls(width, field_mask << shift, (value & field_mask) << shift)
+
+    # ------------------------------------------------------------------
+    # Core algebra
+    # ------------------------------------------------------------------
+
+    def matches(self, header: int) -> bool:
+        return (header & self.mask) == self.value
+
+    def intersect(self, other: "Wildcard") -> "Wildcard | None":
+        """Ternary intersection, or ``None`` when empty."""
+        self._check(other)
+        common = self.mask & other.mask
+        if (self.value ^ other.value) & common:
+            return None
+        return Wildcard(
+            self.width, self.mask | other.mask, self.value | other.value
+        )
+
+    def is_subset(self, other: "Wildcard") -> bool:
+        """True iff every header matched by ``self`` is matched by ``other``."""
+        self._check(other)
+        if other.mask & ~self.mask:
+            return False
+        return (self.value ^ other.value) & other.mask == 0
+
+    def subtract(self, other: "Wildcard") -> list["Wildcard"]:
+        """``self`` minus ``other`` as a disjoint list of wildcards.
+
+        Standard HSA expansion: for each cared bit of ``other`` that is
+        free or agreeing in ``self``, emit ``self`` with that bit flipped
+        and all previous cared bits pinned to agreement.
+        """
+        overlap = self.intersect(other)
+        if overlap is None:
+            return [self]
+        pieces: list[Wildcard] = []
+        pinned_mask = self.mask
+        pinned_value = self.value
+        for position in range(self.width - 1, -1, -1):
+            bit = 1 << position
+            if not other.mask & bit:
+                continue
+            if self.mask & bit:
+                # self already fixes this bit; if it disagrees we'd have had
+                # no overlap, so it must agree -- nothing to emit here.
+                continue
+            flipped = (other.value ^ bit) & bit
+            pieces.append(
+                Wildcard(
+                    self.width,
+                    pinned_mask | bit,
+                    (pinned_value & ~bit) | flipped,
+                )
+            )
+            pinned_mask |= bit
+            pinned_value = (pinned_value & ~bit) | (other.value & bit)
+        return pieces
+
+    def rewrite(self, rewrite_mask: int, rewrite_value: int) -> "Wildcard":
+        """Force the bits in ``rewrite_mask`` to ``rewrite_value``.
+
+        Models header modification (e.g. NAT): rewritten bits become cared
+        and fixed; other bits are untouched.
+        """
+        full = (1 << self.width) - 1
+        rewrite_mask &= full
+        return Wildcard(
+            self.width,
+            self.mask | rewrite_mask,
+            (self.value & ~rewrite_mask) | (rewrite_value & rewrite_mask),
+        )
+
+    def sample(self, rng) -> int:
+        """A uniformly random matching header."""
+        free = ((1 << self.width) - 1) & ~self.mask
+        noise = rng.getrandbits(self.width) & free
+        return self.value | noise
+
+    def count(self) -> int:
+        """Number of matching headers."""
+        free_bits = self.width - bin(self.mask).count("1")
+        return 1 << free_bits
+
+    def _check(self, other: "Wildcard") -> None:
+        if other.width != self.width:
+            raise ValueError(
+                f"width mismatch: {self.width} vs {other.width}"
+            )
+
+    def __str__(self) -> str:
+        chars = []
+        for position in range(self.width - 1, -1, -1):
+            bit = 1 << position
+            if not self.mask & bit:
+                chars.append("*")
+            elif self.value & bit:
+                chars.append("1")
+            else:
+                chars.append("0")
+        return "".join(chars)
+
+    def __repr__(self) -> str:
+        return f"Wildcard({str(self)})"
+
+
+class WildcardSet:
+    """A union of ternary wildcards (a header-space region).
+
+    Kept as a simple list with subset-absorption on insert; exact
+    minimization is NP-hard and unnecessary for the baseline's role here.
+    """
+
+    __slots__ = ("width", "_members")
+
+    def __init__(self, width: int, members: Iterable[Wildcard] = ()) -> None:
+        self.width = width
+        self._members: list[Wildcard] = []
+        for member in members:
+            self.add(member)
+
+    @classmethod
+    def empty(cls, width: int) -> "WildcardSet":
+        return cls(width)
+
+    @classmethod
+    def full(cls, width: int) -> "WildcardSet":
+        return cls(width, [Wildcard.any(width)])
+
+    def add(self, wildcard: Wildcard) -> None:
+        if wildcard.width != self.width:
+            raise ValueError("width mismatch")
+        for member in self._members:
+            if wildcard.is_subset(member):
+                return
+        self._members = [
+            member for member in self._members if not member.is_subset(wildcard)
+        ]
+        self._members.append(wildcard)
+
+    def matches(self, header: int) -> bool:
+        return any(member.matches(header) for member in self._members)
+
+    def intersect_wildcard(self, wildcard: Wildcard) -> "WildcardSet":
+        result = WildcardSet(self.width)
+        for member in self._members:
+            overlap = member.intersect(wildcard)
+            if overlap is not None:
+                result.add(overlap)
+        return result
+
+    def subtract_wildcard(self, wildcard: Wildcard) -> "WildcardSet":
+        result = WildcardSet(self.width)
+        for member in self._members:
+            for piece in member.subtract(wildcard):
+                result.add(piece)
+        return result
+
+    def union(self, other: "WildcardSet") -> "WildcardSet":
+        result = WildcardSet(self.width, self._members)
+        for member in other._members:
+            result.add(member)
+        return result
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._members
+
+    def __iter__(self) -> Iterator[Wildcard]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(member) for member in self._members[:4])
+        if len(self._members) > 4:
+            inner += f", ... ({len(self._members)} total)"
+        return f"WildcardSet({inner})"

@@ -1,0 +1,65 @@
+"""Network model: boxes, rules, ACLs, topology, and predicate compilation.
+
+Implements the model of Section III -- a directed graph of boxes whose
+forwarding tables and ACLs are packet filters -- plus the conversion of
+those filters to BDD predicates and the compiled :class:`DataPlane` view
+that the core algorithms operate on.
+"""
+
+from .box import Box, PortRef
+from .builder import Network
+from .dataplane import (
+    ACL_IN,
+    ACL_OUT,
+    FORWARD,
+    DataPlane,
+    LabeledPredicate,
+    PredicateChange,
+)
+from .predicates import PredicateCompiler
+from .parsers import (
+    ParseError,
+    parse_acl,
+    parse_acl_line,
+    parse_acl_rules,
+    parse_route_line,
+    parse_routes,
+)
+from .rules import DROP, AclRule, FieldMatch, ForwardingRule, Match
+from .serialize import (
+    load_network,
+    network_from_json,
+    network_to_json,
+    save_network,
+)
+from .tables import Acl, ForwardingTable
+
+__all__ = [
+    "Box",
+    "PortRef",
+    "Network",
+    "DataPlane",
+    "LabeledPredicate",
+    "PredicateChange",
+    "PredicateCompiler",
+    "Match",
+    "FieldMatch",
+    "ForwardingRule",
+    "AclRule",
+    "ForwardingTable",
+    "Acl",
+    "DROP",
+    "FORWARD",
+    "ACL_IN",
+    "ACL_OUT",
+    "network_to_json",
+    "network_from_json",
+    "save_network",
+    "load_network",
+    "ParseError",
+    "parse_route_line",
+    "parse_routes",
+    "parse_acl_line",
+    "parse_acl_rules",
+    "parse_acl",
+]

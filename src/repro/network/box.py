@@ -1,0 +1,76 @@
+"""Boxes: the forwarding devices of the network model.
+
+"Box" is the paper's umbrella term for routers, switches, and functional
+middleboxes (firewalls, NATs, IDSes).  A box has a forwarding table and
+ports whose ingress/egress may be guarded by ACLs (Section III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..headerspace.header import Packet
+from .tables import Acl, ForwardingTable
+
+__all__ = ["PortRef", "Box"]
+
+
+@dataclass(frozen=True, order=True)
+class PortRef:
+    """A (box, port) pair -- one end of a link."""
+
+    box: str
+    port: str
+
+    def __str__(self) -> str:
+        return f"{self.box}:{self.port}"
+
+
+class Box:
+    """One forwarding device."""
+
+    def __init__(
+        self,
+        name: str,
+        table: ForwardingTable | None = None,
+        input_acls: dict[str, Acl] | None = None,
+        output_acls: dict[str, Acl] | None = None,
+    ) -> None:
+        if not name:
+            raise ValueError("box name must be non-empty")
+        self.name = name
+        self.table = table if table is not None else ForwardingTable()
+        self.input_acls: dict[str, Acl] = dict(input_acls or {})
+        self.output_acls: dict[str, Acl] = dict(output_acls or {})
+
+    def set_input_acl(self, port: str, acl: Acl) -> None:
+        self.input_acls[port] = acl
+
+    def set_output_acl(self, port: str, acl: Acl) -> None:
+        self.output_acls[port] = acl
+
+    def admits(self, packet: Packet, in_port: str) -> bool:
+        """Does the ingress ACL on ``in_port`` (if any) permit the packet?"""
+        acl = self.input_acls.get(in_port)
+        return acl is None or acl.permits(packet)
+
+    def emits(self, packet: Packet, out_port: str) -> bool:
+        """Does the egress ACL on ``out_port`` (if any) permit the packet?"""
+        acl = self.output_acls.get(out_port)
+        return acl is None or acl.permits(packet)
+
+    def forward(self, packet: Packet, in_port: str | None = None) -> tuple[str, ...]:
+        """Full single-box semantics: ingress ACL, table lookup, egress ACLs.
+
+        Returns the output ports the packet actually leaves on (empty if
+        dropped anywhere).  This is the reference implementation that the
+        predicate compilation must agree with -- tests enforce that.
+        """
+        if in_port is not None and not self.admits(packet, in_port):
+            return ()
+        ports = self.table.lookup(packet)
+        return tuple(port for port in ports if self.emits(packet, port))
+
+    def __repr__(self) -> str:
+        acls = len(self.input_acls) + len(self.output_acls)
+        return f"Box({self.name!r}, {len(self.table)} rules, {acls} ACLs)"

@@ -1,0 +1,115 @@
+"""Network: the assembled model a user hands to AP Classifier."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..headerspace.fields import HeaderLayout
+from .box import Box
+from .rules import AclRule, ForwardingRule, Match
+from .tables import Acl
+from .topology import Topology
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A header layout, a set of boxes, and the topology connecting them.
+
+    This is the mutable, user-facing model.  :meth:`compile` (on
+    :class:`repro.network.dataplane.DataPlane`) freezes it into labeled BDD
+    predicates for the verification algorithms.
+    """
+
+    def __init__(self, layout: HeaderLayout, name: str = "network") -> None:
+        self.layout = layout
+        self.name = name
+        self.boxes: dict[str, Box] = {}
+        self.topology = Topology()
+
+    # ------------------------------------------------------------------
+    # Construction API
+    # ------------------------------------------------------------------
+
+    def add_box(self, name: str) -> Box:
+        if name in self.boxes:
+            raise ValueError(f"box {name!r} already exists")
+        box = Box(name)
+        self.boxes[name] = box
+        self.topology.register_box(name)
+        return box
+
+    def box(self, name: str) -> Box:
+        try:
+            return self.boxes[name]
+        except KeyError:
+            raise KeyError(f"unknown box {name!r}") from None
+
+    def link(self, src_box: str, src_port: str, dst_box: str, dst_port: str) -> None:
+        self._require(src_box)
+        self._require(dst_box)
+        self.topology.add_link(src_box, src_port, dst_box, dst_port)
+
+    def attach_host(self, box: str, port: str, host: str) -> None:
+        self._require(box)
+        self.topology.attach_host(box, port, host)
+
+    def add_forwarding_rule(
+        self,
+        box: str,
+        match: Match,
+        out_ports: Iterable[str] | str,
+        priority: int,
+    ) -> ForwardingRule:
+        if isinstance(out_ports, str):
+            out_ports = (out_ports,)
+        rule = ForwardingRule(match, tuple(out_ports), priority)
+        self.box(box).table.add(rule)
+        return rule
+
+    def add_input_acl(
+        self, box: str, port: str, rules: Iterable[AclRule], default_permit: bool = False
+    ) -> Acl:
+        acl = Acl(rules, default_permit=default_permit)
+        self.box(box).set_input_acl(port, acl)
+        return acl
+
+    def add_output_acl(
+        self, box: str, port: str, rules: Iterable[AclRule], default_permit: bool = False
+    ) -> Acl:
+        acl = Acl(rules, default_permit=default_permit)
+        self.box(box).set_output_acl(port, acl)
+        return acl
+
+    def _require(self, box: str) -> None:
+        if box not in self.boxes:
+            raise KeyError(f"unknown box {box!r}")
+
+    # ------------------------------------------------------------------
+    # Statistics (Table I quantities)
+    # ------------------------------------------------------------------
+
+    def rule_count(self) -> int:
+        return sum(len(box.table) for box in self.boxes.values())
+
+    def acl_rule_count(self) -> int:
+        total = 0
+        for box in self.boxes.values():
+            total += sum(len(acl) for acl in box.input_acls.values())
+            total += sum(len(acl) for acl in box.output_acls.values())
+        return total
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "boxes": len(self.boxes),
+            "links": sum(1 for _ in self.topology.links()),
+            "hosts": sum(1 for _ in self.topology.hosts()),
+            "forwarding_rules": self.rule_count(),
+            "acl_rules": self.acl_rule_count(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Network({self.name!r}, {len(self.boxes)} boxes, "
+            f"{self.rule_count()} rules)"
+        )

@@ -1,0 +1,116 @@
+"""Longest-prefix-match trie: the classic FIB lookup structure.
+
+:class:`ForwardingTable` keeps rules in a priority-sorted list, which is
+the right general structure (rules may match several fields); but the
+overwhelmingly common case -- every rule a single destination-prefix
+match with priority == prefix length -- admits the textbook binary trie
+with O(prefix length) lookups. :class:`PrefixTrie` implements it;
+``ForwardingTable`` switches to it transparently when (and only when) its
+rule set fits the LPM shape, and tests pin both paths to identical
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["PrefixTrie"]
+
+
+@dataclass
+class _TrieNode:
+    zero: "_TrieNode | None" = None
+    one: "_TrieNode | None" = None
+    #: Payload of the prefix terminating at this node (None = no route).
+    value: object | None = None
+    has_value: bool = False
+
+
+class PrefixTrie:
+    """Binary trie mapping prefixes of a ``width``-bit key to payloads."""
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.width = width
+        self._root = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _walk_to(self, value: int, prefix_len: int, create: bool) -> _TrieNode | None:
+        node = self._root
+        for position in range(prefix_len):
+            bit = (value >> (self.width - 1 - position)) & 1
+            branch = "one" if bit else "zero"
+            child = getattr(node, branch)
+            if child is None:
+                if not create:
+                    return None
+                child = _TrieNode()
+                setattr(node, branch, child)
+            node = child
+        return node
+
+    def insert(self, value: int, prefix_len: int, payload: object) -> None:
+        """Map the prefix to ``payload`` (replacing an existing mapping)."""
+        self._check(value, prefix_len)
+        node = self._walk_to(value, prefix_len, create=True)
+        assert node is not None
+        if not node.has_value:
+            self._size += 1
+        node.value = payload
+        node.has_value = True
+
+    def remove(self, value: int, prefix_len: int) -> None:
+        """Unmap a prefix; raises ``KeyError`` when absent."""
+        self._check(value, prefix_len)
+        node = self._walk_to(value, prefix_len, create=False)
+        if node is None or not node.has_value:
+            raise KeyError(f"prefix {value:#x}/{prefix_len} not present")
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+
+    def lookup(self, key: int) -> object | None:
+        """Longest-prefix match for a full-width key (None = no route)."""
+        node = self._root
+        best = node.value if node.has_value else None
+        for position in range(self.width):
+            bit = (key >> (self.width - 1 - position)) & 1
+            node = node.one if bit else node.zero  # type: ignore[assignment]
+            if node is None:
+                break
+            if node.has_value:
+                best = node.value
+        return best
+
+    def get(self, value: int, prefix_len: int) -> object | None:
+        """Exact-prefix read (not an LPM lookup)."""
+        self._check(value, prefix_len)
+        node = self._walk_to(value, prefix_len, create=False)
+        return node.value if node is not None and node.has_value else None
+
+    def items(self) -> Iterator[tuple[int, int, object]]:
+        """Yield (value, prefix_len, payload) in lexicographic order."""
+
+        def walk(node: _TrieNode, value: int, depth: int):
+            if node.has_value:
+                yield value << (self.width - depth), depth, node.value
+            if node.zero is not None:
+                yield from walk(node.zero, value << 1, depth + 1)
+            if node.one is not None:
+                yield from walk(node.one, (value << 1) | 1, depth + 1)
+
+        yield from walk(self._root, 0, 0)
+
+    def _check(self, value: int, prefix_len: int) -> None:
+        if not 0 <= prefix_len <= self.width:
+            raise ValueError(f"prefix length {prefix_len} out of range")
+        if not 0 <= value < 1 << self.width:
+            raise ValueError(f"value {value:#x} out of range")
+
+    def __repr__(self) -> str:
+        return f"PrefixTrie(width={self.width}, {self._size} prefixes)"

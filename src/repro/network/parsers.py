@@ -1,0 +1,233 @@
+"""Parsers for textual rule formats.
+
+A deployable control-plane tool ingests device state as text. This module
+parses two simple line formats into model objects:
+
+**Route lines** (static-route style)::
+
+    route 10.1.0.0/16 -> eth0
+    route 10.2.0.0/16 -> eth1, eth2      # multicast to two ports
+    route 0.0.0.0/0 drop                 # explicit discard
+
+**ACL lines** (Cisco-flavored, 5-tuple subset)::
+
+    permit ip any any
+    deny   ip 10.1.0.0/16 any
+    permit tcp any 171.64.0.0/14 eq 80
+    deny   udp host 10.0.0.1 any
+    deny   tcp any any range 6000 6063   # expands to prefix rules
+
+Both parsers report precise errors with line numbers; blank lines and
+``#`` comments are ignored. A ``range`` qualifier expands into the
+minimal prefix cover (classic TCAM range expansion), so one text line may
+yield several :class:`AclRule` objects.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..headerspace.fields import HeaderLayout, parse_ipv4
+from ..headerspace.wildcard import range_to_prefixes
+from .rules import AclRule, ForwardingRule, Match
+from .tables import Acl, ForwardingTable
+
+__all__ = [
+    "ParseError",
+    "parse_route_line",
+    "parse_routes",
+    "parse_acl_line",
+    "parse_acl",
+]
+
+_PROTO_NUMBERS = {"ip": None, "tcp": 6, "udp": 17, "icmp": 1}
+
+
+class ParseError(ValueError):
+    """A malformed rule line, with position information."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+        self.line_no = line_no
+
+
+def _strip(line: str) -> str:
+    return line.split("#", 1)[0].strip()
+
+
+def _parse_prefix(token: str) -> tuple[int, int]:
+    """``A.B.C.D/len`` -> (value, prefix_len)."""
+    if "/" in token:
+        address, _, length_text = token.partition("/")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise ParseError(f"invalid prefix length in {token!r}") from None
+        if not 0 <= length <= 32:
+            raise ParseError(f"prefix length out of range in {token!r}")
+        return parse_ipv4(address), length
+    return parse_ipv4(token), 32
+
+
+# ----------------------------------------------------------------------
+# Routes
+# ----------------------------------------------------------------------
+
+_ROUTE_RE = re.compile(
+    r"^route\s+(?P<prefix>\S+)\s+(?:->\s*(?P<ports>\S.*)|(?P<drop>drop))$"
+)
+
+
+def parse_route_line(line: str, line_no: int | None = None) -> ForwardingRule:
+    """Parse one route line into a :class:`ForwardingRule`."""
+    text = _strip(line)
+    matched = _ROUTE_RE.match(text)
+    if not matched:
+        raise ParseError(f"unrecognized route syntax: {text!r}", line_no)
+    try:
+        value, length = _parse_prefix(matched.group("prefix"))
+    except ValueError as error:
+        raise ParseError(str(error), line_no) from None
+    if matched.group("drop"):
+        out_ports: tuple[str, ...] = ()
+    else:
+        out_ports = tuple(
+            port.strip() for port in matched.group("ports").split(",") if port.strip()
+        )
+        if not out_ports:
+            raise ParseError("route needs at least one output port", line_no)
+    match = Match.prefix("dst_ip", value, length) if length else Match.any()
+    return ForwardingRule(match, out_ports, priority=length)
+
+
+def parse_routes(text: str) -> ForwardingTable:
+    """Parse a route document into a forwarding table (LPM priorities)."""
+    table = ForwardingTable()
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        if not _strip(raw):
+            continue
+        table.add(parse_route_line(raw, line_no))
+    return table
+
+
+# ----------------------------------------------------------------------
+# ACLs
+# ----------------------------------------------------------------------
+
+
+def _parse_endpoint(tokens: list[str], line_no: int | None) -> tuple[int, int] | None:
+    """Consume one address spec: ``any`` | ``host A.B.C.D`` | prefix."""
+    if not tokens:
+        raise ParseError("missing address specification", line_no)
+    head = tokens.pop(0)
+    if head == "any":
+        return None
+    if head == "host":
+        if not tokens:
+            raise ParseError("'host' needs an address", line_no)
+        return parse_ipv4(tokens.pop(0)), 32
+    try:
+        return _parse_prefix(head)
+    except ValueError as error:
+        raise ParseError(str(error), line_no) from None
+
+
+def _parse_port_int(tokens: list[str], what: str, line_no: int | None) -> int:
+    if not tokens:
+        raise ParseError(f"{what} needs a port number", line_no)
+    try:
+        port_value = int(tokens.pop(0))
+    except ValueError:
+        raise ParseError(f"{what} port must be an integer", line_no) from None
+    if not 0 <= port_value <= 0xFFFF:
+        raise ParseError(f"{what} port out of range", line_no)
+    return port_value
+
+
+def parse_acl_rules(
+    line: str, layout: HeaderLayout, line_no: int | None = None
+) -> list[AclRule]:
+    """Parse one ACL line; ``range`` qualifiers expand to several rules."""
+    text = _strip(line)
+    tokens = text.split()
+    if len(tokens) < 2:
+        raise ParseError(f"unrecognized ACL syntax: {text!r}", line_no)
+    action = tokens.pop(0)
+    if action not in ("permit", "deny"):
+        raise ParseError(f"action must be permit/deny, got {action!r}", line_no)
+    permit = action == "permit"
+    proto_name = tokens.pop(0)
+    if proto_name not in _PROTO_NUMBERS:
+        raise ParseError(f"unknown protocol {proto_name!r}", line_no)
+
+    match = Match.any()
+    proto = _PROTO_NUMBERS[proto_name]
+    if proto is not None:
+        if "proto" not in layout:
+            raise ParseError(
+                f"layout has no 'proto' field for protocol {proto_name!r}", line_no
+            )
+        match = match.with_prefix("proto", proto, layout.field("proto").width)
+
+    source = _parse_endpoint(tokens, line_no)
+    if source is not None:
+        if "src_ip" not in layout:
+            raise ParseError("layout has no 'src_ip' field", line_no)
+        match = match.with_prefix("src_ip", source[0], source[1])
+    destination = _parse_endpoint(tokens, line_no)
+    if destination is not None:
+        match = match.with_prefix("dst_ip", destination[0], destination[1])
+
+    port_prefixes: list[tuple[int, int]] | None = None
+    if tokens:
+        qualifier = tokens.pop(0)
+        if qualifier == "eq":
+            value = _parse_port_int(tokens, "'eq'", line_no)
+            port_prefixes = [(value, 16)]
+        elif qualifier == "range":
+            low = _parse_port_int(tokens, "'range'", line_no)
+            high = _parse_port_int(tokens, "'range'", line_no)
+            if low > high:
+                raise ParseError("'range' low exceeds high", line_no)
+            port_prefixes = range_to_prefixes(low, high, 16)
+        else:
+            raise ParseError(f"unsupported qualifier {qualifier!r}", line_no)
+        if "dst_port" not in layout:
+            raise ParseError("layout has no 'dst_port' field", line_no)
+    if tokens:
+        raise ParseError(f"trailing tokens: {' '.join(tokens)!r}", line_no)
+
+    if port_prefixes is None:
+        return [AclRule(match, permit=permit)]
+    # range_to_prefixes returns aligned block starts: already full-width
+    # field values with the don't-care low bits zero.
+    return [
+        AclRule(match.with_prefix("dst_port", value, plen), permit=permit)
+        for value, plen in port_prefixes
+    ]
+
+
+def parse_acl_line(
+    line: str, layout: HeaderLayout, line_no: int | None = None
+) -> AclRule:
+    """Parse one ACL line that must yield exactly one rule."""
+    rules = parse_acl_rules(line, layout, line_no)
+    if len(rules) != 1:
+        raise ParseError(
+            "line expands to multiple rules; use parse_acl_rules", line_no
+        )
+    return rules[0]
+
+
+def parse_acl(
+    text: str, layout: HeaderLayout, default_permit: bool = False
+) -> Acl:
+    """Parse an ACL document (first-match order preserved)."""
+    acl = Acl(default_permit=default_permit)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        if not _strip(raw):
+            continue
+        for rule in parse_acl_rules(raw, layout, line_no):
+            acl.append(rule)
+    return acl

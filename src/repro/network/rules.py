@@ -1,0 +1,179 @@
+"""Rules and matches: the raw contents of forwarding tables and ACLs.
+
+A :class:`Match` is a conjunction of per-field prefix constraints (an exact
+match is a full-width prefix; an absent field is unconstrained).  This
+covers both dst-prefix forwarding rules and 5-tuple ACL rules, the two rule
+shapes in the paper's datasets (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..headerspace.fields import HeaderLayout, format_ipv4
+from ..headerspace.header import Packet
+from ..headerspace.wildcard import Wildcard
+
+__all__ = ["FieldMatch", "Match", "ForwardingRule", "AclRule", "DROP"]
+
+#: Sentinel action for forwarding rules that discard the packet.
+DROP: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class FieldMatch:
+    """Prefix constraint on one field: the top ``prefix_len`` bits of
+    ``value`` must match."""
+
+    field: str
+    value: int
+    prefix_len: int
+
+    def __post_init__(self) -> None:
+        if self.prefix_len < 0:
+            raise ValueError("prefix length cannot be negative")
+
+    def describe(self) -> str:
+        if self.field.endswith("_ip"):
+            return f"{self.field}={format_ipv4(self.value)}/{self.prefix_len}"
+        return f"{self.field}={self.value}/{self.prefix_len}"
+
+
+class Match:
+    """A conjunction of field constraints."""
+
+    __slots__ = ("_constraints",)
+
+    def __init__(self, constraints: Mapping[str, FieldMatch] | None = None) -> None:
+        self._constraints: dict[str, FieldMatch] = dict(constraints or {})
+
+    @classmethod
+    def any(cls) -> "Match":
+        """The match-everything rule body (e.g. a default route)."""
+        return cls()
+
+    @classmethod
+    def exact(cls, layout: HeaderLayout, **fields: int) -> "Match":
+        """Exact-match on the given fields."""
+        constraints = {
+            name: FieldMatch(name, value, layout.field(name).width)
+            for name, value in fields.items()
+        }
+        return cls(constraints)
+
+    @classmethod
+    def prefix(cls, field_name: str, value: int, prefix_len: int) -> "Match":
+        """Single-field prefix match (the LPM forwarding rule shape)."""
+        return cls({field_name: FieldMatch(field_name, value, prefix_len)})
+
+    def with_prefix(self, field_name: str, value: int, prefix_len: int) -> "Match":
+        """A copy with one more field constraint."""
+        constraints = dict(self._constraints)
+        constraints[field_name] = FieldMatch(field_name, value, prefix_len)
+        return Match(constraints)
+
+    @property
+    def is_any(self) -> bool:
+        return not self._constraints
+
+    def constraints(self) -> Iterator[FieldMatch]:
+        return iter(self._constraints.values())
+
+    def constraint_for(self, field_name: str) -> FieldMatch | None:
+        return self._constraints.get(field_name)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def to_literals(self, layout: HeaderLayout) -> dict[int, bool]:
+        """BDD literals (variable -> polarity) encoding this match."""
+        literals: dict[int, bool] = {}
+        for constraint in self._constraints.values():
+            literals.update(
+                layout.prefix_literals(
+                    constraint.field, constraint.value, constraint.prefix_len
+                )
+            )
+        return literals
+
+    def to_wildcard(self, layout: HeaderLayout) -> Wildcard:
+        """Equivalent ternary wildcard (for the HSA baseline)."""
+        wildcard = Wildcard.any(layout.total_width)
+        for constraint in self._constraints.values():
+            fld = layout.field(constraint.field)
+            piece = Wildcard.from_prefix(
+                layout.total_width,
+                fld.offset,
+                fld.width,
+                constraint.value,
+                constraint.prefix_len,
+            )
+            overlap = wildcard.intersect(piece)
+            if overlap is None:  # disjoint constraints on one field
+                raise ValueError("contradictory match constraints")
+            wildcard = overlap
+        return wildcard
+
+    def matches(self, packet: Packet) -> bool:
+        """Direct interpretation against a concrete packet."""
+        for constraint in self._constraints.values():
+            if constraint.prefix_len == 0:
+                continue
+            fld = packet.layout.field(constraint.field)
+            shift = fld.width - constraint.prefix_len
+            if (
+                packet.field(constraint.field) >> shift
+                != constraint.value >> shift
+            ):
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Match) and other._constraints == self._constraints
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._constraints.items()))
+
+    def __repr__(self) -> str:
+        if self.is_any:
+            return "Match(any)"
+        inner = ", ".join(
+            constraint.describe() for constraint in self._constraints.values()
+        )
+        return f"Match({inner})"
+
+
+@dataclass(frozen=True)
+class ForwardingRule:
+    """One forwarding-table entry.
+
+    ``out_ports`` is a tuple of output port names (several for multicast,
+    empty -- :data:`DROP` -- to discard).  ``priority`` resolves overlaps:
+    highest wins; for pure LPM tables the priority is the prefix length.
+    """
+
+    match: Match
+    out_ports: tuple[str, ...]
+    priority: int
+
+    @property
+    def is_drop(self) -> bool:
+        return not self.out_ports
+
+    def describe(self) -> str:
+        action = "DROP" if self.is_drop else "->" + ",".join(self.out_ports)
+        return f"[prio={self.priority}] {self.match!r} {action}"
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """One access-control entry; first matching rule decides."""
+
+    match: Match
+    permit: bool
+
+    def describe(self) -> str:
+        action = "permit" if self.permit else "deny"
+        return f"{action} {self.match!r}"

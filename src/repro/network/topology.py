@@ -1,0 +1,85 @@
+"""Topology: the directed graph of boxes, links, and attached hosts."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .box import PortRef
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """Directed link map between box ports, plus host attachment points.
+
+    A link connects an output port of one box to an input port of another.
+    A host is an external endpoint attached to an output port: a packet
+    forwarded there has left the network (reached its destination, in the
+    sense of Section IV-B path computation).
+    """
+
+    def __init__(self) -> None:
+        self._links: dict[PortRef, PortRef] = {}
+        self._hosts: dict[PortRef, str] = {}
+        self._boxes: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def register_box(self, name: str) -> None:
+        self._boxes.add(name)
+
+    def add_link(
+        self, src_box: str, src_port: str, dst_box: str, dst_port: str
+    ) -> None:
+        """Connect ``src_box:src_port`` output to ``dst_box:dst_port`` input."""
+        src = PortRef(src_box, src_port)
+        if src in self._links or src in self._hosts:
+            raise ValueError(f"output port {src} is already connected")
+        self._links[src] = PortRef(dst_box, dst_port)
+        self._boxes.add(src_box)
+        self._boxes.add(dst_box)
+
+    def attach_host(self, box: str, port: str, host: str) -> None:
+        """Attach an external host to an output port."""
+        src = PortRef(box, port)
+        if src in self._links or src in self._hosts:
+            raise ValueError(f"output port {src} is already connected")
+        self._hosts[src] = host
+        self._boxes.add(box)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def boxes(self) -> set[str]:
+        return set(self._boxes)
+
+    def next_hop(self, box: str, out_port: str) -> PortRef | None:
+        """The (box, in_port) a packet leaving ``box:out_port`` arrives at,
+        or ``None`` if the port leads to a host or is unconnected."""
+        return self._links.get(PortRef(box, out_port))
+
+    def host_at(self, box: str, out_port: str) -> str | None:
+        """Host name attached at ``box:out_port``, if any."""
+        return self._hosts.get(PortRef(box, out_port))
+
+    def links(self) -> Iterator[tuple[PortRef, PortRef]]:
+        return iter(self._links.items())
+
+    def hosts(self) -> Iterator[tuple[PortRef, str]]:
+        return iter(self._hosts.items())
+
+    def degree(self, box: str) -> int:
+        """Number of connected output ports on ``box``."""
+        return sum(1 for ref in self._links if ref.box == box) + sum(
+            1 for ref in self._hosts if ref.box == box
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({len(self._boxes)} boxes, {len(self._links)} links, "
+            f"{len(self._hosts)} hosts)"
+        )

@@ -1,0 +1,58 @@
+"""Shared fixtures: small networks and classifiers reused across tests.
+
+Expensive artifacts (dataset builds, atomic-predicate computation) are
+session-scoped; tests must treat them as read-only.  Tests that mutate a
+classifier build their own from the factory fixtures.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.atomic import AtomicUniverse
+from repro.core.classifier import APClassifier
+from repro.datasets import internet2_like, stanford_like, toy_network
+from repro.network.dataplane import DataPlane
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture()
+def toy_net():
+    return toy_network()
+
+
+@pytest.fixture()
+def toy_dataplane(toy_net) -> DataPlane:
+    return DataPlane(toy_net)
+
+
+@pytest.fixture()
+def toy_universe(toy_dataplane) -> AtomicUniverse:
+    return AtomicUniverse.compute(toy_dataplane.manager, toy_dataplane.predicates())
+
+
+@pytest.fixture(scope="session")
+def internet2_net():
+    return internet2_like()
+
+
+@pytest.fixture(scope="session")
+def internet2_classifier(internet2_net) -> APClassifier:
+    return APClassifier.build(internet2_net)
+
+
+@pytest.fixture(scope="session")
+def stanford_net():
+    # Deliberately small: tests need structure, not scale.
+    return stanford_like(subnets_per_zone=2, host_ports_per_zone=1)
+
+
+@pytest.fixture(scope="session")
+def stanford_classifier(stanford_net) -> APClassifier:
+    return APClassifier.build(stanford_net)

@@ -1,0 +1,120 @@
+"""Tests for the statistics and reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.reporting import format_qps, render_cdf, render_series, render_table
+from repro.analysis.stats import (
+    DepthStats,
+    ThroughputResult,
+    cdf,
+    measure_throughput,
+    pearson,
+    percentile,
+)
+
+
+class TestCdf:
+    def test_steps_reach_one(self):
+        points = cdf([3, 1, 2])
+        assert points[-1] == (3, 1.0)
+        assert points[0] == (1, pytest.approx(1 / 3))
+
+    def test_duplicates_merge(self):
+        points = cdf([2, 2, 5])
+        assert points == [(2, pytest.approx(2 / 3)), (5, 1.0)]
+
+    def test_empty(self):
+        assert cdf([]) == []
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_bounds(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_single_value(self):
+        assert percentile([7], 95) == 7.0
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_independence_near_zero(self):
+        assert abs(pearson([1, 2, 3, 4], [1, -1, 1, -1])) < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1])
+        with pytest.raises(ValueError):
+            pearson([1, 1], [2, 3])
+
+
+class TestDepthStats:
+    def test_from_tree(self, internet2_classifier):
+        stats = DepthStats.from_tree(internet2_classifier.tree)
+        assert stats.count == internet2_classifier.universe.atom_count
+        assert stats.average == pytest.approx(
+            internet2_classifier.tree.average_depth()
+        )
+        assert stats.maximum == internet2_classifier.tree.max_depth()
+        assert stats.fraction_at_most(stats.maximum) == pytest.approx(1.0)
+        assert stats.fraction_at_most(-1) == 0.0
+
+
+class TestThroughput:
+    def test_measure(self):
+        result = measure_throughput(lambda h: h, [1, 2, 3], repeat=10)
+        assert result.queries == 30
+        assert result.qps > 0
+        assert "qps" in repr(result)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_throughput(lambda h: h, [])
+
+    def test_infinite_guard(self):
+        result = ThroughputResult(queries=10, elapsed_s=0.0)
+        assert math.isinf(result.qps)
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        text = render_table("T", ["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_series_downsamples(self):
+        points = [(i, i * 2) for i in range(200)]
+        text = render_series("S", "x", "y", points, max_points=10)
+        assert len(text.splitlines()) <= 15
+        assert "199" in text  # last point always kept
+
+    def test_cdf_rendering(self):
+        text = render_cdf("C", [(1.0, 0.5), (2.0, 1.0)])
+        assert "50.0%" in text and "100.0%" in text
+
+    def test_format_qps(self):
+        assert format_qps(2_500_000) == "2.50 Mqps"
+        assert format_qps(6_000) == "6.0 Kqps"
+        assert format_qps(42) == "42 qps"

@@ -1,0 +1,187 @@
+"""AP Tree tests, including the paper's worked example (Figs. 1-2).
+
+The figure example: three predicates over a space they fully determine --
+p1 equal to a single atom, p2 and p3 properly overlapping, and a non-empty
+all-false region -- giving exactly five atomic predicates.  Placement
+order (p1, p2, p3) yields average leaf depth 2.6; order (p2, p3, p1)
+yields 2.4, matching Fig. 2(b)/(c).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdd import BDDManager, Function
+from repro.core.aptree import build_ap_tree
+from repro.core.atomic import AtomicUniverse
+from repro.core.construction import (
+    best_from_random,
+    build_oapt,
+    build_optimal,
+    build_quick_ordering,
+    build_with_order,
+)
+from repro.core.ordering import fixed_order_chooser
+from repro.network.dataplane import LabeledPredicate
+
+
+def fig1_universe() -> tuple[AtomicUniverse, list[int]]:
+    """Encode Fig. 1(b) over a 3-bit space.
+
+    points: p1 = {0}, p2 = {2, 3}, p3 = {3..7}; atoms are
+    {0}, {1}, {2}, {3}, {4..7}  (a1, outside, p2-only, p2&p3, p3-only).
+    """
+    mgr = BDDManager(3)
+
+    def from_points(points: set[int]) -> Function:
+        fn = Function.false(mgr)
+        for point in points:
+            fn = fn | Function.cube(
+                mgr, {i: bool((point >> (2 - i)) & 1) for i in range(3)}
+            )
+        return fn
+
+    p1 = from_points({0})
+    p2 = from_points({2, 3})
+    p3 = from_points({3, 4, 5, 6, 7})
+    labeled = [
+        LabeledPredicate(1, "forward", "b1", "to_h1", p1),
+        LabeledPredicate(2, "forward", "b1", "to_b2", p2),
+        LabeledPredicate(3, "forward", "b2", "to_h2", p3),
+    ]
+    universe = AtomicUniverse.compute(mgr, labeled)
+    return universe, [1, 2, 3]
+
+
+class TestFig2Example:
+    def test_five_atoms(self):
+        universe, _ = fig1_universe()
+        assert universe.atom_count == 5
+
+    def test_order_p1_p2_p3_average_depth(self):
+        universe, _ = fig1_universe()
+        tree = build_with_order(universe, [1, 2, 3])
+        assert tree.average_depth() == pytest.approx(2.6)
+
+    def test_order_p2_p3_p1_average_depth(self):
+        universe, _ = fig1_universe()
+        tree = build_with_order(universe, [2, 3, 1])
+        assert tree.average_depth() == pytest.approx(2.4)
+
+    def test_oapt_achieves_optimal_depth(self):
+        universe, _ = fig1_universe()
+        assert build_oapt(universe).average_depth() == pytest.approx(2.4)
+
+    def test_exhaustive_optimum_is_2_4(self):
+        universe, _ = fig1_universe()
+        assert build_optimal(universe).average_depth() == pytest.approx(2.4)
+
+    def test_quick_ordering_places_singleton_last(self):
+        universe, _ = fig1_universe()
+        tree = build_quick_ordering(universe)
+        # |R(p1)| = 1 while |R(p2)| = |R(p3)| = 2: p1 must not be the root.
+        assert tree.root.pid in (2, 3)
+
+    def test_classification_over_all_points(self):
+        universe, _ = fig1_universe()
+        tree = build_with_order(universe, [1, 2, 3])
+        for header in range(8):
+            assert tree.classify(header) == universe.classify(header)
+
+
+class TestTreeStructure:
+    def test_pruned_tree_is_full_binary(self):
+        universe, _ = fig1_universe()
+        tree = build_with_order(universe, [1, 2, 3])
+        # Full binary tree: nodes = 2 * leaves - 1, every internal node
+        # has two children (pruning removed single-child nodes).
+        assert tree.node_count() == 2 * tree.leaf_count() - 1
+        for node in tree._walk():
+            if not node.is_leaf:
+                assert node.low is not None and node.high is not None
+
+    def test_leaf_depths_and_max(self):
+        universe, _ = fig1_universe()
+        tree = build_with_order(universe, [1, 2, 3])
+        depths = sorted(tree.leaf_depths().values())
+        assert depths == [1, 3, 3, 3, 3]
+        assert tree.max_depth() == 3
+
+    def test_weighted_average_depth(self):
+        universe, _ = fig1_universe()
+        tree = build_with_order(universe, [1, 2, 3])
+        depths = tree.leaf_depths()
+        shallow = min(depths, key=depths.get)
+        heavy = {shallow: 1000.0}
+        assert tree.average_depth(heavy) < tree.average_depth()
+
+    def test_classify_with_depth(self):
+        universe, _ = fig1_universe()
+        tree = build_with_order(universe, [1, 2, 3])
+        depths = tree.leaf_depths()
+        for header in range(8):
+            atom_id, depth = tree.classify_with_depth(header)
+            assert depth == depths[atom_id]
+
+    def test_single_atom_universe(self):
+        mgr = BDDManager(2)
+        labeled = [LabeledPredicate(0, "forward", "b", "p", Function.true(mgr))]
+        universe = AtomicUniverse.compute(mgr, labeled)
+        tree = build_ap_tree(universe, fixed_order_chooser([0]))
+        assert tree.leaf_count() == 1
+        assert tree.average_depth() == 0.0
+        assert tree.classify(0) == tree.classify(3)
+
+    def test_empty_universe_rejected(self):
+        mgr = BDDManager(2)
+        universe = AtomicUniverse(mgr)
+        with pytest.raises(ValueError):
+            build_ap_tree(universe, fixed_order_chooser([]))
+
+
+class TestApplySplits:
+    def test_split_mirrors_universe(self):
+        universe, order = fig1_universe()
+        tree = build_with_order(universe, order)
+        mgr = universe.manager
+        # New predicate cutting the big atom {4..7} into {4,5} / {6,7}.
+        new_fn = Function.cube(mgr, {0: True, 1: False})
+        splits = universe.add_predicate(9, new_fn)
+        split_count = tree.apply_splits(9, new_fn.node, splits)
+        assert split_count == 1
+        assert tree.leaf_count() == universe.atom_count == 6
+        for header in range(8):
+            assert tree.classify(header) == universe.classify(header)
+
+    def test_non_splitting_addition_keeps_tree(self):
+        universe, order = fig1_universe()
+        tree = build_with_order(universe, order)
+        before = tree.node_count()
+        true_fn = Function.true(universe.manager)
+        splits = universe.add_predicate(9, true_fn)
+        assert tree.apply_splits(9, true_fn.node, splits) == 0
+        assert tree.node_count() == before
+
+
+class TestDatasetTrees:
+    def test_internet2_tree_classifies_correctly(self, internet2_classifier):
+        rng = random.Random(2)
+        universe = internet2_classifier.universe
+        tree = internet2_classifier.tree
+        for _ in range(100):
+            header = rng.getrandbits(32)
+            assert tree.classify(header) == universe.classify(header)
+
+    def test_tree_depth_well_below_predicate_count(self, internet2_classifier):
+        stats = internet2_classifier.stats()
+        assert stats.tree_average_depth < stats.predicates / 2
+
+    def test_random_orders_all_correct(self, internet2_classifier):
+        universe = internet2_classifier.universe
+        rng = random.Random(4)
+        tree, _ = best_from_random(universe, trials=3, rng=rng)
+        for _ in range(50):
+            header = rng.getrandbits(32)
+            assert tree.classify(header) == universe.classify(header)

@@ -1,0 +1,173 @@
+"""Tests for atomic predicate computation (the Fig. 1 example and the
+defining invariants)."""
+
+import random
+
+import pytest
+
+from repro.bdd import Function
+from repro.core.atomic import AtomicUniverse
+from repro.headerspace.fields import parse_ipv4
+from repro.network.dataplane import DataPlane
+from repro.datasets import toy_network
+
+
+class TestToyExample:
+    """The paper's Fig. 1: p1, p2, p3 with p3 straddling p1 and p2."""
+
+    def test_atom_count(self, toy_universe):
+        # Five non-empty regions of Fig. 1(b) plus the all-drop remainder.
+        assert toy_universe.atom_count == 6
+
+    def test_partition_invariants(self, toy_universe):
+        assert toy_universe.verify_partition()
+
+    def test_every_predicate_is_union_of_atoms(self, toy_dataplane, toy_universe):
+        for labeled in toy_dataplane.predicates():
+            rebuilt = Function.false(toy_dataplane.manager)
+            for atom_id in toy_universe.r(labeled.pid):
+                rebuilt = rebuilt | toy_universe.atom_fn(atom_id)
+            assert rebuilt == labeled.fn
+
+    def test_classify_is_consistent_with_membership(self, toy_dataplane, toy_universe):
+        rng = random.Random(5)
+        for _ in range(50):
+            header = rng.getrandbits(32)
+            atom_id = toy_universe.classify(header)
+            assert toy_universe.atom_fn(atom_id).evaluate(header)
+            # Membership in R(p) must equal the predicate's own verdict.
+            for labeled in toy_dataplane.predicates():
+                assert toy_universe.contains(labeled.pid, atom_id) == labeled.fn.evaluate(header)
+
+    def test_fig1_atom_identities(self, toy_dataplane, toy_universe):
+        """Check a concrete atom: 10.2.0.0/17 is exactly (~p1 & p2 & p3)."""
+        header = parse_ipv4("10.2.1.1")
+        atom_id = toy_universe.classify(header)
+        verdicts = [
+            toy_universe.contains(lp.pid, atom_id)
+            for lp in toy_dataplane.predicates()
+        ]
+        # Predicates are (b1->to_h1)=p1, (b1->to_b2)=p2, (b2->to_h2)=p3 in
+        # some order; exactly two must contain this atom (p2 and p3).
+        assert sum(verdicts) == 2
+
+
+class TestInvariantChecks:
+    def test_duplicate_pid_rejected(self, toy_dataplane):
+        universe = AtomicUniverse.compute(
+            toy_dataplane.manager, toy_dataplane.predicates()
+        )
+        first = toy_dataplane.predicates()[0]
+        with pytest.raises(ValueError):
+            universe.add_predicate(first.pid, first.fn)
+
+    def test_remove_unknown_pid_rejected(self, toy_universe):
+        with pytest.raises(KeyError):
+            toy_universe.remove_predicate(99999)
+
+    def test_duplicate_predicate_functions_share_atoms(self, toy_dataplane):
+        predicates = toy_dataplane.predicates()
+        # Feed the same function twice under different pids.
+        doubled = predicates + [
+            type(predicates[0])(
+                pid=1000,
+                kind=predicates[0].kind,
+                box=predicates[0].box,
+                port=predicates[0].port,
+                fn=predicates[0].fn,
+            )
+        ]
+        universe = AtomicUniverse.compute(toy_dataplane.manager, doubled)
+        assert universe.r(predicates[0].pid) == universe.r(1000)
+        assert universe.verify_partition()
+
+
+class TestIncrementalAdd:
+    def test_add_matches_batch_compute(self, toy_dataplane):
+        predicates = toy_dataplane.predicates()
+        batch = AtomicUniverse.compute(toy_dataplane.manager, predicates)
+        incremental = AtomicUniverse.compute(toy_dataplane.manager, predicates[:-1])
+        last = predicates[-1]
+        incremental.add_predicate(last.pid, last.fn)
+        assert incremental.atom_count == batch.atom_count
+        assert incremental.verify_partition()
+        # The two universes must induce the same partition (compare the
+        # sets of atom functions via BDD node ids).
+        batch_nodes = {fn.node for fn in batch.atoms().values()}
+        incr_nodes = {fn.node for fn in incremental.atoms().values()}
+        assert batch_nodes == incr_nodes
+
+    def test_leaf_splits_describe_the_refinement(self, toy_dataplane):
+        predicates = toy_dataplane.predicates()
+        universe = AtomicUniverse.compute(toy_dataplane.manager, predicates[:-1])
+        before = universe.atom_ids()
+        last = predicates[-1]
+        splits = universe.add_predicate(last.pid, last.fn)
+        assert {split.old_id for split in splits} == set(before)
+        for split in splits:
+            if split.is_split:
+                assert split.inside_id in universe.atom_ids()
+                assert split.outside_id in universe.atom_ids()
+                assert split.old_id not in universe.atom_ids()
+            else:
+                survivor = split.inside_id or split.outside_id
+                assert survivor == split.old_id
+
+    def test_add_true_predicate_splits_nothing(self, toy_universe, toy_dataplane):
+        before = toy_universe.atom_count
+        splits = toy_universe.add_predicate(
+            500, Function.true(toy_dataplane.manager)
+        )
+        assert toy_universe.atom_count == before
+        assert all(not split.is_split for split in splits)
+        assert toy_universe.r(500) == toy_universe.atom_ids()
+
+    def test_add_false_predicate_has_empty_r(self, toy_universe, toy_dataplane):
+        toy_universe.add_predicate(501, Function.false(toy_dataplane.manager))
+        assert toy_universe.r(501) == frozenset()
+        assert toy_universe.verify_partition()
+
+
+class TestRemove:
+    def test_remove_keeps_partition_correct(self, toy_dataplane):
+        universe = AtomicUniverse.compute(
+            toy_dataplane.manager, toy_dataplane.predicates()
+        )
+        victim = toy_dataplane.predicates()[0]
+        universe.remove_predicate(victim.pid)
+        assert not universe.has_predicate(victim.pid)
+        # Atoms unchanged (tombstone semantics): partition still valid.
+        assert universe.verify_partition()
+
+    def test_contains_false_after_removal(self, toy_dataplane):
+        universe = AtomicUniverse.compute(
+            toy_dataplane.manager, toy_dataplane.predicates()
+        )
+        victim = toy_dataplane.predicates()[0]
+        some_atom = next(iter(universe.r(victim.pid)))
+        universe.remove_predicate(victim.pid)
+        assert not universe.contains(victim.pid, some_atom)
+
+    def test_snapshot_excludes_removed(self, toy_dataplane):
+        universe = AtomicUniverse.compute(
+            toy_dataplane.manager, toy_dataplane.predicates()
+        )
+        victim = toy_dataplane.predicates()[0]
+        universe.remove_predicate(victim.pid)
+        assert victim.pid not in dict(universe.snapshot_predicates())
+
+
+class TestScaleSanity:
+    def test_internet2_counts(self, internet2_classifier):
+        universe = internet2_classifier.universe
+        # Far fewer atoms than 2^k -- the compression the paper relies on.
+        assert universe.atom_count < 2 ** min(universe.predicate_count, 20)
+        assert universe.atom_count >= 10
+
+    def test_many_predicates_equal_single_atom(self, internet2_classifier):
+        """The Quick-Ordering motivation: many predicates with |R(p)| = 1."""
+        universe = internet2_classifier.universe
+        singletons = sum(
+            1 for pid in universe.predicate_ids() if len(universe.r(pid)) == 1
+        )
+        assert singletons >= universe.predicate_count // 4

@@ -1,0 +1,177 @@
+"""Baseline tests: every comparator must agree with AP Classifier.
+
+The strongest correctness evidence in the suite: five independently
+implemented mechanisms (BDD membership walk, per-box BDD simulation,
+wildcard header-space propagation, all-predicate scan, Veriflow trie) are
+checked for identical forwarding behavior on random packets and random
+networks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    APLinearClassifier,
+    ForwardingSimulator,
+    HsaQuerier,
+    PScanIdentifier,
+    VeriflowTrie,
+)
+from repro.core.classifier import APClassifier
+from repro.datasets import random_network, toy_network
+
+
+def paths_of(behavior) -> list[tuple[str, ...]]:
+    return sorted(tuple(path) for path in behavior.paths())
+
+
+@pytest.fixture(scope="module")
+def suite():
+    network = toy_network()
+    classifier = APClassifier.build(network)
+    return {
+        "network": network,
+        "classifier": classifier,
+        "aplinear": APLinearClassifier(classifier.dataplane, classifier.universe),
+        "pscan": PScanIdentifier(classifier.dataplane),
+        "fsim": ForwardingSimulator(classifier.dataplane),
+        "hsa": HsaQuerier(network),
+        "vtrie": VeriflowTrie(network),
+    }
+
+
+class TestToyAgreement:
+    @pytest.mark.parametrize("name", ["aplinear", "pscan", "fsim", "hsa", "vtrie"])
+    def test_agreement_on_random_packets(self, suite, name):
+        rng = random.Random(1)
+        baseline = suite[name]
+        classifier = suite["classifier"]
+        for _ in range(60):
+            header = rng.getrandbits(32)
+            ingress = rng.choice(["b1", "b2"])
+            assert paths_of(baseline.query(header, ingress)) == paths_of(
+                classifier.query(header, ingress)
+            ), f"{name} disagrees at {header:#x} via {ingress}"
+
+
+class TestAPLinear:
+    def test_classify_matches_tree(self, suite):
+        rng = random.Random(2)
+        for _ in range(40):
+            header = rng.getrandbits(32)
+            assert suite["aplinear"].classify(header) == suite[
+                "classifier"
+            ].classify(header)
+
+    def test_builds_own_universe_when_not_given(self, suite):
+        standalone = APLinearClassifier(suite["classifier"].dataplane)
+        assert standalone.universe.atom_count == suite["classifier"].universe.atom_count
+
+
+class TestPScan:
+    def test_verdicts_match_predicates(self, suite):
+        rng = random.Random(3)
+        header = rng.getrandbits(32)
+        verdicts = suite["pscan"].verdicts(header)
+        for labeled in suite["classifier"].dataplane.predicates():
+            assert verdicts[labeled.pid] == labeled.fn.evaluate(header)
+
+
+class TestForwardingSimulator:
+    def test_counts_predicate_evaluations(self, suite):
+        result = suite["fsim"].simulate(0, "b1")
+        assert result.predicates_checked >= 1
+
+    def test_counts_scale_with_path_length(self, internet2_classifier):
+        simulator = ForwardingSimulator(internet2_classifier.dataplane)
+        rng = random.Random(4)
+        counts = [
+            simulator.simulate(rng.getrandbits(32), "SEAT").predicates_checked
+            for _ in range(30)
+        ]
+        # Averaging far more checks than the AP Tree's depth is the point
+        # of Fig. 12's Forwarding Simulation bar.
+        assert sum(counts) / len(counts) > internet2_classifier.tree.average_depth()
+
+
+class TestVeriflowTrie:
+    def test_matching_rules_against_bruteforce(self, suite):
+        network = suite["network"]
+        trie = suite["vtrie"]
+        rng = random.Random(5)
+        from repro.headerspace.header import Packet
+
+        for _ in range(40):
+            header = rng.getrandbits(32)
+            packet = Packet(network.layout, header)
+            expected = set()
+            for name, box in network.boxes.items():
+                for rule in box.table:
+                    if rule.match.matches(packet):
+                        expected.add((name, rule.priority, rule.out_ports))
+            got = {
+                (r.box, r.priority, r.out_ports)
+                for r in trie.matching_rules(header)
+            }
+            assert got == expected
+
+    def test_node_count_positive(self, suite):
+        assert suite["vtrie"].node_count > 1
+        assert "trie nodes" in repr(suite["vtrie"])
+
+
+class TestHsaRegions:
+    def test_acl_region_matches_acl(self):
+        from repro.headerspace.fields import dst_ip_layout, parse_ipv4
+        from repro.network.builder import Network
+        from repro.network.rules import AclRule, Match
+
+        network = Network(dst_ip_layout())
+        network.add_box("a")
+        network.attach_host("a", "p", "h")
+        network.add_forwarding_rule(
+            "a", Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), "p", 8
+        )
+        acl = network.add_output_acl(
+            "a",
+            "p",
+            [
+                AclRule(Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 16), permit=False),
+                AclRule(Match.any(), permit=True),
+            ],
+        )
+        querier = HsaQuerier(network)
+        region = querier._acl_region(acl)
+        rng = random.Random(6)
+        from repro.headerspace.header import Packet
+
+        for _ in range(60):
+            header = rng.getrandbits(32)
+            assert region.matches(header) == acl.permits(
+                Packet(network.layout, header)
+            )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=40),
+    packet_seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_cross_agreement_on_random_networks(seed, packet_seed):
+    """Property: on a random network, AP Classifier, forwarding simulation
+    and HSA agree on the behavior of a random packet from a random ingress."""
+    network = random_network(boxes=4, extra_links=2, prefixes=6, seed=seed)
+    classifier = APClassifier.build(network)
+    simulator = ForwardingSimulator(classifier.dataplane)
+    hsa = HsaQuerier(network)
+    rng = random.Random(packet_seed)
+    header = rng.getrandbits(32)
+    ingress = rng.choice(sorted(network.boxes))
+    expected = paths_of(classifier.query(header, ingress))
+    assert paths_of(simulator.query(header, ingress)) == expected
+    assert paths_of(hsa.query(header, ingress)) == expected

@@ -1,0 +1,70 @@
+"""Tests for the Graphviz DOT export and a concurrent query stress run."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.bdd import BDDManager, Function, to_dot
+from repro.bdd.manager import FALSE, TRUE
+
+
+class TestToDot:
+    def test_terminals_and_edges_present(self):
+        mgr = BDDManager(3)
+        fn = Function.variable(mgr, 0) & ~Function.variable(mgr, 2)
+        dot = to_dot(mgr, fn.node)
+        assert dot.startswith("digraph bdd {")
+        assert 'label="0"' in dot and 'label="1"' in dot
+        assert "style=dashed" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_var_names_used(self):
+        mgr = BDDManager(2)
+        fn = Function.variable(mgr, 1)
+        dot = to_dot(mgr, fn.node, var_names={1: "dst_ip[0]"})
+        assert "dst_ip[0]" in dot
+
+    def test_default_var_names(self):
+        mgr = BDDManager(2)
+        dot = to_dot(mgr, mgr.var(0))
+        assert '"x0"' in dot
+
+    def test_terminal_only(self):
+        mgr = BDDManager(2)
+        dot = to_dot(mgr, TRUE)
+        assert "node_T" in dot
+        dot = to_dot(mgr, FALSE)
+        assert "node_F" in dot
+
+    def test_node_count_matches(self):
+        mgr = BDDManager(4)
+        fn = (Function.variable(mgr, 0) & Function.variable(mgr, 1)) | (
+            Function.variable(mgr, 2) & Function.variable(mgr, 3)
+        )
+        dot = to_dot(mgr, fn.node)
+        circle_nodes = dot.count("shape=circle")
+        assert circle_nodes == fn.count_nodes() - 2  # minus terminals
+
+
+class TestConcurrentQueries:
+    def test_parallel_readers_agree(self, internet2_classifier):
+        """The query path is read-only: many threads classifying the same
+        trace must observe identical results (GIL or not, any shared
+        mutable state in the hot path would show up here)."""
+        rng = random.Random(0)
+        headers = [rng.getrandbits(32) for _ in range(300)]
+        expected = [internet2_classifier.tree.classify(h) for h in headers]
+        failures: list[str] = []
+
+        def worker() -> None:
+            got = [internet2_classifier.tree.classify(h) for h in headers]
+            if got != expected:
+                failures.append("classification diverged across threads")
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures

@@ -1,0 +1,128 @@
+"""Unit tests for the Function wrapper."""
+
+import random
+
+import pytest
+
+from repro.bdd import BDDManager, Function
+
+
+@pytest.fixture()
+def mgr() -> BDDManager:
+    return BDDManager(3)
+
+
+@pytest.fixture()
+def x(mgr):
+    return Function.variable(mgr, 0)
+
+
+@pytest.fixture()
+def y(mgr):
+    return Function.variable(mgr, 1)
+
+
+class TestConstructors:
+    def test_true_false(self, mgr):
+        assert Function.true(mgr).is_true
+        assert Function.false(mgr).is_false
+
+    def test_cube(self, mgr):
+        fn = Function.cube(mgr, {0: True, 1: False})
+        assert fn.evaluate(0b100)
+        assert not fn.evaluate(0b110)
+
+
+class TestOperators:
+    def test_and(self, x, y):
+        both = x & y
+        assert both.evaluate(0b110)
+        assert not both.evaluate(0b100)
+
+    def test_or(self, x, y):
+        either = x | y
+        assert either.evaluate(0b010)
+        assert not either.evaluate(0b001)
+
+    def test_xor(self, x, y):
+        assert (x ^ y).evaluate(0b100)
+        assert not (x ^ y).evaluate(0b110)
+
+    def test_sub_is_difference(self, x, y):
+        only_x = x - y
+        assert only_x.evaluate(0b100)
+        assert not only_x.evaluate(0b110)
+
+    def test_invert(self, x):
+        assert (~x).evaluate(0b000)
+        assert not (~x).evaluate(0b100)
+
+    def test_double_invert_is_identity(self, x):
+        assert ~~x == x
+
+    def test_ite(self, mgr, x, y):
+        z = Function.variable(mgr, 2)
+        picked = x.ite(y, z)
+        assert picked.evaluate(0b110)  # x true -> y
+        assert picked.evaluate(0b001)  # x false -> z
+
+    def test_restrict(self, x, y):
+        fn = (x & y).restrict(0, True)
+        assert fn == y
+
+
+class TestTypeSafety:
+    def test_mixed_managers_rejected(self, x):
+        other = Function.variable(BDDManager(3), 0)
+        with pytest.raises(ValueError):
+            _ = x & other
+
+    def test_non_function_rejected(self, x):
+        with pytest.raises(TypeError):
+            _ = x & 1  # type: ignore[operator]
+
+    def test_bool_is_ambiguous(self, x):
+        with pytest.raises(TypeError):
+            bool(x)
+
+
+class TestPredicates:
+    def test_implies(self, x, y):
+        assert (x & y).implies(x)
+        assert not x.implies(x & y)
+
+    def test_disjoint(self, x, y):
+        assert (x - y).disjoint(y)
+        assert not x.disjoint(y)
+
+    def test_sat_count(self, x):
+        assert x.sat_count() == 4
+
+    def test_random_sat(self, x):
+        rng = random.Random(5)
+        for _ in range(20):
+            assert x.evaluate(x.random_sat(rng))
+
+    def test_support(self, x, y):
+        assert (x | y).support() == {0, 1}
+
+    def test_count_nodes(self, x):
+        assert x.count_nodes() == 3
+
+
+class TestIdentity:
+    def test_equality_is_semantic(self, mgr, x, y):
+        assert (x & y) == (y & x)
+        assert (x | y) != (x & y)
+
+    def test_hashable(self, x, y):
+        assert len({x & y, y & x, x | y}) == 2
+
+    def test_repr_forms(self, mgr, x):
+        assert "TRUE" in repr(Function.true(mgr))
+        assert "FALSE" in repr(Function.false(mgr))
+        assert "node=" in repr(x)
+
+    def test_iter_cubes_delegates(self, x, y):
+        cubes = list((x & y).iter_cubes())
+        assert cubes == [{0: True, 1: True}]

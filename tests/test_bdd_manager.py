@@ -1,0 +1,245 @@
+"""Unit tests for the ROBDD manager."""
+
+import random
+
+import pytest
+
+from repro.bdd.manager import FALSE, TRUE, BDDManager
+
+
+@pytest.fixture()
+def mgr() -> BDDManager:
+    return BDDManager(4)
+
+
+def all_assignments(num_vars: int):
+    return range(1 << num_vars)
+
+
+def brute_truth(mgr: BDDManager, node: int) -> set[int]:
+    return {a for a in all_assignments(mgr.num_vars) if mgr.evaluate(node, a)}
+
+
+class TestConstruction:
+    def test_rejects_zero_vars(self):
+        with pytest.raises(ValueError):
+            BDDManager(0)
+
+    def test_terminals_are_fixed(self, mgr):
+        assert FALSE == 0 and TRUE == 1
+        assert mgr.is_terminal(FALSE) and mgr.is_terminal(TRUE)
+
+    def test_var_node_semantics(self, mgr):
+        node = mgr.var(1)
+        # Variable 1 is bit position num_vars-1-1 = 2.
+        assert mgr.evaluate(node, 0b0100)
+        assert not mgr.evaluate(node, 0b0000)
+
+    def test_nvar_is_negated_var(self, mgr):
+        assert mgr.nvar(2) == mgr.negate(mgr.var(2))
+
+    def test_reduction_merges_equal_children(self, mgr):
+        # x ? y : y must collapse to y.
+        y = mgr.var(1)
+        assert mgr._mk(0, y, y) == y
+
+    def test_hash_consing_shares_nodes(self, mgr):
+        a = mgr.apply_and(mgr.var(0), mgr.var(1))
+        b = mgr.apply_and(mgr.var(1), mgr.var(0))
+        assert a == b
+
+
+class TestApply:
+    def test_and_truth_table(self, mgr):
+        node = mgr.apply_and(mgr.var(0), mgr.var(1))
+        expected = {
+            a
+            for a in all_assignments(4)
+            if (a >> 3) & 1 and (a >> 2) & 1
+        }
+        assert brute_truth(mgr, node) == expected
+
+    def test_or_truth_table(self, mgr):
+        node = mgr.apply_or(mgr.var(0), mgr.var(3))
+        expected = {a for a in all_assignments(4) if (a >> 3) & 1 or a & 1}
+        assert brute_truth(mgr, node) == expected
+
+    def test_xor_truth_table(self, mgr):
+        node = mgr.apply_xor(mgr.var(1), mgr.var(2))
+        expected = {
+            a for a in all_assignments(4) if ((a >> 2) & 1) != ((a >> 1) & 1)
+        }
+        assert brute_truth(mgr, node) == expected
+
+    def test_diff_is_and_not(self, mgr):
+        u = mgr.apply_or(mgr.var(0), mgr.var(1))
+        v = mgr.var(1)
+        assert mgr.apply_diff(u, v) == mgr.apply_and(u, mgr.negate(v))
+
+    def test_and_identities(self, mgr):
+        x = mgr.var(0)
+        assert mgr.apply_and(x, TRUE) == x
+        assert mgr.apply_and(x, FALSE) == FALSE
+        assert mgr.apply_and(x, x) == x
+
+    def test_or_identities(self, mgr):
+        x = mgr.var(0)
+        assert mgr.apply_or(x, FALSE) == x
+        assert mgr.apply_or(x, TRUE) == TRUE
+        assert mgr.apply_or(x, x) == x
+
+    def test_complementation(self, mgr):
+        x = mgr.var(2)
+        assert mgr.apply_and(x, mgr.negate(x)) == FALSE
+        assert mgr.apply_or(x, mgr.negate(x)) == TRUE
+
+
+class TestNegate:
+    def test_involution(self, mgr):
+        node = mgr.apply_or(mgr.var(0), mgr.apply_and(mgr.var(1), mgr.var(3)))
+        assert mgr.negate(mgr.negate(node)) == node
+
+    def test_terminal_negation(self, mgr):
+        assert mgr.negate(TRUE) == FALSE
+        assert mgr.negate(FALSE) == TRUE
+
+    def test_de_morgan(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        left = mgr.negate(mgr.apply_and(x, y))
+        right = mgr.apply_or(mgr.negate(x), mgr.negate(y))
+        assert left == right
+
+
+class TestIte:
+    def test_ite_matches_formula(self, mgr):
+        f = mgr.var(0)
+        g = mgr.var(1)
+        h = mgr.var(2)
+        via_ite = mgr.ite(f, g, h)
+        manual = mgr.apply_or(
+            mgr.apply_and(f, g), mgr.apply_and(mgr.negate(f), h)
+        )
+        assert via_ite == manual
+
+    def test_ite_shortcuts(self, mgr):
+        g, h = mgr.var(1), mgr.var(2)
+        assert mgr.ite(TRUE, g, h) == g
+        assert mgr.ite(FALSE, g, h) == h
+        assert mgr.ite(mgr.var(0), g, g) == g
+        assert mgr.ite(mgr.var(0), TRUE, FALSE) == mgr.var(0)
+
+
+class TestImplies:
+    def test_implies_subset(self, mgr):
+        narrow = mgr.apply_and(mgr.var(0), mgr.var(1))
+        wide = mgr.var(0)
+        assert mgr.implies(narrow, wide)
+        assert not mgr.implies(wide, narrow)
+
+    def test_everything_implies_true(self, mgr):
+        assert mgr.implies(mgr.var(3), TRUE)
+        assert mgr.implies(FALSE, mgr.var(3))
+
+
+class TestCube:
+    def test_cube_semantics(self, mgr):
+        node = mgr.cube({0: True, 2: False})
+        expected = {
+            a for a in all_assignments(4) if (a >> 3) & 1 and not (a >> 1) & 1
+        }
+        assert brute_truth(mgr, node) == expected
+
+    def test_empty_cube_is_true(self, mgr):
+        assert mgr.cube({}) == TRUE
+
+    def test_cube_equals_apply_chain(self, mgr):
+        node = mgr.cube({1: True, 3: True})
+        assert node == mgr.apply_and(mgr.var(1), mgr.var(3))
+
+
+class TestRestrict:
+    def test_restrict_pins_variable(self, mgr):
+        node = mgr.apply_or(mgr.var(0), mgr.var(1))
+        assert mgr.restrict(node, 0, True) == TRUE
+        assert mgr.restrict(node, 0, False) == mgr.var(1)
+
+    def test_restrict_absent_variable_is_noop(self, mgr):
+        node = mgr.var(2)
+        assert mgr.restrict(node, 0, True) == node
+        assert mgr.restrict(node, 0, False) == node
+
+
+class TestCounting:
+    def test_sat_count_terminals(self, mgr):
+        assert mgr.sat_count(FALSE) == 0
+        assert mgr.sat_count(TRUE) == 16
+
+    def test_sat_count_single_var(self, mgr):
+        assert mgr.sat_count(mgr.var(0)) == 8
+
+    def test_sat_count_matches_brute_force(self, mgr):
+        node = mgr.apply_or(
+            mgr.apply_and(mgr.var(0), mgr.var(2)), mgr.nvar(3)
+        )
+        assert mgr.sat_count(node) == len(brute_truth(mgr, node))
+
+    def test_count_nodes_single_var(self, mgr):
+        # var node + two terminals.
+        assert mgr.count_nodes(mgr.var(0)) == 3
+
+    def test_support(self, mgr):
+        node = mgr.apply_and(mgr.var(0), mgr.var(3))
+        assert mgr.support(node) == {0, 3}
+        assert mgr.support(TRUE) == set()
+
+
+class TestRandomSat:
+    def test_samples_satisfy(self, mgr):
+        rng = random.Random(7)
+        node = mgr.apply_or(mgr.apply_and(mgr.var(0), mgr.var(1)), mgr.var(3))
+        for _ in range(50):
+            assert mgr.evaluate(node, mgr.random_sat(node, rng))
+
+    def test_sampling_false_raises(self, mgr):
+        with pytest.raises(ValueError):
+            mgr.random_sat(FALSE, random.Random(1))
+
+    def test_sampling_is_roughly_uniform(self, mgr):
+        rng = random.Random(11)
+        node = mgr.var(0)  # 8 models
+        counts = {}
+        for _ in range(4000):
+            sample = mgr.random_sat(node, rng)
+            counts[sample] = counts.get(sample, 0) + 1
+        assert set(counts) == brute_truth(mgr, node)
+        assert min(counts.values()) > 300  # expectation 500 each
+
+    def test_sampling_true_covers_space(self, mgr):
+        rng = random.Random(3)
+        samples = {mgr.random_sat(TRUE, rng) for _ in range(600)}
+        assert len(samples) == 16
+
+
+class TestIterCubes:
+    def test_cubes_cover_function(self, mgr):
+        node = mgr.apply_or(mgr.apply_and(mgr.var(0), mgr.var(1)), mgr.nvar(2))
+        covered = set()
+        for cube in mgr.iter_cubes(node):
+            rebuilt = mgr.cube(cube)
+            covered |= brute_truth(mgr, rebuilt)
+        assert covered == brute_truth(mgr, node)
+
+    def test_true_yields_empty_cube(self, mgr):
+        assert list(mgr.iter_cubes(TRUE)) == [{}]
+
+    def test_false_yields_nothing(self, mgr):
+        assert list(mgr.iter_cubes(FALSE)) == []
+
+
+class TestCacheStats:
+    def test_reports_growth(self, mgr):
+        before = mgr.cache_stats()["nodes"]
+        mgr.apply_and(mgr.var(0), mgr.apply_or(mgr.var(1), mgr.var(2)))
+        after = mgr.cache_stats()
+        assert after["nodes"] > before
+        assert after["apply_cache"] > 0

@@ -1,0 +1,134 @@
+"""Property-based tests: the BDD engine against brute-force semantics.
+
+Random Boolean expressions are evaluated both through the BDD and by
+direct interpretation over every assignment; they must agree exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDManager, Function
+
+NUM_VARS = 5
+
+
+def leaf(mgr: BDDManager, index: int) -> tuple[Function, set[int]]:
+    fn = Function.variable(mgr, index)
+    truth = {
+        a for a in range(1 << NUM_VARS) if (a >> (NUM_VARS - 1 - index)) & 1
+    }
+    return fn, truth
+
+
+# An expression tree is encoded as nested tuples of ops and var indices.
+expression = st.recursive(
+    st.integers(min_value=0, max_value=NUM_VARS - 1),
+    lambda children: st.one_of(
+        st.tuples(st.just("not"), children),
+        st.tuples(st.sampled_from(["and", "or", "xor", "diff"]), children, children),
+    ),
+    max_leaves=12,
+)
+
+
+def build(mgr: BDDManager, expr) -> tuple[Function, set[int]]:
+    if isinstance(expr, int):
+        return leaf(mgr, expr)
+    if expr[0] == "not":
+        fn, truth = build(mgr, expr[1])
+        return ~fn, set(range(1 << NUM_VARS)) - truth
+    op, left, right = expr
+    lf, lt = build(mgr, left)
+    rf, rt = build(mgr, right)
+    if op == "and":
+        return lf & rf, lt & rt
+    if op == "or":
+        return lf | rf, lt | rt
+    if op == "xor":
+        return lf ^ rf, lt ^ rt
+    return lf - rf, lt - rt
+
+
+@given(expression)
+@settings(max_examples=200)
+def test_bdd_matches_brute_force(expr):
+    mgr = BDDManager(NUM_VARS)
+    fn, truth = build(mgr, expr)
+    computed = {a for a in range(1 << NUM_VARS) if fn.evaluate(a)}
+    assert computed == truth
+
+
+@given(expression)
+@settings(max_examples=150)
+def test_sat_count_matches_truth_size(expr):
+    mgr = BDDManager(NUM_VARS)
+    fn, truth = build(mgr, expr)
+    assert fn.sat_count() == len(truth)
+
+
+@given(expression, expression)
+@settings(max_examples=100)
+def test_de_morgan_laws(left, right):
+    mgr = BDDManager(NUM_VARS)
+    lf, _ = build(mgr, left)
+    rf, _ = build(mgr, right)
+    assert ~(lf & rf) == (~lf | ~rf)
+    assert ~(lf | rf) == (~lf & ~rf)
+
+
+@given(expression)
+@settings(max_examples=100)
+def test_canonicity_same_truth_same_node(expr):
+    """Two syntactic routes to one function must share a node id."""
+    mgr = BDDManager(NUM_VARS)
+    fn, _ = build(mgr, expr)
+    rebuilt = ~~fn  # a non-trivial rewriting that preserves semantics
+    assert rebuilt.node == fn.node
+
+
+@given(expression, st.integers(min_value=0, max_value=NUM_VARS - 1), st.booleans())
+@settings(max_examples=100)
+def test_restrict_semantics(expr, var, value):
+    mgr = BDDManager(NUM_VARS)
+    fn, truth = build(mgr, expr)
+    restricted = fn.restrict(var, value)
+    bit = NUM_VARS - 1 - var
+    for assignment in range(1 << NUM_VARS):
+        forced = (assignment | (1 << bit)) if value else (assignment & ~(1 << bit))
+        assert restricted.evaluate(assignment) == (forced in truth)
+
+
+@given(expression, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=100)
+def test_random_sat_always_satisfies(expr, seed):
+    mgr = BDDManager(NUM_VARS)
+    fn, truth = build(mgr, expr)
+    if not truth:
+        return
+    sample = fn.random_sat(random.Random(seed))
+    assert sample in truth
+
+
+@given(expression)
+@settings(max_examples=100)
+def test_iter_cubes_partition(expr):
+    """Cubes must be disjoint and exactly cover the function."""
+    mgr = BDDManager(NUM_VARS)
+    fn, truth = build(mgr, expr)
+    seen: set[int] = set()
+    for cube in fn.iter_cubes():
+        members = {
+            a
+            for a in range(1 << NUM_VARS)
+            if all(
+                bool((a >> (NUM_VARS - 1 - var)) & 1) == pol
+                for var, pol in cube.items()
+            )
+        }
+        assert not (members & seen), "cubes overlap"
+        seen |= members
+    assert seen == truth

@@ -1,0 +1,85 @@
+"""Round-trip tests for BDD serialization."""
+
+import pytest
+
+from repro.bdd import (
+    BDDManager,
+    Function,
+    dump_functions,
+    dump_node,
+    load_functions,
+    load_node,
+)
+from repro.bdd.manager import FALSE, TRUE
+
+
+@pytest.fixture()
+def mgr() -> BDDManager:
+    return BDDManager(6)
+
+
+def sample_function(mgr: BDDManager) -> Function:
+    x0 = Function.variable(mgr, 0)
+    x2 = Function.variable(mgr, 2)
+    x5 = Function.variable(mgr, 5)
+    return (x0 & x2) | (~x0 & x5)
+
+
+class TestNodeRoundTrip:
+    def test_same_manager(self, mgr):
+        fn = sample_function(mgr)
+        triples = dump_node(mgr, fn.node)
+        assert load_node(mgr, triples) == fn.node
+
+    def test_fresh_manager(self, mgr):
+        fn = sample_function(mgr)
+        triples = dump_node(mgr, fn.node)
+        other = BDDManager(6)
+        rebuilt = load_node(other, triples)
+        for assignment in range(1 << 6):
+            assert other.evaluate(rebuilt, assignment) == fn.evaluate(assignment)
+
+    def test_terminals(self, mgr):
+        for terminal in (FALSE, TRUE):
+            triples = dump_node(mgr, terminal)
+            assert load_node(BDDManager(6), triples) == terminal
+
+    def test_empty_payload_rejected(self, mgr):
+        with pytest.raises(ValueError):
+            load_node(mgr, [])
+
+    def test_missing_root_marker_rejected(self, mgr):
+        fn = sample_function(mgr)
+        triples = dump_node(mgr, fn.node)
+        with pytest.raises(ValueError):
+            load_node(BDDManager(6), triples[:-1] + [(0, -2, -1)])
+
+
+class TestFunctionsRoundTrip:
+    def test_many_functions_share_structure(self, mgr):
+        fns = [sample_function(mgr), Function.variable(mgr, 1), Function.true(mgr)]
+        text = dump_functions(fns)
+        loaded = load_functions(text)
+        assert len(loaded) == 3
+        for original, copy in zip(fns, loaded):
+            for assignment in range(1 << 6):
+                assert copy.evaluate(assignment) == original.evaluate(assignment)
+
+    def test_empty_list(self):
+        assert load_functions(dump_functions([])) == []
+
+    def test_mixed_managers_rejected(self, mgr):
+        other = BDDManager(6)
+        with pytest.raises(ValueError):
+            dump_functions([Function.variable(mgr, 0), Function.variable(other, 0)])
+
+    def test_wrong_width_manager_rejected(self, mgr):
+        text = dump_functions([sample_function(mgr)])
+        with pytest.raises(ValueError):
+            load_functions(text, BDDManager(3))
+
+    def test_into_existing_manager_preserves_identity(self, mgr):
+        fn = sample_function(mgr)
+        text = dump_functions([fn])
+        (loaded,) = load_functions(text, mgr)
+        assert loaded.node == fn.node

@@ -1,0 +1,217 @@
+"""Stage-2 behavior computation tests: paths, drops, multicast, loops."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.behavior import (
+    DROP_INPUT_ACL,
+    DROP_NO_ROUTE,
+    DROP_OUTPUT_ACL,
+    BehaviorComputer,
+)
+from repro.core.atomic import AtomicUniverse
+from repro.core.classifier import APClassifier
+from repro.datasets import toy_network
+from repro.headerspace.fields import dst_ip_layout, parse_ipv4
+from repro.headerspace.header import Packet
+from repro.network.builder import Network
+from repro.network.dataplane import DataPlane
+from repro.network.rules import AclRule, Match
+
+
+def behavior_for(network: Network, dst: str, ingress: str):
+    classifier = APClassifier.build(network)
+    packet = Packet.of(network.layout, dst_ip=dst)
+    return classifier.query(packet, ingress_box=ingress)
+
+
+class TestToyPaths:
+    def test_forwarded_through_b2(self):
+        behavior = behavior_for(toy_network(), "10.2.0.1", "b1")
+        assert behavior.paths() == [["b1", "b2", "h2"]]
+        assert behavior.delivered_hosts() == {"h2"}
+        assert not behavior.is_dropped_everywhere
+
+    def test_local_delivery(self):
+        behavior = behavior_for(toy_network(), "10.1.0.1", "b1")
+        assert behavior.paths() == [["b1", "h1"]]
+
+    def test_dropped_at_b1_but_deliverable_at_b2(self):
+        """The paper's a5: dropped if entering at b1, reaches h2 from b2."""
+        network = toy_network()
+        at_b1 = behavior_for(network, "10.3.0.1", "b1")
+        assert at_b1.is_dropped_everywhere
+        assert at_b1.drops() == [("b1", DROP_NO_ROUTE)]
+        at_b2 = behavior_for(network, "10.3.0.1", "b2")
+        assert at_b2.delivered_hosts() == {"h2"}
+
+    def test_boxes_traversed(self):
+        behavior = behavior_for(toy_network(), "10.2.0.1", "b1")
+        assert behavior.boxes_traversed() == ["b1", "b2"]
+
+    def test_unknown_ingress_rejected(self):
+        network = toy_network()
+        classifier = APClassifier.build(network)
+        with pytest.raises(KeyError):
+            classifier.query(0, ingress_box="nope")
+
+
+def acl_network() -> Network:
+    network = Network(dst_ip_layout(), name="acl")
+    network.add_box("a")
+    network.add_box("b")
+    network.link("a", "to_b", "b", "from_a")
+    network.attach_host("b", "cust", "h")
+    network.add_forwarding_rule(
+        "a", Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), "to_b", 8
+    )
+    network.add_forwarding_rule(
+        "b", Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), "cust", 8
+    )
+    return network
+
+
+class TestAclDrops:
+    def test_input_acl_drop(self):
+        network = acl_network()
+        network.add_input_acl(
+            "b",
+            "from_a",
+            [AclRule(Match.prefix("dst_ip", parse_ipv4("10.9.0.0"), 16), permit=False)],
+            default_permit=True,
+        )
+        blocked = behavior_for(network, "10.9.0.1", "a")
+        assert ("b", DROP_INPUT_ACL) in blocked.drops()
+        assert blocked.is_dropped_everywhere
+        allowed = behavior_for(network, "10.8.0.1", "a")
+        assert allowed.delivered_hosts() == {"h"}
+
+    def test_output_acl_drop(self):
+        network = acl_network()
+        network.add_output_acl(
+            "b",
+            "cust",
+            [AclRule(Match.prefix("dst_ip", parse_ipv4("10.9.0.0"), 16), permit=False)],
+            default_permit=True,
+        )
+        blocked = behavior_for(network, "10.9.0.1", "a")
+        assert ("b", DROP_OUTPUT_ACL) in blocked.drops()
+        assert blocked.is_dropped_everywhere
+
+    def test_ingress_port_matters(self):
+        network = acl_network()
+        network.add_input_acl(
+            "a", "uplink", [AclRule(Match.any(), permit=False)]
+        )
+        classifier = APClassifier.build(network)
+        packet = Packet.of(network.layout, dst_ip="10.1.1.1")
+        via_acl = classifier.query(packet, "a", in_port="uplink")
+        assert via_acl.is_dropped_everywhere
+        direct = classifier.query(packet, "a")
+        assert direct.delivered_hosts() == {"h"}
+
+
+class TestMulticast:
+    def test_two_copies_delivered(self):
+        network = Network(dst_ip_layout(), name="mcast")
+        network.add_box("r")
+        network.attach_host("r", "p1", "h1")
+        network.attach_host("r", "p2", "h2")
+        network.add_forwarding_rule(
+            "r",
+            Match.prefix("dst_ip", parse_ipv4("224.0.0.0"), 4),
+            ("p1", "p2"),
+            priority=4,
+        )
+        behavior = behavior_for(network, "224.1.1.1", "r")
+        assert behavior.delivered_hosts() == {"h1", "h2"}
+        assert len(behavior.paths()) == 2
+
+
+class TestLoops:
+    def test_forwarding_loop_detected(self):
+        network = Network(dst_ip_layout(), name="loop")
+        for name in ("a", "b", "c"):
+            network.add_box(name)
+        network.link("a", "to_b", "b", "from_a")
+        network.link("b", "to_c", "c", "from_b")
+        network.link("c", "to_a", "a", "from_c")
+        match = Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8)
+        network.add_forwarding_rule("a", match, "to_b", 8)
+        network.add_forwarding_rule("b", match, "to_c", 8)
+        network.add_forwarding_rule("c", match, "to_a", 8)
+        behavior = behavior_for(network, "10.1.1.1", "a")
+        assert behavior.has_loop
+        assert behavior.is_dropped_everywhere
+
+    def test_no_false_loop_on_diamond(self):
+        """Revisiting a box on a *different* branch is not a loop."""
+        network = Network(dst_ip_layout(), name="diamond")
+        for name in ("s", "l", "r", "t"):
+            network.add_box(name)
+        network.link("s", "to_l", "l", "from_s")
+        network.link("s", "to_r", "r", "from_s")
+        network.link("l", "to_t", "t", "from_l")
+        network.link("r", "to_t", "t", "from_r")
+        network.attach_host("t", "cust", "h")
+        match = Match.prefix("dst_ip", parse_ipv4("224.0.0.0"), 4)
+        network.add_forwarding_rule("s", match, ("to_l", "to_r"), 4)
+        network.add_forwarding_rule("l", match, "to_t", 4)
+        network.add_forwarding_rule("r", match, "to_t", 4)
+        network.add_forwarding_rule("t", match, "cust", 4)
+        behavior = behavior_for(network, "224.0.0.1", "s")
+        assert not behavior.has_loop
+        assert behavior.delivered_hosts() == {"h"}
+        assert len(behavior.paths()) == 2
+
+
+class TestEgressEdge:
+    def test_unconnected_port_is_egress(self):
+        network = Network(dst_ip_layout(), name="egress")
+        network.add_box("a")
+        network.add_forwarding_rule(
+            "a", Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), "upstream", 8
+        )
+        behavior = behavior_for(network, "10.1.1.1", "a")
+        assert behavior.paths() == [["a"]]
+        assert behavior.root.edges[0].stopped == "egress"
+
+
+class TestAgainstForwardingSimulation:
+    def test_internet2_agreement(self, internet2_classifier):
+        from repro.baselines import ForwardingSimulator
+
+        rng = random.Random(8)
+        simulator = ForwardingSimulator(internet2_classifier.dataplane)
+        boxes = sorted(internet2_classifier.dataplane.network.boxes)
+        for _ in range(40):
+            header = rng.getrandbits(32)
+            ingress = rng.choice(boxes)
+            fast = internet2_classifier.query(header, ingress)
+            slow = simulator.query(header, ingress)
+            assert sorted(map(tuple, fast.paths())) == sorted(
+                map(tuple, slow.paths())
+            )
+
+    def test_stage2_only_entry_point(self, internet2_classifier):
+        rng = random.Random(9)
+        header = rng.getrandbits(32)
+        atom_id = internet2_classifier.classify(header)
+        behavior = internet2_classifier.behavior_of_atom(atom_id, "CHIC")
+        assert behavior.atom_id == atom_id
+
+
+class TestBehaviorComputerDirect:
+    def test_computer_over_toy(self, toy_dataplane, toy_universe):
+        computer = BehaviorComputer(toy_dataplane, toy_universe)
+        atom_id = toy_universe.classify(parse_ipv4("10.1.0.5"))
+        behavior = computer.compute(atom_id, "b1")
+        assert behavior.delivered_hosts() == {"h1"}
+
+    def test_repr(self, toy_dataplane, toy_universe):
+        computer = BehaviorComputer(toy_dataplane, toy_universe)
+        atom_id = toy_universe.classify(parse_ipv4("10.1.0.5"))
+        assert "Behavior" in repr(computer.compute(atom_id, "b1"))

@@ -1,0 +1,119 @@
+"""Unit tests for boxes and the topology graph."""
+
+import pytest
+
+from repro.headerspace.fields import dst_ip_layout, parse_ipv4
+from repro.headerspace.header import Packet
+from repro.network.box import Box, PortRef
+from repro.network.rules import AclRule, ForwardingRule, Match
+from repro.network.tables import Acl, ForwardingTable
+from repro.network.topology import Topology
+
+
+def packet(text: str) -> Packet:
+    return Packet.of(dst_ip_layout(), dst_ip=text)
+
+
+def simple_box() -> Box:
+    table = ForwardingTable(
+        [
+            ForwardingRule(
+                Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8),
+                ("out",),
+                priority=8,
+            )
+        ]
+    )
+    return Box("b", table)
+
+
+class TestBox:
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            Box("")
+
+    def test_forward_without_acls(self):
+        box = simple_box()
+        assert box.forward(packet("10.1.2.3")) == ("out",)
+        assert box.forward(packet("11.0.0.0")) == ()
+
+    def test_input_acl_drops(self):
+        box = simple_box()
+        box.set_input_acl("in", Acl([AclRule(Match.any(), permit=False)], default_permit=False))
+        assert box.forward(packet("10.1.2.3"), in_port="in") == ()
+        # Other input ports are unaffected.
+        assert box.forward(packet("10.1.2.3"), in_port="other") == ("out",)
+
+    def test_output_acl_filters_port(self):
+        box = simple_box()
+        box.set_output_acl(
+            "out",
+            Acl([AclRule(Match.prefix("dst_ip", parse_ipv4("10.9.0.0"), 16), permit=False)],
+                default_permit=True),
+        )
+        assert box.forward(packet("10.1.0.0")) == ("out",)
+        assert box.forward(packet("10.9.0.1")) == ()
+
+    def test_admits_and_emits_default_open(self):
+        box = simple_box()
+        assert box.admits(packet("10.0.0.1"), "any_port")
+        assert box.emits(packet("10.0.0.1"), "any_port")
+
+    def test_repr(self):
+        assert "1 rules" in repr(simple_box())
+
+
+class TestPortRef:
+    def test_ordering_and_str(self):
+        a = PortRef("a", "p1")
+        b = PortRef("b", "p0")
+        assert a < b
+        assert str(a) == "a:p1"
+
+
+class TestTopology:
+    def test_link_and_next_hop(self):
+        topo = Topology()
+        topo.add_link("a", "east", "b", "west")
+        assert topo.next_hop("a", "east") == PortRef("b", "west")
+        assert topo.next_hop("b", "west") is None  # links are directed
+
+    def test_host_attachment(self):
+        topo = Topology()
+        topo.attach_host("a", "cust", "h1")
+        assert topo.host_at("a", "cust") == "h1"
+        assert topo.next_hop("a", "cust") is None
+
+    def test_port_reuse_rejected(self):
+        topo = Topology()
+        topo.add_link("a", "east", "b", "west")
+        with pytest.raises(ValueError):
+            topo.add_link("a", "east", "c", "south")
+        with pytest.raises(ValueError):
+            topo.attach_host("a", "east", "h1")
+
+    def test_boxes_collects_endpoints(self):
+        topo = Topology()
+        topo.register_box("lonely")
+        topo.add_link("a", "e", "b", "w")
+        topo.attach_host("c", "p", "h")
+        assert topo.boxes == {"lonely", "a", "b", "c"}
+
+    def test_degree(self):
+        topo = Topology()
+        topo.add_link("a", "e", "b", "w")
+        topo.attach_host("a", "cust", "h")
+        assert topo.degree("a") == 2
+        assert topo.degree("b") == 0
+
+    def test_iteration(self):
+        topo = Topology()
+        topo.add_link("a", "e", "b", "w")
+        topo.attach_host("a", "cust", "h")
+        assert len(list(topo.links())) == 1
+        assert len(list(topo.hosts())) == 1
+
+    def test_repr(self):
+        topo = Topology()
+        topo.add_link("a", "e", "b", "w")
+        assert "1 links" in repr(topo)

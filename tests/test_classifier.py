@@ -1,0 +1,104 @@
+"""Facade tests for APClassifier."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.classifier import APClassifier
+from repro.datasets import internet2_like, toy_network, uniform_over_atoms
+from repro.headerspace.header import Packet
+from repro.network.dataplane import DataPlane
+
+
+class TestBuild:
+    def test_build_from_network(self):
+        clf = APClassifier.build(toy_network())
+        assert clf.universe.atom_count == 6
+        assert clf.tree.leaf_count() == 6
+
+    def test_build_from_dataplane(self):
+        dp = DataPlane(toy_network())
+        clf = APClassifier.from_dataplane(dp, strategy="quick_ordering")
+        assert clf.strategy == "quick_ordering"
+        assert clf.dataplane is dp
+
+    def test_repr(self):
+        clf = APClassifier.build(toy_network())
+        assert "APClassifier" in repr(clf)
+
+
+class TestQueries:
+    def test_classify_accepts_packet_or_int(self):
+        network = toy_network()
+        clf = APClassifier.build(network)
+        packet = Packet.of(network.layout, dst_ip="10.1.0.1")
+        assert clf.classify(packet) == clf.classify(packet.value)
+
+    def test_query_combines_stages(self):
+        network = toy_network()
+        clf = APClassifier.build(network)
+        packet = Packet.of(network.layout, dst_ip="10.2.0.1")
+        behavior = clf.query(packet, "b1")
+        assert behavior.atom_id == clf.classify(packet)
+        assert behavior.delivered_hosts() == {"h2"}
+
+    def test_visit_counting(self):
+        clf = APClassifier.build(toy_network(), count_visits=True)
+        assert clf.counter is not None
+        clf.classify(0)
+        clf.classify(0)
+        assert clf.counter.total == 2
+
+    def test_no_counter_by_default(self):
+        clf = APClassifier.build(toy_network())
+        assert clf.counter is None
+        with pytest.raises(ValueError):
+            clf.rebuild_tree(use_weights=True)
+
+
+class TestRebuilds:
+    def test_weighted_rebuild_improves_expected_depth(self):
+        rng = random.Random(0)
+        clf = APClassifier.build(internet2_like(prefixes_per_router=2), count_visits=True)
+        # Hammer one atom with queries.
+        trace = uniform_over_atoms(clf.universe, 1, rng)
+        hot_header = trace.headers[0]
+        for _ in range(500):
+            clf.classify(hot_header)
+        hot_atom = clf.classify(hot_header)
+        depth_before = clf.tree.leaf_depths()[hot_atom]
+        clf.rebuild_tree(use_weights=True)
+        depth_after = clf.tree.leaf_depths()[hot_atom]
+        assert depth_after <= depth_before
+
+    def test_plain_rebuild_keeps_universe(self):
+        clf = APClassifier.build(toy_network())
+        universe_before = clf.universe
+        clf.rebuild_tree()
+        assert clf.universe is universe_before
+
+    def test_reconstruct_replaces_universe(self):
+        clf = APClassifier.build(toy_network())
+        universe_before = clf.universe
+        clf.reconstruct()
+        assert clf.universe is not universe_before
+        assert clf.universe.atom_count == universe_before.atom_count
+
+
+class TestStats:
+    def test_stats_fields(self):
+        clf = APClassifier.build(toy_network())
+        stats = clf.stats()
+        assert stats.predicates == 3
+        assert stats.atoms == 6
+        assert stats.tree_leaves == 6
+        assert stats.estimated_bytes > 0
+        assert stats.tree_max_depth >= stats.tree_average_depth
+
+    def test_memory_small_for_internet2(self, internet2_classifier):
+        stats = internet2_classifier.stats()
+        # "AP Classifier uses very small memory" -- a few MB at paper
+        # scale; our scaled dataset must come in well under that.
+        assert stats.estimated_bytes < 8 * 1024 * 1024

@@ -1,0 +1,241 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestStats:
+    def test_toy_stats(self, capsys):
+        assert main(["stats", "--dataset", "toy"]) == 0
+        out = capsys.readouterr().out
+        assert "atomic predicates" in out
+        assert "AP Tree avg depth" in out
+
+    def test_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--dataset", "bogus"])
+
+
+class TestQuery:
+    def test_delivered_query(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "toy",
+                "--dst-ip",
+                "10.2.0.1",
+                "--ingress",
+                "b1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "b1 -> b2 -> h2" in out
+        assert "atomic predicate" in out
+
+    def test_dropped_query(self, capsys):
+        main(
+            [
+                "query",
+                "--dataset",
+                "toy",
+                "--dst-ip",
+                "99.0.0.1",
+                "--ingress",
+                "b1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "dropped" in out
+
+    def test_unknown_ingress(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    "--dataset",
+                    "toy",
+                    "--dst-ip",
+                    "10.0.0.1",
+                    "--ingress",
+                    "nope",
+                ]
+            )
+
+
+class TestTree:
+    def test_tree_stats(self, capsys):
+        assert main(["--strategy", "quick_ordering", "tree", "--dataset", "toy"]) == 0
+        out = capsys.readouterr().out
+        assert "quick_ordering" in out
+        assert "average depth" in out
+
+
+class TestVerify:
+    def test_clean_network_exits_zero(self, capsys):
+        assert main(["verify", "--dataset", "toy", "--ingress", "b1"]) == 0
+        out = capsys.readouterr().out
+        assert "looping classes" in out
+
+    def test_loops_exit_nonzero(self, capsys, tmp_path):
+        # Build a looped network, snapshot it, verify via the CLI.
+        from repro.headerspace.fields import dst_ip_layout, parse_ipv4
+        from repro.network.builder import Network
+        from repro.network.rules import Match
+        from repro.network.serialize import save_network
+
+        network = Network(dst_ip_layout(), name="looped")
+        network.add_box("a")
+        network.add_box("b")
+        network.link("a", "to_b", "b", "from_a")
+        network.link("b", "to_a", "a", "from_b")
+        match = Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8)
+        network.add_forwarding_rule("a", match, "to_b", 8)
+        network.add_forwarding_rule("b", match, "to_a", 8)
+        path = tmp_path / "looped.json"
+        save_network(network, path)
+        code = main(["verify", "--snapshot", str(path), "--ingress", "a"])
+        assert code == 1
+        assert "loop witness" in capsys.readouterr().out
+
+    def test_waypoint_flag(self, capsys):
+        code = main(
+            [
+                "verify",
+                "--dataset",
+                "toy",
+                "--ingress",
+                "b1",
+                "--waypoint",
+                "b2",
+                "--host",
+                "h2",
+            ]
+        )
+        assert code == 0
+        assert "waypoint" in capsys.readouterr().out
+
+    def test_unknown_ingress(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--dataset", "toy", "--ingress", "nope"])
+
+
+class TestSnapshot:
+    def test_snapshot_then_query(self, capsys, tmp_path):
+        path = tmp_path / "toy.json"
+        assert main(["snapshot", "--dataset", "toy", "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query",
+                    "--snapshot",
+                    str(path),
+                    "--dst-ip",
+                    "10.1.0.1",
+                    "--ingress",
+                    "b1",
+                ]
+            )
+            == 0
+        )
+        assert "h1" in capsys.readouterr().out
+
+
+class TestQueryTrace:
+    def test_trace_flag_shows_search(self, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    "--dataset",
+                    "toy",
+                    "--dst-ip",
+                    "10.2.0.1",
+                    "--ingress",
+                    "b1",
+                    "--trace",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "AP Tree search" in out
+        assert "host h2" in out
+        assert "-> true" in out
+
+
+class TestReachability:
+    def test_matrix(self, capsys):
+        assert main(["reachability", "--dataset", "toy"]) == 0
+        out = capsys.readouterr().out
+        assert "reachability matrix" in out
+        assert "h1" in out and "h2" in out
+
+
+class TestDiff:
+    def _snapshots(self, tmp_path):
+        from repro.headerspace.fields import parse_ipv4
+        from repro.network.rules import ForwardingRule, Match
+        from repro.network.serialize import load_network, save_network
+
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        main(["snapshot", "--dataset", "toy", "--out", str(before)])
+        network = load_network(before)
+        network.box("b2").table.add(
+            ForwardingRule(
+                Match.prefix("dst_ip", parse_ipv4("10.2.0.0"), 17), (), 18
+            )
+        )
+        save_network(network, after)
+        return before, after
+
+    def test_detects_change(self, capsys, tmp_path):
+        before, after = self._snapshots(tmp_path)
+        capsys.readouterr()
+        code = main(
+            ["diff", "--before", str(before), "--after", str(after),
+             "--ingress", "b1"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "changed behavior" in out
+        assert "witness" in out
+
+    def test_identical_snapshots_exit_zero(self, capsys, tmp_path):
+        before, _ = self._snapshots(tmp_path)
+        code = main(
+            ["diff", "--before", str(before), "--after", str(before),
+             "--ingress", "b1"]
+        )
+        assert code == 0
+        assert "no behavior changes" in capsys.readouterr().out
+
+    def test_unknown_ingress(self, tmp_path):
+        before, after = self._snapshots(tmp_path)
+        with pytest.raises(SystemExit):
+            main(
+                ["diff", "--before", str(before), "--after", str(after),
+                 "--ingress", "nope"]
+            )
+
+
+class TestStatsMemory:
+    def test_memory_breakdown(self, capsys):
+        assert main(["stats", "--dataset", "toy", "--memory"]) == 0
+        out = capsys.readouterr().out
+        assert "memory breakdown" in out
+        assert "atom BDD nodes" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--strategy", "bogus", "stats"])

@@ -1,0 +1,126 @@
+"""Tests for atom coalescing after predicate deletions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdd import BDDManager, Function
+from repro.core.atomic import AtomicUniverse
+from repro.core.classifier import APClassifier
+from repro.core.weights import VisitCounter
+from repro.datasets import internet2_like
+from repro.network.dataplane import LabeledPredicate
+
+
+def two_predicate_universe() -> AtomicUniverse:
+    mgr = BDDManager(3)
+    p0 = Function.variable(mgr, 0)
+    p1 = Function.variable(mgr, 1)
+    labeled = [
+        LabeledPredicate(0, "forward", "b", "x", p0),
+        LabeledPredicate(1, "forward", "b", "y", p1),
+    ]
+    return AtomicUniverse.compute(mgr, labeled)
+
+
+class TestCoalesce:
+    def test_identity_when_minimal(self):
+        universe = two_predicate_universe()
+        before = universe.atom_ids()
+        mapping = universe.coalesce()
+        assert universe.atom_ids() == before
+        assert all(old == new for old, new in mapping.items())
+
+    def test_merges_after_deletion(self):
+        universe = two_predicate_universe()
+        assert universe.atom_count == 4
+        universe.remove_predicate(1)
+        mapping = universe.coalesce()
+        # Only p0 remains: two atoms (p0 and ~p0).
+        assert universe.atom_count == 2
+        assert universe.verify_partition()
+        merged_targets = {new for old, new in mapping.items() if old != new}
+        assert len(merged_targets) == 2
+
+    def test_r_sets_updated(self):
+        universe = two_predicate_universe()
+        universe.remove_predicate(1)
+        universe.coalesce()
+        r0 = universe.r(0)
+        assert len(r0) == 1
+        assert universe.atom_fn(next(iter(r0))) == universe.predicate_fn(0)
+
+    def test_classify_still_total(self):
+        universe = two_predicate_universe()
+        universe.remove_predicate(0)
+        universe.remove_predicate(1)
+        universe.coalesce()
+        assert universe.atom_count == 1
+        for header in range(8):
+            universe.classify(header)
+
+
+class TestCounterMerge:
+    def test_counts_conserved(self):
+        counter = VisitCounter()
+        counter.record(1, 10)
+        counter.record(2, 5)
+        counter.record(3, 7)
+        counter.on_merge({1: 9, 2: 9, 3: 3})
+        assert counter.total == 22
+        assert counter.count(9) == 15
+        assert counter.count(3) == 7
+        assert counter.count(1) == 0
+
+
+class TestRebuildAfterDeletions:
+    def test_rebuild_tree_after_insert_then_remove(self):
+        """Regression: the exact sequence found by stateful testing --
+        insert a splitting rule, remove it, then rebuild the tree over the
+        same universe."""
+        from repro.headerspace.fields import parse_ipv4
+        from repro.network.rules import ForwardingRule, Match
+
+        classifier = APClassifier.build(
+            internet2_like(prefixes_per_router=1, te_fraction=0.0)
+        )
+        box = "ATLA"
+        ports = classifier.dataplane.network.box(box).table.out_ports()
+        new_rule = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.2.0.0"), 24),
+            (ports[0],),
+            priority=24,
+        )
+        classifier.insert_rule(box, new_rule)
+        classifier.remove_rule(box, new_rule)
+        classifier.rebuild_tree()  # used to raise ValueError
+        rng = random.Random(1)
+        for _ in range(40):
+            header = rng.getrandbits(32)
+            assert classifier.tree.classify(header) == classifier.universe.classify(
+                header
+            )
+
+    def test_weighted_rebuild_after_deletions(self):
+        from repro.headerspace.fields import parse_ipv4
+        from repro.network.rules import ForwardingRule, Match
+
+        classifier = APClassifier.build(
+            internet2_like(prefixes_per_router=1, te_fraction=0.0),
+            count_visits=True,
+        )
+        classifier.classify(parse_ipv4("10.1.0.1"))
+        box = "CHIC"
+        ports = classifier.dataplane.network.box(box).table.out_ports()
+        new_rule = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 24),
+            (ports[0],),
+            priority=24,
+        )
+        classifier.insert_rule(box, new_rule)
+        classifier.remove_rule(box, new_rule)
+        classifier.rebuild_tree(use_weights=True)
+        assert classifier.counter is not None
+        assert classifier.counter.total == 1  # conserved through merges

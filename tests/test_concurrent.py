@@ -1,0 +1,127 @@
+"""Tests for the thread-based parallel reconstruction (Section VI-B)."""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.core.concurrent import ConcurrentClassifier
+from repro.datasets import internet2_like, rule_update_stream
+
+
+@pytest.fixture()
+def concurrent():
+    classifier = ConcurrentClassifier.build(
+        internet2_like(prefixes_per_router=2), rebuild_after_updates=8
+    )
+    yield classifier
+    classifier.close()
+
+
+def wait_for(predicate, timeout_s: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestLifecycle:
+    def test_context_manager(self):
+        with ConcurrentClassifier.build(internet2_like(prefixes_per_router=2)) as clf:
+            assert clf.classify(0) >= 0
+        # Thread must have terminated.
+        assert clf._thread.is_alive() is False
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ConcurrentClassifier.build(
+                internet2_like(prefixes_per_router=2), rebuild_after_updates=0
+            )
+
+    def test_repr(self, concurrent):
+        assert "ConcurrentClassifier" in repr(concurrent)
+
+
+class TestQueries:
+    def test_query_matches_plain_classifier(self, concurrent):
+        from repro.core.classifier import APClassifier
+
+        plain = APClassifier.from_dataplane(concurrent.dataplane)
+        rng = random.Random(1)
+        boxes = sorted(concurrent.dataplane.network.boxes)
+        for _ in range(30):
+            header = rng.getrandbits(32)
+            ingress = rng.choice(boxes)
+            fast = concurrent.query(header, ingress)
+            reference = plain.query(header, ingress)
+            assert sorted(map(tuple, fast.paths())) == sorted(
+                map(tuple, reference.paths())
+            )
+
+
+class TestRebuilds:
+    def test_updates_trigger_swap(self, concurrent):
+        rng = random.Random(2)
+        network = concurrent.dataplane.network
+        for update in rule_update_stream(network, 20, rng, insert_fraction=1.0):
+            concurrent.insert_rule(update.box, update.rule)
+        assert wait_for(lambda: concurrent.swaps_completed >= 1)
+        # After the swap the counter resets and classification stays exact.
+        assert wait_for(lambda: concurrent.updates_since_swap < 20)
+        state = concurrent._state
+        for _ in range(40):
+            header = rng.getrandbits(32)
+            assert state.tree.classify(header) == state.universe.classify(header)
+
+    def test_manual_rebuild_request(self, concurrent):
+        before = concurrent.swaps_completed
+        concurrent.request_rebuild()
+        assert wait_for(lambda: concurrent.swaps_completed > before)
+
+    def test_queries_correct_under_concurrent_churn(self):
+        """Hammer updates from the main thread while rebuilds race; every
+        classification observed must be valid for the generation served."""
+        classifier = ConcurrentClassifier.build(
+            internet2_like(prefixes_per_router=2), rebuild_after_updates=4
+        )
+        try:
+            rng = random.Random(3)
+            network = classifier.dataplane.network
+            stream = rule_update_stream(network, 40, rng)
+            for update in stream:
+                if update.kind == "insert":
+                    classifier.insert_rule(update.box, update.rule)
+                else:
+                    classifier.remove_rule(update.box, update.rule)
+                # Interleave queries: the atom returned must contain the
+                # packet under the generation that served the query.
+                header = rng.getrandbits(32)
+                state = classifier._state
+                atom_id = state.tree.classify(header)
+                assert state.universe.atom_fn(atom_id).evaluate(header)
+            assert wait_for(lambda: classifier.swaps_completed >= 1)
+        finally:
+            classifier.close()
+
+    def test_swap_sheds_tombstones(self):
+        classifier = ConcurrentClassifier.build(
+            internet2_like(prefixes_per_router=2), rebuild_after_updates=1000
+        )
+        try:
+            rng = random.Random(4)
+            network = classifier.dataplane.network
+            for update in rule_update_stream(network, 30, rng):
+                if update.kind == "insert":
+                    classifier.insert_rule(update.box, update.rule)
+                else:
+                    classifier.remove_rule(update.box, update.rule)
+            fragmented = classifier._state.universe.atom_count
+            classifier.request_rebuild()
+            assert wait_for(lambda: classifier.swaps_completed >= 1)
+            assert classifier._state.universe.atom_count <= fragmented
+        finally:
+            classifier.close()

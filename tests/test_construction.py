@@ -1,0 +1,60 @@
+"""Tests for the construction dispatch layer."""
+
+import random
+
+import pytest
+
+from repro.core.construction import (
+    STRATEGIES,
+    ConstructionReport,
+    best_from_random,
+    build_tree,
+)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("strategy", ["random", "quick_ordering", "oapt"])
+    def test_strategies_build_valid_trees(self, internet2_classifier, strategy):
+        universe = internet2_classifier.universe
+        report = build_tree(universe, strategy=strategy, rng=random.Random(1))
+        assert report.strategy == strategy
+        assert report.tree.leaf_count() == universe.atom_count
+        assert report.elapsed_s >= 0.0
+        assert report.average_depth == pytest.approx(report.tree.average_depth())
+
+    def test_best_from_random_counts_trials(self, internet2_classifier):
+        universe = internet2_classifier.universe
+        report = build_tree(
+            universe, strategy="best_from_random", rng=random.Random(1), trials=5
+        )
+        assert report.trials == 5
+
+    def test_unknown_strategy_rejected(self, internet2_classifier):
+        with pytest.raises(ValueError):
+            build_tree(internet2_classifier.universe, strategy="nope")
+
+    def test_strategy_list_is_exported(self):
+        assert "oapt" in STRATEGIES
+
+    def test_report_describe(self, internet2_classifier):
+        report = build_tree(internet2_classifier.universe, strategy="oapt")
+        text = report.describe()
+        assert "oapt" in text and "ms" in text
+
+
+class TestBestFromRandom:
+    def test_returns_minimum_of_trials(self, internet2_classifier):
+        universe = internet2_classifier.universe
+        tree, depths = best_from_random(universe, trials=10, rng=random.Random(3))
+        assert len(depths) == 10
+        assert tree.average_depth() == pytest.approx(min(depths))
+
+    def test_zero_trials_rejected(self, internet2_classifier):
+        with pytest.raises(ValueError):
+            best_from_random(internet2_classifier.universe, trials=0)
+
+    def test_deterministic_given_seed(self, internet2_classifier):
+        universe = internet2_classifier.universe
+        _, depths_a = best_from_random(universe, trials=5, rng=random.Random(9))
+        _, depths_b = best_from_random(universe, trials=5, rng=random.Random(9))
+        assert depths_a == depths_b

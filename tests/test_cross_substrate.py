@@ -1,0 +1,67 @@
+"""Cross-substrate consistency: BDDs vs wildcards vs direct matching.
+
+Every :class:`Match` has three independent interpretations in the library
+(a BDD cube, a ternary wildcard, and direct per-field comparison). They
+were implemented separately and serve different subsystems; these
+property tests pin them to each other exactly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDManager, Function
+from repro.headerspace.fields import HeaderLayout
+from repro.headerspace.header import Packet
+from repro.network.rules import Match
+
+LAYOUT = HeaderLayout([("a", 4), ("b", 3), ("c", 5)])  # 12 bits, exhaustive
+
+
+@st.composite
+def matches(draw) -> Match:
+    match = Match.any()
+    for field in LAYOUT.fields:
+        if not draw(st.booleans()):
+            continue
+        prefix_len = draw(st.integers(min_value=0, max_value=field.width))
+        value = draw(st.integers(min_value=0, max_value=field.max_value))
+        match = match.with_prefix(field.name, value, prefix_len)
+    return match
+
+
+@given(matches())
+@settings(max_examples=150)
+def test_bdd_wildcard_direct_agree(match):
+    manager = BDDManager(LAYOUT.total_width)
+    bdd = Function.cube(manager, match.to_literals(LAYOUT))
+    wildcard = match.to_wildcard(LAYOUT)
+    for header in range(1 << LAYOUT.total_width):
+        direct = match.matches(Packet(LAYOUT, header))
+        assert bdd.evaluate(header) == direct
+        assert wildcard.matches(header) == direct
+
+
+@given(matches(), matches())
+@settings(max_examples=100)
+def test_intersection_consistency(match_a, match_b):
+    """Wildcard intersection and BDD conjunction denote the same set."""
+    manager = BDDManager(LAYOUT.total_width)
+    bdd = Function.cube(manager, match_a.to_literals(LAYOUT)) & Function.cube(
+        manager, match_b.to_literals(LAYOUT)
+    )
+    overlap = match_a.to_wildcard(LAYOUT).intersect(match_b.to_wildcard(LAYOUT))
+    if overlap is None:
+        assert bdd.is_false
+        return
+    for header in range(1 << LAYOUT.total_width):
+        assert overlap.matches(header) == bdd.evaluate(header)
+
+
+@given(matches())
+@settings(max_examples=100)
+def test_sat_count_matches_wildcard_count(match):
+    manager = BDDManager(LAYOUT.total_width)
+    bdd = Function.cube(manager, match.to_literals(LAYOUT))
+    assert bdd.sat_count() == match.to_wildcard(LAYOUT).count()

@@ -1,0 +1,134 @@
+"""Tests for the compiled DataPlane: labeling, indexes, and update diffs."""
+
+import pytest
+
+from repro.headerspace.fields import dst_ip_layout, parse_ipv4
+from repro.network.builder import Network
+from repro.network.dataplane import ACL_OUT, FORWARD, DataPlane, PredicateChange
+from repro.network.rules import AclRule, ForwardingRule, Match
+from repro.network.tables import Acl
+
+
+def small_network() -> Network:
+    network = Network(dst_ip_layout(), name="small")
+    network.add_box("a")
+    network.add_box("b")
+    network.link("a", "to_b", "b", "to_a")
+    network.attach_host("b", "cust", "h1")
+    network.add_forwarding_rule(
+        "a", Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), "to_b", 8
+    )
+    network.add_forwarding_rule(
+        "b", Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), "cust", 8
+    )
+    return network
+
+
+def rule(text: str, plen: int, port: str) -> ForwardingRule:
+    return ForwardingRule(
+        Match.prefix("dst_ip", parse_ipv4(text), plen), (port,), priority=plen
+    )
+
+
+class TestCompilation:
+    def test_one_predicate_per_live_port(self):
+        dp = DataPlane(small_network())
+        assert len(dp) == 2
+        kinds = {p.kind for p in dp.predicates()}
+        assert kinds == {FORWARD}
+
+    def test_pids_are_stable_and_sorted(self):
+        dp = DataPlane(small_network())
+        pids = [p.pid for p in dp.predicates()]
+        assert pids == sorted(pids)
+        assert dp.predicate(pids[0]).pid == pids[0]
+
+    def test_acl_predicates_compiled(self):
+        network = small_network()
+        network.add_output_acl(
+            "b", "cust", [AclRule(Match.any(), permit=True)]
+        )
+        dp = DataPlane(network)
+        acl_pred = dp.output_acl_predicate("b", "cust")
+        assert acl_pred is not None and acl_pred.kind == ACL_OUT
+        assert acl_pred.fn.is_true
+
+    def test_forwarding_entries_index(self):
+        dp = DataPlane(small_network())
+        entries = dp.forwarding_entries("a")
+        assert [e.port for e in entries] == ["to_b"]
+        assert dp.forwarding_entries("missing") == []
+
+    def test_repr(self):
+        assert "2 predicates" in repr(DataPlane(small_network()))
+
+
+class TestUpdates:
+    def test_insert_changes_only_affected_port(self):
+        dp = DataPlane(small_network())
+        changes = dp.insert_rule("a", rule("10.1.0.0", 16, "to_b"))
+        # Rule is a subset of the existing /8 to the same port: no change.
+        assert changes == []
+
+    def test_insert_new_port_adds_predicate(self):
+        dp = DataPlane(small_network())
+        network = dp.network
+        network.attach_host("a", "cust", "h2")
+        changes = dp.insert_rule("a", rule("10.9.0.0", 16, "cust"))
+        assert len(changes) == 2  # new cust predicate + shrunk to_b predicate
+        added_ports = {c.added.port for c in changes if c.added}
+        assert "cust" in added_ports
+
+    def test_insert_then_remove_round_trips(self):
+        dp = DataPlane(small_network())
+        before = {p.port: p.fn.node for p in dp.forwarding_entries("a")}
+        new_rule = rule("10.9.0.0", 16, "to_b")
+        dp.insert_rule("a", new_rule)
+        dp.remove_rule("a", new_rule)
+        after = {p.port: p.fn.node for p in dp.forwarding_entries("a")}
+        assert before == after
+
+    def test_changed_predicate_gets_fresh_pid(self):
+        network = small_network()
+        network.attach_host("a", "cust", "h2")
+        dp = DataPlane(network)
+        old = {p.pid for p in dp.predicates()}
+        changes = dp.insert_rule("a", rule("10.9.0.0", 16, "cust"))
+        for change in changes:
+            if change.added is not None:
+                assert change.added.pid not in old
+            if change.removed is not None:
+                assert change.removed.pid in old
+
+    def test_acl_update_diff(self):
+        network = small_network()
+        dp = DataPlane(network)
+        changes = dp.set_output_acl(
+            "b", "cust", Acl([AclRule(Match.any(), permit=True)])
+        )
+        assert len(changes) == 1
+        assert changes[0].removed is None
+        # Updating to an equivalent ACL is a no-op diff.
+        changes = dp.set_output_acl(
+            "b", "cust", Acl([], default_permit=True)
+        )
+        assert changes == []
+
+    def test_removing_only_rule_retires_port_predicate(self):
+        network = Network(dst_ip_layout())
+        network.add_box("a")
+        network.attach_host("a", "p", "h")
+        only = rule("10.0.0.0", 8, "p")
+        network.box("a").table.add(only)
+        dp = DataPlane(network)
+        assert len(dp.forwarding_entries("a")) == 1
+        changes = dp.remove_rule("a", only)
+        assert len(changes) == 1
+        assert changes[0].added is None
+        assert dp.forwarding_entries("a") == []
+
+
+class TestPredicateChange:
+    def test_empty_change_rejected(self):
+        with pytest.raises(ValueError):
+            PredicateChange(removed=None, added=None)

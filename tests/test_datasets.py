@@ -1,0 +1,204 @@
+"""Tests for dataset, workload, and update generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.atomic import AtomicUniverse
+from repro.datasets import (
+    INTERNET2_LINKS,
+    INTERNET2_ROUTERS,
+    internet2_like,
+    pareto_atom_counts,
+    pareto_over_atoms,
+    random_headers,
+    random_network,
+    rule_update_stream,
+    stanford_like,
+    toy_network,
+    uniform_over_atoms,
+)
+from repro.datasets.workloads import PacketTrace
+from repro.network.dataplane import DataPlane
+
+
+class TestInternet2Like:
+    def test_topology_shape(self, internet2_net):
+        assert set(internet2_net.boxes) == set(INTERNET2_ROUTERS)
+        # Every physical link is two directed links.
+        assert sum(1 for _ in internet2_net.topology.links()) >= 2 * len(
+            INTERNET2_LINKS
+        )
+
+    def test_every_router_routes_every_prefix(self, internet2_net):
+        counts = {
+            name: len(box.table) for name, box in internet2_net.boxes.items()
+        }
+        assert len(set(counts.values())) == 1  # identical rule counts
+
+    def test_deterministic_by_seed(self):
+        a = internet2_like(prefixes_per_router=2, seed=7)
+        b = internet2_like(prefixes_per_router=2, seed=7)
+        assert a.stats() == b.stats()
+        sample = sorted(a.boxes)[0]
+        rules_a = [rule.describe() for rule in a.box(sample).table]
+        rules_b = [rule.describe() for rule in b.box(sample).table]
+        assert rules_a == rules_b
+
+    def test_scale_parameter(self):
+        small = internet2_like(prefixes_per_router=1, te_fraction=0.0)
+        large = internet2_like(prefixes_per_router=3, te_fraction=0.0)
+        assert large.rule_count() == 3 * small.rule_count()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            internet2_like(prefixes_per_router=0)
+
+    def test_all_destinations_reachable(self, internet2_classifier):
+        """Forwarding correctness: from every router, a packet to any
+        customer prefix reaches some host."""
+        rng = random.Random(0)
+        network = internet2_classifier.dataplane.network
+        hosts = [host for _, host in network.topology.hosts()]
+        trace = uniform_over_atoms(internet2_classifier.universe, 30, rng)
+        reached = set()
+        for header in trace.headers:
+            behavior = internet2_classifier.query(header, "KANS")
+            reached |= behavior.delivered_hosts()
+        assert reached <= set(hosts)
+        assert reached  # at least some atoms are deliverable
+
+
+class TestStanfordLike:
+    def test_sixteen_boxes(self, stanford_net):
+        assert len(stanford_net.boxes) == 16
+
+    def test_has_acls(self, stanford_net):
+        assert stanford_net.acl_rule_count() > 0
+
+    def test_five_tuple_layout(self, stanford_net):
+        assert stanford_net.layout.total_width == 104
+
+    def test_acl_templates_bound_distinct_predicates(self):
+        network = stanford_like(acl_templates=1, seed=3)
+        dp = DataPlane(network)
+        acl_nodes = {
+            p.fn.node for p in dp.predicates() if p.kind == "acl_out"
+        }
+        assert len(acl_nodes) <= 1 or len(acl_nodes) <= 2
+
+    def test_zone_isolation_of_subnets(self, stanford_classifier):
+        """A packet to zone 1's subnet entering at another zone must go
+        via a backbone, never directly zone-to-zone."""
+        from repro.headerspace.header import Packet
+
+        layout = stanford_classifier.dataplane.layout
+        packet = Packet.of(layout, dst_ip="171.65.1.5", src_ip="171.70.0.1")
+        behavior = stanford_classifier.query(packet, "zr05")
+        for path in behavior.paths():
+            if len(path) > 1:
+                assert path[1] in ("bbra", "bbrb")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            stanford_like(subnets_per_zone=0)
+
+
+class TestRandomNetwork:
+    def test_connectivity(self):
+        network = random_network(boxes=5, seed=1)
+        # Spanning-tree construction guarantees every box has a link.
+        degrees = {name: network.topology.degree(name) for name in network.boxes}
+        assert all(degree > 0 for degree in degrees.values())
+
+    def test_needs_two_boxes(self):
+        with pytest.raises(ValueError):
+            random_network(boxes=1)
+
+
+class TestWorkloads:
+    def test_uniform_trace_headers_belong_to_atoms(self, internet2_classifier):
+        rng = random.Random(1)
+        universe = internet2_classifier.universe
+        trace = uniform_over_atoms(universe, 50, rng)
+        for header, atom_id in zip(trace.headers, trace.atom_ids):
+            assert universe.atom_fn(atom_id).evaluate(header)
+
+    def test_uniform_trace_is_roughly_uniform(self, internet2_classifier):
+        rng = random.Random(2)
+        universe = internet2_classifier.universe
+        trace = uniform_over_atoms(universe, 2000, rng)
+        histogram = trace.atom_histogram()
+        expected = 2000 / universe.atom_count
+        assert max(histogram.values()) < expected * 4
+
+    def test_pareto_counts_are_heavy_tailed(self, internet2_classifier):
+        rng = random.Random(3)
+        counts = pareto_atom_counts(internet2_classifier.universe, rng)
+        values = sorted(counts.values())
+        # Median near the base, max far above it (the paper's "half have
+        # 1,000 packets, some have more than 20,000").
+        median = values[len(values) // 2]
+        assert median < 3000
+        assert max(values) > 4 * median
+
+    def test_pareto_trace_skewed(self, internet2_classifier):
+        rng = random.Random(4)
+        universe = internet2_classifier.universe
+        trace = pareto_over_atoms(universe, 3000, rng)
+        histogram = trace.atom_histogram()
+        expected = 3000 / universe.atom_count
+        assert max(histogram.values()) > expected * 3
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            PacketTrace((1, 2), (1,))
+
+    def test_random_headers_in_range(self):
+        from repro.headerspace.fields import dst_ip_layout
+
+        rng = random.Random(5)
+        headers = random_headers(dst_ip_layout(), 100, rng)
+        assert all(0 <= h < 1 << 32 for h in headers)
+
+
+class TestUpdateStream:
+    def test_removals_only_touch_inserted_rules(self, internet2_net):
+        rng = random.Random(6)
+        stream = rule_update_stream(internet2_net, 60, rng)
+        inserted = set()
+        for update in stream:
+            key = (update.box, update.rule)
+            if update.kind == "insert":
+                inserted.add(key)
+            else:
+                assert key in inserted
+                inserted.discard(key)
+
+    def test_stream_replayable_against_dataplane(self):
+        network = internet2_like(prefixes_per_router=2)
+        dp = DataPlane(network)
+        rng = random.Random(7)
+        for update in rule_update_stream(network, 25, rng):
+            if update.kind == "insert":
+                dp.insert_rule(update.box, update.rule)
+            else:
+                dp.remove_rule(update.box, update.rule)
+        universe = AtomicUniverse.compute(dp.manager, dp.predicates())
+        assert universe.verify_partition()
+
+    def test_kind_validation(self):
+        from repro.datasets.updates import RuleUpdate
+        from repro.network.rules import ForwardingRule, Match
+
+        with pytest.raises(ValueError):
+            RuleUpdate("upsert", "a", ForwardingRule(Match.any(), (), 0))
+
+
+class TestToyNetwork:
+    def test_shape(self):
+        network = toy_network()
+        assert set(network.boxes) == {"b1", "b2"}
+        assert network.rule_count() == 5

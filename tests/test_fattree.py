@@ -1,0 +1,90 @@
+"""Tests for the fat-tree dataset."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import ForwardingSimulator
+from repro.core.classifier import APClassifier
+from repro.core.verifier import NetworkVerifier
+from repro.datasets import fattree
+from repro.headerspace.header import Packet
+
+
+@pytest.fixture(scope="module")
+def ft4():
+    network = fattree(4)
+    return network, APClassifier.build(network)
+
+
+class TestTopology:
+    def test_box_count(self, ft4):
+        network, _ = ft4
+        # (k/2)^2 cores + k pods * (k/2 agg + k/2 edge) = 4 + 16.
+        assert len(network.boxes) == 20
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            fattree(3)
+        with pytest.raises(ValueError):
+            fattree(0)
+
+    def test_host_count(self, ft4):
+        network, _ = ft4
+        hosts = list(network.topology.hosts())
+        assert len(hosts) == 8  # k^2/2 edge switches x 1 host
+
+    def test_scales_with_k(self):
+        assert len(fattree(6).boxes) == 9 + 6 * 6
+        assert fattree(6).rule_count() > fattree(4).rule_count()
+
+    def test_hosts_per_edge(self):
+        network = fattree(4, hosts_per_edge=3)
+        assert len(list(network.topology.hosts())) == 24
+
+
+class TestForwarding:
+    def test_intra_pod_path_avoids_core(self, ft4):
+        network, classifier = ft4
+        packet = Packet.of(network.layout, dst_ip="10.0.1.2")
+        behavior = classifier.query(packet, "edge_0_0")
+        (path,) = behavior.paths()
+        assert path[0] == "edge_0_0"
+        assert path[-2] == "edge_0_1"
+        assert not any(box.startswith("core") for box in path)
+
+    def test_inter_pod_path_uses_core(self, ft4):
+        network, classifier = ft4
+        packet = Packet.of(network.layout, dst_ip="10.3.0.2")
+        behavior = classifier.query(packet, "edge_0_0")
+        (path,) = behavior.paths()
+        assert any(box.startswith("core") for box in path)
+        assert path[-1] == "h_3_0_0"
+
+    def test_all_hosts_reachable_from_every_edge(self, ft4):
+        network, classifier = ft4
+        verifier = NetworkVerifier.from_classifier(classifier)
+        hosts = [host for _, host in network.topology.hosts()]
+        for host in hosts:
+            atoms = verifier.atoms_reaching_host("edge_1_1", host)
+            assert atoms, f"{host} unreachable from edge_1_1"
+
+    def test_no_loops(self, ft4):
+        _, classifier = ft4
+        verifier = NetworkVerifier.from_classifier(classifier)
+        for ingress in ("edge_0_0", "agg_2_1", "core_0_0"):
+            assert verifier.find_loops(ingress) == frozenset()
+
+    def test_agrees_with_forwarding_simulation(self, ft4):
+        network, classifier = ft4
+        simulator = ForwardingSimulator(classifier.dataplane)
+        rng = random.Random(1)
+        boxes = sorted(network.boxes)
+        for _ in range(60):
+            header = rng.getrandbits(32)
+            ingress = rng.choice(boxes)
+            assert sorted(map(tuple, classifier.query(header, ingress).paths())) == (
+                sorted(map(tuple, simulator.query(header, ingress).paths()))
+            )

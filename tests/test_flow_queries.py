@@ -1,0 +1,68 @@
+"""Tests for flow-set queries (query a match, not just one packet)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classifier import APClassifier
+from repro.datasets import toy_network
+from repro.headerspace.fields import parse_ipv4
+from repro.network.rules import Match
+
+
+@pytest.fixture(scope="module")
+def clf():
+    return APClassifier.build(toy_network())
+
+
+class TestAtomsMatching:
+    def test_any_match_covers_all_atoms(self, clf):
+        assert clf.atoms_matching(Match.any()) == clf.universe.atom_ids()
+
+    def test_narrow_match_selects_one_atom(self, clf):
+        match = Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 17)
+        atoms = clf.atoms_matching(match)
+        assert atoms == {clf.classify(parse_ipv4("10.1.0.5"))}
+
+    def test_straddling_match_selects_both_sides(self, clf):
+        # 10.1.0.0/16 straddles the p3 boundary at 10.1.128.0.
+        match = Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 16)
+        atoms = clf.atoms_matching(match)
+        assert clf.classify(parse_ipv4("10.1.0.5")) in atoms
+        assert clf.classify(parse_ipv4("10.1.200.5")) in atoms
+        assert len(atoms) == 2
+
+    def test_membership_is_exact(self, clf):
+        """An atom is selected iff some concrete packet of it matches."""
+        match = Match.prefix("dst_ip", parse_ipv4("10.2.0.0"), 16)
+        selected = clf.atoms_matching(match)
+        import random
+
+        rng = random.Random(0)
+        for atom_id in clf.universe.atom_ids():
+            fn = clf.universe.atom_fn(atom_id)
+            match_fn = clf.dataplane.compiler.match_predicate(match)
+            overlaps = not fn.disjoint(match_fn)
+            assert (atom_id in selected) == overlaps
+
+
+class TestQueryFlowSet:
+    def test_behaviors_per_atom(self, clf):
+        match = Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 16)
+        behaviors = clf.query_flow_set(match, "b1")
+        assert set(behaviors) == clf.atoms_matching(match)
+        hosts = {
+            host
+            for behavior in behaviors.values()
+            for host in behavior.delivered_hosts()
+        }
+        assert hosts == {"h1"}
+
+    def test_update_impact_analysis(self, clf):
+        """The §I workflow: a rule's match tells you which classes to
+        re-verify -- and only those."""
+        match = Match.prefix("dst_ip", parse_ipv4("10.3.0.0"), 16)
+        affected = clf.atoms_matching(match)
+        assert len(affected) == 1
+        untouched = clf.universe.atom_ids() - affected
+        assert untouched  # the rest of the network needs no re-check

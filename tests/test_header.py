@@ -1,0 +1,57 @@
+"""Unit tests for the Packet type."""
+
+import pytest
+
+from repro.headerspace.fields import dst_ip_layout, five_tuple_layout, parse_ipv4
+from repro.headerspace.header import Packet
+
+
+class TestConstruction:
+    def test_of_with_ints(self):
+        packet = Packet.of(five_tuple_layout(), dst_port=443, proto=6)
+        assert packet.field("dst_port") == 443
+        assert packet.field("proto") == 6
+
+    def test_of_with_ip_strings(self):
+        packet = Packet.of(five_tuple_layout(), src_ip="10.0.0.1", dst_ip="10.0.0.2")
+        assert packet.field("src_ip") == parse_ipv4("10.0.0.1")
+        assert packet.field("dst_ip") == parse_ipv4("10.0.0.2")
+
+    def test_string_only_for_ip_fields(self):
+        with pytest.raises(TypeError):
+            Packet.of(five_tuple_layout(), dst_port="80")  # type: ignore[arg-type]
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(dst_ip_layout(), 1 << 32)
+
+    def test_fields_dict(self):
+        packet = Packet.of(dst_ip_layout(), dst_ip="10.1.0.0")
+        assert packet.fields() == {"dst_ip": parse_ipv4("10.1.0.0")}
+
+
+class TestIdentity:
+    def test_equality(self):
+        layout = dst_ip_layout()
+        assert Packet.of(layout, dst_ip="10.0.0.1") == Packet.of(
+            layout, dst_ip="10.0.0.1"
+        )
+        assert Packet.of(layout, dst_ip="10.0.0.1") != Packet.of(
+            layout, dst_ip="10.0.0.2"
+        )
+
+    def test_hashable(self):
+        layout = dst_ip_layout()
+        packets = {
+            Packet.of(layout, dst_ip="10.0.0.1"),
+            Packet.of(layout, dst_ip="10.0.0.1"),
+        }
+        assert len(packets) == 1
+
+    def test_repr_shows_dotted_quads(self):
+        packet = Packet.of(dst_ip_layout(), dst_ip="10.1.2.3")
+        assert "10.1.2.3" in repr(packet)
+
+    def test_repr_shows_plain_ints(self):
+        packet = Packet.of(five_tuple_layout(), dst_port=80)
+        assert "dst_port=80" in repr(packet)

@@ -1,0 +1,154 @@
+"""Tests for HSA region reachability and Veriflow incremental updates."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import HsaQuerier, VeriflowTrie
+from repro.core.classifier import APClassifier
+from repro.datasets import internet2_like, toy_network
+from repro.headerspace.fields import parse_ipv4
+from repro.headerspace.wildcard import Wildcard, WildcardSet
+from repro.network.rules import ForwardingRule, Match
+
+
+class TestReachRegion:
+    def test_full_space_toy(self):
+        network = toy_network()
+        querier = HsaQuerier(network)
+        delivered = querier.reach_region(
+            WildcardSet.full(32), ingress_box="b1"
+        )
+        assert set(delivered) == {"h1", "h2"}
+        # h1 gets exactly 10.1.0.0/16 from b1.
+        h1_region = delivered["h1"]
+        assert h1_region.matches(parse_ipv4("10.1.200.1"))
+        assert not h1_region.matches(parse_ipv4("10.2.0.1"))
+
+    def test_reach_match(self):
+        network = toy_network()
+        querier = HsaQuerier(network)
+        delivered = querier.reach_match(
+            Match.prefix("dst_ip", parse_ipv4("10.2.0.0"), 16), "b1"
+        )
+        assert set(delivered) == {"h2"}
+        assert delivered["h2"].matches(parse_ipv4("10.2.0.9"))
+        assert not delivered["h2"].matches(parse_ipv4("10.2.200.9"))
+
+    def test_region_agrees_with_per_packet(self):
+        """For sampled packets: region membership == per-packet delivery."""
+        network = internet2_like(prefixes_per_router=2)
+        querier = HsaQuerier(network)
+        classifier = APClassifier.build(network)
+        delivered = querier.reach_region(WildcardSet.full(32), "KANS")
+        rng = random.Random(1)
+        for _ in range(60):
+            header = rng.getrandbits(32)
+            expected_hosts = classifier.query(header, "KANS").delivered_hosts()
+            for host, region in delivered.items():
+                assert region.matches(header) == (host in expected_hosts)
+            # Hosts with no region at all must be unreachable.
+            for host in expected_hosts:
+                assert host in delivered
+
+    def test_region_agrees_with_atom_propagation(self):
+        """HSA region reachability vs atom-set propagation: the delivered
+        region per host must contain exactly the atoms' packets."""
+        from repro.core.propagation import AtomPropagation
+
+        network = toy_network()
+        classifier = APClassifier.build(network)
+        querier = HsaQuerier(network)
+        propagation = AtomPropagation.from_classifier(classifier)
+        hsa = querier.reach_region(WildcardSet.full(32), "b1")
+        atoms = propagation.propagate("b1").atoms_at_host
+        rng = random.Random(2)
+        for host in set(hsa) | set(atoms):
+            atom_ids = atoms.get(host, frozenset())
+            region = hsa.get(host, WildcardSet.empty(32))
+            for atom_id in atom_ids:
+                witness = classifier.universe.atom_fn(atom_id).random_sat(rng)
+                assert region.matches(witness)
+
+    def test_empty_region_delivers_nothing(self):
+        querier = HsaQuerier(toy_network())
+        assert querier.reach_region(WildcardSet.empty(32), "b1") == {}
+
+    def test_input_acl_respected(self):
+        from repro.network.builder import Network
+        from repro.headerspace.fields import dst_ip_layout
+        from repro.network.rules import AclRule
+
+        network = Network(dst_ip_layout(), name="acl-region")
+        network.add_box("a")
+        network.attach_host("a", "p", "h")
+        network.add_forwarding_rule(
+            "a", Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), "p", 8
+        )
+        network.add_input_acl(
+            "a", "up", [AclRule(Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 16), permit=False)],
+            default_permit=True,
+        )
+        querier = HsaQuerier(network)
+        delivered = querier.reach_region(WildcardSet.full(32), "a", in_port="up")
+        assert not delivered["h"].matches(parse_ipv4("10.1.0.1"))
+        assert delivered["h"].matches(parse_ipv4("10.2.0.1"))
+
+
+class TestVeriflowIncremental:
+    def test_insert_then_query(self):
+        network = toy_network()
+        trie = VeriflowTrie(network)
+        rule = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.9.0.0"), 16), ("to_h1",), 16
+        )
+        network.box("b1").table.add(rule)
+        trie.insert_rule("b1", rule)
+        behavior = trie.query(parse_ipv4("10.9.0.1"), "b1")
+        assert behavior.delivered_hosts() == {"h1"}
+
+    def test_remove_restores(self):
+        network = toy_network()
+        trie = VeriflowTrie(network)
+        rule = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.9.0.0"), 16), ("to_h1",), 16
+        )
+        network.box("b1").table.add(rule)
+        trie.insert_rule("b1", rule)
+        network.box("b1").table.remove(rule)
+        trie.remove_rule("b1", rule)
+        behavior = trie.query(parse_ipv4("10.9.0.1"), "b1")
+        assert behavior.is_dropped_everywhere
+
+    def test_remove_unknown_raises(self):
+        trie = VeriflowTrie(toy_network())
+        rule = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("99.0.0.0"), 8), ("x",), 8
+        )
+        with pytest.raises(KeyError):
+            trie.remove_rule("b1", rule)
+
+    def test_incremental_matches_rebuild(self):
+        """After a batch of inserts, the trie equals a fresh build."""
+        network = internet2_like(prefixes_per_router=1)
+        trie = VeriflowTrie(network)
+        rng = random.Random(3)
+        from repro.datasets import rule_update_stream
+
+        for update in rule_update_stream(network, 15, rng, insert_fraction=1.0):
+            network.box(update.box).table.add(update.rule)
+            trie.insert_rule(update.box, update.rule)
+        fresh = VeriflowTrie(network)
+        for _ in range(40):
+            header = rng.getrandbits(32)
+            incremental = {
+                (r.box, r.priority, r.out_ports)
+                for r in trie.matching_rules(header)
+            }
+            rebuilt = {
+                (r.box, r.priority, r.out_ports)
+                for r in fresh.matching_rules(header)
+            }
+            assert incremental == rebuilt

@@ -1,0 +1,171 @@
+"""End-to-end scenarios: the management applications of Section I built on
+the public API (verification, policy enforcement, fault localization)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.classifier import APClassifier
+from repro.datasets import internet2_like, uniform_over_atoms
+from repro.headerspace.fields import dst_ip_layout, parse_ipv4
+from repro.headerspace.header import Packet
+from repro.network.builder import Network
+from repro.network.rules import AclRule, ForwardingRule, Match
+
+
+def chain_network() -> Network:
+    """edge -> firewall -> ids -> core -> host: a policy-enforcement chain."""
+    network = Network(dst_ip_layout(), name="chain")
+    for name in ("edge", "fw", "ids", "core"):
+        network.add_box(name)
+    network.link("edge", "to_fw", "fw", "from_edge")
+    network.link("fw", "to_ids", "ids", "from_fw")
+    network.link("ids", "to_core", "core", "from_ids")
+    network.attach_host("core", "cust", "server")
+    web = Match.prefix("dst_ip", parse_ipv4("10.10.0.0"), 16)
+    for box, port in (
+        ("edge", "to_fw"),
+        ("fw", "to_ids"),
+        ("ids", "to_core"),
+        ("core", "cust"),
+    ):
+        network.add_forwarding_rule(box, web, port, 16)
+    # The firewall blocks one malicious prefix on its ingress.
+    network.add_input_acl(
+        "fw",
+        "from_edge",
+        [
+            AclRule(Match.prefix("dst_ip", parse_ipv4("10.10.66.0"), 24), permit=False),
+            AclRule(Match.any(), permit=True),
+        ],
+    )
+    return network
+
+
+class TestPolicyEnforcement:
+    def test_waypoint_traversal(self):
+        """Verify HTTP-like traffic passes firewall and IDS in order."""
+        classifier = APClassifier.build(chain_network())
+        packet = Packet.of(dst_ip_layout(), dst_ip="10.10.1.1")
+        behavior = classifier.query(packet, "edge")
+        assert behavior.boxes_traversed() == ["edge", "fw", "ids", "core"]
+        assert behavior.delivered_hosts() == {"server"}
+
+    def test_firewall_blocks_malicious_prefix(self):
+        classifier = APClassifier.build(chain_network())
+        packet = Packet.of(dst_ip_layout(), dst_ip="10.10.66.9")
+        behavior = classifier.query(packet, "edge")
+        assert behavior.is_dropped_everywhere
+        assert ("fw", "input_acl") in behavior.drops()
+
+
+class TestVerificationBeforeUpdate:
+    """The Section I workflow: before installing a rule, query the affected
+    flows; install only if behaviors stay compliant."""
+
+    def test_detects_blackhole_before_commit(self):
+        network = internet2_like(prefixes_per_router=2)
+        classifier = APClassifier.build(network)
+        rng = random.Random(0)
+        probe = uniform_over_atoms(classifier.universe, 1, rng).headers[0]
+        before = classifier.query(probe, "SEAT")
+        was_delivered = bool(before.delivered_hosts())
+
+        # Candidate update: a high-priority drop-style rule (no out port
+        # reachable) -- a /0 route to a port that leads nowhere useful is
+        # modeled here as a rule steering everything into a dead port.
+        bad_rule = ForwardingRule(Match.any(), ("blackhole",), priority=32)
+        classifier.insert_rule("SEAT", bad_rule)
+        after = classifier.query(probe, "SEAT")
+        # Verification catches the change: the packet no longer reaches
+        # its host through SEAT.
+        if was_delivered:
+            assert after.delivered_hosts() != before.delivered_hosts()
+        # Roll back; behavior must be restored exactly.
+        classifier.remove_rule("SEAT", bad_rule)
+        restored = classifier.query(probe, "SEAT")
+        assert sorted(map(tuple, restored.paths())) == sorted(
+            map(tuple, before.paths())
+        )
+
+
+class TestFaultLocalization:
+    def test_compare_expected_vs_actual(self):
+        """Remove a transit rule (a 'fault'), then localize the first box
+        whose behavior diverges from the golden classifier's."""
+        golden_net = internet2_like(prefixes_per_router=2)
+        faulty_net = internet2_like(prefixes_per_router=2)
+        golden = APClassifier.build(golden_net)
+        faulty = APClassifier.build(faulty_net)
+
+        rng = random.Random(1)
+        header = uniform_over_atoms(golden.universe, 1, rng).headers[0]
+        expected = golden.query(header, "SEAT")
+        if not expected.delivered_hosts():
+            pytest.skip("probe atom is undeliverable; not a localization case")
+        path = expected.paths()[0]
+        victim_box = path[1] if len(path) > 2 else path[0]
+
+        # Break the victim box: remove the rule its forwarding relies on.
+        packet = Packet(golden_net.layout, header)
+        for rule in list(faulty_net.box(victim_box).table):
+            if rule.match.matches(packet):
+                faulty.remove_rule(victim_box, rule)
+                break
+        actual = faulty.query(header, "SEAT")
+        assert sorted(map(tuple, actual.paths())) != sorted(
+            map(tuple, expected.paths())
+        )
+        # Localize: first box where the two traces diverge.
+        expected_boxes = expected.boxes_traversed()
+        actual_boxes = actual.boxes_traversed()
+        divergence = next(
+            (
+                index
+                for index, (a, b) in enumerate(zip(expected_boxes, actual_boxes))
+                if a != b
+            ),
+            min(len(expected_boxes), len(actual_boxes)),
+        )
+        localized = expected_boxes[min(divergence, len(expected_boxes) - 1)]
+        assert localized in expected_boxes
+
+
+class TestVlanStyleIsolation:
+    def test_tenant_cannot_reach_other_tenant(self):
+        network = Network(dst_ip_layout(), name="tenants")
+        network.add_box("sw")
+        network.attach_host("sw", "t1", "tenant1")
+        network.attach_host("sw", "t2", "tenant2")
+        network.add_forwarding_rule(
+            "sw", Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 16), "t1", 16
+        )
+        network.add_forwarding_rule(
+            "sw", Match.prefix("dst_ip", parse_ipv4("10.2.0.0"), 16), "t2", 16
+        )
+        # Isolation policy: tenant2's port rejects tenant1-destined noise
+        # (defense in depth; forwarding already separates them).
+        classifier = APClassifier.build(network)
+        # Every atom delivered to t1's host must not also reach t2's.
+        for atom_id in classifier.universe.atom_ids():
+            behavior = classifier.behavior_of_atom(atom_id, "sw")
+            hosts = behavior.delivered_hosts()
+            assert hosts != {"tenant1", "tenant2"}
+
+
+class TestThroughputSanity:
+    def test_classifier_beats_pscan_by_an_order(self, internet2_classifier):
+        """Fig. 12's core claim at test scale: >= 5x over PScan."""
+        from repro.analysis.stats import measure_throughput
+        from repro.baselines import PScanIdentifier
+
+        rng = random.Random(2)
+        trace = uniform_over_atoms(internet2_classifier.universe, 300, rng)
+        fast = measure_throughput(
+            internet2_classifier.tree.classify, trace.headers, repeat=3
+        )
+        pscan = PScanIdentifier(internet2_classifier.dataplane)
+        slow = measure_throughput(pscan.verdicts, trace.headers, repeat=3)
+        assert fast.qps > slow.qps * 5

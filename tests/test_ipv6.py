@@ -1,0 +1,141 @@
+"""IPv6 support: address parsing and the full pipeline at 128-bit width."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.classifier import APClassifier
+from repro.headerspace.fields import (
+    dst_ip6_layout,
+    five_tuple6_layout,
+    format_ipv6,
+    parse_ipv6,
+)
+from repro.headerspace.header import Packet
+from repro.network.builder import Network
+from repro.network.rules import Match
+
+
+class TestParseIpv6:
+    @pytest.mark.parametrize(
+        ("text", "value"),
+        [
+            ("::", 0),
+            ("::1", 1),
+            ("2001:db8::", 0x20010DB8 << 96),
+            (
+                "2001:db8:0:1:2:3:4:5",
+                (0x2001 << 112) | (0x0DB8 << 96) | (0x1 << 64)
+                | (0x2 << 48) | (0x3 << 32) | (0x4 << 16) | 0x5,
+            ),
+            ("fe80::1:2", (0xFE80 << 112) | (1 << 16) | 2),
+        ],
+    )
+    def test_parse_known_values(self, text, value):
+        assert parse_ipv6(text) == value
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "1:2:3",                     # too few groups, no ::
+            "1:2:3:4:5:6:7:8:9",         # too many groups
+            "1::2::3",                   # two compressions
+            "12345::",                   # oversized group
+            "1:2:3:4:5:6:7:8::",         # :: with nothing to fill
+            "g::1",                      # bad hex
+        ],
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_ipv6(bad)
+
+    def test_format_round_trip(self):
+        for text in ("::", "::1", "2001:db8::1", "fe80::a:b:c", "1:2:3:4:5:6:7:8"):
+            assert parse_ipv6(format_ipv6(parse_ipv6(text))) == parse_ipv6(text)
+
+    def test_format_compresses_longest_run(self):
+        assert format_ipv6(parse_ipv6("2001:0:0:1:0:0:0:1")) == "2001:0:0:1::1"
+
+    def test_format_range_checked(self):
+        with pytest.raises(ValueError):
+            format_ipv6(1 << 128)
+
+    def test_random_round_trips(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            value = rng.getrandbits(128)
+            assert parse_ipv6(format_ipv6(value)) == value
+
+
+class TestLayouts:
+    def test_widths(self):
+        assert dst_ip6_layout().total_width == 128
+        assert five_tuple6_layout().total_width == 296
+
+    def test_packet_of_parses_ip6(self):
+        packet = Packet.of(dst_ip6_layout(), dst_ip6="2001:db8::7")
+        assert packet.field("dst_ip6") == parse_ipv6("2001:db8::7")
+        assert "2001:db8::7" in repr(packet)
+
+
+class TestPipelineAt128Bits:
+    """The whole stack -- compile, atoms, AP Tree, stage 2 -- on IPv6."""
+
+    @pytest.fixture(scope="class")
+    def v6_classifier(self):
+        network = Network(dst_ip6_layout(), name="v6")
+        network.add_box("r1")
+        network.add_box("r2")
+        network.link("r1", "to_r2", "r2", "from_r1")
+        network.attach_host("r1", "cust", "local")
+        network.attach_host("r2", "cust", "remote")
+        network.add_forwarding_rule(
+            "r1", Match.prefix("dst_ip6", parse_ipv6("2001:db8:1::"), 48), "cust", 48
+        )
+        network.add_forwarding_rule(
+            "r1", Match.prefix("dst_ip6", parse_ipv6("2001:db8::"), 32), "to_r2", 32
+        )
+        network.add_forwarding_rule(
+            "r2", Match.prefix("dst_ip6", parse_ipv6("2001:db8::"), 32), "cust", 32
+        )
+        return APClassifier.build(network)
+
+    def test_lpm_at_128_bits(self, v6_classifier):
+        layout = v6_classifier.dataplane.layout
+        local = Packet.of(layout, dst_ip6="2001:db8:1::42")
+        remote = Packet.of(layout, dst_ip6="2001:db8:2::42")
+        assert v6_classifier.query(local, "r1").delivered_hosts() == {"local"}
+        assert v6_classifier.query(remote, "r1").delivered_hosts() == {"remote"}
+
+    def test_atoms_partition_v6_space(self, v6_classifier):
+        assert v6_classifier.universe.verify_partition()
+        assert v6_classifier.universe.atom_count == 3  # local, remote, drop
+
+    def test_tree_agrees_with_scan(self, v6_classifier):
+        rng = random.Random(1)
+        for _ in range(30):
+            header = rng.getrandbits(128)
+            assert v6_classifier.tree.classify(header) == (
+                v6_classifier.universe.classify(header)
+            )
+
+    def test_updates_work_at_128_bits(self, v6_classifier):
+        from repro.network.rules import ForwardingRule
+
+        rule = ForwardingRule(
+            Match.prefix("dst_ip6", parse_ipv6("2001:db8:2::"), 48),
+            ("cust",),
+            priority=48,
+        )
+        results = v6_classifier.insert_rule("r1", rule)
+        try:
+            layout = v6_classifier.dataplane.layout
+            rerouted = Packet.of(layout, dst_ip6="2001:db8:2::1")
+            assert v6_classifier.query(rerouted, "r1").delivered_hosts() == {
+                "local"
+            }
+        finally:
+            v6_classifier.remove_rule("r1", rule)
+        assert results

@@ -1,0 +1,228 @@
+"""Tests for the LPM trie and its ForwardingTable fast path."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.headerspace.fields import HeaderLayout, dst_ip_layout, parse_ipv4
+from repro.headerspace.header import Packet
+from repro.network.lpm import PrefixTrie
+from repro.network.rules import ForwardingRule, Match
+from repro.network.tables import ForwardingTable
+
+SMALL = HeaderLayout([("dst", 6)])
+
+
+class TestPrefixTrie:
+    def test_lpm_semantics(self):
+        trie = PrefixTrie(8)
+        trie.insert(0b1000_0000, 1, "half")
+        trie.insert(0b1010_0000, 3, "eighth")
+        assert trie.lookup(0b1010_1111) == "eighth"
+        assert trie.lookup(0b1000_0000) == "half"
+        assert trie.lookup(0b0000_0001) is None
+
+    def test_zero_length_prefix_is_default(self):
+        trie = PrefixTrie(8)
+        trie.insert(0, 0, "default")
+        trie.insert(0b1100_0000, 2, "specific")
+        assert trie.lookup(0b0011_0000) == "default"
+        assert trie.lookup(0b1101_0000) == "specific"
+
+    def test_insert_replaces(self):
+        trie = PrefixTrie(4)
+        trie.insert(0b1000, 1, "old")
+        trie.insert(0b1000, 1, "new")
+        assert trie.lookup(0b1000) == "new"
+        assert len(trie) == 1
+
+    def test_remove(self):
+        trie = PrefixTrie(4)
+        trie.insert(0b1000, 1, "x")
+        trie.remove(0b1000, 1)
+        assert trie.lookup(0b1000) is None
+        with pytest.raises(KeyError):
+            trie.remove(0b1000, 1)
+
+    def test_get_is_exact(self):
+        trie = PrefixTrie(4)
+        trie.insert(0b1000, 1, "x")
+        assert trie.get(0b1000, 1) == "x"
+        assert trie.get(0b1000, 2) is None
+
+    def test_items(self):
+        trie = PrefixTrie(4)
+        trie.insert(0b1000, 1, "a")
+        trie.insert(0b0100, 2, "b")
+        assert sorted(trie.items()) == [(0b0100, 2, "b"), (0b1000, 1, "a")]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefixTrie(0)
+        trie = PrefixTrie(4)
+        with pytest.raises(ValueError):
+            trie.insert(0, 5, "x")
+        with pytest.raises(ValueError):
+            trie.insert(16, 0, "x")
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=63),
+                st.integers(min_value=0, max_value=6),
+            ),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=150)
+    def test_lpm_matches_reference(self, prefixes):
+        """Trie lookup == brute-force longest matching prefix."""
+        trie = PrefixTrie(6)
+        canonical: dict[tuple[int, int], str] = {}
+        for value, prefix_len in prefixes:
+            keep = 6 - prefix_len
+            aligned = (value >> keep) << keep if keep else value
+            payload = f"{aligned}/{prefix_len}"
+            trie.insert(aligned, prefix_len, payload)
+            canonical[(aligned, prefix_len)] = payload
+        for key in range(64):
+            best = None
+            best_len = -1
+            for (value, prefix_len), payload in canonical.items():
+                keep = 6 - prefix_len
+                if (key >> keep if keep else key) == (value >> keep if keep else value):
+                    if prefix_len > best_len:
+                        best, best_len = payload, prefix_len
+            assert trie.lookup(key) == best
+
+
+class TestForwardingTableFastPath:
+    def lpm_table(self) -> ForwardingTable:
+        return ForwardingTable(
+            [
+                ForwardingRule(
+                    Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), ("coarse",), 8
+                ),
+                ForwardingRule(
+                    Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 16), ("fine",), 16
+                ),
+                ForwardingRule(Match.any(), ("default",), 0),
+            ]
+        )
+
+    def test_trie_activates_for_lpm_tables(self):
+        table = self.lpm_table()
+        packet = Packet.of(dst_ip_layout(), dst_ip="10.1.2.3")
+        assert table.lookup(packet) == ("fine",)
+        assert table._trie is not None  # fast path engaged
+
+    def test_fallback_for_multifield_rules(self):
+        from repro.headerspace.fields import five_tuple_layout
+
+        layout = five_tuple_layout()
+        table = ForwardingTable(
+            [
+                ForwardingRule(
+                    Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8).with_prefix(
+                        "proto", 6, 8
+                    ),
+                    ("p",),
+                    8,
+                )
+            ]
+        )
+        packet = Packet.of(layout, dst_ip="10.1.1.1", proto=6)
+        assert table.lookup(packet) == ("p",)
+        assert table._trie is None  # general scan
+
+    def test_fallback_when_priority_disagrees(self):
+        table = ForwardingTable(
+            [
+                ForwardingRule(
+                    Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), ("p",), 99
+                )
+            ]
+        )
+        packet = Packet.of(dst_ip_layout(), dst_ip="10.1.1.1")
+        assert table.lookup(packet) == ("p",)
+        assert table._trie is None
+
+    def test_mutation_invalidates_trie(self):
+        table = self.lpm_table()
+        packet = Packet.of(dst_ip_layout(), dst_ip="10.1.2.3")
+        assert table.lookup(packet) == ("fine",)
+        shadow = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.1.2.0"), 24), ("finest",), 24
+        )
+        table.add(shadow)
+        assert table.lookup(packet) == ("finest",)
+        table.remove(shadow)
+        assert table.lookup(packet) == ("fine",)
+
+    def test_duplicate_prefix_earlier_wins(self):
+        table = ForwardingTable()
+        first = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), ("first",), 8
+        )
+        second = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), ("second",), 8
+        )
+        table.add(first)
+        table.add(second)
+        packet = Packet.of(dst_ip_layout(), dst_ip="10.5.5.5")
+        assert table.lookup(packet) == ("first",)
+
+    def test_drop_rule_in_trie(self):
+        table = ForwardingTable(
+            [
+                ForwardingRule(
+                    Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 16), (), 16
+                ),
+                ForwardingRule(
+                    Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), ("out",), 8
+                ),
+            ]
+        )
+        blocked = Packet.of(dst_ip_layout(), dst_ip="10.1.0.1")
+        allowed = Packet.of(dst_ip_layout(), dst_ip="10.2.0.1")
+        assert table.lookup(blocked) == ()
+        assert table.lookup(allowed) == ("out",)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=63),
+                st.integers(min_value=0, max_value=6),
+                st.sampled_from(["p0", "p1", ""]),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=100)
+    def test_fast_path_equals_linear_scan(self, specs):
+        """Property: with the trie force-disabled, results are identical."""
+        rules = [
+            ForwardingRule(
+                Match.prefix("dst", value, prefix_len),
+                (port,) if port else (),
+                prefix_len,
+            )
+            for value, prefix_len, port in specs
+        ]
+        fast = ForwardingTable(rules)
+        slow = ForwardingTable(rules)
+        for key in range(64):
+            packet = Packet(SMALL, key)
+            fast_result = fast.lookup(packet)
+            # Force the linear path on the control table.
+            slow._trie_version = slow._version
+            slow._trie = None
+            slow_result = next(
+                (r.out_ports for r in slow._rules if r.match.matches(packet)), ()
+            )
+            assert fast_result == slow_result

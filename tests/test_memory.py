@@ -1,0 +1,86 @@
+"""Tests for the memory accounting module."""
+
+from __future__ import annotations
+
+from repro.analysis.memory import MemoryReport, memory_report
+
+
+class TestMemoryReport:
+    def test_components_positive(self, internet2_classifier):
+        report = memory_report(internet2_classifier)
+        assert report.predicate_bdd_nodes > 0
+        assert report.atom_bdd_nodes > 0
+        assert report.tree_nodes == internet2_classifier.tree.node_count()
+        assert report.total_bytes > 0
+
+    def test_sharing_bounded(self, internet2_classifier):
+        report = memory_report(internet2_classifier)
+        assert report.shared_bdd_nodes <= min(
+            report.predicate_bdd_nodes, report.atom_bdd_nodes
+        )
+
+    def test_r_entries_match_universe(self, internet2_classifier):
+        report = memory_report(internet2_classifier)
+        expected = sum(
+            len(internet2_classifier.universe.r(pid))
+            for pid in internet2_classifier.universe.predicate_ids()
+        )
+        assert report.r_entries == expected
+
+    def test_rows_render(self, internet2_classifier):
+        rows = memory_report(internet2_classifier).rows()
+        assert any("estimated total" in label for label, _ in rows)
+        assert all(isinstance(value, str) for _, value in rows)
+
+    def test_total_formula(self):
+        report = MemoryReport(
+            predicate_bdd_nodes=100,
+            atom_bdd_nodes=50,
+            shared_bdd_nodes=20,
+            tree_nodes=10,
+            r_entries=30,
+            topology_entries=5,
+        )
+        expected = 130 * 20 + 10 * 40 + 30 * 8 + 5 * 48
+        assert report.total_bytes == expected
+
+    def test_memory_follows_node_count_not_rule_count(self):
+        """The paper's §VII-B observation: more rules does not mean more
+        memory when the rules are similar."""
+        from repro.core.classifier import APClassifier
+        from repro.datasets import internet2_like
+
+        small = APClassifier.build(internet2_like(prefixes_per_router=1))
+        # Same plane but each prefix duplicated as many finer rules that
+        # reduce to the same behavior: rules grow, predicates don't.
+        bloated_net = internet2_like(prefixes_per_router=1)
+        from repro.network.rules import ForwardingRule, Match
+
+        for name, box in bloated_net.boxes.items():
+            extra = []
+            for rule in list(box.table):
+                constraint = rule.match.constraint_for("dst_ip")
+                if constraint is None or constraint.prefix_len != 16:
+                    continue
+                # Split the /16 into two /17s to the same port.
+                for half in (0, 1):
+                    extra.append(
+                        ForwardingRule(
+                            Match.prefix(
+                                "dst_ip",
+                                constraint.value | (half << 15),
+                                17,
+                            ),
+                            rule.out_ports,
+                            priority=17,
+                        )
+                    )
+            for rule in extra:
+                box.table.add(rule)
+        bloated = APClassifier.build(bloated_net)
+        assert bloated_net.rule_count() > small.dataplane.network.rule_count()
+        small_report = memory_report(small)
+        bloated_report = memory_report(bloated)
+        # Identical behaviors -> same atoms, near-identical BDD footprint.
+        assert bloated.universe.atom_count == small.universe.atom_count
+        assert bloated_report.atom_bdd_nodes == small_report.atom_bdd_nodes

@@ -1,0 +1,233 @@
+"""Middlebox header-change tests (Section V-E)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.classifier import APClassifier
+from repro.core.middlebox import (
+    DETERMINISTIC,
+    PAYLOAD_DEPENDENT,
+    PROBABILISTIC,
+    FlowEntry,
+    HeaderRewrite,
+    Middlebox,
+    MiddleboxAwareComputer,
+    MiddleboxTable,
+    RewriteBranch,
+)
+from repro.datasets import make_middlebox, toy_network
+from repro.headerspace.fields import parse_ipv4
+from repro.headerspace.header import Packet
+
+
+class TestHeaderRewrite:
+    def test_apply_forces_masked_bits(self):
+        rewrite = HeaderRewrite(mask=0xFF00, value=0xAB00)
+        assert rewrite.apply(0x1234) == 0xAB34
+
+    def test_identity(self):
+        rewrite = HeaderRewrite(mask=0, value=0)
+        assert rewrite.is_identity
+        assert rewrite.apply(0x77) == 0x77
+
+    def test_value_outside_mask_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderRewrite(mask=0x0F, value=0x10)
+
+
+class TestFlowEntryValidation:
+    def test_deterministic_requires_new_atom(self):
+        with pytest.raises(ValueError):
+            FlowEntry(
+                match_atoms=frozenset({1}),
+                kind=DETERMINISTIC,
+                branches=(RewriteBranch(HeaderRewrite(0, 0)),),
+            )
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            FlowEntry(
+                match_atoms=frozenset({1}),
+                kind=PROBABILISTIC,
+                branches=(
+                    RewriteBranch(HeaderRewrite(0, 0), probability=0.5),
+                    RewriteBranch(HeaderRewrite(0, 0), probability=0.4),
+                ),
+            )
+
+    def test_single_branch_enforced_for_deterministic(self):
+        with pytest.raises(ValueError):
+            FlowEntry(
+                match_atoms=frozenset({1}),
+                kind=DETERMINISTIC,
+                branches=(
+                    RewriteBranch(HeaderRewrite(0, 0), 0.5, 1),
+                    RewriteBranch(HeaderRewrite(0, 0), 0.5, 1),
+                ),
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FlowEntry(
+                match_atoms=frozenset({1}),
+                kind="mystery",
+                branches=(RewriteBranch(HeaderRewrite(0, 0)),),
+            )
+
+    def test_empty_branches_rejected(self):
+        with pytest.raises(ValueError):
+            FlowEntry(match_atoms=frozenset({1}), kind=PAYLOAD_DEPENDENT, branches=())
+
+
+class TestMiddleboxTable:
+    def test_first_match(self):
+        entry_a = FlowEntry(
+            frozenset({1, 2}),
+            PAYLOAD_DEPENDENT,
+            (RewriteBranch(HeaderRewrite(0, 0)),),
+        )
+        entry_b = FlowEntry(
+            frozenset({2, 3}),
+            PAYLOAD_DEPENDENT,
+            (RewriteBranch(HeaderRewrite(0, 0)),),
+        )
+        table = MiddleboxTable([entry_a, entry_b])
+        assert table.entry_for(2) is entry_a
+        assert table.entry_for(3) is entry_b
+        assert table.entry_for(9) is None
+        assert len(table) == 2
+
+
+def toy_with_nat() -> tuple[APClassifier, MiddleboxAwareComputer]:
+    """A NAT at b2 translating 10.2.0.0/17 destinations to 10.3.0.0/16.
+
+    Without the NAT both land at h2 (both inside p3); with the NAT the
+    classifier must continue the walk with the rewritten header's atom.
+    """
+    network = toy_network()
+    classifier = APClassifier.build(network)
+    original = Packet.of(network.layout, dst_ip="10.2.0.9")
+    rewritten = Packet.of(network.layout, dst_ip="10.3.0.9")
+    source_atom = classifier.classify(original)
+    target_atom = classifier.classify(rewritten)
+    entry = FlowEntry(
+        match_atoms=frozenset({source_atom}),
+        kind=DETERMINISTIC,
+        branches=(
+            RewriteBranch(
+                HeaderRewrite(mask=(1 << 32) - 1, value=rewritten.value),
+                probability=1.0,
+                new_atom=target_atom,
+            ),
+        ),
+    )
+    middlebox = Middlebox("NAT", MiddleboxTable([entry]))
+    return classifier, MiddleboxAwareComputer(classifier, {"b2": middlebox})
+
+
+class TestType1Deterministic:
+    def test_rewritten_packet_follows_new_atom(self):
+        classifier, computer = toy_with_nat()
+        packet = Packet.of(classifier.dataplane.layout, dst_ip="10.2.0.9")
+        outcomes = computer.query(packet.value, "b1")
+        assert len(outcomes) == 1
+        outcome = outcomes[0]
+        assert outcome.probability == pytest.approx(1.0)
+        assert outcome.tree_searches == 0  # Type 1: atom was precomputed
+        # 10.3.0.9 is still inside p3, so delivery to h2 persists; the
+        # point is the walk used the *new* atom.
+        assert outcome.behavior.delivered_hosts() == {"h2"}
+
+    def test_unmatched_packets_pass_through(self):
+        classifier, computer = toy_with_nat()
+        packet = Packet.of(classifier.dataplane.layout, dst_ip="10.1.0.9")
+        outcomes = computer.query(packet.value, "b1")
+        assert len(outcomes) == 1
+        assert outcomes[0].behavior.delivered_hosts() == {"h1"}
+
+
+class TestType2Type3:
+    def test_payload_dependent_triggers_research(self):
+        network = toy_network()
+        classifier = APClassifier.build(network)
+        original = Packet.of(network.layout, dst_ip="10.2.0.9")
+        rewritten = Packet.of(network.layout, dst_ip="10.2.200.9")  # leaves p3
+        entry = FlowEntry(
+            match_atoms=frozenset({classifier.classify(original)}),
+            kind=PAYLOAD_DEPENDENT,
+            branches=(
+                RewriteBranch(
+                    HeaderRewrite((1 << 32) - 1, rewritten.value), 1.0, None
+                ),
+            ),
+        )
+        computer = MiddleboxAwareComputer(
+            classifier, {"b2": Middlebox("DPI", MiddleboxTable([entry]))}
+        )
+        outcomes = computer.query(original.value, "b1")
+        assert len(outcomes) == 1
+        assert outcomes[0].tree_searches == 1
+        # 10.2.200.x is outside p3: b2 now drops the rewritten packet.
+        assert outcomes[0].behavior.is_dropped_everywhere
+
+    def test_probabilistic_yields_multiple_behaviors(self):
+        network = toy_network()
+        classifier = APClassifier.build(network)
+        original = Packet.of(network.layout, dst_ip="10.2.0.9")
+        stay = Packet.of(network.layout, dst_ip="10.2.0.10")
+        leave = Packet.of(network.layout, dst_ip="10.2.200.9")
+        entry = FlowEntry(
+            match_atoms=frozenset({classifier.classify(original)}),
+            kind=PROBABILISTIC,
+            branches=(
+                RewriteBranch(HeaderRewrite((1 << 32) - 1, stay.value), 0.5),
+                RewriteBranch(HeaderRewrite((1 << 32) - 1, leave.value), 0.5),
+            ),
+        )
+        computer = MiddleboxAwareComputer(
+            classifier, {"b2": Middlebox("LB", MiddleboxTable([entry]))}
+        )
+        outcomes = computer.query(original.value, "b1")
+        assert len(outcomes) == 2
+        assert sum(o.probability for o in outcomes) == pytest.approx(1.0)
+        delivered = [o for o in outcomes if o.behavior.delivered_hosts()]
+        dropped = [o for o in outcomes if o.behavior.is_dropped_everywhere]
+        assert len(delivered) == 1 and len(dropped) == 1
+
+
+class TestGeneratedMiddleboxes:
+    def test_generator_respects_deterministic_ratio(self, internet2_classifier):
+        rng = random.Random(1)
+        all_deterministic = make_middlebox(
+            "MB", internet2_classifier.universe, rng, deterministic_ratio=1.0
+        )
+        assert all(e.kind == DETERMINISTIC for e in all_deterministic.table)
+        none_deterministic = make_middlebox(
+            "MB", internet2_classifier.universe, rng, deterministic_ratio=0.0
+        )
+        assert all(e.kind != DETERMINISTIC for e in none_deterministic.table)
+
+    def test_entries_cover_all_atoms(self, internet2_classifier):
+        rng = random.Random(2)
+        middlebox = make_middlebox("MB", internet2_classifier.universe, rng)
+        covered = frozenset().union(*(e.match_atoms for e in middlebox.table))
+        assert covered == internet2_classifier.universe.atom_ids()
+
+    def test_queries_complete_with_middlebox(self, internet2_classifier):
+        rng = random.Random(3)
+        middlebox = make_middlebox(
+            "MB", internet2_classifier.universe, rng, deterministic_ratio=0.5
+        )
+        computer = MiddleboxAwareComputer(
+            internet2_classifier, {"CHIC": middlebox}
+        )
+        from repro.datasets import uniform_over_atoms
+
+        trace = uniform_over_atoms(internet2_classifier.universe, 15, rng)
+        for header in trace.headers:
+            outcomes = computer.query(header, "SEAT")
+            assert outcomes
+            assert sum(o.probability for o in outcomes) == pytest.approx(1.0)

@@ -1,0 +1,186 @@
+"""Corner cases: middleboxes meeting multicast, and FlowEntry.from_match."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classifier import APClassifier
+from repro.core.middlebox import (
+    DETERMINISTIC,
+    PROBABILISTIC,
+    FlowEntry,
+    HeaderRewrite,
+    Middlebox,
+    MiddleboxAwareComputer,
+    MiddleboxTable,
+    RewriteBranch,
+)
+from repro.datasets import toy_network
+from repro.headerspace.fields import dst_ip_layout, parse_ipv4
+from repro.network.builder import Network
+from repro.network.rules import Match
+
+FULL = (1 << 32) - 1
+
+
+def multicast_diamond() -> Network:
+    """s multicasts to l and r; both forward to their own host."""
+    network = Network(dst_ip_layout(), name="mb-mcast")
+    for name in ("s", "l", "r"):
+        network.add_box(name)
+    network.link("s", "to_l", "l", "from_s")
+    network.link("s", "to_r", "r", "from_s")
+    network.attach_host("l", "cust", "hl")
+    network.attach_host("r", "cust", "hr")
+    group = Match.prefix("dst_ip", parse_ipv4("224.0.0.0"), 4)
+    network.add_forwarding_rule("s", group, ("to_l", "to_r"), 4)
+    network.add_forwarding_rule("l", group, "cust", 4)
+    network.add_forwarding_rule("r", group, "cust", 4)
+    return network
+
+
+class TestMulticastWithProbabilisticMiddlebox:
+    def test_probabilities_sum_to_one_across_product(self):
+        """A probabilistic middlebox on one multicast branch: the cross
+        product of outcomes must still form a probability distribution."""
+        network = multicast_diamond()
+        classifier = APClassifier.build(network)
+        header = parse_ipv4("224.1.1.1")
+        atom = classifier.classify(header)
+        keep = RewriteBranch(HeaderRewrite(0, 0), probability=0.5)
+        also_keep = RewriteBranch(HeaderRewrite(1, 1), probability=0.5)
+        entry = FlowEntry(
+            match_atoms=frozenset({atom}),
+            kind=PROBABILISTIC,
+            branches=(keep, also_keep),
+        )
+        computer = MiddleboxAwareComputer(
+            classifier, {"l": Middlebox("LB", MiddleboxTable([entry]))}
+        )
+        outcomes = computer.query(header, "s")
+        assert len(outcomes) == 2
+        assert sum(o.probability for o in outcomes) == pytest.approx(1.0)
+        # Both outcomes still deliver to both hosts (rewrites kept the
+        # packet in the multicast group's atom).
+        for outcome in outcomes:
+            assert outcome.behavior.delivered_hosts() == {"hl", "hr"}
+
+    def test_two_probabilistic_middleboxes_product(self):
+        network = multicast_diamond()
+        classifier = APClassifier.build(network)
+        header = parse_ipv4("224.1.1.1")
+        atom = classifier.classify(header)
+
+        def two_way() -> FlowEntry:
+            return FlowEntry(
+                match_atoms=frozenset({atom}),
+                kind=PROBABILISTIC,
+                branches=(
+                    RewriteBranch(HeaderRewrite(0, 0), probability=0.5),
+                    RewriteBranch(HeaderRewrite(1, 1), probability=0.5),
+                ),
+            )
+
+        computer = MiddleboxAwareComputer(
+            classifier,
+            {
+                "l": Middlebox("LB1", MiddleboxTable([two_way()])),
+                "r": Middlebox("LB2", MiddleboxTable([two_way()])),
+            },
+        )
+        outcomes = computer.query(header, "s")
+        # 2 branches at l x 2 at r = 4 outcomes of probability 0.25.
+        assert len(outcomes) == 4
+        assert sum(o.probability for o in outcomes) == pytest.approx(1.0)
+        for outcome in outcomes:
+            assert outcome.probability == pytest.approx(0.25)
+
+
+class TestIdentityMiddlebox:
+    def test_empty_table_equals_plain_behavior(self, internet2_classifier):
+        """A middlebox whose table matches nothing must be transparent."""
+        import random
+
+        computer = MiddleboxAwareComputer(
+            internet2_classifier,
+            {"CHIC": Middlebox("noop", MiddleboxTable())},
+        )
+        rng = random.Random(7)
+        boxes = sorted(internet2_classifier.dataplane.network.boxes)
+        for _ in range(25):
+            header = rng.getrandbits(32)
+            ingress = rng.choice(boxes)
+            (outcome,) = computer.query(header, ingress)
+            plain = internet2_classifier.query(header, ingress)
+            assert sorted(map(tuple, outcome.behavior.paths())) == sorted(
+                map(tuple, plain.paths())
+            )
+            assert outcome.probability == 1.0
+            assert outcome.tree_searches == 0
+
+    def test_identity_rewrite_preserves_behavior(self, internet2_classifier):
+        """A Type-1 entry rewriting nothing and mapping each atom to
+        itself is also transparent."""
+        import random
+
+        universe = internet2_classifier.universe
+        entries = [
+            FlowEntry(
+                match_atoms=frozenset({atom_id}),
+                kind=DETERMINISTIC,
+                branches=(
+                    RewriteBranch(HeaderRewrite(0, 0), 1.0, new_atom=atom_id),
+                ),
+            )
+            for atom_id in sorted(universe.atom_ids())
+        ]
+        computer = MiddleboxAwareComputer(
+            internet2_classifier,
+            {"KANS": Middlebox("identity", MiddleboxTable(entries))},
+        )
+        rng = random.Random(8)
+        boxes = sorted(internet2_classifier.dataplane.network.boxes)
+        for _ in range(20):
+            header = rng.getrandbits(32)
+            ingress = rng.choice(boxes)
+            (outcome,) = computer.query(header, ingress)
+            plain = internet2_classifier.query(header, ingress)
+            assert sorted(map(tuple, outcome.behavior.paths())) == sorted(
+                map(tuple, plain.paths())
+            )
+
+
+class TestFromMatch:
+    def test_compiles_match_to_atoms(self):
+        classifier = APClassifier.build(toy_network())
+        match = Match.prefix("dst_ip", parse_ipv4("10.2.0.0"), 16)
+        target = classifier.classify(parse_ipv4("10.3.0.9"))
+        entry = FlowEntry.from_match(
+            classifier,
+            match,
+            DETERMINISTIC,
+            (
+                RewriteBranch(
+                    HeaderRewrite(FULL, parse_ipv4("10.3.0.9")), 1.0, target
+                ),
+            ),
+        )
+        assert entry.match_atoms == classifier.atoms_matching(match)
+
+    def test_dead_match_rejected(self):
+        classifier = APClassifier.build(toy_network())
+        # A match selecting no packets cannot exist over a full partition,
+        # so force it with an impossible width-0 trick: use a match whose
+        # atoms set we empty by intersection -- simplest is a contradictory
+        # constraint pair, which Match cannot express; instead check the
+        # guard directly.
+        with pytest.raises(ValueError):
+            FlowEntry.from_match(
+                _EmptyAtomsClassifier(), Match.any(), DETERMINISTIC, ()
+            )
+
+
+class _EmptyAtomsClassifier:
+    @staticmethod
+    def atoms_matching(match):
+        return frozenset()

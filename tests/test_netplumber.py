@@ -1,0 +1,183 @@
+"""Tests for the scoped NetPlumber (incremental HSA)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import HsaQuerier, NetPlumber
+from repro.core.classifier import APClassifier
+from repro.datasets import fattree, internet2_like, rule_update_stream, toy_network
+from repro.headerspace.fields import parse_ipv4
+from repro.headerspace.wildcard import Wildcard, WildcardSet
+from repro.network.rules import ForwardingRule, Match
+
+
+def regions_agree(netplumber: NetPlumber, network, samples: int = 60, seed: int = 0):
+    """NetPlumber's routed reachability == fresh HSA, on sampled packets."""
+    querier = HsaQuerier(network)
+    rng = random.Random(seed)
+    width = network.layout.total_width
+    for ingress in sorted(network.boxes):
+        np_regions = netplumber.reach_region(WildcardSet.full(width), ingress)
+        hsa_regions = querier.reach_region(WildcardSet.full(width), ingress)
+        for _ in range(samples // max(len(network.boxes), 1) + 1):
+            header = rng.getrandbits(width)
+            for host in set(np_regions) | set(hsa_regions):
+                np_hit = host in np_regions and np_regions[host].matches(header)
+                hsa_hit = host in hsa_regions and hsa_regions[host].matches(header)
+                assert np_hit == hsa_hit, (ingress, host, hex(header))
+
+
+class TestStaticAgreement:
+    def test_toy(self):
+        network = toy_network()
+        regions_agree(NetPlumber(network), network)
+
+    def test_internet2_like(self):
+        network = internet2_like(prefixes_per_router=1)
+        regions_agree(NetPlumber(network), network, samples=40)
+
+    def test_fattree(self):
+        network = fattree(4)
+        regions_agree(NetPlumber(network), network, samples=40)
+
+    def test_acl_networks_rejected(self, stanford_net):
+        with pytest.raises(NotImplementedError):
+            NetPlumber(stanford_net)
+
+
+class TestIncrementalUpdates:
+    def test_insert_matches_rebuild(self):
+        network = toy_network()
+        netplumber = NetPlumber(network)
+        rule = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.9.0.0"), 16), ("to_b2",), 16
+        )
+        network.box("b1").table.add(rule)
+        netplumber.insert_rule("b1", rule)
+        regions_agree(netplumber, network, seed=1)
+
+    def test_remove_matches_rebuild(self):
+        network = toy_network()
+        netplumber = NetPlumber(network)
+        victim = next(iter(network.box("b2").table))
+        network.box("b2").table.remove(victim)
+        netplumber.remove_rule("b2", victim)
+        regions_agree(netplumber, network, seed=2)
+
+    def test_remove_unknown_raises(self):
+        netplumber = NetPlumber(toy_network())
+        with pytest.raises(KeyError):
+            netplumber.remove_rule(
+                "b1",
+                ForwardingRule(
+                    Match.prefix("dst_ip", parse_ipv4("99.0.0.0"), 8), ("x",), 8
+                ),
+            )
+
+    def test_shadowing_insert_updates_domination(self):
+        """A higher-priority insert steals region from an existing rule."""
+        network = toy_network()
+        netplumber = NetPlumber(network)
+        # Shadow half of p2's traffic at b1 into a drop.
+        shadow = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.2.0.0"), 17), (), 17
+        )
+        network.box("b1").table.add(shadow)
+        netplumber.insert_rule("b1", shadow)
+        regions_agree(netplumber, network, seed=3)
+        # p3 at b2 only covers 10.2.0.0/17, which the shadow just ate:
+        # nothing from b1 reaches h2 any more.
+        delivered = netplumber.reach_region(WildcardSet.full(32), "b1")
+        assert "h2" not in delivered or not delivered["h2"].matches(
+            parse_ipv4("10.2.0.1")
+        )
+
+    def test_churn_sequence_stays_exact(self):
+        network = internet2_like(prefixes_per_router=1, te_fraction=0.0)
+        netplumber = NetPlumber(network)
+        rng = random.Random(4)
+        for update in rule_update_stream(network, 12, rng):
+            if update.kind == "insert":
+                network.box(update.box).table.add(update.rule)
+                netplumber.insert_rule(update.box, update.rule)
+            else:
+                network.box(update.box).table.remove(update.rule)
+                netplumber.remove_rule(update.box, update.rule)
+        regions_agree(netplumber, network, samples=30, seed=5)
+
+    def test_incrementality_is_real(self):
+        """An insert must touch far fewer pipes than a full rebuild."""
+        network = internet2_like(prefixes_per_router=2)
+        netplumber = NetPlumber(network)
+        build_cost = netplumber.pipes_recomputed
+        netplumber.pipes_recomputed = 0
+        rule = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 24), ("to_SALT",), 24
+        )
+        network.box("SEAT").table.add(rule)
+        netplumber.insert_rule("SEAT", rule)
+        assert netplumber.pipes_recomputed < build_cost / 2
+
+
+class TestProbes:
+    def test_exists_probe_violated_by_blackhole(self):
+        network = toy_network()
+        netplumber = NetPlumber(network)
+        probe = netplumber.add_probe(
+            "b1", "h2", Wildcard.from_prefix(32, 0, 32, parse_ipv4("10.2.0.0"), 17),
+            mode="exists",
+        )
+        assert netplumber.check_probes() == []
+        blackhole = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.2.0.0"), 17), (), 18
+        )
+        network.box("b1").table.add(blackhole)
+        violated = netplumber.insert_rule("b1", blackhole)
+        assert probe in violated
+
+    def test_none_probe_violated_by_leak(self):
+        network = toy_network()
+        netplumber = NetPlumber(network)
+        probe = netplumber.add_probe(
+            "b1", "h1", Wildcard.from_prefix(32, 0, 32, parse_ipv4("10.9.0.0"), 16),
+            mode="none",
+        )
+        assert netplumber.check_probes() == []
+        leak = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.9.0.0"), 16), ("to_h1",), 16
+        )
+        network.box("b1").table.add(leak)
+        violated = netplumber.insert_rule("b1", leak)
+        assert probe in violated
+
+    def test_probe_clears_after_rollback(self):
+        network = toy_network()
+        netplumber = NetPlumber(network)
+        netplumber.add_probe(
+            "b1", "h2", Wildcard.from_prefix(32, 0, 32, parse_ipv4("10.2.0.0"), 17),
+            mode="exists",
+        )
+        blackhole = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.2.0.0"), 17), (), 18
+        )
+        network.box("b1").table.add(blackhole)
+        assert netplumber.insert_rule("b1", blackhole)
+        network.box("b1").table.remove(blackhole)
+        assert netplumber.remove_rule("b1", blackhole) == []
+
+    def test_probe_mode_validated(self):
+        netplumber = NetPlumber(toy_network())
+        with pytest.raises(ValueError):
+            netplumber.add_probe("b1", "h1", Wildcard.any(32), mode="maybe")
+
+    def test_remove_probe(self):
+        netplumber = NetPlumber(toy_network())
+        probe = netplumber.add_probe("b1", "h1", Wildcard.any(32))
+        netplumber.remove_probe(probe)
+        assert netplumber.check_probes() == []
+
+    def test_repr(self):
+        assert "rule nodes" in repr(NetPlumber(toy_network()))

@@ -1,0 +1,81 @@
+"""Round-trip tests for network snapshots."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.classifier import APClassifier
+from repro.datasets import internet2_like, stanford_like, toy_network
+from repro.network.serialize import (
+    load_network,
+    network_from_json,
+    network_to_json,
+    save_network,
+)
+
+
+def assert_equivalent(original, rebuilt, samples: int = 40, seed: int = 0) -> None:
+    """Two networks are equivalent iff their compiled behaviors agree."""
+    assert rebuilt.stats() == original.stats()
+    assert rebuilt.layout == original.layout
+    a = APClassifier.build(original)
+    b = APClassifier.build(rebuilt)
+    rng = random.Random(seed)
+    boxes = sorted(original.boxes)
+    for _ in range(samples):
+        header = rng.getrandbits(original.layout.total_width)
+        ingress = rng.choice(boxes)
+        assert sorted(map(tuple, a.query(header, ingress).paths())) == sorted(
+            map(tuple, b.query(header, ingress).paths())
+        )
+
+
+class TestRoundTrip:
+    def test_toy(self):
+        network = toy_network()
+        assert_equivalent(network, network_from_json(network_to_json(network)))
+
+    def test_internet2_like(self):
+        network = internet2_like(prefixes_per_router=2)
+        assert_equivalent(network, network_from_json(network_to_json(network)))
+
+    def test_stanford_like_with_acls(self):
+        network = stanford_like(subnets_per_zone=2, host_ports_per_zone=1)
+        rebuilt = network_from_json(network_to_json(network))
+        assert rebuilt.acl_rule_count() == network.acl_rule_count()
+        assert_equivalent(network, rebuilt, samples=25)
+
+    def test_file_round_trip(self, tmp_path):
+        network = toy_network()
+        path = tmp_path / "net.json"
+        save_network(network, path)
+        assert_equivalent(network, load_network(path), samples=15)
+
+
+class TestFormat:
+    def test_json_is_stable(self):
+        network = toy_network()
+        assert network_to_json(network) == network_to_json(network)
+
+    def test_version_checked(self):
+        payload = json.loads(network_to_json(toy_network()))
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            network_from_json(json.dumps(payload))
+
+    def test_human_readable_fields(self):
+        payload = json.loads(network_to_json(toy_network()))
+        assert payload["name"] == "toy"
+        assert payload["layout"] == [["dst_ip", 32]]
+        assert any(host["host"] == "h1" for host in payload["hosts"])
+
+    def test_rule_priorities_preserved(self):
+        network = toy_network()
+        rebuilt = network_from_json(network_to_json(network))
+        for name in network.boxes:
+            original = [(r.priority, r.out_ports) for r in network.box(name).table]
+            copied = [(r.priority, r.out_ports) for r in rebuilt.box(name).table]
+            assert original == copied

@@ -1,0 +1,167 @@
+"""Tests for the textual rule parsers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.headerspace.fields import (
+    dst_ip_layout,
+    five_tuple_layout,
+    parse_ipv4,
+)
+from repro.headerspace.header import Packet
+from repro.network.parsers import (
+    ParseError,
+    parse_acl,
+    parse_acl_line,
+    parse_route_line,
+    parse_routes,
+)
+
+
+class TestRouteLine:
+    def test_simple_route(self):
+        rule = parse_route_line("route 10.1.0.0/16 -> eth0")
+        assert rule.out_ports == ("eth0",)
+        assert rule.priority == 16
+        constraint = rule.match.constraint_for("dst_ip")
+        assert constraint.value == parse_ipv4("10.1.0.0")
+        assert constraint.prefix_len == 16
+
+    def test_multicast_route(self):
+        rule = parse_route_line("route 224.0.0.0/4 -> p1, p2")
+        assert rule.out_ports == ("p1", "p2")
+
+    def test_drop_route(self):
+        rule = parse_route_line("route 0.0.0.0/0 drop")
+        assert rule.is_drop
+        assert rule.match.is_any
+
+    def test_host_route_default_length(self):
+        rule = parse_route_line("route 10.0.0.1 -> lo")
+        assert rule.match.constraint_for("dst_ip").prefix_len == 32
+
+    def test_comments_stripped(self):
+        rule = parse_route_line("route 10.0.0.0/8 -> e0  # customer block")
+        assert rule.out_ports == ("e0",)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "10.0.0.0/8 -> e0",        # missing keyword
+            "route 10.0.0.0/8",        # no action
+            "route 10.0.0.0/40 -> e0", # bad prefix length
+            "route ten.zero/8 -> e0",  # bad address
+            "route 10.0.0.0/8 -> ",    # empty port list
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_route_line(bad, line_no=3)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError, match="line 7"):
+            parse_route_line("garbage", line_no=7)
+
+
+class TestRouteDocument:
+    def test_document_builds_lpm_table(self):
+        table = parse_routes(
+            """
+            # backbone routes
+            route 10.0.0.0/8 -> coarse
+            route 10.1.0.0/16 -> fine
+            """
+        )
+        assert len(table) == 2
+        packet = Packet.of(dst_ip_layout(), dst_ip="10.1.2.3")
+        assert table.lookup(packet) == ("fine",)
+
+    def test_blank_document(self):
+        assert len(parse_routes("\n\n# nothing\n")) == 0
+
+
+class TestAclLine:
+    LAYOUT = five_tuple_layout()
+
+    def test_permit_any(self):
+        rule = parse_acl_line("permit ip any any", self.LAYOUT)
+        assert rule.permit and rule.match.is_any
+
+    def test_deny_source_prefix(self):
+        rule = parse_acl_line("deny ip 10.1.0.0/16 any", self.LAYOUT)
+        assert not rule.permit
+        constraint = rule.match.constraint_for("src_ip")
+        assert constraint.prefix_len == 16
+
+    def test_tcp_with_port(self):
+        rule = parse_acl_line(
+            "permit tcp any 171.64.0.0/14 eq 80", self.LAYOUT
+        )
+        assert rule.match.constraint_for("proto").value == 6
+        assert rule.match.constraint_for("dst_port").value == 80
+        assert rule.match.constraint_for("dst_ip").prefix_len == 14
+
+    def test_host_keyword(self):
+        rule = parse_acl_line("deny udp host 10.0.0.1 any", self.LAYOUT)
+        assert rule.match.constraint_for("src_ip").prefix_len == 32
+        assert rule.match.constraint_for("proto").value == 17
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "allow ip any any",              # bad action
+            "permit gre any any",            # unknown protocol
+            "permit ip any",                 # missing destination
+            "permit tcp any any eq",         # missing port
+            "permit tcp any any eq banana",  # non-numeric port
+            "permit tcp any any eq 99999",   # port out of range
+            "permit tcp any any range 1 2",  # unsupported qualifier
+            "permit ip host",                # host without address
+            "permit ip any any extra",       # trailing junk
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_acl_line(bad, self.LAYOUT, line_no=1)
+
+    def test_proto_requires_field(self):
+        with pytest.raises(ParseError):
+            parse_acl_line("permit tcp any any", dst_ip_layout())
+
+
+class TestAclDocument:
+    def test_first_match_order_preserved(self):
+        layout = five_tuple_layout()
+        acl = parse_acl(
+            """
+            deny   ip 10.1.0.0/16 any
+            permit ip any any
+            """,
+            layout,
+        )
+        blocked = Packet.of(layout, src_ip="10.1.0.5", dst_ip="171.64.0.1")
+        passed = Packet.of(layout, src_ip="10.2.0.5", dst_ip="171.64.0.1")
+        assert not acl.permits(blocked)
+        assert acl.permits(passed)
+
+    def test_parsed_acl_compiles_to_predicate(self):
+        """End-to-end: text -> ACL -> BDD predicate -> same semantics."""
+        from repro.network.predicates import PredicateCompiler
+
+        layout = five_tuple_layout()
+        acl = parse_acl(
+            """
+            deny   tcp any any eq 23
+            permit ip any any
+            """,
+            layout,
+        )
+        compiler = PredicateCompiler(layout)
+        fn = compiler.acl_predicate(acl)
+        telnet = Packet.of(layout, dst_port=23, proto=6)
+        web = Packet.of(layout, dst_port=80, proto=6)
+        telnet_udp = Packet.of(layout, dst_port=23, proto=17)
+        assert not fn.evaluate(telnet.value)
+        assert fn.evaluate(web.value)
+        assert fn.evaluate(telnet_udp.value)  # deny was TCP-only

@@ -1,0 +1,175 @@
+"""Tests for rule -> BDD predicate compilation.
+
+The compiled predicates must agree exactly with the direct (packet-level)
+interpretation of the tables and ACLs; property tests enforce that on
+random rule sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDManager
+from repro.headerspace.fields import HeaderLayout, dst_ip_layout, parse_ipv4
+from repro.headerspace.header import Packet
+from repro.network.predicates import PredicateCompiler
+from repro.network.rules import AclRule, ForwardingRule, Match
+from repro.network.tables import Acl, ForwardingTable
+
+SMALL = HeaderLayout([("dst", 6)])
+
+
+@pytest.fixture()
+def compiler() -> PredicateCompiler:
+    return PredicateCompiler(dst_ip_layout())
+
+
+class TestCompilerBasics:
+    def test_manager_width_checked(self):
+        with pytest.raises(ValueError):
+            PredicateCompiler(dst_ip_layout(), BDDManager(8))
+
+    def test_match_predicate_any_is_true(self, compiler):
+        assert compiler.match_predicate(Match.any()).is_true
+
+    def test_match_predicate_agrees_with_match(self, compiler):
+        match = Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 16)
+        fn = compiler.match_predicate(match)
+        inside = Packet.of(dst_ip_layout(), dst_ip="10.1.3.4")
+        outside = Packet.of(dst_ip_layout(), dst_ip="10.2.0.0")
+        assert fn.evaluate(inside.value)
+        assert not fn.evaluate(outside.value)
+
+
+class TestAclCompilation:
+    def test_deny_then_permit(self, compiler):
+        acl = Acl(
+            [
+                AclRule(Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 16), permit=False),
+                AclRule(Match.any(), permit=True),
+            ]
+        )
+        fn = compiler.acl_predicate(acl)
+        assert not fn.evaluate(parse_ipv4("10.1.0.1"))
+        assert fn.evaluate(parse_ipv4("10.2.0.1"))
+
+    def test_empty_default_deny_is_false(self, compiler):
+        assert compiler.acl_predicate(Acl()).is_false
+
+    def test_empty_default_permit_is_true(self, compiler):
+        assert compiler.acl_predicate(Acl(default_permit=True)).is_true
+
+    def test_shadowed_permit_is_ineffective(self, compiler):
+        acl = Acl(
+            [
+                AclRule(Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), permit=False),
+                AclRule(Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 16), permit=True),
+            ]
+        )
+        fn = compiler.acl_predicate(acl)
+        assert not fn.evaluate(parse_ipv4("10.1.0.1"))
+
+
+class TestForwardingCompilation:
+    def test_lpm_shadowing(self, compiler):
+        table = ForwardingTable(
+            [
+                ForwardingRule(Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), ("coarse",), 8),
+                ForwardingRule(Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 16), ("fine",), 16),
+            ]
+        )
+        preds = compiler.port_predicates(table)
+        assert preds["fine"].evaluate(parse_ipv4("10.1.9.9"))
+        assert not preds["coarse"].evaluate(parse_ipv4("10.1.9.9"))
+        assert preds["coarse"].evaluate(parse_ipv4("10.9.0.0"))
+
+    def test_fully_shadowed_port_is_false(self, compiler):
+        table = ForwardingTable(
+            [
+                ForwardingRule(Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 16), ("hidden",), 8),
+                ForwardingRule(Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 16), ("shadow",), 16),
+            ]
+        )
+        preds = compiler.port_predicates(table)
+        assert preds["hidden"].is_false
+        assert not preds["shadow"].is_false
+
+    def test_multicast_rule_feeds_all_ports(self, compiler):
+        table = ForwardingTable(
+            [ForwardingRule(Match.prefix("dst_ip", parse_ipv4("224.0.0.0"), 4), ("p1", "p2"), 4)]
+        )
+        preds = compiler.port_predicates(table)
+        value = parse_ipv4("224.1.2.3")
+        assert preds["p1"].evaluate(value) and preds["p2"].evaluate(value)
+
+    def test_drop_rule_shadows(self, compiler):
+        table = ForwardingTable(
+            [
+                ForwardingRule(Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 16), (), 16),
+                ForwardingRule(Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), ("out",), 8),
+            ]
+        )
+        preds = compiler.port_predicates(table)
+        assert not preds["out"].evaluate(parse_ipv4("10.1.0.1"))
+        assert preds["out"].evaluate(parse_ipv4("10.2.0.1"))
+
+
+# ----------------------------------------------------------------------
+# Property tests over a 6-bit header space (exhaustively checkable)
+# ----------------------------------------------------------------------
+
+prefix_matches = st.tuples(
+    st.integers(min_value=0, max_value=63), st.integers(min_value=0, max_value=6)
+).map(lambda vp: Match.prefix("dst", vp[0], vp[1]))
+
+
+@st.composite
+def forwarding_tables(draw):
+    rules = draw(
+        st.lists(
+            st.tuples(prefix_matches, st.sampled_from(["p0", "p1", "p2", ""])),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    table = ForwardingTable()
+    for match, port in rules:
+        constraint = match.constraint_for("dst")
+        priority = constraint.prefix_len if constraint else 0
+        out_ports = (port,) if port else ()
+        table.add(ForwardingRule(match, out_ports, priority))
+    return table
+
+
+@st.composite
+def acls(draw):
+    rules = draw(
+        st.lists(st.tuples(prefix_matches, st.booleans()), max_size=6)
+    )
+    default = draw(st.booleans())
+    return Acl([AclRule(m, permit=p) for m, p in rules], default_permit=default)
+
+
+@given(forwarding_tables())
+@settings(max_examples=100)
+def test_port_predicates_agree_with_lookup(table):
+    compiler = PredicateCompiler(SMALL)
+    preds = compiler.port_predicates(table)
+    for value in range(64):
+        pkt = Packet(SMALL, value)
+        expected_ports = set(table.lookup(pkt))
+        compiled_ports = {
+            port for port, fn in preds.items() if fn.evaluate(value)
+        }
+        assert compiled_ports == expected_ports
+
+
+@given(acls())
+@settings(max_examples=100)
+def test_acl_predicate_agrees_with_permits(acl):
+    compiler = PredicateCompiler(SMALL)
+    fn = compiler.acl_predicate(acl)
+    for value in range(64):
+        assert fn.evaluate(value) == acl.permits(Packet(SMALL, value))

@@ -1,0 +1,182 @@
+"""Tests for atom-set propagation (the AP Verifier algorithm).
+
+The crucial property: propagation (one BFS over integer sets) and the
+per-atom behavior walks must report identical reachability -- two very
+different algorithms acting as oracles for each other.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classifier import APClassifier
+from repro.core.propagation import AtomPropagation
+from repro.core.verifier import NetworkVerifier
+from repro.datasets import fattree, random_network, toy_network
+from repro.headerspace.fields import dst_ip_layout, parse_ipv4
+from repro.network.builder import Network
+from repro.network.rules import AclRule, Match
+
+
+@pytest.fixture(scope="module")
+def toy_setup():
+    classifier = APClassifier.build(toy_network())
+    return classifier, AtomPropagation.from_classifier(classifier)
+
+
+class TestToy:
+    def test_host_reachability(self, toy_setup):
+        classifier, propagation = toy_setup
+        outcome = propagation.propagate("b1")
+        h1_atom = classifier.classify(parse_ipv4("10.1.0.1"))
+        assert outcome.reaches("h1", h1_atom)
+        h2_atom = classifier.classify(parse_ipv4("10.2.0.1"))
+        assert outcome.reaches("h2", h2_atom)
+        # The b2-only deliverable class does not reach h2 from b1.
+        stranded = classifier.classify(parse_ipv4("10.3.0.1"))
+        assert not outcome.reaches("h2", stranded)
+
+    def test_traversal(self, toy_setup):
+        classifier, propagation = toy_setup
+        outcome = propagation.propagate("b1")
+        via_b2 = classifier.classify(parse_ipv4("10.2.0.1"))
+        assert outcome.traverses("b2", via_b2)
+        local = classifier.classify(parse_ipv4("10.1.0.1"))
+        assert not outcome.traverses("b2", local)
+
+    def test_port_sets(self, toy_setup):
+        classifier, propagation = toy_setup
+        outcome = propagation.propagate("b1")
+        to_b2 = outcome.atoms_on_port.get(("b1", "to_b2"), frozenset())
+        assert classifier.classify(parse_ipv4("10.2.0.1")) in to_b2
+
+    def test_unknown_ingress(self, toy_setup):
+        _, propagation = toy_setup
+        with pytest.raises(KeyError):
+            propagation.propagate("nope")
+
+
+class TestAgreementWithVerifier:
+    def test_toy_agreement(self, toy_setup):
+        classifier, propagation = toy_setup
+        verifier = NetworkVerifier.from_classifier(classifier)
+        for ingress in ("b1", "b2"):
+            outcome = propagation.propagate(ingress)
+            for host in ("h1", "h2"):
+                assert outcome.atoms_at_host.get(host, frozenset()) == (
+                    verifier.atoms_reaching_host(ingress, host)
+                )
+
+    def test_fattree_agreement(self):
+        classifier = APClassifier.build(fattree(4))
+        propagation = AtomPropagation.from_classifier(classifier)
+        verifier = NetworkVerifier.from_classifier(classifier)
+        outcome = propagation.propagate("edge_0_0")
+        for _, host in classifier.dataplane.network.topology.hosts():
+            assert outcome.atoms_at_host.get(host, frozenset()) == (
+                verifier.atoms_reaching_host("edge_0_0", host)
+            )
+
+    def test_stanford_with_acls_agreement(self, stanford_classifier):
+        """ACL-heavy plane: propagation must honor in/out ACL filters
+        exactly as the per-atom walks do."""
+        propagation = AtomPropagation.from_classifier(stanford_classifier)
+        verifier = NetworkVerifier.from_classifier(stanford_classifier)
+        network = stanford_classifier.dataplane.network
+        for ingress in ("zr01", "bbra"):
+            outcome = propagation.propagate(ingress)
+            for _, host in list(network.topology.hosts())[:6]:
+                assert outcome.atoms_at_host.get(host, frozenset()) == (
+                    verifier.atoms_reaching_host(ingress, host)
+                )
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=12, deadline=None)
+    def test_random_network_agreement(self, seed):
+        network = random_network(boxes=4, prefixes=5, seed=seed)
+        classifier = APClassifier.build(network)
+        propagation = AtomPropagation.from_classifier(classifier)
+        verifier = NetworkVerifier.from_classifier(classifier)
+        ingress = sorted(network.boxes)[seed % len(network.boxes)]
+        outcome = propagation.propagate(ingress)
+        for _, host in network.topology.hosts():
+            assert outcome.atoms_at_host.get(host, frozenset()) == (
+                verifier.atoms_reaching_host(ingress, host)
+            )
+
+    def test_loop_tolerance(self):
+        """Propagation terminates on loops and delivers consistently."""
+        network = Network(dst_ip_layout(), name="loopy")
+        for name in ("a", "b"):
+            network.add_box(name)
+        network.link("a", "to_b", "b", "from_a")
+        network.link("b", "to_a", "a", "from_b")
+        network.attach_host("b", "cust", "h")
+        loop_match = Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8)
+        network.add_forwarding_rule("a", loop_match, "to_b", 8)
+        network.add_forwarding_rule("b", loop_match, "to_a", 8)
+        network.add_forwarding_rule(
+            "b", Match.prefix("dst_ip", parse_ipv4("10.7.0.0"), 16), "cust", 16
+        )
+        classifier = APClassifier.build(network)
+        propagation = AtomPropagation.from_classifier(classifier)
+        outcome = propagation.propagate("a")
+        delivered = classifier.classify(parse_ipv4("10.7.0.1"))
+        assert outcome.reaches("h", delivered)
+        looping = classifier.classify(parse_ipv4("10.8.0.1"))
+        assert not outcome.reaches("h", looping)
+
+
+class TestAclInteraction:
+    def test_input_acl_filters_propagation(self):
+        network = Network(dst_ip_layout(), name="acl-prop")
+        network.add_box("a")
+        network.add_box("b")
+        network.link("a", "to_b", "b", "from_a")
+        network.attach_host("b", "cust", "h")
+        match = Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8)
+        network.add_forwarding_rule("a", match, "to_b", 8)
+        network.add_forwarding_rule("b", match, "cust", 8)
+        network.add_input_acl(
+            "b",
+            "from_a",
+            [AclRule(Match.prefix("dst_ip", parse_ipv4("10.9.0.0"), 16), permit=False)],
+            default_permit=True,
+        )
+        classifier = APClassifier.build(network)
+        propagation = AtomPropagation.from_classifier(classifier)
+        outcome = propagation.propagate("a")
+        blocked = classifier.classify(parse_ipv4("10.9.0.1"))
+        allowed = classifier.classify(parse_ipv4("10.8.0.1"))
+        assert not outcome.reaches("h", blocked)
+        assert outcome.reaches("h", allowed)
+
+    def test_ingress_port_acl(self):
+        network = Network(dst_ip_layout(), name="ingress-acl")
+        network.add_box("a")
+        network.attach_host("a", "cust", "h")
+        network.add_forwarding_rule(
+            "a", Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8), "cust", 8
+        )
+        network.add_input_acl(
+            "a", "uplink", [AclRule(Match.any(), permit=False)]
+        )
+        classifier = APClassifier.build(network)
+        propagation = AtomPropagation.from_classifier(classifier)
+        via_acl = propagation.propagate("a", in_port="uplink")
+        assert not via_acl.atoms_at_host
+        direct = propagation.propagate("a")
+        assert direct.atoms_at_host
+
+
+class TestAllPairs:
+    def test_matches_verifier_matrix(self, toy_setup):
+        classifier, propagation = toy_setup
+        verifier = NetworkVerifier.from_classifier(classifier)
+        assert propagation.all_pairs_host_reachability() == (
+            verifier.reachability_matrix()
+        )

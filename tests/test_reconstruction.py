@@ -1,0 +1,130 @@
+"""Tests for the dynamic-network simulation (Section VI-B / Fig. 14)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.reconstruction import (
+    DynamicSimulation,
+    QueryCostModel,
+    UpdateEvent,
+    poisson_update_schedule,
+)
+from repro.datasets import internet2_like
+from repro.network.dataplane import DataPlane
+
+
+@pytest.fixture(scope="module")
+def predicate_pool():
+    return DataPlane(internet2_like(prefixes_per_router=3)).predicates()
+
+
+class TestPoissonSchedule:
+    def test_rate_is_respected(self):
+        rng = random.Random(1)
+        events = poisson_update_schedule(100.0, 10.0, rng)
+        # Expect ~1000 events; allow generous tolerance.
+        assert 800 <= len(events) <= 1200
+
+    def test_times_sorted_and_bounded(self):
+        rng = random.Random(2)
+        events = poisson_update_schedule(50.0, 2.0, rng)
+        times = [event.at for event in events]
+        assert times == sorted(times)
+        assert all(0 < t < 2.0 for t in times)
+
+    def test_both_kinds_present(self):
+        rng = random.Random(3)
+        kinds = {e.kind for e in poisson_update_schedule(100.0, 5.0, rng)}
+        assert kinds == {"add", "delete"}
+
+    def test_event_kind_validated(self):
+        with pytest.raises(ValueError):
+            UpdateEvent(at=0.0, kind="mutate")
+
+
+class TestQueryCostModel:
+    def test_measures_positive_cost(self):
+        model = QueryCostModel([1, 2, 3], repeat=5)
+        cost = model.measure(lambda header: header)
+        assert cost > 0
+
+    def test_needs_samples(self):
+        with pytest.raises(ValueError):
+            QueryCostModel([])
+
+
+class TestDynamicSimulation:
+    def test_invalid_method_rejected(self, predicate_pool):
+        with pytest.raises(ValueError):
+            DynamicSimulation(predicate_pool, 10, method="magic")
+
+    def test_initial_count_validated(self, predicate_pool):
+        with pytest.raises(ValueError):
+            DynamicSimulation(predicate_pool, 0)
+        with pytest.raises(ValueError):
+            DynamicSimulation(predicate_pool, len(predicate_pool) + 1)
+
+    @pytest.mark.parametrize("method", DynamicSimulation.METHODS)
+    def test_all_methods_produce_timelines(self, predicate_pool, method):
+        sim = DynamicSimulation(
+            predicate_pool,
+            initial_count=min(25, len(predicate_pool)),
+            method=method,
+            rng=random.Random(5),
+            cost_samples=30,
+            bucket_s=0.1,
+        )
+        samples = sim.run(duration_s=0.5, update_rate_per_s=50)
+        assert len(samples) == 5
+        assert all(sample.throughput_qps > 0 for sample in samples)
+
+    def test_apclassifier_swaps_during_run(self, predicate_pool):
+        sim = DynamicSimulation(
+            predicate_pool,
+            initial_count=min(30, len(predicate_pool)),
+            method="apclassifier",
+            reconstruct_interval_s=0.3,
+            rng=random.Random(6),
+            cost_samples=30,
+            bucket_s=0.05,
+        )
+        samples = sim.run(duration_s=1.0, update_rate_per_s=100)
+        events = [sample.event for sample in samples if sample.event]
+        assert "swap" in events
+
+    def test_apclassifier_faster_than_pscan(self, predicate_pool):
+        """The Fig. 14 headline: AP Classifier is well above PScan."""
+
+        def mean_qps(method: str) -> float:
+            sim = DynamicSimulation(
+                predicate_pool,
+                initial_count=min(40, len(predicate_pool)),
+                method=method,
+                rng=random.Random(7),
+                cost_samples=40,
+                bucket_s=0.1,
+            )
+            samples = sim.run(duration_s=0.4, update_rate_per_s=50)
+            return sum(s.throughput_qps for s in samples) / len(samples)
+
+        assert mean_qps("apclassifier") > mean_qps("pscan")
+
+    def test_classification_stays_correct_through_run(self, predicate_pool):
+        sim = DynamicSimulation(
+            predicate_pool,
+            initial_count=min(25, len(predicate_pool)),
+            method="apclassifier",
+            rng=random.Random(8),
+            cost_samples=20,
+            bucket_s=0.1,
+        )
+        sim.run(duration_s=0.6, update_rate_per_s=100)
+        process = sim._process
+        rng = random.Random(9)
+        for _ in range(40):
+            header = rng.getrandbits(32)
+            assert process.tree is not None
+            assert process.tree.classify(header) == process.universe.classify(header)

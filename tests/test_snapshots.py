@@ -1,0 +1,116 @@
+"""Tests for whole-classifier snapshots (warm restart)."""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+import pytest
+
+from repro.core.classifier import APClassifier
+from repro.core.snapshots import SnapshotMismatch, load_classifier, save_classifier
+from repro.datasets import internet2_like, stanford_like, toy_network
+
+
+def assert_same_answers(original, restored, samples=60, seed=0):
+    rng = random.Random(seed)
+    width = original.dataplane.layout.total_width
+    boxes = sorted(original.dataplane.network.boxes)
+    for _ in range(samples):
+        header = rng.getrandbits(width)
+        ingress = rng.choice(boxes)
+        a = original.query(header, ingress)
+        b = restored.query(header, ingress)
+        assert sorted(map(tuple, a.paths())) == sorted(map(tuple, b.paths()))
+        assert a.delivered_hosts() == b.delivered_hosts()
+
+
+class TestRoundTrip:
+    def test_toy(self):
+        original = APClassifier.build(toy_network())
+        restored = load_classifier(save_classifier(original))
+        assert restored.universe.atom_count == original.universe.atom_count
+        assert restored.tree.average_depth() == pytest.approx(
+            original.tree.average_depth()
+        )
+        assert_same_answers(original, restored)
+
+    def test_internet2_like(self):
+        original = APClassifier.build(internet2_like(prefixes_per_router=2))
+        restored = load_classifier(save_classifier(original))
+        assert_same_answers(original, restored)
+
+    def test_stanford_like_with_acls(self):
+        original = APClassifier.build(
+            stanford_like(subnets_per_zone=2, host_ports_per_zone=1)
+        )
+        restored = load_classifier(save_classifier(original))
+        assert_same_answers(original, restored, samples=30)
+
+    def test_restored_classifier_is_updatable(self):
+        from repro.headerspace.fields import parse_ipv4
+        from repro.network.rules import ForwardingRule, Match
+
+        original = APClassifier.build(internet2_like(prefixes_per_router=1))
+        restored = load_classifier(save_classifier(original))
+        rule = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 24), ("to_SALT",), 24
+        )
+        restored.insert_rule("SEAT", rule)
+        rng = random.Random(1)
+        for _ in range(30):
+            header = rng.getrandbits(32)
+            assert restored.tree.classify(header) == restored.universe.classify(
+                header
+            )
+
+    def test_load_is_faster_than_build(self):
+        network = internet2_like(prefixes_per_router=14)
+        started = time.perf_counter()
+        original = APClassifier.build(network)
+        build_s = time.perf_counter() - started
+        text = save_classifier(original)
+        started = time.perf_counter()
+        load_classifier(text)
+        load_s = time.perf_counter() - started
+        # Warm restart skips atom computation + tree construction; it must
+        # not be slower than a cold build (it is usually much faster).
+        assert load_s < build_s * 1.5
+
+
+class TestValidation:
+    def test_version_checked(self):
+        text = save_classifier(APClassifier.build(toy_network()))
+        payload = json.loads(text)
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            load_classifier(json.dumps(payload))
+
+    def test_stale_snapshot_detected(self):
+        """Snapshot taken, then the network changes: load must refuse."""
+        from repro.headerspace.fields import parse_ipv4
+        from repro.network.rules import ForwardingRule, Match
+
+        classifier = APClassifier.build(toy_network())
+        text = save_classifier(classifier)
+        payload = json.loads(text)
+        # Tamper: add a rule to the embedded network without updating the
+        # stored predicates.
+        payload["network"]["boxes"][0]["rules"].append(
+            {
+                "match": [{"field": "dst_ip", "value": parse_ipv4("10.9.0.0"),
+                           "prefix_len": 16}],
+                "out_ports": ["to_h1"],
+                "priority": 16,
+            }
+        )
+        with pytest.raises(SnapshotMismatch):
+            load_classifier(json.dumps(payload))
+
+    def test_corrupt_r_mapping_detected(self):
+        classifier = APClassifier.build(toy_network())
+        payload = json.loads(save_classifier(classifier))
+        payload["predicates"][0]["r"] = [99999]
+        with pytest.raises(SnapshotMismatch):
+            load_classifier(json.dumps(payload))

@@ -1,0 +1,154 @@
+"""Tests for timeline summaries and middlebox chains and tree explain."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.timeline import summarize_timeline
+from repro.core.reconstruction import ThroughputSample
+
+
+def sample(t: float, qps: float, event: str = "") -> ThroughputSample:
+    return ThroughputSample(time_s=t, throughput_qps=qps, event=event)
+
+
+class TestTimelineSummary:
+    def test_basic_aggregates(self):
+        samples = [sample(0.1, 100), sample(0.2, 200), sample(0.3, 300)]
+        summary = summarize_timeline(samples)
+        assert summary.samples == 3
+        assert summary.mean_qps == pytest.approx(200)
+        assert summary.min_qps == 100
+        assert summary.max_qps == 300
+        assert summary.degradation == pytest.approx(0.5)
+
+    def test_swap_recovery(self):
+        samples = [
+            sample(0.1, 100),
+            sample(0.2, 90),
+            sample(0.3, 80),
+            sample(0.4, 80, event="swap"),
+            sample(0.5, 150),
+            sample(0.6, 160),
+            sample(0.7, 155),
+        ]
+        summary = summarize_timeline(samples, window=3)
+        assert len(summary.swaps) == 1
+        swap = summary.swaps[0]
+        assert swap.before_qps == pytest.approx(90)
+        assert swap.after_qps == pytest.approx(155)
+        assert swap.gain > 1.5
+        assert "x" in summary.describe()
+
+    def test_swap_at_edges_ignored(self):
+        samples = [sample(0.1, 100, event="swap"), sample(0.2, 100)]
+        summary = summarize_timeline(samples)
+        assert summary.swaps == ()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_timeline([])
+
+    def test_real_simulation_summary(self):
+        from repro.core.reconstruction import DynamicSimulation
+        from repro.datasets import internet2_like
+        from repro.network.dataplane import DataPlane
+
+        pool = DataPlane(internet2_like(prefixes_per_router=2)).predicates()
+        simulation = DynamicSimulation(
+            pool,
+            initial_count=min(20, len(pool)),
+            rng=random.Random(1),
+            cost_samples=30,
+            bucket_s=0.1,
+        )
+        timeline = simulation.run(duration_s=0.6, update_rate_per_s=60)
+        summary = summarize_timeline(timeline)
+        assert summary.mean_qps > 0
+        assert 0 < summary.degradation <= 1.0
+
+
+class TestExplain:
+    def test_explain_trace_matches_depth(self, internet2_classifier):
+        rng = random.Random(0)
+        tree = internet2_classifier.tree
+        for _ in range(20):
+            header = rng.getrandbits(32)
+            trace = tree.explain(header)
+            atom_id, depth = tree.classify_with_depth(header)
+            assert len(trace) == depth
+            # Every traced verdict matches the predicate's own BDD.
+            for pid, verdict in trace:
+                fn = internet2_classifier.universe.predicate_fn(pid)
+                assert fn.evaluate(header) == verdict
+
+
+class TestMiddleboxChains:
+    def test_chain_applies_in_order(self):
+        from repro.core.classifier import APClassifier
+        from repro.core.middlebox import (
+            DETERMINISTIC,
+            FlowEntry,
+            HeaderRewrite,
+            Middlebox,
+            MiddleboxAwareComputer,
+            MiddleboxTable,
+            RewriteBranch,
+        )
+        from repro.datasets import toy_network
+        from repro.headerspace.fields import parse_ipv4
+
+        network = toy_network()
+        classifier = APClassifier.build(network)
+        full = (1 << 32) - 1
+
+        start = parse_ipv4("10.2.0.9")
+        middle = parse_ipv4("10.1.0.9")
+        final = parse_ipv4("10.3.0.9")
+        atom_start = classifier.classify(start)
+        atom_middle = classifier.classify(middle)
+        atom_final = classifier.classify(final)
+
+        first = Middlebox(
+            "first",
+            MiddleboxTable(
+                [
+                    FlowEntry(
+                        frozenset({atom_start}),
+                        DETERMINISTIC,
+                        (RewriteBranch(HeaderRewrite(full, middle), 1.0, atom_middle),),
+                    )
+                ]
+            ),
+        )
+        second = Middlebox(
+            "second",
+            MiddleboxTable(
+                [
+                    FlowEntry(
+                        frozenset({atom_middle}),
+                        DETERMINISTIC,
+                        (RewriteBranch(HeaderRewrite(full, final), 1.0, atom_final),),
+                    )
+                ]
+            ),
+        )
+        computer = MiddleboxAwareComputer(classifier, {"b2": [first, second]})
+        (outcome,) = computer.query(start, "b1")
+        # After both rewrites the packet is 10.3.0.9 -> delivered to h2
+        # because it is inside p3.
+        assert outcome.behavior.delivered_hosts() == {"h2"}
+        assert outcome.probability == pytest.approx(1.0)
+
+    def test_single_middlebox_still_accepted(self):
+        from repro.core.classifier import APClassifier
+        from repro.core.middlebox import Middlebox, MiddleboxAwareComputer, MiddleboxTable
+        from repro.datasets import toy_network
+
+        classifier = APClassifier.build(toy_network())
+        computer = MiddleboxAwareComputer(
+            classifier, {"b2": Middlebox("solo", MiddleboxTable())}
+        )
+        assert computer.middleboxes["b2"][0].name == "solo"

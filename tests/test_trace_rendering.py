@@ -1,0 +1,105 @@
+"""Tests for human-readable renderings: format_trace and describe_atom."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.classifier import APClassifier
+from repro.core.verifier import NetworkVerifier
+from repro.datasets import stanford_like, toy_network
+from repro.headerspace.fields import parse_ipv4
+from repro.headerspace.header import Packet
+
+
+class TestFormatTrace:
+    def test_delivery_trace(self):
+        classifier = APClassifier.build(toy_network())
+        behavior = classifier.query(
+            Packet.of(classifier.dataplane.layout, dst_ip="10.2.0.1"), "b1"
+        )
+        text = behavior.format_trace()
+        lines = text.splitlines()
+        assert lines[0].startswith("b1 (in: None)")
+        assert any("=> host h2" in line for line in lines)
+        # Indentation deepens along the path.
+        assert any(line.startswith("    ") for line in lines)
+
+    def test_drop_trace(self):
+        classifier = APClassifier.build(toy_network())
+        behavior = classifier.query(
+            Packet.of(classifier.dataplane.layout, dst_ip="99.0.0.1"), "b1"
+        )
+        assert "[dropped: no_route]" in behavior.format_trace()
+
+    def test_loop_trace(self):
+        from repro.headerspace.fields import dst_ip_layout
+        from repro.network.builder import Network
+        from repro.network.rules import Match
+
+        network = Network(dst_ip_layout(), name="loop")
+        network.add_box("a")
+        network.add_box("b")
+        network.link("a", "to_b", "b", "from_a")
+        network.link("b", "to_a", "a", "from_b")
+        match = Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8)
+        network.add_forwarding_rule("a", match, "to_b", 8)
+        network.add_forwarding_rule("b", match, "to_a", 8)
+        classifier = APClassifier.build(network)
+        behavior = classifier.query(parse_ipv4("10.1.1.1"), "a")
+        assert "[stopped: loop]" in behavior.format_trace()
+
+    def test_custom_indent(self):
+        classifier = APClassifier.build(toy_network())
+        behavior = classifier.query(
+            Packet.of(classifier.dataplane.layout, dst_ip="10.1.0.1"), "b1"
+        )
+        text = behavior.format_trace(indent="\t")
+        assert "\t" in text
+
+
+class TestDescribeAtomMultiField:
+    def test_five_tuple_description(self):
+        classifier = APClassifier.build(
+            stanford_like(subnets_per_zone=2, host_ports_per_zone=1)
+        )
+        verifier = NetworkVerifier.from_classifier(classifier)
+        rng = random.Random(0)
+        atom_ids = sorted(classifier.universe.atom_ids())
+        for atom_id in rng.sample(atom_ids, 5):
+            text = verifier.describe_atom(atom_id)
+            assert text.startswith(f"a{atom_id}:")
+            # Multi-field atoms mention at least one named field or 'any'.
+            assert any(
+                token in text
+                for token in ("dst_ip", "src_ip", "dst_port", "proto", "any")
+            )
+
+    def test_cube_limit(self):
+        classifier = APClassifier.build(toy_network())
+        verifier = NetworkVerifier.from_classifier(classifier)
+        # The all-drop remainder class has several cubes; limiting to one
+        # must append an ellipsis.
+        widest = max(
+            classifier.universe.atom_ids(),
+            key=lambda a: classifier.universe.atom_fn(a).sat_count(),
+        )
+        text = verifier.describe_atom(widest, max_cubes=1)
+        assert "..." in text
+
+
+class TestSimulationValidation:
+    def test_interval_smaller_than_bucket_rejected(self):
+        from repro.core.reconstruction import DynamicSimulation
+        from repro.datasets import internet2_like
+        from repro.network.dataplane import DataPlane
+
+        pool = DataPlane(internet2_like(prefixes_per_router=1)).predicates()
+        with pytest.raises(ValueError):
+            DynamicSimulation(
+                pool,
+                initial_count=5,
+                reconstruct_interval_s=0.01,
+                bucket_s=0.05,
+            )

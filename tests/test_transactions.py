@@ -1,0 +1,139 @@
+"""Tests for verify-then-commit update transactions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.classifier import APClassifier
+from repro.core.transactions import UpdateTransaction, VerificationFailed
+from repro.core.verifier import NetworkVerifier
+from repro.datasets import internet2_like
+from repro.headerspace.fields import parse_ipv4
+from repro.network.rules import ForwardingRule, Match
+
+
+@pytest.fixture()
+def clf() -> APClassifier:
+    return APClassifier.build(internet2_like(prefixes_per_router=2))
+
+
+def snapshot_paths(classifier: APClassifier, headers, ingress: str):
+    return {
+        header: sorted(map(tuple, classifier.query(header, ingress).paths()))
+        for header in headers
+    }
+
+
+def probe_headers(classifier: APClassifier, count: int = 15):
+    rng = random.Random(0)
+    atoms = sorted(classifier.universe.atom_ids())
+    return [
+        classifier.universe.atom_fn(rng.choice(atoms)).random_sat(rng)
+        for _ in range(count)
+    ]
+
+
+def detour_rule() -> ForwardingRule:
+    return ForwardingRule(
+        Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 24), ("to_SALT",), 24
+    )
+
+
+class TestCommit:
+    def test_commit_keeps_changes(self, clf):
+        rule = detour_rule()
+        with clf.transaction() as txn:
+            txn.insert_rule("SEAT", rule)
+        # Committed: the rule is live.
+        assert rule in list(clf.dataplane.network.box("SEAT").table)
+
+    def test_pending_operations_counted(self, clf):
+        txn = clf.transaction()
+        txn.insert_rule("SEAT", detour_rule())
+        assert txn.pending_operations == 1
+        txn.commit()
+        assert txn.pending_operations == 0
+
+
+class TestRollback:
+    def test_rollback_restores_behavior_exactly(self, clf):
+        headers = probe_headers(clf)
+        before = snapshot_paths(clf, headers, "SEAT")
+        txn = clf.transaction()
+        txn.insert_rule("SEAT", detour_rule())
+        txn.remove_rule("SEAT", detour_rule())
+        txn.insert_rule("CHIC", detour_rule())
+        txn.rollback()
+        assert snapshot_paths(clf, headers, "SEAT") == before
+        assert snapshot_paths(clf, headers, "CHIC") == snapshot_paths(
+            clf, headers, "CHIC"
+        )
+
+    def test_exception_rolls_back(self, clf):
+        headers = probe_headers(clf)
+        before = snapshot_paths(clf, headers, "SEAT")
+        with pytest.raises(RuntimeError, match="boom"):
+            with clf.transaction() as txn:
+                txn.insert_rule("SEAT", detour_rule())
+                raise RuntimeError("boom")
+        assert snapshot_paths(clf, headers, "SEAT") == before
+
+    def test_failed_verification_rolls_back(self, clf):
+        headers = probe_headers(clf)
+        before = snapshot_paths(clf, headers, "SEAT")
+        blackhole = ForwardingRule(Match.any(), ("dead",), priority=32)
+        with pytest.raises(VerificationFailed):
+            with clf.transaction() as txn:
+                txn.insert_rule("SEAT", blackhole)
+                txn.ensure(
+                    lambda c: not NetworkVerifier.from_classifier(c)
+                    .find_blackholes("SEAT"),
+                    "no blackholes allowed",
+                )
+        assert snapshot_paths(clf, headers, "SEAT") == before
+
+
+class TestVerification:
+    def test_passing_check_commits(self, clf):
+        rule = detour_rule()
+        with clf.transaction() as txn:
+            txn.insert_rule("SEAT", rule)
+            txn.ensure(
+                lambda c: not NetworkVerifier.from_classifier(c).find_loops("SEAT")
+            )
+        assert rule in list(clf.dataplane.network.box("SEAT").table)
+
+    def test_check_sees_staged_state(self, clf):
+        rule = detour_rule()
+        observed = {}
+
+        def check(classifier) -> bool:
+            observed["rules"] = len(classifier.dataplane.network.box("SEAT").table)
+            return True
+
+        baseline = len(clf.dataplane.network.box("SEAT").table)
+        with clf.transaction() as txn:
+            txn.insert_rule("SEAT", rule)
+            txn.ensure(check)
+        assert observed["rules"] == baseline + 1
+
+
+class TestLifecycle:
+    def test_closed_transaction_rejects_operations(self, clf):
+        txn = clf.transaction()
+        txn.commit()
+        with pytest.raises(RuntimeError):
+            txn.insert_rule("SEAT", detour_rule())
+        with pytest.raises(RuntimeError):
+            txn.rollback()
+
+    def test_manual_rollback_then_exit_is_clean(self, clf):
+        with clf.transaction() as txn:
+            txn.insert_rule("SEAT", detour_rule())
+            txn.rollback()
+        # __exit__ must not double-rollback a closed transaction.
+
+    def test_transaction_type(self, clf):
+        assert isinstance(clf.transaction(), UpdateTransaction)

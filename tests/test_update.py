@@ -1,0 +1,174 @@
+"""Real-time update tests (Section VI-A): correctness must survive any
+sequence of predicate additions and deletions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.atomic import AtomicUniverse
+from repro.core.classifier import APClassifier
+from repro.core.construction import build_oapt
+from repro.core.update import UpdateEngine
+from repro.core.weights import VisitCounter
+from repro.datasets import internet2_like, rule_update_stream
+from repro.network.dataplane import DataPlane, PredicateChange
+
+
+def fresh_classifier() -> APClassifier:
+    return APClassifier.build(internet2_like(prefixes_per_router=2))
+
+
+class TestEngineBasics:
+    def test_add_predicate_keeps_classification_exact(self):
+        clf = fresh_classifier()
+        rng = random.Random(1)
+        # Borrow an unrelated predicate function by perturbing an atom.
+        atoms = sorted(clf.universe.atom_ids())
+        new_fn = clf.universe.atom_fn(atoms[0]) | clf.universe.atom_fn(atoms[-1])
+        engine = UpdateEngine(clf.universe, clf.tree)
+        engine.add_predicate(
+            type(clf.dataplane.predicates()[0])(
+                pid=10_000, kind="forward", box="x", port="p", fn=new_fn
+            )
+        )
+        for _ in range(50):
+            header = rng.getrandbits(32)
+            assert clf.tree.classify(header) == clf.universe.classify(header)
+
+    def test_update_result_accounting(self):
+        clf = fresh_classifier()
+        rule_stream = rule_update_stream(
+            clf.dataplane.network, 5, random.Random(2), insert_fraction=1.0
+        )
+        results = []
+        for update in rule_stream:
+            results.extend(clf.insert_rule(update.box, update.rule))
+        assert all(result.elapsed_s >= 0 for result in results)
+        assert any(
+            result.added_pid is not None or result.removed_pid is not None
+            for result in results
+        )
+
+    def test_counter_carries_weights_across_splits(self):
+        clf = APClassifier.build(
+            internet2_like(prefixes_per_router=2), count_visits=True
+        )
+        counter = clf.counter
+        assert isinstance(counter, VisitCounter)
+        atoms = sorted(clf.universe.atom_ids())
+        counter.record(atoms[0], 100)
+        # Split that atom via a new predicate cutting it.
+        atom_fn = clf.universe.atom_fn(atoms[0])
+        rng = random.Random(3)
+        member = atom_fn.random_sat(rng)
+        from repro.bdd import Function
+
+        cutter = Function.cube(
+            clf.dataplane.manager,
+            {i: bool((member >> (31 - i)) & 1) for i in range(8)},
+        )
+        engine = UpdateEngine(clf.universe, clf.tree, counter)
+        engine.add_predicate(
+            type(clf.dataplane.predicates()[0])(
+                pid=10_001, kind="forward", box="x", port="p", fn=cutter
+            )
+        )
+        assert counter.total == 100  # conserved
+
+
+class TestRuleLevelUpdates:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_mixed_stream_stays_consistent(self, seed):
+        clf = fresh_classifier()
+        rng = random.Random(seed)
+        for update in rule_update_stream(clf.dataplane.network, 30, rng):
+            if update.kind == "insert":
+                clf.insert_rule(update.box, update.rule)
+            else:
+                clf.remove_rule(update.box, update.rule)
+        # Tree and universe agree with a from-scratch recomputation.
+        reference = AtomicUniverse.compute(
+            clf.dataplane.manager, clf.dataplane.predicates()
+        )
+        for _ in range(80):
+            header = rng.getrandbits(32)
+            live_atom = clf.tree.classify(header)
+            ref_atom = reference.classify(header)
+            for labeled in clf.dataplane.predicates():
+                assert clf.universe.contains(labeled.pid, live_atom) == (
+                    reference.contains(labeled.pid, ref_atom)
+                )
+
+    def test_updates_since_rebuild_counter(self):
+        clf = fresh_classifier()
+        rng = random.Random(4)
+        stream = rule_update_stream(
+            clf.dataplane.network, 10, rng, insert_fraction=1.0
+        )
+        applied = 0
+        for update in stream:
+            applied += len(clf.insert_rule(update.box, update.rule))
+        assert clf.updates_since_rebuild == applied
+        clf.reconstruct()
+        assert clf.updates_since_rebuild == 0
+
+
+class TestTombstones:
+    def test_deleted_predicate_still_evaluated_in_tree(self):
+        clf = fresh_classifier()
+        root_pid = clf.tree.root.pid
+        assert root_pid is not None
+        labeled = clf.dataplane.predicate(root_pid)
+        # Remove every rule feeding that port predicate via the dataplane
+        # would be complex; tombstone directly through the engine instead.
+        engine = UpdateEngine(clf.universe, clf.tree)
+        engine.remove_predicate(root_pid)
+        assert not clf.universe.has_predicate(root_pid)
+        # The tree still uses the predicate for routing queries -- and
+        # classification remains a valid (finer) partition.
+        rng = random.Random(5)
+        for _ in range(30):
+            header = rng.getrandbits(32)
+            atom_id = clf.tree.classify(header)
+            assert clf.universe.atom_fn(atom_id).evaluate(header)
+        assert labeled.fn.evaluate is not None  # predicate object intact
+
+    def test_reconstruction_sheds_fragmentation(self):
+        clf = fresh_classifier()
+        rng = random.Random(6)
+        for update in rule_update_stream(clf.dataplane.network, 40, rng):
+            if update.kind == "insert":
+                clf.insert_rule(update.box, update.rule)
+            else:
+                clf.remove_rule(update.box, update.rule)
+        fragmented = clf.universe.atom_count
+        clf.reconstruct()
+        assert clf.universe.atom_count <= fragmented
+        # Rebuilt tree is optimized: not worse than continuing the old one.
+        rebuilt_depth = clf.tree.average_depth()
+        assert rebuilt_depth <= build_oapt(clf.universe).average_depth() * 1.01
+
+
+class TestApplyChanges:
+    def test_apply_change_roundtrip(self):
+        clf = fresh_classifier()
+        dp: DataPlane = clf.dataplane
+        from repro.headerspace.fields import parse_ipv4
+        from repro.network.rules import ForwardingRule, Match
+
+        rule = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.77.0.0"), 24),
+            ("to_SALT",),
+            priority=24,
+        )
+        results = clf.insert_rule("SEAT", rule)
+        assert clf.universe.verify_partition()
+        results += clf.remove_rule("SEAT", rule)
+        assert clf.universe.verify_partition()
+        assert len(results) >= 2
+
+    def test_change_without_content_rejected(self):
+        with pytest.raises(ValueError):
+            PredicateChange(removed=None, added=None)

@@ -1,0 +1,152 @@
+"""Tests for the network-wide invariant verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classifier import APClassifier
+from repro.core.verifier import NetworkVerifier
+from repro.datasets import toy_network
+from repro.headerspace.fields import dst_ip_layout, parse_ipv4
+from repro.network.builder import Network
+from repro.network.rules import AclRule, Match
+
+
+@pytest.fixture()
+def toy_verifier():
+    classifier = APClassifier.build(toy_network())
+    return classifier, NetworkVerifier.from_classifier(classifier)
+
+
+class TestReachability:
+    def test_atoms_reaching_host(self, toy_verifier):
+        classifier, verifier = toy_verifier
+        to_h2_from_b1 = verifier.atoms_reaching_host("b1", "h2")
+        # Exactly the 10.2.0.0/17 class reaches h2 from b1.
+        atom = classifier.classify(parse_ipv4("10.2.0.1"))
+        assert to_h2_from_b1 == {atom}
+        # From b2, both 10.2.0.0/17-ish classes and 10.3/16 reach h2.
+        to_h2_from_b2 = verifier.atoms_reaching_host("b2", "h2")
+        assert atom in to_h2_from_b2
+        assert len(to_h2_from_b2) > len(to_h2_from_b1)
+
+    def test_atoms_traversing(self, toy_verifier):
+        classifier, verifier = toy_verifier
+        through_b2 = verifier.atoms_traversing("b1", "b2")
+        atom = classifier.classify(parse_ipv4("10.2.0.1"))
+        assert atom in through_b2
+
+    def test_reachability_matrix_shape(self, toy_verifier):
+        _, verifier = toy_verifier
+        matrix = verifier.reachability_matrix()
+        assert set(matrix) == {
+            (box, host) for box in ("b1", "b2") for host in ("h1", "h2")
+        }
+        assert matrix[("b2", "h1")] == frozenset()  # b2 cannot reach h1
+
+
+class TestInvariants:
+    def test_no_loops_in_toy(self, toy_verifier):
+        _, verifier = toy_verifier
+        assert verifier.find_loops("b1") == frozenset()
+
+    def test_loop_detection(self):
+        network = Network(dst_ip_layout(), name="looped")
+        for name in ("a", "b"):
+            network.add_box(name)
+        network.link("a", "to_b", "b", "from_a")
+        network.link("b", "to_a", "a", "from_b")
+        match = Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8)
+        network.add_forwarding_rule("a", match, "to_b", 8)
+        network.add_forwarding_rule("b", match, "to_a", 8)
+        classifier = APClassifier.build(network)
+        verifier = NetworkVerifier.from_classifier(classifier)
+        loops = verifier.find_loops("a")
+        assert loops
+        looping_atom = classifier.classify(parse_ipv4("10.1.1.1"))
+        assert looping_atom in loops
+
+    def test_blackholes(self, toy_verifier):
+        classifier, verifier = toy_verifier
+        blackholes = verifier.find_blackholes("b2")
+        # From b2 the only deliverable classes are inside p3; everything
+        # else is a blackhole there.
+        assert blackholes
+        deliverable = verifier.atoms_reaching_host("b2", "h2")
+        assert blackholes == classifier.universe.atom_ids() - deliverable
+
+
+class TestWaypoint:
+    def build_chain(self, bypass: bool) -> APClassifier:
+        network = Network(dst_ip_layout(), name="chain")
+        for name in ("edge", "fw", "core"):
+            network.add_box(name)
+        network.link("edge", "to_fw", "fw", "from_edge")
+        network.link("fw", "to_core", "core", "from_fw")
+        network.attach_host("core", "cust", "server")
+        match = Match.prefix("dst_ip", parse_ipv4("10.0.0.0"), 8)
+        network.add_forwarding_rule("edge", match, "to_fw", 8)
+        network.add_forwarding_rule("fw", match, "to_core", 8)
+        network.add_forwarding_rule("core", match, "cust", 8)
+        if bypass:
+            network.link("edge", "direct", "core", "side_door")
+            network.add_forwarding_rule(
+                "edge",
+                Match.prefix("dst_ip", parse_ipv4("10.66.0.0"), 16),
+                "direct",
+                16,
+            )
+        return APClassifier.build(network)
+
+    def test_waypoint_holds(self):
+        classifier = self.build_chain(bypass=False)
+        verifier = NetworkVerifier.from_classifier(classifier)
+        assert verifier.verify_waypoint("edge", "server", "fw") == []
+
+    def test_waypoint_violation_found(self):
+        classifier = self.build_chain(bypass=True)
+        verifier = NetworkVerifier.from_classifier(classifier)
+        violations = verifier.verify_waypoint("edge", "server", "fw")
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.atom_id == classifier.classify(parse_ipv4("10.66.1.1"))
+        assert "fw" not in violation.path
+        assert violation.path[-1] == "server"
+
+
+class TestIsolation:
+    def test_isolated_hosts(self, toy_verifier):
+        _, verifier = toy_verifier
+        assert verifier.verify_isolation("b1", "h1", "h2") == frozenset()
+
+    def test_multicast_breaks_isolation(self):
+        network = Network(dst_ip_layout(), name="mcast")
+        network.add_box("r")
+        network.attach_host("r", "p1", "h1")
+        network.attach_host("r", "p2", "h2")
+        network.add_forwarding_rule(
+            "r",
+            Match.prefix("dst_ip", parse_ipv4("224.0.0.0"), 4),
+            ("p1", "p2"),
+            priority=4,
+        )
+        classifier = APClassifier.build(network)
+        verifier = NetworkVerifier.from_classifier(classifier)
+        shared = verifier.verify_isolation("r", "h1", "h2")
+        assert shared == {classifier.classify(parse_ipv4("224.1.1.1"))}
+
+
+class TestCacheAndDescribe:
+    def test_cache_invalidate(self, toy_verifier):
+        _, verifier = toy_verifier
+        verifier.atoms_reaching_host("b1", "h1")
+        assert verifier._cache
+        verifier.invalidate()
+        assert not verifier._cache
+
+    def test_describe_atom(self, toy_verifier):
+        classifier, verifier = toy_verifier
+        atom = classifier.classify(parse_ipv4("10.1.0.1"))
+        text = verifier.describe_atom(atom)
+        assert text.startswith(f"a{atom}:")
+        assert "dst_ip" in text

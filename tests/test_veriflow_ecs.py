@@ -1,0 +1,93 @@
+"""Tests for Veriflow-style equivalence classes -- and through them, the
+paper's minimality claim for atomic predicates."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import VeriflowTrie
+from repro.core.classifier import APClassifier
+from repro.datasets import internet2_like, random_network, toy_network
+
+
+class TestBoundaries:
+    def test_toy_boundaries(self):
+        trie = VeriflowTrie(toy_network())
+        boundaries = trie.field_boundaries()["dst_ip"]
+        assert boundaries[0] == 0 and boundaries[-1] == 1 << 32
+        # 10.1.0.0/16 must contribute its start as a cut point.
+        from repro.headerspace.fields import parse_ipv4
+
+        assert parse_ipv4("10.1.0.0") in boundaries
+
+    def test_acls_contribute_cuts(self, stanford_net):
+        trie = VeriflowTrie(stanford_net)
+        boundaries = trie.field_boundaries()
+        # Stanford-like ACLs constrain src_ip and dst_port.
+        assert len(boundaries["src_ip"]) > 2 or len(boundaries["dst_port"]) > 2
+
+
+class TestEquivalenceClasses:
+    def test_same_cell_same_behavior(self):
+        """Packets in one Veriflow cell must behave identically -- the
+        cells refine the behavioral partition."""
+        network = toy_network()
+        classifier = APClassifier.build(network)
+        trie = VeriflowTrie(network)
+        rng = random.Random(1)
+        cell_to_atom: dict[tuple[int, ...], int] = {}
+        for _ in range(300):
+            header = rng.getrandbits(32)
+            cell = trie.equivalence_class_of(header)
+            atom = classifier.classify(header)
+            if cell in cell_to_atom:
+                assert cell_to_atom[cell] == atom
+            else:
+                cell_to_atom[cell] = atom
+
+    def test_atoms_are_minimal_vs_veriflow(self, internet2_classifier):
+        """The paper's headline property: atomic predicates are the
+        *minimum* set of classes, so Veriflow's per-dimension grid can
+        only be coarser-grained in count terms (>= atoms)."""
+        trie = VeriflowTrie(internet2_classifier.dataplane.network)
+        assert (
+            trie.equivalence_class_count()
+            >= internet2_classifier.universe.atom_count
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=12, deadline=None)
+    def test_minimality_on_random_networks(self, seed):
+        network = random_network(boxes=4, prefixes=5, seed=seed)
+        classifier = APClassifier.build(network)
+        trie = VeriflowTrie(network)
+        assert trie.equivalence_class_count() >= classifier.universe.atom_count
+        # And cell-consistency on a few packets.
+        rng = random.Random(seed)
+        cell_to_atom: dict[tuple[int, ...], int] = {}
+        for _ in range(60):
+            header = rng.getrandbits(32)
+            cell = trie.equivalence_class_of(header)
+            atom = classifier.classify(header)
+            assert cell_to_atom.setdefault(cell, atom) == atom
+
+
+class TestCellLookup:
+    def test_cell_is_stable(self):
+        trie = VeriflowTrie(toy_network())
+        from repro.headerspace.fields import parse_ipv4
+
+        a = trie.equivalence_class_of(parse_ipv4("10.1.0.1"))
+        b = trie.equivalence_class_of(parse_ipv4("10.1.0.200"))
+        c = trie.equivalence_class_of(parse_ipv4("10.3.0.1"))
+        assert a == b
+        assert a != c
+
+    def test_cell_shape_matches_layout(self, stanford_net):
+        trie = VeriflowTrie(stanford_net)
+        cell = trie.equivalence_class_of(0)
+        assert len(cell) == len(stanford_net.layout.fields)

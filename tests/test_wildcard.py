@@ -1,0 +1,169 @@
+"""Unit and property tests for the ternary wildcard algebra."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.headerspace.wildcard import Wildcard, WildcardSet
+
+WIDTH = 6
+
+
+def truth(wildcard: Wildcard) -> set[int]:
+    return {h for h in range(1 << wildcard.width) if wildcard.matches(h)}
+
+
+def set_truth(ws: WildcardSet) -> set[int]:
+    return {h for h in range(1 << ws.width) if ws.matches(h)}
+
+
+wildcards = st.builds(
+    lambda mask, value: Wildcard(WIDTH, mask, value & mask),
+    st.integers(min_value=0, max_value=(1 << WIDTH) - 1),
+    st.integers(min_value=0, max_value=(1 << WIDTH) - 1),
+)
+
+
+class TestConstruction:
+    def test_any_matches_everything(self):
+        assert truth(Wildcard.any(4)) == set(range(16))
+
+    def test_exact_matches_one(self):
+        assert truth(Wildcard.exact(4, 0b1010)) == {0b1010}
+
+    def test_from_string_round_trip(self):
+        for text in ("10*1", "****", "0000", "1*0*"):
+            assert str(Wildcard.from_string(text)) == text
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Wildcard.from_string("10a1")
+
+    def test_value_outside_mask_rejected(self):
+        with pytest.raises(ValueError):
+            Wildcard(4, 0b0001, 0b0010)
+
+    def test_mask_outside_width_rejected(self):
+        with pytest.raises(ValueError):
+            Wildcard(4, 0b10000, 0)
+
+    def test_from_prefix(self):
+        # 8-bit header: field of width 4 at offset 4, prefix 2 of value 0b1100.
+        wildcard = Wildcard.from_prefix(8, 4, 4, 0b1100, 2)
+        assert str(wildcard) == "****11**"
+
+    def test_from_prefix_bounds(self):
+        with pytest.raises(ValueError):
+            Wildcard.from_prefix(8, 0, 4, 0, 5)
+
+    def test_count(self):
+        assert Wildcard.from_string("1**0").count() == 4
+        assert Wildcard.exact(4, 3).count() == 1
+
+
+class TestAlgebraUnit:
+    def test_intersect_disjoint_is_none(self):
+        a = Wildcard.from_string("1***")
+        b = Wildcard.from_string("0***")
+        assert a.intersect(b) is None
+
+    def test_intersect_narrows(self):
+        a = Wildcard.from_string("1***")
+        b = Wildcard.from_string("**00")
+        assert str(a.intersect(b)) == "1*00"
+
+    def test_subset(self):
+        assert Wildcard.from_string("10*1").is_subset(Wildcard.from_string("1**1"))
+        assert not Wildcard.from_string("1**1").is_subset(Wildcard.from_string("10*1"))
+
+    def test_subtract_disjoint_returns_self(self):
+        a = Wildcard.from_string("1***")
+        b = Wildcard.from_string("0***")
+        assert a.subtract(b) == [a]
+
+    def test_subtract_superset_is_empty(self):
+        a = Wildcard.from_string("10**")
+        b = Wildcard.from_string("1***")
+        assert a.subtract(b) == []
+
+    def test_rewrite_forces_bits(self):
+        a = Wildcard.from_string("1***")
+        rewritten = a.rewrite(0b0110, 0b0100)
+        assert str(rewritten) == "110*"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Wildcard.any(4).intersect(Wildcard.any(5))
+
+    def test_sample_matches(self):
+        rng = random.Random(3)
+        wildcard = Wildcard.from_string("1*0*1*")
+        for _ in range(30):
+            assert wildcard.matches(wildcard.sample(rng))
+
+
+@given(wildcards, wildcards)
+@settings(max_examples=200)
+def test_intersect_is_set_intersection(a, b):
+    overlap = a.intersect(b)
+    expected = truth(a) & truth(b)
+    assert (set() if overlap is None else truth(overlap)) == expected
+
+
+@given(wildcards, wildcards)
+@settings(max_examples=200)
+def test_subtract_is_set_difference(a, b):
+    pieces = a.subtract(b)
+    expected = truth(a) - truth(b)
+    covered: set[int] = set()
+    for piece in pieces:
+        members = truth(piece)
+        assert not members & covered, "subtract pieces overlap"
+        covered |= members
+    assert covered == expected
+
+
+@given(wildcards, wildcards)
+@settings(max_examples=200)
+def test_subset_matches_set_inclusion(a, b):
+    assert a.is_subset(b) == (truth(a) <= truth(b))
+
+
+@given(st.lists(wildcards, max_size=5), wildcards)
+@settings(max_examples=100)
+def test_wildcard_set_operations(members, probe):
+    ws = WildcardSet(WIDTH, members)
+    expected = set().union(*(truth(m) for m in members)) if members else set()
+    assert set_truth(ws) == expected
+    assert set_truth(ws.intersect_wildcard(probe)) == expected & truth(probe)
+    assert set_truth(ws.subtract_wildcard(probe)) == expected - truth(probe)
+
+
+class TestWildcardSet:
+    def test_absorption_keeps_sets_small(self):
+        ws = WildcardSet(4)
+        ws.add(Wildcard.from_string("10**"))
+        ws.add(Wildcard.from_string("1***"))  # absorbs the first
+        ws.add(Wildcard.from_string("100*"))  # absorbed by the second
+        assert len(ws) == 1
+
+    def test_full_and_empty(self):
+        assert set_truth(WildcardSet.full(4)) == set(range(16))
+        assert WildcardSet.empty(4).is_empty
+
+    def test_union(self):
+        a = WildcardSet(4, [Wildcard.from_string("1***")])
+        b = WildcardSet(4, [Wildcard.from_string("0***")])
+        assert set_truth(a.union(b)) == set(range(16))
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WildcardSet(4).add(Wildcard.any(5))
+
+    def test_repr_truncates(self):
+        ws = WildcardSet(4, [Wildcard.exact(4, v) for v in range(6)])
+        assert "total" in repr(ws)
