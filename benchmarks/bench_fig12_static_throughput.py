@@ -11,6 +11,12 @@ HSA around three orders of magnitude below AP Classifier.
 
 Absolute numbers here are pure-Python, so everything is uniformly slower
 than the paper's C/Java -- the ratios are the result.
+
+The ``engine`` axis re-runs the comparison on the compiled flat-array
+engine (batched bit-parallel evaluation): tree methods go through
+:class:`~repro.core.compiled.CompiledAPTree`, the scan baselines through
+their :meth:`compile`/batch paths.  Forwarding Simulation and HSA have no
+batch form and appear only on the interpreted axis.
 """
 
 from __future__ import annotations
@@ -21,13 +27,14 @@ import pytest
 from conftest import emit
 
 from repro.analysis.reporting import format_qps, render_table
-from repro.analysis.stats import measure_throughput
+from repro.analysis.stats import measure_batch_throughput, measure_throughput
 from repro.baselines import (
     APLinearClassifier,
     ForwardingSimulator,
     HsaQuerier,
     PScanIdentifier,
 )
+from repro.core.compiled import CompiledAPTree, NUMPY_BACKEND, available_backends
 from repro.core.construction import best_from_random, build_quick_ordering
 
 HSA_SAMPLE = 60  # HSA is slow enough that a subsample suffices
@@ -39,31 +46,45 @@ def _warm_qps(query, headers) -> float:
     return measure_throughput(query, headers).qps
 
 
+def _warm_batch_qps(query_batch, headers) -> float:
+    """Batched counterpart of :func:`_warm_qps`."""
+    measure_batch_throughput(query_batch, headers[: max(len(headers) // 4, 1)])
+    return measure_batch_throughput(query_batch, headers).qps
+
+
+@pytest.mark.parametrize("engine", ["interpreted", "compiled"])
 @pytest.mark.parametrize("which", ["i2", "stan"])
-def test_fig12_static_throughput(which, i2, stan, benchmark):
+def test_fig12_static_throughput(which, engine, i2, stan, benchmark):
     ds = i2 if which == "i2" else stan
     rng = random.Random(12)
     boxes = sorted(ds.network.boxes)
     ingresses = [rng.choice(boxes) for _ in ds.headers]
 
-    # --- stage-1 classification methods -------------------------------
-    oapt_qps = _warm_qps(ds.classifier.tree.classify, ds.headers)
     quick_tree = build_quick_ordering(ds.universe)
-    quick_qps = _warm_qps(quick_tree.classify, ds.headers)
     bfr_tree, _ = best_from_random(ds.universe, trials=10, rng=rng)
-    bfr_qps = _warm_qps(bfr_tree.classify, ds.headers)
     aplinear = APLinearClassifier(ds.dataplane, ds.universe)
-    aplinear_qps = _warm_qps(aplinear.classify, ds.headers)
     pscan = PScanIdentifier(ds.dataplane)
-    pscan_qps = _warm_qps(pscan.verdicts, ds.headers)
 
-    # --- full path-computation methods ---------------------------------
-    fsim = ForwardingSimulator(ds.dataplane)
-    pairs = list(zip(ds.headers, ingresses))
-    fsim_qps = len(pairs) / _timed(lambda: [fsim.query(h, b) for h, b in pairs])
-    hsa = HsaQuerier(ds.network)
-    hsa_pairs = pairs[:HSA_SAMPLE]
-    hsa_qps = len(hsa_pairs) / _timed(lambda: [hsa.query(h, b) for h, b in hsa_pairs])
+    # --- stage-1 classification methods -------------------------------
+    if engine == "compiled":
+        oapt = CompiledAPTree.compile(ds.classifier.tree)
+        oapt_qps = _warm_batch_qps(oapt.classify_batch, ds.headers)
+        quick_qps = _warm_batch_qps(
+            CompiledAPTree.compile(quick_tree).classify_batch, ds.headers
+        )
+        bfr_qps = _warm_batch_qps(
+            CompiledAPTree.compile(bfr_tree).classify_batch, ds.headers
+        )
+        aplinear.compile()
+        aplinear_qps = _warm_batch_qps(aplinear.classify_batch, ds.headers)
+        pscan.compile()
+        pscan_qps = _warm_batch_qps(pscan.verdict_bits_batch, ds.headers)
+    else:
+        oapt_qps = _warm_qps(ds.classifier.tree.classify, ds.headers)
+        quick_qps = _warm_qps(quick_tree.classify, ds.headers)
+        bfr_qps = _warm_qps(bfr_tree.classify, ds.headers)
+        aplinear_qps = _warm_qps(aplinear.classify, ds.headers)
+        pscan_qps = _warm_qps(pscan.verdicts, ds.headers)
 
     rows = [
         ("AP Classifier (OAPT)", format_qps(oapt_qps), "1.0x"),
@@ -71,26 +92,57 @@ def test_fig12_static_throughput(which, i2, stan, benchmark):
         ("Best from Random", format_qps(bfr_qps), f"{oapt_qps / bfr_qps:.1f}x"),
         ("APLinear (AP Verifier)", format_qps(aplinear_qps), f"{oapt_qps / aplinear_qps:.1f}x"),
         ("PScan", format_qps(pscan_qps), f"{oapt_qps / pscan_qps:.1f}x"),
-        ("Forwarding Simulation", format_qps(fsim_qps), f"{oapt_qps / fsim_qps:.1f}x"),
-        ("HSA (Hassel-style)", format_qps(hsa_qps), f"{oapt_qps / hsa_qps:.0f}x"),
     ]
+
+    if engine == "interpreted":
+        # --- full path-computation methods (no batch form) -------------
+        fsim = ForwardingSimulator(ds.dataplane)
+        pairs = list(zip(ds.headers, ingresses))
+        fsim_qps = len(pairs) / _timed(lambda: [fsim.query(h, b) for h, b in pairs])
+        hsa = HsaQuerier(ds.network)
+        hsa_pairs = pairs[:HSA_SAMPLE]
+        hsa_qps = len(hsa_pairs) / _timed(
+            lambda: [hsa.query(h, b) for h, b in hsa_pairs]
+        )
+        rows.append(
+            ("Forwarding Simulation", format_qps(fsim_qps), f"{oapt_qps / fsim_qps:.1f}x")
+        )
+        rows.append(
+            ("HSA (Hassel-style)", format_qps(hsa_qps), f"{oapt_qps / hsa_qps:.0f}x")
+        )
+
     emit(
-        f"fig12_{ds.name}",
+        f"fig12_{ds.name}_{engine}",
         render_table(
-            f"Fig. 12 ({ds.name}): static query throughput "
+            f"Fig. 12 ({ds.name}, {engine} engine): static query throughput "
             "(speedup = AP Classifier / method)",
             ["method", "throughput", "AP Classifier speedup"],
             rows,
         ),
     )
 
-    assert oapt_qps >= quick_qps * 0.9 >= bfr_qps * 0.8
-    assert oapt_qps > pscan_qps * 5
-    assert oapt_qps > aplinear_qps * 2
-    # HSA's per-query cost scales with the rule count (the paper's ~1000x
-    # gap comes from 126K-757K rules); at our reduced rule counts the gap
-    # shrinks proportionally but must stay decisive.
-    assert oapt_qps > hsa_qps * 5
+    if engine == "interpreted":
+        assert oapt_qps >= quick_qps * 0.9 >= bfr_qps * 0.8
+        assert oapt_qps > pscan_qps * 5
+        assert oapt_qps > aplinear_qps * 2
+        # HSA's per-query cost scales with the rule count (the paper's
+        # ~1000x gap comes from 126K-757K rules); at our reduced rule
+        # counts the gap shrinks proportionally but must stay decisive.
+        assert oapt_qps > hsa_qps * 5
+    elif NUMPY_BACKEND in available_backends():
+        # Batched evaluation compresses per-node costs, so the ordering
+        # survives with smaller margins: the tree still beats the scans,
+        # and shallower trees still win, within timing noise.
+        assert oapt_qps > quick_qps * 0.7
+        assert oapt_qps > bfr_qps * 0.7
+        assert oapt_qps > pscan_qps * 2
+        assert oapt_qps > aplinear_qps * 1.5
+    else:
+        # The stdlib backend's mask propagation costs one pass over the
+        # whole flat program regardless of depth, so relative ordering
+        # reflects program sizes, not the paper's figure; this leg is a
+        # correctness/availability smoke only.
+        assert min(oapt_qps, quick_qps, bfr_qps, aplinear_qps, pscan_qps) > 0
 
     benchmark(lambda: ds.classifier.tree.classify(ds.headers[0]))
 

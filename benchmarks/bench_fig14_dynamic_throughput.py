@@ -7,6 +7,14 @@ compare AP Classifier vs APLinear vs PScan.
 Shapes to reproduce: AP Classifier an order of magnitude above both
 baselines throughout; its throughput decays between reconstructions and
 snaps back at each swap; doubling the update rate barely moves the mean.
+
+The ``engine`` axis replays the simulation on the compiled flat-array
+engine: every structural update stales the artifact, so the query process
+pays an inline recompile before the next cost sample (Section VI-B's
+split, with the swap-time compile riding on the reconstruction core).
+Compiled cost samples use a larger batch -- the engine's throughput comes
+from amortizing work across a batch, and a tiny batch would measure
+dispatch overhead instead.
 """
 
 from __future__ import annotations
@@ -17,13 +25,14 @@ import pytest
 from conftest import emit
 
 from repro.analysis.reporting import format_qps, render_series, render_table
+from repro.core.compiled import NUMPY_BACKEND, available_backends
 from repro.core.reconstruction import DynamicSimulation
 
 DURATION_S = 1.2
 BUCKET_S = 0.05
 
 
-def run_method(ds, method: str, rate: float, seed: int):
+def run_method(ds, method: str, rate: float, seed: int, engine: str = "interpreted"):
     simulation = DynamicSimulation(
         ds.dataplane.predicates(),
         initial_count=max(len(ds.dataplane.predicates()) // 2, 10),
@@ -31,16 +40,18 @@ def run_method(ds, method: str, rate: float, seed: int):
         reconstruct_interval_s=0.4,
         bucket_s=BUCKET_S,
         rng=random.Random(seed),
-        cost_samples=120,
+        cost_samples=120 if engine == "interpreted" else 600,
+        engine=engine,
     )
     return simulation.run(duration_s=DURATION_S, update_rate_per_s=rate)
 
 
+@pytest.mark.parametrize("engine", ["interpreted", "compiled"])
 @pytest.mark.parametrize("rate", [100, 200])
-def test_fig14_dynamic_throughput(rate, i2, benchmark):
+def test_fig14_dynamic_throughput(rate, engine, i2, benchmark):
     ds = i2
     timelines = {
-        method: run_method(ds, method, rate, seed=14)
+        method: run_method(ds, method, rate, seed=14, engine=engine)
         for method in ("apclassifier", "aplinear", "pscan")
     }
     means = {
@@ -56,16 +67,18 @@ def test_fig14_dynamic_throughput(rate, i2, benchmark):
         for s in timelines["apclassifier"]
     ]
     emit(
-        f"fig14_rate{rate}_timeline",
+        f"fig14_rate{rate}_{engine}_timeline",
         render_series(
-            f"Fig. 14 ({ds.name}, {rate} updates/s): AP Classifier throughput",
+            f"Fig. 14 ({ds.name}, {rate} updates/s, {engine} engine): "
+            "AP Classifier throughput",
             "time", "throughput", series,
         ),
     )
     emit(
-        f"fig14_rate{rate}_means",
+        f"fig14_rate{rate}_{engine}_means",
         render_table(
-            f"Fig. 14 ({ds.name}, {rate} updates/s): mean throughput",
+            f"Fig. 14 ({ds.name}, {rate} updates/s, {engine} engine): "
+            "mean throughput",
             ["method", "mean throughput", "vs AP Classifier"],
             [
                 (m, format_qps(q), f"{means['apclassifier'] / q:.1f}x")
@@ -74,9 +87,17 @@ def test_fig14_dynamic_throughput(rate, i2, benchmark):
         ),
     )
 
-    # AP Classifier clearly above both baselines.
-    assert means["apclassifier"] > means["aplinear"] * 3
-    assert means["apclassifier"] > means["pscan"] * 3
+    # AP Classifier clearly above both baselines.  On the compiled axis
+    # every method pays inline recompiles after updates, which hits the
+    # scan baselines hardest (their artifacts are the big atom/predicate
+    # BDD sets), so the tree's margin persists -- except on the stdlib
+    # backend, whose single-pass mask propagation prices methods by flat
+    # program size rather than depth; that leg is a smoke run only.
+    if engine == "interpreted" or NUMPY_BACKEND in available_backends():
+        assert means["apclassifier"] > means["aplinear"] * 3
+        assert means["apclassifier"] > means["pscan"] * 3
+    else:
+        assert min(means.values()) > 0
 
     # Sawtooth: after each swap, throughput must not be below the level
     # just before the swap (the rebuilt tree is at least as good).
@@ -88,7 +109,7 @@ def test_fig14_dynamic_throughput(rate, i2, benchmark):
             assert after > before * 0.7
 
     benchmark.pedantic(
-        lambda: run_method(ds, "apclassifier", rate, seed=15),
+        lambda: run_method(ds, "apclassifier", rate, seed=15, engine=engine),
         rounds=1,
         iterations=1,
     )

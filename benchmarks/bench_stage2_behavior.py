@@ -5,6 +5,11 @@ computing forwarding paths from an already-known atomic predicate -- much
 faster than stage 1, which is why the AP Tree is the optimization target.
 The shape to reproduce: stage 2 alone is several times faster than the
 full two-stage query.
+
+The ``engine`` axis runs stage 1 through the compiled artifact
+(``classifier.compile()`` + ``classify_batch``), which narrows the gap
+between the full pipeline and stage 2 alone -- exactly the point of the
+compiled engine: stage 1 stops being the dominant cost.
 """
 
 from __future__ import annotations
@@ -18,8 +23,9 @@ from conftest import emit
 from repro.analysis.reporting import format_qps, render_table
 
 
+@pytest.mark.parametrize("engine", ["interpreted", "compiled"])
 @pytest.mark.parametrize("which", ["i2", "stan"])
-def test_stage2_throughput(which, i2, stan, benchmark):
+def test_stage2_throughput(which, engine, i2, stan, benchmark):
     ds = i2 if which == "i2" else stan
     rng = random.Random(21)
     boxes = sorted(ds.network.boxes)
@@ -34,16 +40,35 @@ def test_stage2_throughput(which, i2, stan, benchmark):
         computer.compute(atom_id, ingress)
     stage2_qps = len(queries) / (time.perf_counter() - started)
 
-    both = list(zip(ds.headers[:1000], (b for _, b in queries)))
-    started = time.perf_counter()
-    for header, ingress in both:
-        ds.classifier.query(header, ingress)
-    full_qps = len(both) / (time.perf_counter() - started)
+    headers = ds.headers[:1000]
+    ingresses = [b for _, b in queries]
+    if engine == "compiled":
+        # Batch stage 1 through the flat-array artifact, then walk
+        # stage 2 per atom; compile cost is one-time and excluded, as for
+        # the tree build itself.
+        ds.classifier.compile()
+        try:
+            started = time.perf_counter()
+            atom_ids = ds.classifier.classify_batch(headers)
+            for atom_id, ingress in zip(atom_ids, ingresses):
+                computer.compute(atom_id, ingress)
+            full_qps = len(headers) / (time.perf_counter() - started)
+        finally:
+            # The dataset fixture is session-scoped: drop the artifact so
+            # interpreted-axis benches keep measuring the interpreted path.
+            ds.classifier._compiled = None
+    else:
+        both = list(zip(headers, ingresses))
+        started = time.perf_counter()
+        for header, ingress in both:
+            ds.classifier.query(header, ingress)
+        full_qps = len(both) / (time.perf_counter() - started)
 
     emit(
-        f"stage2_{ds.name}",
+        f"stage2_{ds.name}_{engine}",
         render_table(
-            f"Section IV-B ({ds.name}): stage-2-only vs full query throughput",
+            f"Section IV-B ({ds.name}, {engine} engine): "
+            "stage-2-only vs full query throughput",
             ["pipeline", "throughput"],
             [
                 ("stage 2 only (atom -> paths)", format_qps(stage2_qps)),
@@ -51,8 +76,14 @@ def test_stage2_throughput(which, i2, stan, benchmark):
             ],
         ),
     )
-    # Stage 2 must not be the bottleneck.
-    assert stage2_qps > full_qps
+    # Stage 2 must not be the bottleneck; with compiled stage 1 the full
+    # pipeline approaches the stage-2-only rate (strictly more work, but
+    # the stage-1 share shrinks to a sliver -- leave room for timing
+    # noise between the two separately-timed loops).
+    if engine == "interpreted":
+        assert stage2_qps > full_qps
+    else:
+        assert stage2_qps > full_qps * 0.9
 
     atom_id, ingress = queries[0]
     benchmark(lambda: computer.compute(atom_id, ingress))

@@ -7,6 +7,7 @@ from .stats import (
     DepthStats,
     ThroughputResult,
     cdf,
+    measure_batch_throughput,
     measure_throughput,
     pearson,
     percentile,
@@ -18,6 +19,7 @@ __all__ = [
     "pearson",
     "DepthStats",
     "ThroughputResult",
+    "measure_batch_throughput",
     "measure_throughput",
     "render_table",
     "render_series",

@@ -14,6 +14,7 @@ __all__ = [
     "percentile",
     "pearson",
     "DepthStats",
+    "measure_batch_throughput",
     "measure_throughput",
     "ThroughputResult",
 ]
@@ -124,5 +125,25 @@ def measure_throughput(
     for _ in range(repeat):
         for header in headers:
             query(header)
+    elapsed = time.perf_counter() - started
+    return ThroughputResult(queries=len(headers) * repeat, elapsed_s=elapsed)
+
+
+def measure_batch_throughput(
+    query_batch: Callable[[Sequence[int]], object],
+    headers: Sequence[int],
+    repeat: int = 1,
+) -> ThroughputResult:
+    """Time a whole-batch query function over a header trace.
+
+    Counterpart of :func:`measure_throughput` for the compiled engine's
+    ``classify_batch``-style entry points, where per-call dispatch would
+    misrepresent the achievable rate.
+    """
+    if not headers:
+        raise ValueError("need at least one header")
+    started = time.perf_counter()
+    for _ in range(repeat):
+        query_batch(headers)
     elapsed = time.perf_counter() - started
     return ThroughputResult(queries=len(headers) * repeat, elapsed_s=elapsed)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from ..core.atomic import AtomicUniverse
 from ..core.behavior import Behavior, BehaviorComputer
+from ..core.compiled import FlatBDDSet
 from ..headerspace.header import Packet
 from ..network.dataplane import DataPlane
 
@@ -29,10 +30,43 @@ class APLinearClassifier:
             else AtomicUniverse.compute(dataplane.manager, dataplane.predicates())
         )
         self._behavior = BehaviorComputer(dataplane, self.universe)
+        self._flat: FlatBDDSet | None = None
+        self._flat_atom_ids: list[int] = []
 
     def classify(self, packet: Packet | int) -> int:
         header = packet.value if isinstance(packet, Packet) else packet
         return self.universe.classify(header)
+
+    def compile(self, backend: str | None = None) -> FlatBDDSet:
+        """Flatten the atom BDDs for batched classification.
+
+        Snapshot semantics: the flat set describes the universe as of
+        this call; recompile after updates.  Scan order matches
+        :meth:`AtomicUniverse.classify` (atom insertion order), so the
+        batch path returns identical atom ids.
+        """
+        atoms = self.universe.atoms()
+        self._flat_atom_ids = list(atoms)
+        self._flat = FlatBDDSet.compile(
+            self.universe.manager,
+            [atoms[atom_id].node for atom_id in self._flat_atom_ids],
+            backend=backend,
+        )
+        return self._flat
+
+    def classify_batch(self, packets) -> list[int]:
+        """Batched linear scan (compiled when :meth:`compile` was called)."""
+        headers = [
+            packet.value if isinstance(packet, Packet) else packet
+            for packet in packets
+        ]
+        if self._flat is None:
+            classify = self.universe.classify
+            return [classify(header) for header in headers]
+        atom_ids = self._flat_atom_ids
+        return [
+            atom_ids[index] for index in self._flat.first_true_batch(headers)
+        ]
 
     def query(
         self, packet: Packet | int, ingress_box: str, in_port: str | None = None

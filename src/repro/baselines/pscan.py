@@ -17,6 +17,7 @@ from ..core.behavior import (
     TraceEdge,
     TraceNode,
 )
+from ..core.compiled import FlatBDDSet
 from ..headerspace.header import Packet
 from ..network.dataplane import DataPlane
 
@@ -29,6 +30,8 @@ class PScanIdentifier:
     def __init__(self, dataplane: DataPlane) -> None:
         self.dataplane = dataplane
         self.topology = dataplane.network.topology
+        self._flat: FlatBDDSet | None = None
+        self._flat_pids: list[int] = []
 
     def verdicts(self, packet: Packet | int) -> dict[int, bool]:
         """pid -> does the predicate evaluate true for the packet.
@@ -40,6 +43,41 @@ class PScanIdentifier:
             predicate.pid: predicate.fn.evaluate(header)
             for predicate in self.dataplane.predicates()
         }
+
+    def compile(self, backend: str | None = None) -> FlatBDDSet:
+        """Flatten the predicate BDDs for batched verdict computation.
+
+        Snapshot semantics: describes the data plane as of this call;
+        recompile after rule changes.
+        """
+        labeled = list(self.dataplane.predicates())
+        self._flat_pids = [predicate.pid for predicate in labeled]
+        self._flat = FlatBDDSet.compile(
+            self.dataplane.manager,
+            [predicate.fn.node for predicate in labeled],
+            backend=backend,
+        )
+        return self._flat
+
+    def verdict_bits(self, packet: Packet | int) -> int:
+        """The verdict vector folded into one int (predicate order of
+        :meth:`DataPlane.predicates`; first predicate at the top bit)."""
+        header = packet.value if isinstance(packet, Packet) else packet
+        acc = 0
+        for predicate in self.dataplane.predicates():
+            acc = (acc << 1) | predicate.fn.evaluate(header)
+        return acc
+
+    def verdict_bits_batch(self, packets) -> list[int]:
+        """Batched :meth:`verdict_bits` via the flattened predicate set."""
+        headers = [
+            packet.value if isinstance(packet, Packet) else packet
+            for packet in packets
+        ]
+        if self._flat is None:
+            verdict_bits = self.verdict_bits
+            return [verdict_bits(header) for header in headers]
+        return self._flat.truth_bits_batch(headers)
 
     def query(
         self, packet: Packet | int, ingress_box: str, in_port: str | None = None

@@ -54,6 +54,9 @@ class BDDManager:
         if num_vars <= 0:
             raise ValueError(f"num_vars must be positive, got {num_vars}")
         self.num_vars = num_vars
+        # Evaluation reads variable i at bit position num_vars - 1 - i;
+        # cache the shift base so the hot loop never recomputes it.
+        self._shift = num_vars - 1
         # Parallel arrays for node fields; indices 0/1 are terminals and the
         # var entries hold a sentinel that sorts after every real variable.
         self._var = [_TERMINAL_VAR, _TERMINAL_VAR]
@@ -66,6 +69,8 @@ class BDDManager:
         # Single-variable nodes are requested constantly; precompute them.
         self._var_nodes = [self._mk(i, FALSE, TRUE) for i in range(num_vars)]
         self._nvar_nodes = [self._mk(i, TRUE, FALSE) for i in range(num_vars)]
+        # Prebound evaluation entry point; see :meth:`make_evaluator`.
+        self.evaluate_from = self.make_evaluator()
 
     # ------------------------------------------------------------------
     # Node construction
@@ -364,18 +369,54 @@ class BDDManager:
         ``num_vars - 1 - i`` so that the integer reads naturally as the
         packet header with variable 0 as the most significant bit.  This is
         the single hottest operation of the whole library: every AP Tree
-        node visit and every linear-scan baseline step lands here.
+        node visit and every linear-scan baseline step lands here.  Hot
+        loops should prefer :attr:`evaluate_from`, which has the node
+        arrays and shift prebound.
         """
         var = self._var
         low = self._low
         high = self._high
-        shift = self.num_vars - 1
+        shift = self._shift
         while u > TRUE:
             if (assignment >> (shift - var[u])) & 1:
                 u = high[u]
             else:
                 u = low[u]
         return u == TRUE
+
+    def make_evaluator(self):
+        """Build ``evaluate_from(entry, header)`` with prebound locals.
+
+        The closure captures the node arrays and the shift base once, so
+        repeated calls skip every ``self.`` lookup of :meth:`evaluate`.
+        It stays valid as the manager grows: the arrays are only ever
+        appended to in place, never replaced.  An instance is installed as
+        :attr:`evaluate_from` at construction.
+        """
+        var = self._var
+        low = self._low
+        high = self._high
+        shift = self._shift
+
+        def evaluate_from(entry: int, assignment: int) -> bool:
+            u = entry
+            while u > TRUE:
+                if (assignment >> (shift - var[u])) & 1:
+                    u = high[u]
+                else:
+                    u = low[u]
+            return u == TRUE
+
+        return evaluate_from
+
+    def node_arrays(self) -> tuple[list[int], list[int], list[int]]:
+        """The live ``(var, low, high)`` parallel lists.
+
+        Read-only views for compilers that flatten BDDs into other
+        layouts (:mod:`repro.core.compiled`); mutating them corrupts the
+        manager.
+        """
+        return self._var, self._low, self._high
 
     def sat_count(self, u: int) -> int:
         """Number of satisfying assignments over all ``num_vars`` variables."""

@@ -9,6 +9,12 @@ from .propagation import AtomPropagation, PropagationResult
 from .verifier import NetworkVerifier, WaypointViolation
 from .behavior import Behavior, BehaviorComputer, TraceEdge, TraceNode
 from .classifier import APClassifier, ClassifierStats
+from .compiled import (
+    CompiledAPTree,
+    FlatBDDSet,
+    available_backends,
+    default_backend,
+)
 from .construction import (
     ConstructionReport,
     STRATEGIES,
@@ -52,6 +58,10 @@ from .weights import VisitCounter
 
 __all__ = [
     "APClassifier",
+    "CompiledAPTree",
+    "FlatBDDSet",
+    "available_backends",
+    "default_backend",
     "ClassifierStats",
     "ConcurrentClassifier",
     "NetworkVerifier",

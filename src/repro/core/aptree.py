@@ -68,6 +68,21 @@ class APTree:
     def __init__(self, manager: BDDManager, root: APTreeNode) -> None:
         self.manager = manager
         self.root = root
+        #: Bumped on every structural mutation; compiled artifacts
+        #: (:mod:`repro.core.compiled`) stamp the version they saw and
+        #: fall back to this interpreted tree once it moves.
+        self.version = 0
+        # atom id -> leaf node, so updates touch only the affected leaves
+        # instead of walking every leaf per predicate addition.
+        self._leaf_index: dict[int, APTreeNode] = {
+            leaf.atom_id: leaf  # type: ignore[misc]
+            for leaf in self._walk()
+            if leaf.is_leaf
+        }
+
+    def touch(self) -> None:
+        """Mark the tree structurally changed (invalidates compiled forms)."""
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Search (stage 1 of AP Classifier)
@@ -81,7 +96,7 @@ class APTree:
         root-to-leaf path is unique (Section IV-A).
         """
         node = self.root
-        evaluate = self.manager.evaluate
+        evaluate = self.manager.evaluate_from
         while node.pid is not None:
             node = node.high if evaluate(node.fn_node, header) else node.low
         atom_id = node.atom_id
@@ -96,7 +111,7 @@ class APTree:
         runs where per-call overhead would otherwise dominate.
         """
         root = self.root
-        evaluate = self.manager.evaluate
+        evaluate = self.manager.evaluate_from
         results: list[int] = []
         append = results.append
         for header in headers:
@@ -113,7 +128,7 @@ class APTree:
         evaluated against and how it branched on each.
         """
         node = self.root
-        evaluate = self.manager.evaluate
+        evaluate = self.manager.evaluate_from
         trace: list[tuple[int, bool]] = []
         while node.pid is not None:
             verdict = evaluate(node.fn_node, header)
@@ -124,7 +139,7 @@ class APTree:
     def classify_with_depth(self, header: int) -> tuple[int, int]:
         """Like :meth:`classify` but also counts evaluated predicates."""
         node = self.root
-        evaluate = self.manager.evaluate
+        evaluate = self.manager.evaluate_from
         depth = 0
         while node.pid is not None:
             depth += 1
@@ -200,23 +215,32 @@ class APTree:
         For every split atom the leaf grows two children under an internal
         node labeled by the new predicate; absorbed atoms keep their leaf
         (relabeled when the universe minted the surviving side under the
-        old id, which it does -- ids only change on real splits).  Returns
+        old id, which it does -- ids only change on real splits).  Leaves
+        are found through the atom-id index, so the cost is proportional
+        to the number of *affected* leaves, not the leaf count.  Returns
         the number of leaves that were split.
         """
-        by_old: dict[int, LeafSplit] = {split.old_id: split for split in splits}
+        index = self._leaf_index
         split_count = 0
-        for leaf in list(self.leaves()):
-            assert leaf.atom_id is not None
-            split = by_old.get(leaf.atom_id)
-            if split is None or not split.is_split:
+        for split in splits:
+            if not split.is_split:
                 continue
+            leaf = index.get(split.old_id)
+            if leaf is None:
+                continue  # atom not represented in this tree
             assert split.inside_id is not None and split.outside_id is not None
+            high = APTreeNode.leaf(split.inside_id)
+            low = APTreeNode.leaf(split.outside_id)
             leaf.pid = pid
             leaf.fn_node = fn_node
-            leaf.high = APTreeNode.leaf(split.inside_id)
-            leaf.low = APTreeNode.leaf(split.outside_id)
+            leaf.high = high
+            leaf.low = low
             leaf.atom_id = None
+            del index[split.old_id]
+            index[split.inside_id] = high
+            index[split.outside_id] = low
             split_count += 1
+        self.touch()
         return split_count
 
     def __repr__(self) -> str:

@@ -20,6 +20,7 @@ from ..network.rules import ForwardingRule
 from .aptree import APTree
 from .atomic import AtomicUniverse
 from .behavior import Behavior, BehaviorComputer
+from .compiled import CompiledAPTree
 from .construction import build_tree
 from .update import UpdateEngine, UpdateResult
 from .weights import VisitCounter
@@ -66,6 +67,7 @@ class APClassifier:
         self.counter = VisitCounter() if count_visits else None
         self.behavior_computer = BehaviorComputer(dataplane, universe)
         self._engine = UpdateEngine(universe, tree, self.counter)
+        self._compiled: CompiledAPTree | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -111,16 +113,69 @@ class APClassifier:
         )
 
     # ------------------------------------------------------------------
+    # Compiled engine (flat arrays + batched evaluation)
+    # ------------------------------------------------------------------
+
+    def compile(self, backend: str | None = None) -> CompiledAPTree:
+        """Compile the current tree into a flat-array artifact.
+
+        Queries use the artifact while it is fresh; any structural
+        update (leaf split, tombstone) or tree swap invalidates it, and
+        queries transparently fall back to the interpreted tree until
+        ``compile()`` is called again -- the query-process /
+        reconstruction-process split of Section VI-B.
+        """
+        self._compiled = CompiledAPTree.compile(self.tree, backend=backend)
+        return self._compiled
+
+    @property
+    def compiled(self) -> CompiledAPTree | None:
+        """The last compiled artifact, fresh or not (``None`` if never)."""
+        return self._compiled
+
+    @property
+    def compiled_fresh(self) -> bool:
+        """Is there a compiled artifact matching the live tree exactly?"""
+        compiled = self._compiled
+        return compiled is not None and compiled.is_fresh_for(self.tree)
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
     def classify(self, packet: Packet | int) -> int:
         """Stage 1: the atomic predicate (atom id) of a packet."""
         header = packet.value if isinstance(packet, Packet) else packet
-        atom_id = self.tree.classify(header)
+        compiled = self._compiled
+        if compiled is not None and compiled.is_fresh_for(self.tree):
+            atom_id = compiled.classify(header)
+        else:
+            atom_id = self.tree.classify(header)
         if self.counter is not None:
             self.counter.record(atom_id)
         return atom_id
+
+    def classify_batch(self, packets) -> list[int]:
+        """Stage 1 for a whole batch.
+
+        Uses the compiled engine's batched bit-parallel path when a
+        fresh artifact exists, otherwise the interpreted
+        :meth:`APTree.classify_many`; results are identical.
+        """
+        headers = [
+            packet.value if isinstance(packet, Packet) else packet
+            for packet in packets
+        ]
+        compiled = self._compiled
+        if compiled is not None and compiled.is_fresh_for(self.tree):
+            atom_ids = compiled.classify_batch(headers)
+        else:
+            atom_ids = self.tree.classify_many(headers)
+        if self.counter is not None:
+            record = self.counter.record
+            for atom_id in atom_ids:
+                record(atom_id)
+        return atom_ids
 
     def behavior_of_atom(
         self, atom_id: int, ingress_box: str, in_port: str | None = None
@@ -242,6 +297,9 @@ class APClassifier:
                 self.counter.reset()
         self.tree = tree
         self._engine = UpdateEngine(universe, tree, self.counter)
+        # The artifact described the old tree; queries fall back to the
+        # interpreted path until the caller recompiles.
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # Statistics

@@ -1,0 +1,737 @@
+"""Compiled classification engine: flat arrays + batched bit-parallel BDDs.
+
+The interpreted query path (:meth:`repro.core.aptree.APTree.classify`)
+spends nearly all of its time inside ``BDDManager.evaluate`` -- a
+per-bit Python loop over the manager's global node lists.  This module
+trades that pointer-chasing for *compiled* artifacts: once a structure
+is built, it is flattened into small contiguous integer arrays that a
+tight loop (or a handful of numpy gathers) can walk without touching a
+single Python object graph.
+
+Three layers, lowest first:
+
+* :func:`flatten_bdds` -- each referenced BDD becomes one contiguous,
+  level-ordered ``(var, low, high)`` slice.  Level order (nodes sorted
+  by variable) is simultaneously a topological order, which the batch
+  evaluators below rely on, and keeps a top-down walk moving forward
+  through memory.
+* :class:`FlatBDDSet` -- a set of flattened predicates with batched
+  evaluation: every packet's verdict for every root in one pass.  The
+  ``aplinear``/``pscan`` baselines use it so Fig. 12's engine comparison
+  stays apples-to-apples.
+* :class:`CompiledAPTree` -- a built AP Tree compiled to (a) the
+  parallel tree arrays ``pred_entry`` / ``low_idx`` / ``high_idx`` /
+  ``atom_id`` plus shared predicate slices, used by the scalar
+  :meth:`CompiledAPTree.classify`, and (b) a *fused program* in which
+  every predicate BDD's terminal edges are rewired to the next tree
+  node's entry, so a whole classification is a single branching-program
+  descent.  :meth:`CompiledAPTree.classify_batch` advances all packets
+  together through the fused program.
+
+Two batch backends produce identical results and are auto-selected:
+
+* ``numpy`` -- packets become a bit matrix (``np.unpackbits``); all
+  cursors advance together with vectorized gathers, finished lanes are
+  compacted away.
+* ``stdlib`` -- pure-Python *bit-parallel* evaluation: each header bit
+  column is packed into one arbitrary-precision int (bit ``j`` = packet
+  ``j``), and a single topological pass pushes lane masks through the
+  fused program with big-int AND/ANDNOT.  Cost scales with program
+  size, not ``packets x path length``.
+
+Staleness protocol: artifacts stamp ``tree.version`` at compile time.
+Every structural mutation (leaf splits, tombstones) bumps the version,
+so a stale artifact is detected by one integer comparison and queries
+transparently fall back to the interpreted tree until a recompile --
+mirroring the paper's query-process/reconstruction-process split
+(Section VI-B).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Sequence
+
+from ..bdd.manager import BDDManager, TRUE
+from .aptree import APTree
+
+try:  # pragma: no cover - exercised via the CI matrix
+    if os.environ.get("REPRO_DISABLE_NUMPY"):
+        _np = None
+    else:
+        import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "CompiledAPTree",
+    "FlatBDDSet",
+    "available_backends",
+    "default_backend",
+    "flatten_bdds",
+]
+
+NUMPY_BACKEND = "numpy"
+STDLIB_BACKEND = "stdlib"
+
+#: Below this batch size the whole-batch machinery costs more than it
+#: saves; batch entry points fall back to the scalar loop.
+_MIN_BATCH = 16
+
+#: Iterations between finished-lane compactions of the numpy descent.
+_COMPACT_BLOCK = 16
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends usable in this process, preferred first."""
+    if _np is not None:
+        return (NUMPY_BACKEND, STDLIB_BACKEND)
+    return (STDLIB_BACKEND,)
+
+
+def default_backend() -> str:
+    return available_backends()[0]
+
+
+def _resolve_backend(backend: str | None) -> str:
+    if backend is None:
+        return default_backend()
+    if backend not in (NUMPY_BACKEND, STDLIB_BACKEND):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == NUMPY_BACKEND and _np is None:
+        raise ValueError("numpy backend requested but numpy is unavailable")
+    return backend
+
+
+# ----------------------------------------------------------------------
+# BDD flattening
+# ----------------------------------------------------------------------
+
+
+def flatten_bdds(
+    manager: BDDManager, roots: Sequence[int]
+) -> tuple[list[int], list[int], list[int], dict[int, int]]:
+    """Flatten the BDDs rooted at ``roots`` into contiguous level order.
+
+    Returns ``(var, low, high, entry_of)`` parallel lists plus a map from
+    each root to its flat entry index.  Flat indices 0 and 1 are the
+    FALSE/TRUE terminals (made self-loops so batch evaluators can treat
+    them as fixed points); each distinct root's reachable node set
+    occupies one contiguous slice sorted by variable, so within a slice
+    every edge points forward -- level order doubles as topological
+    order.  Subgraphs shared *between* roots are duplicated on purpose:
+    at these sizes contiguity is worth more than sharing.
+    """
+    mvar, mlow, mhigh = manager.node_arrays()
+    var: list[int] = [0, 0]
+    low: list[int] = [0, 1]
+    high: list[int] = [0, 1]
+    entry_of: dict[int, int] = {}
+    for root in roots:
+        if root in entry_of:
+            continue
+        if root <= TRUE:
+            entry_of[root] = root
+            continue
+        seen = {root}
+        stack = [root]
+        reach: list[int] = []
+        while stack:
+            node = stack.pop()
+            reach.append(node)
+            for child in (mlow[node], mhigh[node]):
+                if child > TRUE and child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        reach.sort(key=lambda node: mvar[node])
+        base = len(var)
+        index = {node: base + offset for offset, node in enumerate(reach)}
+        for node in reach:
+            var.append(mvar[node])
+            lo, hi = mlow[node], mhigh[node]
+            low.append(lo if lo <= TRUE else index[lo])
+            high.append(hi if hi <= TRUE else index[hi])
+        entry_of[root] = base  # min-var node of the slice is its root
+    return var, low, high, entry_of
+
+
+# ----------------------------------------------------------------------
+# Header bit columns
+# ----------------------------------------------------------------------
+
+
+def _bit_matrix(headers: Sequence[int], num_vars: int):
+    """``(len(headers), num_vars)`` uint8 matrix of header bits (numpy).
+
+    Variable ``i`` lives at bit ``num_vars - 1 - i`` of a packed header,
+    so dumping each header big-endian and unpacking bits yields columns
+    already indexed by variable.
+    """
+    nbytes = (num_vars + 7) // 8
+    pad = nbytes * 8 - num_vars
+    buf = b"".join((h << pad).to_bytes(nbytes, "big") for h in headers)
+    packed = _np.frombuffer(buf, dtype=_np.uint8).reshape(len(headers), nbytes)
+    return _np.unpackbits(packed, axis=1)[:, :num_vars]
+
+
+class _BitColumns:
+    """Lazy per-variable lane masks for the stdlib bit-parallel path.
+
+    Column ``v`` is one big int whose bit ``j`` is header ``j``'s value
+    of variable ``v``.  Columns are built on first use: only variables
+    that actually appear in a program are ever transposed.
+    """
+
+    def __init__(self, headers: Sequence[int], num_vars: int) -> None:
+        self._headers = headers
+        self._shift = num_vars - 1
+        self._cols: dict[int, int] = {}
+
+    def column(self, var: int) -> int:
+        col = self._cols.get(var)
+        if col is None:
+            shift = self._shift - var
+            word = 0
+            bit = 0
+            parts: list[bytes] = []
+            append = parts.append
+            for header in self._headers:
+                word |= ((header >> shift) & 1) << bit
+                bit += 1
+                if bit == 64:
+                    append(word.to_bytes(8, "little"))
+                    word = 0
+                    bit = 0
+            if bit:
+                append(word.to_bytes(8, "little"))
+            col = self._cols[var] = int.from_bytes(b"".join(parts), "little")
+        return col
+
+
+# ----------------------------------------------------------------------
+# Flat predicate sets (aplinear / pscan substrate)
+# ----------------------------------------------------------------------
+
+
+class FlatBDDSet:
+    """An ordered set of BDD roots compiled for batched evaluation.
+
+    The two linear-scan baselines are built on it: ``first_true_batch``
+    is APLinear's "first matching atom" semantics with early narrowing,
+    ``truth_bits_batch`` is PScan's full verdict vector (one int per
+    header, root ``j`` of ``k`` at bit ``k - 1 - j``, i.e. the fold
+    ``acc = acc << 1 | verdict`` in root order).
+    """
+
+    def __init__(
+        self,
+        manager: BDDManager,
+        roots: Sequence[int],
+        backend: str | None = None,
+    ) -> None:
+        self.manager = manager
+        self.backend = _resolve_backend(backend)
+        self.num_vars = manager.num_vars
+        self.roots = list(roots)
+        var, low, high, entry_of = flatten_bdds(manager, self.roots)
+        self._var = var
+        self._low = low
+        self._high = high
+        self._entries = [entry_of[root] for root in self.roots]
+        self._shifts = [self.num_vars - 1 - v for v in var]
+        if self.backend == NUMPY_BACKEND:
+            self._np_var = _np.asarray(var, dtype=_np.int32)
+            child = _np.empty(2 * len(var), dtype=_np.int32)
+            child[0::2] = low
+            child[1::2] = high
+            self._np_child = child
+
+    @classmethod
+    def compile(
+        cls,
+        manager: BDDManager,
+        roots: Sequence[int],
+        backend: str | None = None,
+    ) -> "FlatBDDSet":
+        return cls(manager, roots, backend=backend)
+
+    def __len__(self) -> int:
+        return len(self.roots)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._var)
+
+    # -- scalar reference ------------------------------------------------
+
+    def evaluate(self, index: int, header: int) -> bool:
+        """Evaluate root ``index`` for one header (flat scalar loop)."""
+        shifts = self._shifts
+        low = self._low
+        high = self._high
+        u = self._entries[index]
+        while u > TRUE:
+            u = high[u] if (header >> shifts[u]) & 1 else low[u]
+        return u == TRUE
+
+    def truth_bits(self, header: int) -> int:
+        """Scalar counterpart of :meth:`truth_bits_batch` for one header."""
+        acc = 0
+        for index in range(len(self.roots)):
+            acc = (acc << 1) | self.evaluate(index, header)
+        return acc
+
+    def first_true(self, header: int) -> int:
+        for index in range(len(self.roots)):
+            if self.evaluate(index, header):
+                return index
+        raise ValueError("no root evaluates true for the header")
+
+    # -- batched evaluation ---------------------------------------------
+
+    def _column_masks(self, headers: Sequence[int]) -> list[int]:
+        """Per-root lane masks: bit ``j`` of mask ``i`` is root ``i``'s
+        verdict for header ``j`` (stdlib bit-parallel propagation)."""
+        full = (1 << len(headers)) - 1
+        columns = _BitColumns(headers, self.num_vars)
+        return [
+            self._propagate(entry, full, columns) for entry in self._entries
+        ]
+
+    def _propagate(self, entry: int, initial: int, columns: _BitColumns) -> int:
+        """Push a lane mask from ``entry`` to the terminals; returns the
+        mask that reached TRUE.  One forward pass over the slice -- level
+        order is topological, so each node is finished before read."""
+        if entry <= TRUE:
+            return initial if entry == TRUE else 0
+        var = self._var
+        low = self._low
+        high = self._high
+        masks: dict[int, int] = {entry: initial}
+        pop = masks.pop
+        true_mask = 0
+        # Slice nodes are contiguous from the entry; walk indices upward
+        # until every outstanding mask has drained to a terminal.
+        u = entry
+        while masks:
+            mask = pop(u, 0)
+            if mask:
+                hi_m = mask & columns.column(var[u])
+                lo_m = mask ^ hi_m
+                if hi_m:
+                    target = high[u]
+                    if target == TRUE:
+                        true_mask |= hi_m
+                    elif target > TRUE:
+                        masks[target] = masks.get(target, 0) | hi_m
+                if lo_m:
+                    target = low[u]
+                    if target == TRUE:
+                        true_mask |= lo_m
+                    elif target > TRUE:
+                        masks[target] = masks.get(target, 0) | lo_m
+            u += 1
+        return true_mask
+
+    def truth_bits_batch(self, headers: Sequence[int]) -> list[int]:
+        """Verdict vectors for a batch: one packed int per header."""
+        if len(headers) < _MIN_BATCH:
+            return [self.truth_bits(h) for h in headers]
+        if self.backend == NUMPY_BACKEND:
+            matrix = self._verdict_matrix_numpy(headers)  # (roots, n)
+            k = len(self.roots)
+            padded = _np.zeros((-(-k // 8) * 8, len(headers)), dtype=_np.uint8)
+            padded[-k:] = matrix  # root 0 at the high bit of the fold
+            packed = _np.packbits(padded, axis=0)
+            data = packed.T.tobytes()
+            width = padded.shape[0] // 8
+            return [
+                int.from_bytes(data[i * width : (i + 1) * width], "big")
+                for i in range(len(headers))
+            ]
+        out = [0] * len(headers)
+        for mask in self._column_masks(headers):
+            for j in range(len(headers)):
+                out[j] = (out[j] << 1) | ((mask >> j) & 1)
+        return out
+
+    def first_true_batch(self, headers: Sequence[int]) -> list[int]:
+        """Index of the first true root per header (APLinear semantics).
+
+        Lanes are retired as soon as some root matches, so the expected
+        work matches the scalar scan's early exit -- just batched.
+        """
+        n = len(headers)
+        if n < _MIN_BATCH:
+            return [self.first_true(h) for h in headers]
+        out = [-1] * n
+        if self.backend == NUMPY_BACKEND:
+            bits = _bit_matrix(headers, self.num_vars)
+            lanes = _np.arange(n, dtype=_np.int32)
+            flat_bits = _np.ascontiguousarray(bits).ravel()
+            base = lanes * self.num_vars
+            child = self._np_child
+            var = self._np_var
+            for index, entry in enumerate(self._entries):
+                if base.size == 0:
+                    break
+                cur = _np.full(base.size, entry, dtype=_np.int32)
+                while True:
+                    active = cur > TRUE
+                    if not active.any():
+                        break
+                    v = var.take(cur)
+                    b = flat_bits.take(base + v)
+                    step = child.take(2 * cur + b)
+                    cur = _np.where(active, step, cur)
+                matched = cur == TRUE
+                if matched.any():
+                    for lane in lanes[matched].tolist():
+                        out[lane] = index
+                    keep = ~matched
+                    lanes = lanes[keep]
+                    base = base[keep]
+        else:
+            columns = _BitColumns(headers, self.num_vars)
+            remaining = (1 << n) - 1
+            for index, entry in enumerate(self._entries):
+                if not remaining:
+                    break
+                matched = self._propagate(entry, remaining, columns)
+                m = matched
+                while m:
+                    lsb = m & -m
+                    out[lsb.bit_length() - 1] = index
+                    m ^= lsb
+                remaining ^= matched
+        missing = out.count(-1)
+        if missing:
+            raise ValueError(f"{missing} headers matched no root")
+        return out
+
+    def _verdict_matrix_numpy(self, headers: Sequence[int]):
+        """uint8 matrix ``(len(roots), len(headers))`` of verdicts."""
+        n = len(headers)
+        bits = _bit_matrix(headers, self.num_vars)
+        flat_bits = _np.ascontiguousarray(bits).ravel()
+        base = _np.arange(n, dtype=_np.int32) * self.num_vars
+        child = self._np_child
+        var = self._np_var
+        matrix = _np.empty((len(self._entries), n), dtype=_np.uint8)
+        for row, entry in enumerate(self._entries):
+            cur = _np.full(n, entry, dtype=_np.int32)
+            while True:
+                active = cur > TRUE
+                if not active.any():
+                    break
+                v = var.take(cur)
+                b = flat_bits.take(base + v)
+                step = child.take(2 * cur + b)
+                cur = _np.where(active, step, cur)
+            matrix[row] = cur
+        return matrix
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatBDDSet({len(self.roots)} roots, {self.node_count} nodes, "
+            f"{self.backend})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Compiled AP Tree
+# ----------------------------------------------------------------------
+
+
+class CompiledAPTree:
+    """A built :class:`APTree` flattened into cache-friendly arrays.
+
+    Construction walks the tree once (BFS, root at index 0) and emits:
+
+    * ``pred_entry[i]`` -- flat-BDD entry of node ``i``'s predicate, or
+      ``-1`` for a leaf;
+    * ``low_idx[i]`` / ``high_idx[i]`` -- child tree indices (leaves
+      self-loop);
+    * ``atom_id[i]`` -- the leaf's atom, or ``-1`` for internal nodes;
+
+    plus the shared level-ordered predicate slices from
+    :func:`flatten_bdds`, and the *fused program* used by the batch
+    paths (predicate terminals rewired to child entries, leaves as
+    self-looping sinks carrying atom ids).
+    """
+
+    def __init__(self, tree: APTree, backend: str | None = None) -> None:
+        self.tree = tree
+        self.tree_version = tree.version
+        self.backend = _resolve_backend(backend)
+        self.num_vars = tree.manager.num_vars
+        self._build_tree_arrays(tree)
+        self._build_fused(tree)
+        del self._tree_nodes  # the arrays are a snapshot; drop live refs
+        if self.backend == NUMPY_BACKEND:
+            self._np_f_var = _np.asarray(self._f_var, dtype=_np.int32)
+            child = _np.empty(2 * len(self._f_var), dtype=_np.int32)
+            child[0::2] = self._f_low
+            child[1::2] = self._f_high
+            self._np_f_child = child
+            self._np_f_atom = _np.asarray(self._f_atom, dtype=_np.int64)
+
+    @classmethod
+    def compile(
+        cls, tree: APTree, backend: str | None = None
+    ) -> "CompiledAPTree":
+        """Flatten ``tree`` for the given (or auto-selected) backend."""
+        return cls(tree, backend=backend)
+
+    # -- construction ----------------------------------------------------
+
+    def _build_tree_arrays(self, tree: APTree) -> None:
+        nodes = [tree.root]
+        position = 0
+        while position < len(nodes):
+            node = nodes[position]
+            position += 1
+            if node.pid is not None:
+                nodes.append(node.low)
+                nodes.append(node.high)
+        index = {id(node): i for i, node in enumerate(nodes)}
+        roots = [node.fn_node for node in nodes if node.pid is not None]
+        var, low, high, entry_of = flatten_bdds(tree.manager, roots)
+        self._bdd_var = var
+        self._bdd_low = low
+        self._bdd_high = high
+        shift = self.num_vars - 1
+        self._bdd_shift = [shift - v for v in var]
+        pred_entry: list[int] = []
+        low_idx: list[int] = []
+        high_idx: list[int] = []
+        atom_id: list[int] = []
+        for i, node in enumerate(nodes):
+            if node.pid is None:
+                pred_entry.append(-1)
+                low_idx.append(i)
+                high_idx.append(i)
+                atom_id.append(node.atom_id)  # type: ignore[arg-type]
+            else:
+                pred_entry.append(entry_of[node.fn_node])
+                low_idx.append(index[id(node.low)])
+                high_idx.append(index[id(node.high)])
+                atom_id.append(-1)
+        self.pred_entry = pred_entry
+        self.low_idx = low_idx
+        self.high_idx = high_idx
+        self.atom_id = atom_id
+        self._tree_nodes = nodes
+
+    def _build_fused(self, tree: APTree) -> None:
+        """Rewire predicate terminals to child entries: one flat program.
+
+        Sinks (tree leaves) occupy indices ``0 .. num_sinks - 1`` and
+        self-loop, so "done" is one comparison.  Slices are laid out in
+        tree-BFS order and level-ordered within, keeping every non-sink
+        edge strictly forward -- the invariant the stdlib mask
+        propagation needs and asserted at build time.
+        """
+        mvar, mlow, mhigh = tree.manager.node_arrays()
+        nodes = self._tree_nodes
+        leaves = [i for i, e in enumerate(self.pred_entry) if e < 0]
+        num_sinks = len(leaves)
+        self._f_atom = [self.atom_id[i] for i in leaves]
+        entries: list[int] = [-1] * len(nodes)
+        for sink, i in enumerate(leaves):
+            entries[i] = sink
+        # Pass 1: per-internal-node reachable sets and slice bases.
+        reaches: list[tuple[int, int, list[int]]] = []
+        next_base = num_sinks
+        for i, node in enumerate(nodes):
+            if node.pid is None:
+                continue
+            root = node.fn_node
+            seen = {root}
+            stack = [root]
+            reach: list[int] = []
+            while stack:
+                u = stack.pop()
+                reach.append(u)
+                for child in (mlow[u], mhigh[u]):
+                    if child > TRUE and child not in seen:
+                        seen.add(child)
+                        stack.append(child)
+            reach.sort(key=lambda u: mvar[u])
+            reaches.append((i, next_base, reach))
+            entries[i] = next_base  # min-var node is the slice root
+            next_base += len(reach)
+        size = next_base
+        f_var = [0] * size
+        f_low = list(range(size))
+        f_high = list(range(size))
+        # Pass 2: fill slices; every child entry is already assigned.
+        for i, base, reach in reaches:
+            low_entry = entries[self.low_idx[i]]
+            high_entry = entries[self.high_idx[i]]
+            index = {u: base + offset for offset, u in enumerate(reach)}
+            for u in reach:
+                k = index[u]
+                f_var[k] = mvar[u]
+                lo, hi = mlow[u], mhigh[u]
+                f_low[k] = (
+                    high_entry if lo == TRUE
+                    else low_entry if lo == 0
+                    else index[lo]
+                )
+                f_high[k] = (
+                    high_entry if hi == TRUE
+                    else low_entry if hi == 0
+                    else index[hi]
+                )
+        self._f_var = f_var
+        self._f_low = f_low
+        self._f_high = f_high
+        self._num_sinks = num_sinks
+        self._f_root = entries[0]
+        if __debug__:
+            for u in range(num_sinks, size):
+                assert f_low[u] < num_sinks or f_low[u] > u
+                assert f_high[u] < num_sinks or f_high[u] > u
+
+    # -- staleness -------------------------------------------------------
+
+    def is_fresh_for(self, tree: APTree) -> bool:
+        """Does this artifact still describe ``tree`` exactly?"""
+        return tree is self.tree and tree.version == self.tree_version
+
+    @property
+    def fresh(self) -> bool:
+        return self.is_fresh_for(self.tree)
+
+    # -- classification --------------------------------------------------
+
+    def classify(self, header: int) -> int:
+        """Atom id of one packed header via the flat tree arrays."""
+        pred_entry = self.pred_entry
+        low_idx = self.low_idx
+        high_idx = self.high_idx
+        shifts = self._bdd_shift
+        low = self._bdd_low
+        high = self._bdd_high
+        i = 0
+        entry = pred_entry[0]
+        while entry >= 0:
+            u = entry
+            while u > TRUE:
+                u = high[u] if (header >> shifts[u]) & 1 else low[u]
+            i = high_idx[i] if u else low_idx[i]
+            entry = pred_entry[i]
+        return self.atom_id[i]
+
+    def classify_batch(self, headers: Sequence[int]) -> list[int]:
+        """Atom ids for a whole batch, all packets advanced together."""
+        headers = list(headers)
+        if len(headers) < _MIN_BATCH:
+            classify = self.classify
+            return [classify(h) for h in headers]
+        if self.backend == NUMPY_BACKEND:
+            return self._classify_batch_numpy(headers)
+        return self._classify_batch_stdlib(headers)
+
+    def _classify_batch_numpy(self, headers: list[int]) -> list[int]:
+        """Vectorized descent of the fused program.
+
+        Every iteration gathers each lane's variable, its header bit and
+        its next node; sinks self-loop, and fully-sunk lanes are
+        compacted away every ``_COMPACT_BLOCK`` steps so stragglers don't
+        drag the whole batch.
+        """
+        n = len(headers)
+        num_sinks = self._num_sinks
+        out = _np.empty(n, dtype=_np.int64)
+        bits = _np.ascontiguousarray(_bit_matrix(headers, self.num_vars))
+        flat_bits = bits.ravel()
+        lanes = _np.arange(n, dtype=_np.int32)
+        base = lanes * self.num_vars
+        cur = _np.full(n, self._f_root, dtype=_np.int32)
+        var = self._np_f_var
+        child = self._np_f_child
+        atom = self._np_f_atom
+        while True:
+            for _ in range(_COMPACT_BLOCK):
+                v = var.take(cur)
+                b = flat_bits.take(base + v)
+                cur = child.take(2 * cur + b)
+            done = cur < num_sinks
+            if done.any():
+                out[lanes[done]] = atom.take(cur[done])
+                keep = ~done
+                if not keep.any():
+                    break
+                lanes = lanes[keep]
+                cur = cur[keep]
+                base = base[keep]
+        return out.tolist()
+
+    def _classify_batch_stdlib(self, headers: list[int]) -> list[int]:
+        """Bit-parallel descent: one topological mask-propagation pass.
+
+        Lane masks are arbitrary-precision ints (bit ``j`` = packet
+        ``j``); each program node splits its incoming mask by the
+        variable's bit column.  Total big-int work is proportional to
+        the number of program nodes reached, independent of batch size
+        per node.
+        """
+        n = len(headers)
+        columns = _BitColumns(headers, self.num_vars)
+        column = columns.column
+        f_var = self._f_var
+        f_low = self._f_low
+        f_high = self._f_high
+        num_sinks = self._num_sinks
+        size = len(f_var)
+        masks = [0] * size
+        masks[self._f_root] = (1 << n) - 1
+        for u in range(num_sinks, size):
+            mask = masks[u]
+            if not mask:
+                continue
+            hi_m = mask & column(f_var[u])
+            lo_m = mask ^ hi_m
+            if lo_m:
+                masks[f_low[u]] |= lo_m
+            if hi_m:
+                masks[f_high[u]] |= hi_m
+        out = [0] * n
+        f_atom = self._f_atom
+        for sink in range(num_sinks):
+            mask = masks[sink]
+            if not mask:
+                continue
+            atom = f_atom[sink]
+            while mask:
+                lsb = mask & -mask
+                out[lsb.bit_length() - 1] = atom
+                mask ^= lsb
+        return out
+
+    # -- accounting ------------------------------------------------------
+
+    def stats(self) -> dict[str, int | str]:
+        """Sizes of the compiled artifact (memory accounting, reports)."""
+        ints = (
+            4 * len(self.pred_entry)  # pred_entry/low_idx/high_idx/atom_id
+            + 4 * len(self._bdd_var)  # var/low/high/shift slices
+            + 3 * len(self._f_var)  # fused program
+            + len(self._f_atom)
+        )
+        return {
+            "backend": self.backend,
+            "tree_nodes": len(self.pred_entry),
+            "bdd_slice_nodes": len(self._bdd_var),
+            "fused_nodes": len(self._f_var),
+            "estimated_bytes": 4 * ints,  # int32-equivalent footprint
+        }
+
+    def __repr__(self) -> str:
+        freshness = "fresh" if self.fresh else "stale"
+        return (
+            f"CompiledAPTree({len(self.pred_entry)} tree nodes, "
+            f"{len(self._f_var)} fused nodes, {self.backend}, {freshness})"
+        )

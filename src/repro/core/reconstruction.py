@@ -25,6 +25,7 @@ from typing import Callable, Sequence
 from ..bdd import Function
 from ..network.dataplane import LabeledPredicate
 from .atomic import AtomicUniverse
+from .compiled import CompiledAPTree, FlatBDDSet
 from .construction import build_tree
 from .update import UpdateEngine
 
@@ -101,6 +102,20 @@ class QueryCostModel:
         elapsed = time.perf_counter() - started
         return elapsed / (len(headers) * self.repeat)
 
+    def measure_batch(self, classify_batch: Callable[[Sequence[int]], object]) -> float:
+        """Average seconds per query for a whole-batch classify function.
+
+        Counterpart of :meth:`measure` for the compiled engine, whose
+        throughput comes from amortizing work across a batch rather than
+        from per-call dispatch.
+        """
+        headers = self.sample_headers
+        started = time.perf_counter()
+        for _ in range(self.repeat):
+            classify_batch(headers)
+        elapsed = time.perf_counter() - started
+        return elapsed / (len(headers) * self.repeat)
+
 
 class _QueryProcess:
     """The live (universe, tree/scanner) pair serving queries."""
@@ -121,9 +136,23 @@ class DynamicSimulation:
     * ``"aplinear"`` -- linear scan over atomic-predicate BDDs (kept exact
       by the same universe updates; no tree, nothing to reconstruct);
     * ``"pscan"`` -- scan over all live predicate BDDs.
+
+    ``engine`` selects how query cost is measured:
+
+    * ``"interpreted"`` -- per-header calls on the live structure
+      (pointer-chasing tree walk / BDD scans);
+    * ``"compiled"`` -- the structure is flattened
+      (:class:`~repro.core.compiled.CompiledAPTree` for the tree,
+      :class:`~repro.core.compiled.FlatBDDSet` for the scan baselines)
+      and cost comes from the batched bit-parallel path.  Compile time
+      after an update is charged to the query process (the artifact went
+      stale and had to be rebuilt inline); compile time at a swap is
+      charged to the reconstruction core, like the tree build itself
+      (Section VI-B's process split).
     """
 
     METHODS = ("apclassifier", "aplinear", "pscan")
+    ENGINES = ("interpreted", "compiled")
 
     def __init__(
         self,
@@ -135,9 +164,13 @@ class DynamicSimulation:
         bucket_s: float = 0.05,
         rng: random.Random | None = None,
         cost_samples: int = 200,
+        engine: str = "interpreted",
+        backend: str | None = None,
     ) -> None:
         if method not in self.METHODS:
             raise ValueError(f"unknown method {method!r}")
+        if engine not in self.ENGINES:
+            raise ValueError(f"unknown engine {engine!r}")
         if not 0 < initial_count <= len(predicates):
             raise ValueError("initial_count out of range")
         if reconstruct_interval_s < bucket_s:
@@ -146,6 +179,9 @@ class DynamicSimulation:
                 "rebuild can be triggered per simulation bucket)"
             )
         self.method = method
+        self.engine = engine
+        self.backend = backend
+        self._compile_spent_s = 0.0
         self.strategy = strategy
         self.reconstruct_interval_s = reconstruct_interval_s
         self.bucket_s = bucket_s
@@ -201,6 +237,51 @@ class DynamicSimulation:
 
         return pscan
 
+    def _batch_fn(
+        self, process: _QueryProcess
+    ) -> Callable[[Sequence[int]], object]:
+        """Flatten the process's structure; return its batch classifier.
+
+        Compile wall time accrues to ``self._compile_spent_s`` so the
+        caller can decide which core to charge it to (see class docs).
+        """
+        started = time.perf_counter()
+        if self.method == "apclassifier":
+            assert process.tree is not None
+            compiled = CompiledAPTree.compile(process.tree, backend=self.backend)
+            batch: Callable[[Sequence[int]], object] = compiled.classify_batch
+        elif self.method == "aplinear":
+            atoms = process.universe.atoms()
+            flat = FlatBDDSet.compile(
+                self.manager,
+                [atoms[atom_id].node for atom_id in atoms],
+                backend=self.backend,
+            )
+            batch = flat.first_true_batch
+        else:  # pscan: the per-query work is one verdict per live predicate
+            flat = FlatBDDSet.compile(
+                self.manager,
+                [fn.node for fn in self._live.values()],
+                backend=self.backend,
+            )
+            batch = flat.truth_bits_batch
+        self._compile_spent_s += time.perf_counter() - started
+        return batch
+
+    def _measure_cost(
+        self, process: _QueryProcess, cost_model: QueryCostModel
+    ) -> float:
+        """Seconds per query on the current structure, engine-appropriate."""
+        if self.engine == "compiled":
+            return cost_model.measure_batch(self._batch_fn(process))
+        return cost_model.measure(self._classify_fn(process))
+
+    def _take_compile_time(self) -> float:
+        """Drain and return compile seconds accrued since the last drain."""
+        spent = self._compile_spent_s
+        self._compile_spent_s = 0.0
+        return spent
+
     def _sample_headers(self, process: _QueryProcess) -> list[int]:
         atoms = list(process.universe.atoms().values())
         headers = []
@@ -255,7 +336,8 @@ class DynamicSimulation:
         """Simulate ``duration_s`` seconds; returns the throughput timeline."""
         events = poisson_update_schedule(update_rate_per_s, duration_s, self.rng)
         cost_model = QueryCostModel(self._sample_headers(self._process))
-        per_query = cost_model.measure(self._classify_fn(self._process))
+        per_query = self._measure_cost(self._process, cost_model)
+        self._take_compile_time()  # initial compile predates the clock
 
         samples: list[ThroughputSample] = []
         event_index = 0
@@ -310,10 +392,16 @@ class DynamicSimulation:
                 rebuild_done_at = float("inf")
                 annotation = "swap"
                 cost_model = QueryCostModel(self._sample_headers(self._process))
-                per_query = cost_model.measure(self._classify_fn(self._process))
+                per_query = self._measure_cost(self._process, cost_model)
+                # Compiling the fresh tree rides on the reconstruction
+                # core, like the build itself: don't charge the queries.
+                self._take_compile_time()
             elif update_time > 0:
-                # Structure changed: re-measure the per-query cost.
-                per_query = cost_model.measure(self._classify_fn(self._process))
+                # Structure changed: re-measure the per-query cost.  In
+                # compiled mode the update stales the artifact, so the
+                # inline recompile is paid by the query process.
+                per_query = self._measure_cost(self._process, cost_model)
+                update_time += self._take_compile_time()
 
             available = max((bucket_end - now) - update_time, 0.0)
             throughput = available / per_query / (bucket_end - now)

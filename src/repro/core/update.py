@@ -97,5 +97,12 @@ class UpdateEngine:
         return split_count
 
     def remove_predicate(self, pid: int) -> None:
-        """Tombstone a predicate; the tree is intentionally untouched."""
+        """Tombstone a predicate; the tree structure is intentionally kept.
+
+        The tree is still marked changed: compiled artifacts treat any
+        maintenance conservatively as staleness and fall back to the
+        interpreted tree until recompiled (Section VI-B split).
+        """
         self.universe.remove_predicate(pid)
+        if self.tree is not None:
+            self.tree.touch()
