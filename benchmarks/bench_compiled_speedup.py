@@ -98,7 +98,9 @@ def test_compiled_speedup(i2):
         "outputs_identical": True,
         "min_speedup_required": MIN_SPEEDUP,
     }
-    RESULT_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    RESULT_JSON.write_text(
+        json.dumps(payload, indent=2, allow_nan=False) + "\n"
+    )
 
     emit(
         "compiled_speedup",

@@ -24,9 +24,10 @@ from __future__ import annotations
 import random
 
 import pytest
-from conftest import emit
+from conftest import OBS_SIDECARS, emit, emit_obs
 
 from repro.analysis.reporting import format_qps, render_table
+from repro.obs import Recorder
 from repro.analysis.stats import measure_batch_throughput, measure_throughput
 from repro.baselines import (
     APLinearClassifier,
@@ -143,6 +144,14 @@ def test_fig12_static_throughput(which, engine, i2, stan, benchmark):
         # reflects program sizes, not the paper's figure; this leg is a
         # correctness/availability smoke only.
         assert min(oapt_qps, quick_qps, bfr_qps, aplinear_qps, pscan_qps) > 0
+
+    if OBS_SIDECARS:
+        # Post-hoc observed replay through the classifier (tree search +
+        # BDD manager), after every timed/asserted measurement above.
+        recorder = Recorder()
+        with recorder.observe(ds.classifier):
+            ds.classifier.classify_batch(ds.headers)
+        emit_obs(f"fig12_{ds.name}_{engine}", recorder)
 
     benchmark(lambda: ds.classifier.tree.classify(ds.headers[0]))
 

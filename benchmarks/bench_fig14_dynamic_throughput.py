@@ -22,17 +22,25 @@ from __future__ import annotations
 import random
 
 import pytest
-from conftest import emit
+from conftest import OBS_SIDECARS, emit, emit_obs
 
 from repro.analysis.reporting import format_qps, render_series, render_table
 from repro.core.compiled import NUMPY_BACKEND, available_backends
 from repro.core.reconstruction import DynamicSimulation
+from repro.obs import Recorder
 
 DURATION_S = 1.2
 BUCKET_S = 0.05
 
 
-def run_method(ds, method: str, rate: float, seed: int, engine: str = "interpreted"):
+def run_method(
+    ds,
+    method: str,
+    rate: float,
+    seed: int,
+    engine: str = "interpreted",
+    recorder=None,
+):
     simulation = DynamicSimulation(
         ds.dataplane.predicates(),
         initial_count=max(len(ds.dataplane.predicates()) // 2, 10),
@@ -42,6 +50,7 @@ def run_method(ds, method: str, rate: float, seed: int, engine: str = "interpret
         rng=random.Random(seed),
         cost_samples=120 if engine == "interpreted" else 600,
         engine=engine,
+        recorder=recorder,
     )
     return simulation.run(duration_s=DURATION_S, update_rate_per_s=rate)
 
@@ -107,6 +116,15 @@ def test_fig14_dynamic_throughput(rate, engine, i2, benchmark):
             before = min(s.throughput_qps for s in samples[max(0, index - 3):index])
             after = max(s.throughput_qps for s in samples[index + 1:index + 4])
             assert after > before * 0.7
+
+    if OBS_SIDECARS:
+        # One extra observed run, outside the measured/asserted ones
+        # above: the recorder mirrors the throughput timeline and counts
+        # rebuild/swap events.
+        recorder = Recorder()
+        run_method(ds, "apclassifier", rate, seed=14, engine=engine,
+                   recorder=recorder)
+        emit_obs(f"fig14_rate{rate}_{engine}", recorder)
 
     benchmark.pedantic(
         lambda: run_method(ds, "apclassifier", rate, seed=15, engine=engine),

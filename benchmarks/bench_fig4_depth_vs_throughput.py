@@ -16,9 +16,10 @@ from __future__ import annotations
 import random
 
 import pytest
-from conftest import emit
+from conftest import OBS_SIDECARS, emit, emit_obs
 
 from repro.analysis.reporting import render_table
+from repro.obs import Recorder
 from repro.analysis.stats import measure_batch_throughput, measure_throughput, pearson
 from repro.core.compiled import CompiledAPTree, NUMPY_BACKEND, available_backends
 from repro.core.construction import build_oapt, build_random
@@ -82,5 +83,13 @@ def test_fig4_depth_throughput_scatter(which, engine, i2, stan, benchmark):
         assert oapt_qps > sum(throughputs) / len(throughputs)
     # On the stdlib backend cost tracks flat-program size, not depth, so
     # the depth scatter carries no signal; the table is still emitted.
+
+    if OBS_SIDECARS:
+        # Post-hoc observed replay on the OAPT tree -- never during the
+        # timed passes above, so the figure numbers stay unbiased.
+        recorder = Recorder()
+        with recorder.observe_tree(oapt_tree):
+            oapt_tree.classify_many(ds.headers)
+        emit_obs(f"fig4_{ds.name}_{engine}", recorder)
 
     benchmark(lambda: build_random(ds.universe, rng))

@@ -1,0 +1,97 @@
+"""Overhead budget for the instrumentation layer (no-op recorder).
+
+The observability layer's contract is that an *unattached* recorder is
+free: every instrumented hot path reads ``self.recorder`` once up front
+and, when it is ``None``, runs the exact pre-instrumentation loop.  This
+bench holds that contract to a number: ``classify_many`` with no recorder
+attached must stay within 5% of a hand-inlined replica of the
+pre-instrumentation loop, measured as best-of-N to shed scheduler noise.
+
+It also sanity-checks the other direction -- an *attached* recorder must
+actually collect -- so the no-op result can't be trivially satisfied by
+instrumentation that never fires.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+from repro.analysis.reporting import render_table
+from repro.obs import Recorder
+
+#: Acceptance bound: no-op recorder overhead on classify_many.
+MAX_OVERHEAD = 1.05
+ROUNDS = 7
+REPEATS = 3
+
+
+def _baseline_classify_many(tree, headers) -> list[int]:
+    """The pre-instrumentation ``classify_many`` loop, verbatim."""
+    root = tree.root
+    evaluate = tree.manager.evaluate_from
+    results: list[int] = []
+    append = results.append
+    for header in headers:
+        node = root
+        while node.pid is not None:
+            node = node.high if evaluate(node.fn_node, header) else node.low
+        append(node.atom_id)
+    return results
+
+
+def _best_of(fn, rounds: int, repeats: int) -> float:
+    """Minimum wall time of ``fn`` over ``rounds`` x ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_noop_recorder_overhead(i2, benchmark):
+    tree = i2.classifier.tree
+    headers = i2.headers
+    assert tree.recorder is None
+
+    # Interleave-warm both paths, then take best-of-N for each.
+    _baseline_classify_many(tree, headers)
+    tree.classify_many(headers)
+    baseline_s = _best_of(
+        lambda: _baseline_classify_many(tree, headers), ROUNDS, REPEATS
+    )
+    instrumented_s = _best_of(
+        lambda: tree.classify_many(headers), ROUNDS, REPEATS
+    )
+    ratio = instrumented_s / baseline_s
+
+    emit(
+        "obs_overhead",
+        render_table(
+            f"Instrumentation overhead ({i2.name}, {len(headers)} headers, "
+            f"best of {ROUNDS}x{REPEATS})",
+            ["path", "seconds", "ratio"],
+            [
+                ("pre-instrumentation loop", f"{baseline_s:.4f}", "1.00x"),
+                ("classify_many, recorder off", f"{instrumented_s:.4f}",
+                 f"{ratio:.2f}x"),
+            ],
+        ),
+    )
+    assert ratio < MAX_OVERHEAD, (
+        f"no-op recorder costs {ratio:.3f}x (> {MAX_OVERHEAD}x) on "
+        "classify_many"
+    )
+
+    # The flip side: attached instrumentation must actually observe.
+    recorder = Recorder()
+    with recorder.observe_tree(tree):
+        expected = tree.classify_many(headers)
+    assert tree.recorder is None
+    assert recorder.tree.queries == len(headers)
+    assert recorder.tree.predicate_evaluations > 0
+    assert expected == _baseline_classify_many(tree, headers)
+
+    benchmark(lambda: tree.classify_many(headers))

@@ -18,9 +18,10 @@ import random
 import time
 
 import pytest
-from conftest import emit
+from conftest import OBS_SIDECARS, emit, emit_obs
 
 from repro.analysis.reporting import format_qps, render_table
+from repro.obs import Recorder
 
 
 @pytest.mark.parametrize("engine", ["interpreted", "compiled"])
@@ -84,6 +85,15 @@ def test_stage2_throughput(which, engine, i2, stan, benchmark):
         assert stage2_qps > full_qps
     else:
         assert stage2_qps > full_qps * 0.9
+
+    if OBS_SIDECARS:
+        # Replay the stage-1 batch under observation after the timed
+        # sections; observe() detaches on exit, so the session-scoped
+        # classifier fixture is returned uninstrumented.
+        recorder = Recorder()
+        with recorder.observe(ds.classifier):
+            ds.classifier.classify_batch(headers)
+        emit_obs(f"stage2_{ds.name}_{engine}", recorder)
 
     atom_id, ingress = queries[0]
     benchmark(lambda: computer.compute(atom_id, ingress))

@@ -14,6 +14,8 @@ output capture.
 
 from __future__ import annotations
 
+import json
+import os
 import random
 from dataclasses import dataclass
 from pathlib import Path
@@ -25,10 +27,16 @@ from repro.core.classifier import APClassifier
 from repro.datasets import internet2_like, stanford_like, uniform_over_atoms
 from repro.datasets.workloads import PacketTrace
 from repro.network.dataplane import DataPlane
+from repro.obs import validate_snapshot
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 TRACE_LEN = 2000
+
+#: Instrumentation sidecars are opt-in: the figure benches replay a small
+#: observed workload *after* their measured sections and write
+#: ``results/<name>.obs.json`` only when this is set (see README).
+OBS_SIDECARS = bool(os.environ.get("REPRO_OBS_SIDECAR"))
 
 
 @dataclass
@@ -88,3 +96,26 @@ def emit(name: str, text: str) -> None:
     print(f"\n{text}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result as strict JSON (no NaN/Infinity)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
+    return path
+
+
+def emit_obs(name: str, recorder) -> Path | None:
+    """Write a recorder's snapshot sidecar when REPRO_OBS_SIDECAR is set.
+
+    The snapshot is validated against the published schema first, so a
+    drifting emitter fails the bench instead of shipping bad sidecars.
+    """
+    if not OBS_SIDECARS:
+        return None
+    snapshot = validate_snapshot(recorder.snapshot())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.obs.json"
+    path.write_text(json.dumps(snapshot, indent=2, allow_nan=False) + "\n")
+    return path

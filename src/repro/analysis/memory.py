@@ -22,6 +22,11 @@ BYTES_PER_BDD_NODE = 20
 BYTES_PER_TREE_NODE = 40
 BYTES_PER_R_ENTRY = 8
 BYTES_PER_TOPOLOGY_ENTRY = 48
+#: One memoization entry is a (key tuple, result) slot in a hash table;
+#: 16 bytes approximates a packed C layout, consistent with the node
+#: constant above.  Before this was accounted, cache growth (which the
+#: size-triggered clear policy now bounds) was invisible to the report.
+BYTES_PER_CACHE_ENTRY = 16
 
 
 @dataclass(frozen=True)
@@ -34,6 +39,10 @@ class MemoryReport:
     tree_nodes: int
     r_entries: int
     topology_entries: int
+    #: Live entries across the manager's apply/not/ite memo caches.
+    #: Defaults to 0 so reports built from structure counts alone keep
+    #: their historical totals.
+    cache_entries: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -47,6 +56,7 @@ class MemoryReport:
             + self.tree_nodes * BYTES_PER_TREE_NODE
             + self.r_entries * BYTES_PER_R_ENTRY
             + self.topology_entries * BYTES_PER_TOPOLOGY_ENTRY
+            + self.cache_entries * BYTES_PER_CACHE_ENTRY
         )
 
     def rows(self) -> list[tuple[str, str]]:
@@ -58,6 +68,7 @@ class MemoryReport:
             ("AP Tree nodes", str(self.tree_nodes)),
             ("R(p) set entries", str(self.r_entries)),
             ("topology entries", str(self.topology_entries)),
+            ("BDD memo cache entries", str(self.cache_entries)),
             ("estimated total", f"{self.total_bytes / 1e6:.2f} MB"),
         ]
 
@@ -98,4 +109,5 @@ def memory_report(classifier) -> MemoryReport:
         tree_nodes=classifier.tree.node_count(),
         r_entries=r_entries,
         topology_entries=topology_entries,
+        cache_entries=manager.cache_stats()["cache_entries"],
     )

@@ -16,6 +16,7 @@ __all__ = [
     "DepthStats",
     "measure_batch_throughput",
     "measure_throughput",
+    "MIN_ELAPSED_S",
     "ThroughputResult",
 ]
 
@@ -98,6 +99,13 @@ class DepthStats:
         return result
 
 
+#: Floor for measured durations when deriving rates.  Dividing by a raw
+#: zero (possible on coarse clocks / trivially small traces) used to yield
+#: ``float("inf")``, which ``json`` serializes as the non-standard literal
+#: ``Infinity`` and strict parsers reject; the floor keeps rates finite.
+MIN_ELAPSED_S = 1e-9
+
+
 @dataclass(frozen=True)
 class ThroughputResult:
     """Measured query throughput."""
@@ -107,7 +115,7 @@ class ThroughputResult:
 
     @property
     def qps(self) -> float:
-        return self.queries / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+        return self.queries / max(self.elapsed_s, MIN_ELAPSED_S)
 
     def __repr__(self) -> str:
         return f"ThroughputResult({self.qps:,.0f} qps over {self.queries} queries)"

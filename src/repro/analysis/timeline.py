@@ -23,7 +23,9 @@ class SwapRecovery:
 
     @property
     def gain(self) -> float:
-        return self.after_qps / self.before_qps if self.before_qps else float("inf")
+        # Floored denominator: a stalled before-window (0 qps) must not
+        # produce ``inf``, which breaks strict-JSON result files.
+        return self.after_qps / max(self.before_qps, 1e-9)
 
 
 @dataclass(frozen=True)

@@ -24,9 +24,10 @@ Design notes
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import Iterator
 
-__all__ = ["BDDManager", "FALSE", "TRUE"]
+__all__ = ["BDDManager", "DEFAULT_CACHE_LIMIT", "FALSE", "TRUE"]
 
 FALSE = 0
 TRUE = 1
@@ -38,7 +39,17 @@ _OP_OR = 1
 _OP_XOR = 2
 _OP_DIFF = 3
 
+_OP_NAMES = {_OP_AND: "and", _OP_OR: "or", _OP_XOR: "xor", _OP_DIFF: "diff"}
+
 _TERMINAL_VAR = 1 << 30  # sentinel "variable" for terminals; orders last
+
+#: Entries allowed in each memo cache (apply / ite / not) before a
+#: size-triggered :meth:`BDDManager.clear_caches`.  The memo caches are
+#: pure accelerators -- unlike the unique table they carry no canonicity
+#: obligation -- but they referenced every operand pair ever combined, so
+#: long dynamic-update runs grew them without bound.  At roughly 200
+#: bytes per entry this bounds each cache to ~100 MB worst case.
+DEFAULT_CACHE_LIMIT = 1 << 19
 
 
 class BDDManager:
@@ -50,10 +61,22 @@ class BDDManager:
     stable, and keeping ids immortal keeps every cache valid forever.
     """
 
-    def __init__(self, num_vars: int) -> None:
+    def __init__(
+        self, num_vars: int, cache_limit: int = DEFAULT_CACHE_LIMIT
+    ) -> None:
         if num_vars <= 0:
             raise ValueError(f"num_vars must be positive, got {num_vars}")
+        if cache_limit <= 0:
+            raise ValueError(f"cache_limit must be positive, got {cache_limit}")
         self.num_vars = num_vars
+        #: Per-memo-cache entry budget; crossing it on a top-level
+        #: operation clears all three memo caches (see ``clear_caches``).
+        self.cache_limit = cache_limit
+        #: Optional :class:`repro.obs.Recorder`.  ``None`` (the default)
+        #: keeps every hot path on its uninstrumented branch; the off
+        #: state costs one attribute check per operation.
+        self.recorder = None
+        self._cache_clears = 0
         # Evaluation reads variable i at bit position num_vars - 1 - i;
         # cache the shift base so the hot loop never recomputes it.
         self._shift = num_vars - 1
@@ -124,17 +147,34 @@ class BDDManager:
     # ------------------------------------------------------------------
 
     def apply_and(self, u: int, v: int) -> int:
-        return self._apply(_OP_AND, u, v)
+        return self._top_apply(_OP_AND, u, v)
 
     def apply_or(self, u: int, v: int) -> int:
-        return self._apply(_OP_OR, u, v)
+        return self._top_apply(_OP_OR, u, v)
 
     def apply_xor(self, u: int, v: int) -> int:
-        return self._apply(_OP_XOR, u, v)
+        return self._top_apply(_OP_XOR, u, v)
 
     def apply_diff(self, u: int, v: int) -> int:
         """``u AND NOT v`` without materializing ``NOT v``."""
-        return self._apply(_OP_DIFF, u, v)
+        return self._top_apply(_OP_DIFF, u, v)
+
+    def _top_apply(self, op: int, u: int, v: int) -> int:
+        """Top-level apply entry: cache budget check + optional timing.
+
+        Recursive work goes straight to :meth:`_apply`; only the public
+        wrappers route through here, so the budget check and the per-op
+        clock run once per user-visible operation, not once per node.
+        """
+        if len(self._apply_cache) >= self.cache_limit:
+            self.clear_caches()
+        rec = self.recorder
+        if rec is None or not rec.time_bdd_ops:
+            return self._apply(op, u, v)
+        started = _perf_counter()
+        result = self._apply(op, u, v)
+        rec.bdd.record_op(_OP_NAMES[op], _perf_counter() - started)
+        return result
 
     def _apply(self, op: int, u: int, v: int) -> int:
         # Terminal short-cuts keep the recursion shallow for the common
@@ -169,9 +209,9 @@ class BDDManager:
             if v == FALSE:
                 return u
             if u == TRUE:
-                return self.negate(v)
+                return self._negate(v)
             if v == TRUE:
-                return self.negate(u)
+                return self._negate(u)
             if u > v:
                 u, v = v, u
         else:  # _OP_DIFF: u AND NOT v
@@ -182,12 +222,17 @@ class BDDManager:
             if u == v:
                 return FALSE
             if u == TRUE:
-                return self.negate(v)
+                return self._negate(v)
 
         key = (op, u, v)
         cached = self._apply_cache.get(key)
+        rec = self.recorder
         if cached is not None:
+            if rec is not None:
+                rec.bdd.apply_hits += 1
             return cached
+        if rec is not None:
+            rec.bdd.apply_misses += 1
 
         var_u = self._var[u]
         var_v = self._var[v]
@@ -214,15 +259,31 @@ class BDDManager:
 
     def negate(self, u: int) -> int:
         """Logical NOT, via a memoized terminal swap."""
+        if len(self._not_cache) >= self.cache_limit:
+            self.clear_caches()
+        rec = self.recorder
+        if rec is None or not rec.time_bdd_ops:
+            return self._negate(u)
+        started = _perf_counter()
+        result = self._negate(u)
+        rec.bdd.record_op("not", _perf_counter() - started)
+        return result
+
+    def _negate(self, u: int) -> int:
         if u == FALSE:
             return TRUE
         if u == TRUE:
             return FALSE
         cached = self._not_cache.get(u)
+        rec = self.recorder
         if cached is not None:
+            if rec is not None:
+                rec.bdd.not_hits += 1
             return cached
+        if rec is not None:
+            rec.bdd.not_misses += 1
         result = self._mk(
-            self._var[u], self.negate(self._low[u]), self.negate(self._high[u])
+            self._var[u], self._negate(self._low[u]), self._negate(self._high[u])
         )
         self._not_cache[u] = result
         self._not_cache[result] = u
@@ -230,6 +291,17 @@ class BDDManager:
 
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else: ``(f AND g) OR (NOT f AND h)``."""
+        if len(self._ite_cache) >= self.cache_limit:
+            self.clear_caches()
+        rec = self.recorder
+        if rec is None or not rec.time_bdd_ops:
+            return self._ite(f, g, h)
+        started = _perf_counter()
+        result = self._ite(f, g, h)
+        rec.bdd.record_op("ite", _perf_counter() - started)
+        return result
+
+    def _ite(self, f: int, g: int, h: int) -> int:
         if f == TRUE:
             return g
         if f == FALSE:
@@ -240,13 +312,18 @@ class BDDManager:
             return f
         key = (f, g, h)
         cached = self._ite_cache.get(key)
+        rec = self.recorder
         if cached is not None:
+            if rec is not None:
+                rec.bdd.ite_hits += 1
             return cached
+        if rec is not None:
+            rec.bdd.ite_misses += 1
         top = min(self._var[f], self._var[g], self._var[h])
         f0, f1 = self._branches(f, top)
         g0, g1 = self._branches(g, top)
         h0, h1 = self._branches(h, top)
-        result = self._mk(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        result = self._mk(top, self._ite(f0, g0, h0), self._ite(f1, g1, h1))
         self._ite_cache[key] = result
         return result
 
@@ -558,7 +635,33 @@ class BDDManager:
         """Sizes of the internal caches, for memory accounting."""
         return {
             "nodes": len(self._var),
+            "unique_table": len(self._unique),
             "apply_cache": len(self._apply_cache),
             "not_cache": len(self._not_cache),
             "ite_cache": len(self._ite_cache),
+            "cache_entries": (
+                len(self._apply_cache)
+                + len(self._not_cache)
+                + len(self._ite_cache)
+            ),
+            "cache_limit": self.cache_limit,
+            "cache_clears": self._cache_clears,
         }
+
+    def clear_caches(self) -> None:
+        """Drop the apply/ite/not memo caches.
+
+        The *unique table* is untouched -- node ids are immortal and every
+        previously returned id stays canonical -- so clearing costs only
+        recomputation, never correctness.  Called automatically when any
+        memo cache crosses :attr:`cache_limit` (long dynamic-update runs
+        otherwise grow them without bound), and available to callers that
+        want a deterministic memory floor between phases.
+        """
+        self._apply_cache.clear()
+        self._not_cache.clear()
+        self._ite_cache.clear()
+        self._cache_clears += 1
+        rec = self.recorder
+        if rec is not None:
+            rec.bdd.cache_clears += 1

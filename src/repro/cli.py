@@ -54,7 +54,46 @@ def _build(args: argparse.Namespace) -> APClassifier:
     return APClassifier.build(_load(args), strategy=args.strategy)
 
 
+def _instrumented_stats(args: argparse.Namespace) -> int:
+    """``stats --instrument``: run a small observed workload, print JSON.
+
+    The workload exercises every instrumented surface on the selected
+    dataset: an interpreted classify pass (depth histogram), a compile +
+    rule-update churn (update metrics, BDD cache traffic), and a
+    post-update query (compiled-artifact staleness fallback).  Output is
+    a single strict-JSON :meth:`Recorder.snapshot` document on stdout.
+    """
+    import json
+    import random
+
+    from .datasets import rule_update_stream, uniform_over_atoms
+    from .obs import Recorder, validate_snapshot
+
+    classifier = _build(args)
+    recorder = Recorder(time_bdd_ops=True)
+    rng = random.Random(7)
+    with recorder.observe(classifier):
+        trace = uniform_over_atoms(classifier.universe, 512, rng)
+        classifier.classify_batch(trace.headers)
+        classifier.compile()
+        for update in rule_update_stream(
+            classifier.dataplane.network, 24, rng
+        ):
+            if update.kind == "insert":
+                classifier.insert_rule(update.box, update.rule)
+            else:
+                classifier.remove_rule(update.box, update.rule)
+        # The churn staled the artifact; this query takes (and records)
+        # the interpreted fallback path.
+        classifier.classify(trace.headers[0])
+        snapshot = validate_snapshot(recorder.snapshot())
+    print(json.dumps(snapshot, indent=2, allow_nan=False))
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.instrument:
+        return _instrumented_stats(args)
     classifier = _build(args)
     network_stats = classifier.dataplane.network.stats()
     stats = classifier.stats()
@@ -248,6 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
     common(stats)
     stats.add_argument(
         "--memory", action="store_true", help="include the memory breakdown"
+    )
+    stats.add_argument(
+        "--instrument",
+        action="store_true",
+        help="run an observed workload and print the instrumentation "
+        "snapshot as JSON instead of the table",
     )
     stats.set_defaults(func=_cmd_stats)
 

@@ -72,6 +72,10 @@ class APTree:
         #: (:mod:`repro.core.compiled`) stamp the version they saw and
         #: fall back to this interpreted tree once it moves.
         self.version = 0
+        #: Optional :class:`repro.obs.Recorder`.  Checked once per query
+        #: (not per node): when ``None`` the search loops below are the
+        #: exact uninstrumented code.
+        self.recorder = None
         # atom id -> leaf node, so updates touch only the affected leaves
         # instead of walking every leaf per predicate addition.
         self._leaf_index: dict[int, APTreeNode] = {
@@ -97,8 +101,16 @@ class APTree:
         """
         node = self.root
         evaluate = self.manager.evaluate_from
-        while node.pid is not None:
-            node = node.high if evaluate(node.fn_node, header) else node.low
+        rec = self.recorder
+        if rec is None:
+            while node.pid is not None:
+                node = node.high if evaluate(node.fn_node, header) else node.low
+        else:
+            depth = 0
+            while node.pid is not None:
+                depth += 1
+                node = node.high if evaluate(node.fn_node, header) else node.low
+            rec.tree.record_query(depth)
         atom_id = node.atom_id
         assert atom_id is not None
         return atom_id
@@ -108,16 +120,30 @@ class APTree:
 
         Functionally ``[classify(h) for h in headers]`` with the hot-loop
         state hoisted out; the benchmark harness uses it for throughput
-        runs where per-call overhead would otherwise dominate.
+        runs where per-call overhead would otherwise dominate.  The
+        recorder check is hoisted out of the loop too: with no recorder
+        attached the loop below is the exact uninstrumented code.
         """
         root = self.root
         evaluate = self.manager.evaluate_from
+        rec = self.recorder
         results: list[int] = []
         append = results.append
+        if rec is None:
+            for header in headers:
+                node = root
+                while node.pid is not None:
+                    node = node.high if evaluate(node.fn_node, header) else node.low
+                append(node.atom_id)  # type: ignore[arg-type]
+            return results
+        record_query = rec.tree.record_query
         for header in headers:
             node = root
+            depth = 0
             while node.pid is not None:
+                depth += 1
                 node = node.high if evaluate(node.fn_node, header) else node.low
+            record_query(depth)
             append(node.atom_id)  # type: ignore[arg-type]
         return results
 
@@ -134,6 +160,9 @@ class APTree:
             verdict = evaluate(node.fn_node, header)
             trace.append((node.pid, verdict))
             node = node.high if verdict else node.low
+        rec = self.recorder
+        if rec is not None:
+            rec.tree.record_query(len(trace))
         return trace
 
     def classify_with_depth(self, header: int) -> tuple[int, int]:
@@ -146,6 +175,9 @@ class APTree:
             node = node.high if evaluate(node.fn_node, header) else node.low
         atom_id = node.atom_id
         assert atom_id is not None
+        rec = self.recorder
+        if rec is not None:
+            rec.tree.record_query(depth)
         return atom_id, depth
 
     # ------------------------------------------------------------------
@@ -241,6 +273,9 @@ class APTree:
             index[split.outside_id] = low
             split_count += 1
         self.touch()
+        rec = self.recorder
+        if rec is not None:
+            rec.updates.record_splits(split_count)
         return split_count
 
     def __repr__(self) -> str:

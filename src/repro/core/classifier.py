@@ -66,8 +66,28 @@ class APClassifier:
         self.strategy = strategy
         self.counter = VisitCounter() if count_visits else None
         self.behavior_computer = BehaviorComputer(dataplane, universe)
+        #: Optional :class:`repro.obs.Recorder`; install via
+        #: :meth:`set_recorder` so the tree, update engine, and BDD
+        #: manager are wired (and re-wired across tree swaps) together.
+        self.recorder = None
         self._engine = UpdateEngine(universe, tree, self.counter)
         self._compiled: CompiledAPTree | None = None
+
+    def set_recorder(self, recorder) -> None:
+        """Attach (or with ``None``, detach) an observability recorder.
+
+        Covers every instrumented component this classifier owns: the
+        interpreted tree's search loops, the update engine, and the
+        shared BDD manager.  Tree swaps (:meth:`rebuild_tree`,
+        :meth:`reconstruct`) carry the recorder over to the replacement
+        structures automatically.
+        """
+        self.recorder = recorder
+        self.tree.recorder = recorder
+        self._engine.recorder = recorder
+        self.dataplane.manager.recorder = recorder
+        if recorder is not None:
+            recorder.attach_manager(self.dataplane.manager)
 
     # ------------------------------------------------------------------
     # Construction
@@ -126,6 +146,9 @@ class APClassifier:
         reconstruction-process split of Section VI-B.
         """
         self._compiled = CompiledAPTree.compile(self.tree, backend=backend)
+        rec = self.recorder
+        if rec is not None:
+            rec.updates.compiles += 1
         return self._compiled
 
     @property
@@ -150,6 +173,11 @@ class APClassifier:
         if compiled is not None and compiled.is_fresh_for(self.tree):
             atom_id = compiled.classify(header)
         else:
+            rec = self.recorder
+            if rec is not None and compiled is not None:
+                rec.updates.record_stale_fallback(
+                    compiled.stale_reason(self.tree)
+                )
             atom_id = self.tree.classify(header)
         if self.counter is not None:
             self.counter.record(atom_id)
@@ -170,6 +198,11 @@ class APClassifier:
         if compiled is not None and compiled.is_fresh_for(self.tree):
             atom_ids = compiled.classify_batch(headers)
         else:
+            rec = self.recorder
+            if rec is not None and compiled is not None:
+                rec.updates.record_stale_fallback(
+                    compiled.stale_reason(self.tree)
+                )
             atom_ids = self.tree.classify_many(headers)
         if self.counter is not None:
             record = self.counter.record
@@ -274,6 +307,9 @@ class APClassifier:
                 raise ValueError("classifier was built without visit counting")
             weights = self.counter.weights()
         report = build_tree(self.universe, strategy=self.strategy, weights=weights)
+        rec = self.recorder
+        if rec is not None:
+            rec.updates.rebuilds += 1
         self._swap_tree(self.universe, report.tree)
 
     def reconstruct(self) -> None:
@@ -287,6 +323,9 @@ class APClassifier:
             self.dataplane.manager, self.dataplane.predicates()
         )
         report = build_tree(universe, strategy=self.strategy)
+        rec = self.recorder
+        if rec is not None:
+            rec.updates.reconstructs += 1
         self._swap_tree(universe, report.tree)
 
     def _swap_tree(self, universe: AtomicUniverse, tree: APTree) -> None:
@@ -296,7 +335,10 @@ class APClassifier:
             if self.counter is not None:
                 self.counter.reset()
         self.tree = tree
-        self._engine = UpdateEngine(universe, tree, self.counter)
+        tree.recorder = self.recorder
+        self._engine = UpdateEngine(
+            universe, tree, self.counter, recorder=self.recorder
+        )
         # The artifact described the old tree; queries fall back to the
         # interpreted path until the caller recompiles.
         self._compiled = None

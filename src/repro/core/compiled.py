@@ -597,8 +597,31 @@ class CompiledAPTree:
     # -- staleness -------------------------------------------------------
 
     def is_fresh_for(self, tree: APTree) -> bool:
-        """Does this artifact still describe ``tree`` exactly?"""
+        """Does this artifact still describe ``tree`` exactly?
+
+        The identity check comes first and is load-bearing: a full
+        rebuild produces a *new* ``APTree`` whose fresh ``version``
+        counter can coincide with the version this artifact stamped at
+        compile time, so comparing versions across different tree
+        objects would accept a stale artifact.
+        """
         return tree is self.tree and tree.version == self.tree_version
+
+    def stale_reason(self, tree: APTree) -> str | None:
+        """Why this artifact is stale for ``tree`` (``None`` if fresh).
+
+        ``"swapped"`` -- ``tree`` is a different object (a rebuild or
+        reconstruction replaced the tree; version numbers are not
+        comparable across objects).  ``"version"`` -- same tree, mutated
+        in place since compilation (leaf splits or tombstones bumped its
+        version).  The observability layer records fallbacks per reason,
+        which is how compiled-artifact churn shows up in snapshots.
+        """
+        if tree is not self.tree:
+            return "swapped"
+        if tree.version != self.tree_version:
+            return "version"
+        return None
 
     @property
     def fresh(self) -> bool:

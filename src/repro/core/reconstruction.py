@@ -166,6 +166,7 @@ class DynamicSimulation:
         cost_samples: int = 200,
         engine: str = "interpreted",
         backend: str | None = None,
+        recorder=None,
     ) -> None:
         if method not in self.METHODS:
             raise ValueError(f"unknown method {method!r}")
@@ -187,6 +188,10 @@ class DynamicSimulation:
         self.bucket_s = bucket_s
         self.rng = rng if rng is not None else random.Random(0)
         self.cost_samples = cost_samples
+        #: Optional :class:`repro.obs.Recorder`; the simulation mirrors
+        #: its throughput timeline into ``recorder.timeline`` and counts
+        #: rebuild/swap events under ``recorder.updates``.
+        self.recorder = recorder
 
         pool = list(predicates)
         self.rng.shuffle(pool)
@@ -363,6 +368,8 @@ class DynamicSimulation:
                 self._staged_process = new_process
                 pending_during_rebuild = []
                 annotation = "rebuild_start"
+                if self.recorder is not None:
+                    self.recorder.updates.rebuilds += 1
 
             # Apply due update events to the live process (and queue them
             # for the staged tree if a rebuild is in flight).
@@ -410,5 +417,11 @@ class DynamicSimulation:
                     time_s=bucket_end, throughput_qps=throughput, event=annotation
                 )
             )
+            if self.recorder is not None:
+                self.recorder.record_timeline_sample(
+                    time_s=bucket_end,
+                    throughput_qps=throughput,
+                    event=annotation,
+                )
             now = bucket_end
         return samples

@@ -44,10 +44,14 @@ class UpdateEngine:
         universe: AtomicUniverse,
         tree: APTree | None,
         counter: VisitCounter | None = None,
+        recorder=None,
     ) -> None:
         self.universe = universe
         self.tree = tree
         self.counter = counter
+        #: Optional :class:`repro.obs.Recorder` for update metrics
+        #: (splits applied, affected leaves, latency distribution).
+        self.recorder = recorder
         self.updates_applied = 0
 
     def apply(self, change: PredicateChange) -> UpdateResult:
@@ -63,11 +67,20 @@ class UpdateEngine:
             added_pid = change.added.pid
             atoms_split = self.add_predicate(change.added)
         self.updates_applied += 1
+        elapsed_s = time.perf_counter() - started
+        rec = self.recorder
+        if rec is not None:
+            rec.updates.record_update(
+                added=added_pid is not None,
+                removed=removed_pid is not None,
+                atoms_split=atoms_split,
+                elapsed_s=elapsed_s,
+            )
         return UpdateResult(
             removed_pid=removed_pid,
             added_pid=added_pid,
             atoms_split=atoms_split,
-            elapsed_s=time.perf_counter() - started,
+            elapsed_s=elapsed_s,
         )
 
     def apply_all(self, changes: list[PredicateChange]) -> list[UpdateResult]:

@@ -1,0 +1,21 @@
+"""``repro.obs``: the observability layer of the classification pipeline.
+
+A pluggable, no-op-by-default :class:`Recorder` collects BDD operation
+cache behavior, AP Tree query depth distributions, classifier update
+metrics, and dynamic-simulation timelines -- the counters the paper's
+entire evaluation (Figs. 4-14) is built on.  See DESIGN.md
+("Observability layer") for the architecture and the snapshot schema.
+"""
+
+from .recorder import BDDCounters, Recorder, TreeCounters, UpdateCounters
+from .schema import SNAPSHOT_SCHEMA, SchemaError, validate_snapshot
+
+__all__ = [
+    "BDDCounters",
+    "Recorder",
+    "SNAPSHOT_SCHEMA",
+    "SchemaError",
+    "TreeCounters",
+    "UpdateCounters",
+    "validate_snapshot",
+]

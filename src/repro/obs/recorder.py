@@ -1,0 +1,369 @@
+"""The :class:`Recorder`: low-overhead pipeline instrumentation.
+
+The paper's whole evaluation (Figs. 4-14) is built on internal counters
+-- predicate evaluations per query, AP Tree depth distributions, BDD
+cache behavior, update latencies -- that the pipeline otherwise throws
+away.  A :class:`Recorder` collects them without taxing the hot paths:
+
+* every instrumented component (``BDDManager``, ``APTree``,
+  ``UpdateEngine``, ``APClassifier``, ``DynamicSimulation``) carries a
+  ``recorder`` attribute that is ``None`` by default;
+* hot loops read that attribute once, up front, and take the exact
+  pre-instrumentation code path when it is ``None`` -- the off state
+  costs one attribute check per call, nothing per loop iteration
+  (``benchmarks/bench_obs_overhead.py`` holds this to <5% on
+  ``classify_many``);
+* when a recorder is attached, counters are plain attribute increments
+  on small ``__slots__`` objects -- no locks, no allocation per event.
+
+One recorder may observe several components at once (a classifier wires
+its manager, tree, and update engine together); counters from all of
+them land in one :meth:`Recorder.snapshot`, a JSON-serializable dict
+whose shape is pinned by :mod:`repro.obs.schema`.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "BDDCounters",
+    "Recorder",
+    "TreeCounters",
+    "UpdateCounters",
+]
+
+#: Snapshot format identifier; bump on incompatible shape changes.
+SCHEMA_ID = "repro.obs.snapshot/1"
+
+#: Update latencies kept for the percentile summary.  Beyond this the
+#: reservoir stops growing (count/mean/max stay exact; percentiles then
+#: describe the first N updates, which is plenty for Fig. 13 shapes).
+MAX_LATENCY_SAMPLES = 10_000
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * q / 100.0
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return float(ordered[lower])
+    fraction = position - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+def _rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+class BDDCounters:
+    """Manager-level counters: operation caches, node table, op timings."""
+
+    __slots__ = (
+        "apply_hits",
+        "apply_misses",
+        "ite_hits",
+        "ite_misses",
+        "not_hits",
+        "not_misses",
+        "cache_clears",
+        "op_calls",
+        "op_seconds",
+    )
+
+    def __init__(self) -> None:
+        self.apply_hits = 0
+        self.apply_misses = 0
+        self.ite_hits = 0
+        self.ite_misses = 0
+        self.not_hits = 0
+        self.not_misses = 0
+        self.cache_clears = 0
+        self.op_calls: dict[str, int] = {}
+        self.op_seconds: dict[str, float] = {}
+
+    def record_op(self, name: str, seconds: float) -> None:
+        """Accrue one timed top-level operation (``time_bdd_ops`` mode)."""
+        self.op_calls[name] = self.op_calls.get(name, 0) + 1
+        self.op_seconds[name] = self.op_seconds.get(name, 0.0) + seconds
+
+
+class TreeCounters:
+    """Query-side counters: the paper's Fig. 7/8 material."""
+
+    __slots__ = ("queries", "predicate_evaluations", "depth_histogram")
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.predicate_evaluations = 0
+        self.depth_histogram: dict[int, int] = {}
+
+    def record_query(self, depth: int) -> None:
+        """One classified packet that evaluated ``depth`` predicates."""
+        self.queries += 1
+        self.predicate_evaluations += depth
+        histogram = self.depth_histogram
+        histogram[depth] = histogram.get(depth, 0) + 1
+
+
+class UpdateCounters:
+    """Update-side counters: splits, rebuilds, staleness fallbacks."""
+
+    __slots__ = (
+        "updates_applied",
+        "adds",
+        "removes",
+        "atoms_split",
+        "leaf_splits",
+        "split_events",
+        "rebuilds",
+        "reconstructs",
+        "compiles",
+        "stale_fallback_swapped",
+        "stale_fallback_version",
+        "latency_samples",
+        "latency_total_s",
+        "latency_count",
+        "latency_max_s",
+    )
+
+    def __init__(self) -> None:
+        self.updates_applied = 0
+        self.adds = 0
+        self.removes = 0
+        self.atoms_split = 0
+        self.leaf_splits = 0
+        self.split_events = 0
+        self.rebuilds = 0
+        self.reconstructs = 0
+        self.compiles = 0
+        self.stale_fallback_swapped = 0
+        self.stale_fallback_version = 0
+        self.latency_samples: list[float] = []
+        self.latency_total_s = 0.0
+        self.latency_count = 0
+        self.latency_max_s = 0.0
+
+    def record_update(
+        self,
+        added: bool,
+        removed: bool,
+        atoms_split: int,
+        elapsed_s: float,
+    ) -> None:
+        """Accounting for one applied :class:`PredicateChange`."""
+        self.updates_applied += 1
+        if added:
+            self.adds += 1
+        if removed:
+            self.removes += 1
+        self.atoms_split += atoms_split
+        self.latency_count += 1
+        self.latency_total_s += elapsed_s
+        if elapsed_s > self.latency_max_s:
+            self.latency_max_s = elapsed_s
+        if len(self.latency_samples) < MAX_LATENCY_SAMPLES:
+            self.latency_samples.append(elapsed_s)
+
+    def record_splits(self, leaves_split: int) -> None:
+        """One ``APTree.apply_splits`` call that split ``leaves_split`` leaves."""
+        self.split_events += 1
+        self.leaf_splits += leaves_split
+
+    def record_stale_fallback(self, reason: str) -> None:
+        """A query fell back to the interpreted tree; ``reason`` is the
+        :meth:`CompiledAPTree.stale_reason` verdict."""
+        if reason == "swapped":
+            self.stale_fallback_swapped += 1
+        else:
+            self.stale_fallback_version += 1
+
+    @property
+    def stale_fallbacks(self) -> int:
+        return self.stale_fallback_swapped + self.stale_fallback_version
+
+
+class Recorder:
+    """Collects instrumentation from every component it is attached to.
+
+    ``time_bdd_ops`` additionally times each *top-level* BDD operation
+    (``apply_and``/``or``/``xor``/``diff``, ``ite``, ``negate``); it is
+    off by default because the per-op clock reads dominate tiny
+    operations.
+    """
+
+    def __init__(self, time_bdd_ops: bool = False) -> None:
+        self.time_bdd_ops = time_bdd_ops
+        self.bdd = BDDCounters()
+        self.tree = TreeCounters()
+        self.updates = UpdateCounters()
+        self.timeline: list[dict] = []
+        self._managers: list = []  # BDDManager instances under observation
+        self._nodes_at_attach: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+
+    def attach_manager(self, manager) -> None:
+        """Start observing a :class:`BDDManager` (node growth baseline)."""
+        if manager.recorder is not self:
+            manager.recorder = self
+        if not any(existing is manager for existing in self._managers):
+            self._managers.append(manager)
+            self._nodes_at_attach.append(len(manager))
+
+    def attach_tree(self, tree) -> None:
+        """Start observing an :class:`APTree`."""
+        tree.recorder = self
+        self.attach_manager(tree.manager)
+
+    @contextmanager
+    def observe(self, classifier) -> Iterator["Recorder"]:
+        """Attach to an :class:`APClassifier` for the duration of a block.
+
+        Benchmarks use this to take an instrumented pass over a shared
+        (session-scoped) classifier without leaving the recorder wired
+        into later, timing-sensitive measurements.
+        """
+        classifier.set_recorder(self)
+        try:
+            yield self
+        finally:
+            classifier.set_recorder(None)
+
+    @contextmanager
+    def observe_tree(self, tree) -> Iterator["Recorder"]:
+        """Attach to a bare :class:`APTree` (and its manager) for a block."""
+        previous_tree = tree.recorder
+        previous_manager = tree.manager.recorder
+        self.attach_tree(tree)
+        try:
+            yield self
+        finally:
+            tree.recorder = previous_tree
+            tree.manager.recorder = previous_manager
+
+    # ------------------------------------------------------------------
+    # Event intake (non-counter shaped)
+    # ------------------------------------------------------------------
+
+    def record_timeline_sample(
+        self, time_s: float, throughput_qps: float, event: str = ""
+    ) -> None:
+        """One dynamic-simulation throughput bucket (Fig. 14 material)."""
+        self.timeline.append(
+            {
+                "time_s": time_s,
+                "throughput_qps": throughput_qps,
+                "event": event,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The collected state as a JSON-serializable dict.
+
+        The shape is pinned by :data:`repro.obs.schema.SNAPSHOT_SCHEMA`
+        and checked by :func:`repro.obs.schema.validate_snapshot`; every
+        number is finite, so ``json.dumps(..., allow_nan=False)`` always
+        succeeds.
+        """
+        bdd = self.bdd
+        tree = self.tree
+        updates = self.updates
+        nodes_attached = sum(self._nodes_at_attach)
+        nodes_current = sum(len(manager) for manager in self._managers)
+        ordered_latencies = sorted(updates.latency_samples)
+        return {
+            "schema": SCHEMA_ID,
+            "bdd": {
+                "apply_cache": {
+                    "hits": bdd.apply_hits,
+                    "misses": bdd.apply_misses,
+                    "hit_rate": _rate(bdd.apply_hits, bdd.apply_misses),
+                },
+                "ite_cache": {
+                    "hits": bdd.ite_hits,
+                    "misses": bdd.ite_misses,
+                    "hit_rate": _rate(bdd.ite_hits, bdd.ite_misses),
+                },
+                "not_cache": {
+                    "hits": bdd.not_hits,
+                    "misses": bdd.not_misses,
+                    "hit_rate": _rate(bdd.not_hits, bdd.not_misses),
+                },
+                "cache_clears": bdd.cache_clears,
+                "node_table": {
+                    "at_attach": nodes_attached,
+                    "current": nodes_current,
+                    "growth": nodes_current - nodes_attached,
+                },
+                "op_timings": {
+                    name: {
+                        "calls": bdd.op_calls[name],
+                        "seconds": bdd.op_seconds.get(name, 0.0),
+                    }
+                    for name in sorted(bdd.op_calls)
+                },
+            },
+            "tree": {
+                "queries": tree.queries,
+                "predicate_evaluations": tree.predicate_evaluations,
+                "mean_evaluations_per_query": (
+                    tree.predicate_evaluations / tree.queries
+                    if tree.queries
+                    else 0.0
+                ),
+                "depth_histogram": {
+                    str(depth): tree.depth_histogram[depth]
+                    for depth in sorted(tree.depth_histogram)
+                },
+            },
+            "updates": {
+                "updates_applied": updates.updates_applied,
+                "adds": updates.adds,
+                "removes": updates.removes,
+                "atoms_split": updates.atoms_split,
+                "leaf_splits": updates.leaf_splits,
+                "split_events": updates.split_events,
+                "rebuilds": updates.rebuilds,
+                "reconstructs": updates.reconstructs,
+                "compiles": updates.compiles,
+                "stale_fallbacks": {
+                    "total": updates.stale_fallbacks,
+                    "swapped": updates.stale_fallback_swapped,
+                    "version": updates.stale_fallback_version,
+                },
+                "latency_s": {
+                    "count": updates.latency_count,
+                    "mean": (
+                        updates.latency_total_s / updates.latency_count
+                        if updates.latency_count
+                        else 0.0
+                    ),
+                    "p50": _percentile(ordered_latencies, 50.0),
+                    "p95": _percentile(ordered_latencies, 95.0),
+                    "max": updates.latency_max_s,
+                },
+            },
+            "timeline": list(self.timeline),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Recorder({self.tree.queries} queries, "
+            f"{self.updates.updates_applied} updates, "
+            f"{len(self.timeline)} timeline samples)"
+        )

@@ -1,0 +1,190 @@
+"""The pinned shape of :meth:`Recorder.snapshot` payloads.
+
+Benches emit snapshot sidecars (``benchmarks/results/*.obs.json``) and
+the CLI prints snapshots for scripting; both are consumed by strict JSON
+parsers, so the shape is a contract.  :func:`validate_snapshot` checks a
+payload against :data:`SNAPSHOT_SCHEMA` -- a small JSON-Schema-like spec
+interpreted by a hand-rolled walker (the container ships no third-party
+dependencies, so ``jsonschema`` is out of reach).
+
+The validator is deliberately strict about what the schema names and
+permissive about extras: unknown keys are allowed (forward
+compatibility), missing or mistyped declared keys are errors, and every
+number must be finite (``NaN``/``Infinity`` are not JSON).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["SchemaError", "SNAPSHOT_SCHEMA", "validate_snapshot"]
+
+
+class SchemaError(ValueError):
+    """A snapshot payload does not match :data:`SNAPSHOT_SCHEMA`."""
+
+
+def _cache_section() -> dict:
+    return {
+        "type": "object",
+        "required": {
+            "hits": {"type": "integer"},
+            "misses": {"type": "integer"},
+            "hit_rate": {"type": "number"},
+        },
+    }
+
+
+#: Declarative spec of one snapshot.  Supported node kinds:
+#: ``object`` (with ``required`` child specs and optional ``values``
+#: spec applied to every non-required member), ``array`` (with
+#: ``items``), ``string``, ``integer``, ``number``, ``const``.
+SNAPSHOT_SCHEMA: dict = {
+    "type": "object",
+    "required": {
+        "schema": {"type": "const", "value": "repro.obs.snapshot/1"},
+        "bdd": {
+            "type": "object",
+            "required": {
+                "apply_cache": _cache_section(),
+                "ite_cache": _cache_section(),
+                "not_cache": _cache_section(),
+                "cache_clears": {"type": "integer"},
+                "node_table": {
+                    "type": "object",
+                    "required": {
+                        "at_attach": {"type": "integer"},
+                        "current": {"type": "integer"},
+                        "growth": {"type": "integer"},
+                    },
+                },
+                "op_timings": {
+                    "type": "object",
+                    "required": {},
+                    "values": {
+                        "type": "object",
+                        "required": {
+                            "calls": {"type": "integer"},
+                            "seconds": {"type": "number"},
+                        },
+                    },
+                },
+            },
+        },
+        "tree": {
+            "type": "object",
+            "required": {
+                "queries": {"type": "integer"},
+                "predicate_evaluations": {"type": "integer"},
+                "mean_evaluations_per_query": {"type": "number"},
+                "depth_histogram": {
+                    "type": "object",
+                    "required": {},
+                    "values": {"type": "integer"},
+                },
+            },
+        },
+        "updates": {
+            "type": "object",
+            "required": {
+                "updates_applied": {"type": "integer"},
+                "adds": {"type": "integer"},
+                "removes": {"type": "integer"},
+                "atoms_split": {"type": "integer"},
+                "leaf_splits": {"type": "integer"},
+                "split_events": {"type": "integer"},
+                "rebuilds": {"type": "integer"},
+                "reconstructs": {"type": "integer"},
+                "compiles": {"type": "integer"},
+                "stale_fallbacks": {
+                    "type": "object",
+                    "required": {
+                        "total": {"type": "integer"},
+                        "swapped": {"type": "integer"},
+                        "version": {"type": "integer"},
+                    },
+                },
+                "latency_s": {
+                    "type": "object",
+                    "required": {
+                        "count": {"type": "integer"},
+                        "mean": {"type": "number"},
+                        "p50": {"type": "number"},
+                        "p95": {"type": "number"},
+                        "max": {"type": "number"},
+                    },
+                },
+            },
+        },
+        "timeline": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": {
+                    "time_s": {"type": "number"},
+                    "throughput_qps": {"type": "number"},
+                    "event": {"type": "string"},
+                },
+            },
+        },
+    },
+}
+
+
+def _check(payload, spec: dict, path: str) -> None:
+    kind = spec["type"]
+    if kind == "const":
+        if payload != spec["value"]:
+            raise SchemaError(
+                f"{path}: expected {spec['value']!r}, got {payload!r}"
+            )
+    elif kind == "string":
+        if not isinstance(payload, str):
+            raise SchemaError(f"{path}: expected string, got {type(payload).__name__}")
+    elif kind == "integer":
+        if not isinstance(payload, int) or isinstance(payload, bool):
+            raise SchemaError(
+                f"{path}: expected integer, got {type(payload).__name__}"
+            )
+    elif kind == "number":
+        if isinstance(payload, bool) or not isinstance(payload, (int, float)):
+            raise SchemaError(
+                f"{path}: expected number, got {type(payload).__name__}"
+            )
+        if not math.isfinite(payload):
+            raise SchemaError(f"{path}: non-finite number {payload!r}")
+    elif kind == "array":
+        if not isinstance(payload, list):
+            raise SchemaError(f"{path}: expected array, got {type(payload).__name__}")
+        items = spec.get("items")
+        if items is not None:
+            for index, item in enumerate(payload):
+                _check(item, items, f"{path}[{index}]")
+    elif kind == "object":
+        if not isinstance(payload, dict):
+            raise SchemaError(f"{path}: expected object, got {type(payload).__name__}")
+        required = spec.get("required", {})
+        for key, child in required.items():
+            if key not in payload:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+            _check(payload[key], child, f"{path}.{key}")
+        values = spec.get("values")
+        if values is not None:
+            for key, value in payload.items():
+                if key in required:
+                    continue
+                if not isinstance(key, str):
+                    raise SchemaError(f"{path}: non-string key {key!r}")
+                _check(value, values, f"{path}.{key}")
+    else:  # pragma: no cover - schema author error
+        raise AssertionError(f"unknown spec kind {kind!r}")
+
+
+def validate_snapshot(payload: dict) -> dict:
+    """Check ``payload`` against :data:`SNAPSHOT_SCHEMA`.
+
+    Returns the payload unchanged for call-chaining; raises
+    :class:`SchemaError` naming the offending path otherwise.
+    """
+    _check(payload, SNAPSHOT_SCHEMA, "$")
+    return payload

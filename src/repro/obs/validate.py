@@ -1,0 +1,49 @@
+"""Validate snapshot JSON files from the command line.
+
+CI's instrumentation smoke job runs::
+
+    python -m repro.obs.validate benchmarks/results/*.obs.json
+
+Each file must parse as strict JSON (no ``NaN``/``Infinity``) and match
+:data:`repro.obs.schema.SNAPSHOT_SCHEMA`.  Exit status is the number of
+invalid files (0 = all good).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Sequence
+
+from .schema import SchemaError, validate_snapshot
+
+__all__ = ["main"]
+
+
+def _strict_parse_constant(name: str):
+    raise ValueError(f"non-strict JSON constant {name!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: python -m repro.obs.validate SNAPSHOT.json [...]")
+        return 2
+    failures = 0
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(
+                    handle, parse_constant=_strict_parse_constant
+                )
+            validate_snapshot(payload)
+        except (OSError, ValueError, SchemaError) as exc:
+            failures += 1
+            print(f"FAIL {path}: {exc}")
+        else:
+            print(f"ok   {path}")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

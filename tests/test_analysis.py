@@ -1,11 +1,13 @@
 """Tests for the statistics and reporting helpers."""
 
+import json
 import math
 
 import pytest
 
 from repro.analysis.reporting import format_qps, render_cdf, render_series, render_table
 from repro.analysis.stats import (
+    MIN_ELAPSED_S,
     DepthStats,
     ThroughputResult,
     cdf,
@@ -91,9 +93,14 @@ class TestThroughput:
         with pytest.raises(ValueError):
             measure_throughput(lambda h: h, [])
 
-    def test_infinite_guard(self):
+    def test_zero_elapsed_stays_finite(self):
+        # A zero-duration measurement (coarse clock) must not produce
+        # float("inf"): json serializes that as the non-standard literal
+        # ``Infinity`` and strict parsers reject the result files.
         result = ThroughputResult(queries=10, elapsed_s=0.0)
-        assert math.isinf(result.qps)
+        assert math.isfinite(result.qps)
+        assert result.qps == 10 / MIN_ELAPSED_S
+        json.loads(json.dumps({"qps": result.qps}, allow_nan=False))
 
 
 class TestRendering:

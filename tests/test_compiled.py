@@ -262,6 +262,53 @@ class TestStaleness:
         assert compiled.is_fresh_for(tree_a)
         assert not compiled.is_fresh_for(tree_b)
 
+    def test_rebuilt_tree_with_coinciding_version_is_stale(self):
+        # Regression guard for the identity half of the freshness check:
+        # a full rebuild yields a brand-new tree whose *fresh* version
+        # counter can coincide with the version stamped at compile time
+        # (both start at 0).  Version comparison alone would call the
+        # artifact fresh and serve pre-rebuild atom ids.
+        clf = fresh_classifier()
+        artifact = clf.compile()
+        old_tree = clf.tree
+        clf.rebuild_tree()
+        assert clf.tree is not old_tree
+        assert clf.tree.version == artifact.tree_version  # the trap
+        assert not artifact.is_fresh_for(clf.tree)
+        assert artifact.stale_reason(clf.tree) == "swapped"
+        assert artifact.is_fresh_for(old_tree)
+
+    def test_stale_reason_distinguishes_mutation_from_swap(self, toy_universe):
+        tree = build_tree(toy_universe, strategy="oapt").tree
+        compiled = CompiledAPTree.compile(tree)
+        assert compiled.stale_reason(tree) is None
+        tree.touch()
+        assert compiled.stale_reason(tree) == "version"
+        other = build_tree(toy_universe, strategy="oapt").tree
+        assert compiled.stale_reason(other) == "swapped"
+
+    def test_classifier_records_fallback_reasons(self):
+        from repro.obs import Recorder
+
+        clf = fresh_classifier()
+        recorder = Recorder()
+        clf.set_recorder(recorder)
+        header = 0
+        artifact = clf.compile()
+        clf.classify(header)  # fresh artifact: no fallback
+        assert recorder.updates.stale_fallbacks == 0
+        clf.tree.touch()
+        clf.classify(header)
+        assert recorder.updates.stale_fallback_version == 1
+        # Simulate a stale reference surviving a swap (the classifier
+        # normally drops it): the identity mismatch must be recorded as
+        # "swapped", not "version".
+        clf.rebuild_tree()
+        clf._compiled = artifact
+        clf.classify(header)
+        assert recorder.updates.stale_fallback_swapped == 1
+        assert recorder.updates.stale_fallbacks == 2
+
 
 # ----------------------------------------------------------------------
 # Baseline batch paths

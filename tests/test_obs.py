@@ -1,0 +1,307 @@
+"""Tests for the observability layer (repro.obs) and its pipeline hooks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.memory import BYTES_PER_CACHE_ENTRY, memory_report
+from repro.bdd.manager import BDDManager
+from repro.cli import main as cli_main
+from repro.core.classifier import APClassifier
+from repro.core.construction import build_tree
+from repro.obs import (
+    Recorder,
+    SchemaError,
+    UpdateCounters,
+    validate_snapshot,
+)
+from repro.obs.validate import main as validate_main
+
+
+def strict_roundtrip(payload: dict) -> dict:
+    """Serialize/parse under strict-JSON rules (rejects NaN/Infinity)."""
+    text = json.dumps(payload, allow_nan=False)
+    return json.loads(
+        text,
+        parse_constant=lambda c: (_ for _ in ()).throw(ValueError(c)),
+    )
+
+
+# ----------------------------------------------------------------------
+# BDD manager counters and the cache-clear policy
+# ----------------------------------------------------------------------
+
+
+class TestBDDCounters:
+    def test_apply_hits_and_misses(self):
+        mgr = BDDManager(4)
+        recorder = Recorder()
+        mgr.recorder = recorder
+        recorder.attach_manager(mgr)
+        mgr.apply_and(mgr.var(0), mgr.var(1))
+        misses = recorder.bdd.apply_misses
+        assert misses > 0
+        assert recorder.bdd.apply_hits == 0
+        # Same top-level call again: pure cache hit, no new misses.
+        mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert recorder.bdd.apply_hits == 1
+        assert recorder.bdd.apply_misses == misses
+
+    def test_not_and_ite_counters(self):
+        mgr = BDDManager(4)
+        recorder = Recorder()
+        mgr.recorder = recorder
+        node = mgr.apply_or(mgr.var(0), mgr.var(2))
+        mgr.negate(node)
+        assert recorder.bdd.not_misses > 0
+        mgr.negate(node)
+        assert recorder.bdd.not_hits > 0
+        mgr.ite(mgr.var(0), mgr.var(1), mgr.var(2))
+        assert recorder.bdd.ite_misses > 0
+        mgr.ite(mgr.var(0), mgr.var(1), mgr.var(2))
+        assert recorder.bdd.ite_hits > 0
+
+    def test_op_timings_opt_in(self):
+        mgr = BDDManager(4)
+        recorder = Recorder(time_bdd_ops=True)
+        mgr.recorder = recorder
+        mgr.apply_and(mgr.var(0), mgr.var(1))
+        mgr.negate(mgr.var(2))
+        mgr.ite(mgr.var(0), mgr.var(1), mgr.var(2))
+        assert recorder.bdd.op_calls["and"] == 1
+        assert recorder.bdd.op_calls["not"] == 1
+        assert recorder.bdd.op_calls["ite"] == 1
+        assert all(s >= 0.0 for s in recorder.bdd.op_seconds.values())
+
+    def test_untimed_recorder_has_no_timings(self):
+        mgr = BDDManager(4)
+        mgr.recorder = Recorder()
+        mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert mgr.recorder.bdd.op_calls == {}
+
+
+class TestCachePolicy:
+    def test_cache_stats_counts_entries(self):
+        mgr = BDDManager(4)
+        mgr.apply_and(mgr.var(0), mgr.var(1))
+        stats = mgr.cache_stats()
+        assert stats["apply_cache"] > 0
+        assert stats["cache_entries"] == (
+            stats["apply_cache"] + stats["not_cache"] + stats["ite_cache"]
+        )
+        assert stats["cache_clears"] == 0
+        assert stats["cache_limit"] == mgr.cache_limit
+
+    def test_clear_caches_preserves_semantics(self):
+        mgr = BDDManager(6)
+        node = mgr.apply_and(mgr.var(0), mgr.apply_or(mgr.var(1), mgr.var(5)))
+        mgr.clear_caches()
+        stats = mgr.cache_stats()
+        assert stats["cache_entries"] == 0
+        assert stats["cache_clears"] == 1
+        # The unique table is untouched: identical ops rebuild the exact
+        # same canonical node ids.
+        again = mgr.apply_and(
+            mgr.var(0), mgr.apply_or(mgr.var(1), mgr.var(5))
+        )
+        assert again == node
+
+    def test_size_triggered_clear(self):
+        mgr = BDDManager(8, cache_limit=8)
+        recorder = Recorder()
+        mgr.recorder = recorder
+        pairs = [(i % 8, (i * 7 + 3) % 8) for i in range(24)]
+        for a, b in pairs:
+            if a != b:
+                mgr.apply_and(mgr.var(a), mgr.var(b))
+                mgr.apply_or(mgr.var(b), mgr.var(a))
+        stats = mgr.cache_stats()
+        assert stats["cache_clears"] > 0
+        assert recorder.bdd.cache_clears == stats["cache_clears"]
+        # The policy is checked at top-level entry, so one op may leave
+        # more than `cache_limit` entries, but growth stays bounded.
+        assert stats["apply_cache"] < 8 * 64
+
+    def test_memory_report_counts_cache_entries(self, toy_net):
+        clf = APClassifier.build(toy_net)
+        report = memory_report(clf)
+        expected = clf.dataplane.manager.cache_stats()["cache_entries"]
+        assert report.cache_entries == expected
+        assert report.cache_entries > 0
+        without = report.total_bytes - report.cache_entries * BYTES_PER_CACHE_ENTRY
+        assert without < report.total_bytes
+        assert any("cache" in label for label, _ in report.rows())
+
+
+# ----------------------------------------------------------------------
+# Tree + classifier + update counters
+# ----------------------------------------------------------------------
+
+
+class TestTreeCounters:
+    def test_depth_histogram_matches_tree(self, toy_universe):
+        import random
+
+        tree = build_tree(toy_universe, strategy="oapt").tree
+        recorder = Recorder()
+        with recorder.observe_tree(tree):
+            rng = random.Random(5)
+            atoms = list(toy_universe.atoms().values())
+            headers = [rng.choice(atoms).random_sat(rng) for _ in range(64)]
+            depths = [tree.classify_with_depth(h)[1] for h in headers]
+        assert recorder.tree.queries == len(headers)
+        assert recorder.tree.predicate_evaluations == sum(depths)
+        histogram: dict[int, int] = {}
+        for depth in depths:
+            histogram[depth] = histogram.get(depth, 0) + 1
+        assert recorder.tree.depth_histogram == histogram
+        # Detached afterwards: nothing accrues.
+        tree.classify(headers[0])
+        assert recorder.tree.queries == len(headers)
+
+    def test_classify_and_classify_many_agree_with_recorder(self, toy_universe):
+        import random
+
+        tree = build_tree(toy_universe, strategy="oapt").tree
+        rng = random.Random(6)
+        atoms = list(toy_universe.atoms().values())
+        headers = [rng.choice(atoms).random_sat(rng) for _ in range(32)]
+        plain = tree.classify_many(headers)
+        recorder = Recorder()
+        with recorder.observe_tree(tree):
+            observed = tree.classify_many(headers)
+            singles = [tree.classify(h) for h in headers]
+        assert observed == plain == singles
+        assert recorder.tree.queries == 2 * len(headers)
+
+
+class TestUpdateCounters:
+    def test_apply_splits_records(self, toy_net):
+        from repro.datasets import rule_update_stream
+        import random
+
+        clf = APClassifier.build(toy_net)
+        recorder = Recorder()
+        clf.set_recorder(recorder)
+        stream = rule_update_stream(toy_net, 12, random.Random(3))
+        for update in stream:
+            if update.kind == "insert":
+                clf.insert_rule(update.box, update.rule)
+            else:
+                clf.remove_rule(update.box, update.rule)
+        counters = recorder.updates
+        assert counters.updates_applied > 0
+        assert counters.split_events > 0
+        assert counters.leaf_splits == counters.atoms_split
+        assert counters.latency_count == counters.updates_applied
+        assert counters.latency_total_s > 0.0
+
+    def test_rebuild_and_reconstruct_counted(self, toy_net):
+        clf = APClassifier.build(toy_net)
+        recorder = Recorder()
+        clf.set_recorder(recorder)
+        clf.rebuild_tree()
+        clf.reconstruct()
+        assert recorder.updates.rebuilds == 1
+        assert recorder.updates.reconstructs == 1
+        # The swapped-in tree and rebuilt engine keep reporting.
+        assert clf.tree.recorder is recorder
+        assert clf._engine.recorder is recorder
+
+    def test_stale_fallback_reasons(self):
+        counters = UpdateCounters()
+        counters.record_stale_fallback("swapped")
+        counters.record_stale_fallback("version")
+        counters.record_stale_fallback("version")
+        assert counters.stale_fallback_swapped == 1
+        assert counters.stale_fallback_version == 2
+        assert counters.stale_fallbacks == 3
+
+
+# ----------------------------------------------------------------------
+# Snapshot shape, schema, and strict JSON
+# ----------------------------------------------------------------------
+
+
+class TestSnapshot:
+    def test_empty_recorder_snapshot_validates(self):
+        snapshot = Recorder().snapshot()
+        assert validate_snapshot(snapshot) is snapshot
+        assert strict_roundtrip(snapshot) == snapshot
+
+    def test_populated_snapshot_validates(self, toy_net):
+        import random
+
+        clf = APClassifier.build(toy_net)
+        recorder = Recorder(time_bdd_ops=True)
+        with recorder.observe(clf):
+            from repro.datasets import uniform_over_atoms
+
+            trace = uniform_over_atoms(clf.universe, 64, random.Random(2))
+            clf.classify_batch(trace.headers)
+            clf.compile()
+            clf.tree.touch()
+            clf.classify(trace.headers[0])
+        recorder.record_timeline_sample(0.05, 125_000.0, event="swap")
+        snapshot = validate_snapshot(recorder.snapshot())
+        assert snapshot["tree"]["queries"] == 65
+        assert snapshot["updates"]["stale_fallbacks"]["version"] == 1
+        assert snapshot["updates"]["compiles"] == 1
+        assert snapshot["timeline"][0]["event"] == "swap"
+        assert strict_roundtrip(snapshot) == snapshot
+
+    def test_schema_rejects_bad_payloads(self):
+        good = Recorder().snapshot()
+        with pytest.raises(SchemaError):
+            validate_snapshot({})
+        wrong_schema = dict(good, schema="repro.obs.snapshot/999")
+        with pytest.raises(SchemaError):
+            validate_snapshot(wrong_schema)
+        bad_type = json.loads(json.dumps(good))
+        bad_type["tree"]["queries"] = "many"
+        with pytest.raises(SchemaError):
+            validate_snapshot(bad_type)
+        nonfinite = json.loads(json.dumps(good))
+        nonfinite["bdd"]["apply_cache"]["hit_rate"] = float("inf")
+        with pytest.raises(SchemaError):
+            validate_snapshot(nonfinite)
+
+    def test_validate_cli(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(Recorder().snapshot()))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert validate_main([str(good)]) == 0
+        assert validate_main([str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "ok" in out and "FAIL" in out
+
+    def test_validate_cli_rejects_infinity_literal(self, tmp_path):
+        payload = tmp_path / "inf.json"
+        payload.write_text('{"qps": Infinity}')
+        assert validate_main([str(payload)]) == 1
+
+
+# ----------------------------------------------------------------------
+# CLI integration: repro stats --instrument
+# ----------------------------------------------------------------------
+
+
+class TestStatsInstrument:
+    def test_emits_valid_snapshot_json(self, capsys):
+        exit_code = cli_main(["stats", "--dataset", "toy", "--instrument"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        snapshot = json.loads(
+            out,
+            parse_constant=lambda c: (_ for _ in ()).throw(ValueError(c)),
+        )
+        validate_snapshot(snapshot)
+        bdd = snapshot["bdd"]
+        assert 0.0 <= bdd["apply_cache"]["hit_rate"] <= 1.0
+        assert snapshot["tree"]["queries"] > 0
+        assert snapshot["tree"]["depth_histogram"]
+        assert snapshot["updates"]["updates_applied"] > 0
+        assert snapshot["updates"]["stale_fallbacks"]["total"] >= 1
