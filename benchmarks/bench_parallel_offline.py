@@ -1,0 +1,195 @@
+"""Multi-core offline pipeline speedup (the PR's claim).
+
+Times the full offline phase -- rule conversion, atomic-predicate
+computation, AP Tree construction -- four ways on each bench dataset:
+
+* plain serial   -- ``DataPlane`` + ``AtomicUniverse.compute`` +
+  ``build_tree`` (the pre-existing code path);
+* pipeline, w=1  -- ``offline_pipeline`` on the serial fallback, to bound
+  the overhead the parallel layer adds when it is disabled;
+* pipeline, w=2 and w=4 -- the sharded pipeline.
+
+Every run gets a *fresh* BDD manager so no run warms another's caches.
+Output equivalence is checked through manager-independent signatures:
+canonical atom witnesses + model counts, ``R`` sets over canonical atom
+ids, and the tree's classifications of the bench trace (the plain-serial
+run's refinement-order atom ids are translated to canonical ids first).
+
+The divide-and-conquer atom stage is the headline: shard refinement
+keeps intermediate partitions small and the witness-guided merge does
+O(final atoms) BDD operations, so the decomposition wins wall-clock even
+on a single core.  Acceptance bars (scaled synthetic): >= 1.6x end to
+end at 4 workers, serial-fallback overhead <= 5%, identical outputs.
+Results land in ``BENCH_parallel_offline.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+from conftest import emit, emit_obs
+
+from repro.analysis.reporting import render_table
+from repro.bdd import BDDManager
+from repro.core.atomic import AtomicUniverse
+from repro.core.construction import build_tree
+from repro.network.dataplane import DataPlane
+from repro.obs import Recorder
+from repro.parallel import WorkerPool, offline_pipeline
+
+RESULT_JSON = Path(__file__).parent.parent / "BENCH_parallel_offline.json"
+
+WORKER_COUNTS = (2, 4)
+MIN_SPEEDUP_AT_4 = 1.6
+MAX_FALLBACK_OVERHEAD = 1.05
+TRACE_SAMPLES = 1000
+
+
+def _signature(universe, tree, headers):
+    """A manager-independent fingerprint of the offline artifacts."""
+    manager = universe.manager
+    order = sorted(
+        universe.atom_ids(),
+        key=lambda a: manager.first_sat(universe.atom_fn(a).node),
+    )
+    relabel = {old: new for new, old in enumerate(order)}
+    witnesses = tuple(
+        (
+            manager.first_sat(universe.atom_fn(a).node),
+            manager.sat_count(universe.atom_fn(a).node),
+        )
+        for a in order
+    )
+    r_sets = {
+        pid: frozenset(relabel[a] for a in universe.r(pid))
+        for pid in universe.predicate_ids()
+    }
+    classes = tuple(relabel[tree.classify(h)] for h in headers)
+    return witnesses, r_sets, classes
+
+
+def _run_plain(network, headers):
+    manager = BDDManager(network.layout.total_width)
+    started = time.perf_counter()
+    dataplane = DataPlane(network, manager)
+    universe = AtomicUniverse.compute(manager, dataplane.predicates())
+    report = build_tree(universe, strategy="oapt")
+    elapsed = time.perf_counter() - started
+    return elapsed, _signature(universe, report.tree, headers)
+
+
+def _run_pipeline(network, workers, headers, recorder=None):
+    manager = BDDManager(network.layout.total_width)
+    with WorkerPool(workers) as pool:
+        started = time.perf_counter()
+        result = offline_pipeline(
+            network, manager=manager, pool=pool, recorder=recorder
+        )
+        elapsed = time.perf_counter() - started
+    signature = _signature(result.universe, result.report.tree, headers)
+    return elapsed, signature, result
+
+
+def test_parallel_offline_speedup(datasets):
+    rng = random.Random(23)
+    rows = []
+    payload_datasets = {}
+    sidecar_recorder = None
+
+    for ds in datasets:
+        network = ds.network
+        width = network.layout.total_width
+        headers = [rng.randrange(1 << width) for _ in range(TRACE_SAMPLES)]
+        scaled = ds.name.startswith("stanford")
+
+        plain_s, plain_sig = _run_plain(network, headers)
+        fallback_s, fallback_sig, _ = _run_pipeline(network, 1, headers)
+        overhead = fallback_s / plain_s
+
+        identical = fallback_sig == plain_sig
+        entry = {
+            "predicates": len(ds.dataplane.predicates()),
+            "atoms": ds.universe.atom_count,
+            "plain_serial_s": plain_s,
+            "fallback_s": fallback_s,
+            "fallback_overhead": overhead,
+            "workers": {},
+        }
+        rows.append((ds.name, "plain serial", f"{plain_s:.2f}s", "1.00x"))
+        rows.append(
+            (
+                ds.name,
+                "pipeline w=1",
+                f"{fallback_s:.2f}s",
+                f"{plain_s / fallback_s:.2f}x",
+            )
+        )
+
+        for workers in WORKER_COUNTS:
+            recorder = None
+            if workers == 2 and not scaled:
+                recorder = sidecar_recorder = Recorder()
+            par_s, par_sig, result = _run_pipeline(
+                network, workers, headers, recorder=recorder
+            )
+            identical = identical and par_sig == plain_sig
+            speedup = plain_s / par_s
+            entry["workers"][str(workers)] = {
+                "total_s": par_s,
+                "speedup": speedup,
+                "stages_s": {
+                    stage: round(seconds, 4)
+                    for stage, seconds in result.timings.items()
+                },
+            }
+            rows.append(
+                (
+                    ds.name,
+                    f"pipeline w={workers}",
+                    f"{par_s:.2f}s",
+                    f"{speedup:.2f}x",
+                )
+            )
+            if scaled and workers == 4:
+                assert speedup >= MIN_SPEEDUP_AT_4, (
+                    f"{ds.name}: {speedup:.2f}x end-to-end at 4 workers "
+                    f"< required {MIN_SPEEDUP_AT_4}x"
+                )
+
+        assert identical, f"{ds.name}: parallel outputs diverged from serial"
+        entry["outputs_identical"] = True
+        if scaled:
+            assert overhead <= MAX_FALLBACK_OVERHEAD, (
+                f"{ds.name}: serial fallback overhead {overhead:.3f} "
+                f"> {MAX_FALLBACK_OVERHEAD}"
+            )
+        payload_datasets[ds.name] = entry
+
+    payload = {
+        "worker_counts": list(WORKER_COUNTS),
+        "min_speedup_at_4": MIN_SPEEDUP_AT_4,
+        "max_fallback_overhead": MAX_FALLBACK_OVERHEAD,
+        "trace_samples": TRACE_SAMPLES,
+        "outputs_identical": all(
+            entry["outputs_identical"] for entry in payload_datasets.values()
+        ),
+        "datasets": payload_datasets,
+    }
+    RESULT_JSON.write_text(
+        json.dumps(payload, indent=2, allow_nan=False) + "\n"
+    )
+
+    emit(
+        "parallel_offline",
+        render_table(
+            "Offline pipeline wall time (fresh manager per run; identical "
+            "outputs verified)",
+            ["dataset", "configuration", "total", "speedup"],
+            rows,
+        ),
+    )
+    if sidecar_recorder is not None:
+        emit_obs("parallel_offline", sidecar_recorder)

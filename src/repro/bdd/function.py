@@ -113,6 +113,10 @@ class Function:
     def random_sat(self, rng) -> int:
         return self.manager.random_sat(self.node, rng)
 
+    def first_sat(self) -> int:
+        """Smallest satisfying assignment (canonical witness)."""
+        return self.manager.first_sat(self.node)
+
     def count_nodes(self) -> int:
         return self.manager.count_nodes(self.node)
 

@@ -579,6 +579,31 @@ class BDDManager:
             var += 1
         return assignment
 
+    def first_sat(self, u: int) -> int:
+        """The smallest satisfying assignment of ``u`` as a packed integer.
+
+        Walks from the root preferring the low (0) branch whenever it is
+        satisfiable; variables the BDD does not constrain stay 0.  Because
+        variable ``i`` sits at bit ``num_vars - 1 - i``, this greedy walk
+        yields the numerically minimal witness -- a canonical, label-free
+        representative of the satisfying set, which the parallel pipeline
+        uses both to locate overlapping atoms during universe merges and
+        to renumber atoms deterministically.
+        """
+        if u == FALSE:
+            raise ValueError("cannot extract a witness from an unsatisfiable BDD")
+        assignment = 0
+        shift = self._shift
+        node = u
+        while node > TRUE:
+            low = self._low[node]
+            if low != FALSE:
+                node = low
+            else:
+                assignment |= 1 << (shift - self._var[node])
+                node = self._high[node]
+        return assignment
+
     # ------------------------------------------------------------------
     # Structure queries
     # ------------------------------------------------------------------

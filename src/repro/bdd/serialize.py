@@ -28,19 +28,36 @@ _TRUE_REF = -1
 
 
 def dump_node(manager: BDDManager, node: int) -> list[tuple[int, int, int]]:
-    """Flatten the DAG under ``node`` into a list of triples."""
+    """Flatten the DAG under ``node`` into a list of triples.
+
+    The postorder walk uses an explicit stack: a node stays on the stack
+    until both children are indexed, then gets its slot.  Deep BDDs (a
+    chain cube has one level per constrained variable) would blow the
+    interpreter's recursion limit otherwise, and serialization is exactly
+    what wide synthetic datasets hit when they ship predicates between
+    worker processes.
+    """
     order: list[int] = []
     index: dict[int, int] = {}
-
-    def visit(current: int) -> None:
+    stack = [node]
+    while stack:
+        current = stack[-1]
         if current <= TRUE or current in index:
-            return
-        visit(manager.low(current))
-        visit(manager.high(current))
-        index[current] = len(order)
-        order.append(current)
-
-    visit(node)
+            stack.pop()
+            continue
+        low = manager.low(current)
+        high = manager.high(current)
+        ready = True
+        if high > TRUE and high not in index:
+            stack.append(high)
+            ready = False
+        if low > TRUE and low not in index:
+            stack.append(low)
+            ready = False
+        if ready:
+            stack.pop()
+            index[current] = len(order)
+            order.append(current)
 
     def ref(current: int) -> int:
         if current == FALSE:

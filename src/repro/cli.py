@@ -51,7 +51,9 @@ def _load(args: argparse.Namespace) -> Network:
 
 
 def _build(args: argparse.Namespace) -> APClassifier:
-    return APClassifier.build(_load(args), strategy=args.strategy)
+    return APClassifier.build(
+        _load(args), strategy=args.strategy, workers=args.workers
+    )
 
 
 def _instrumented_stats(args: argparse.Namespace) -> int:
@@ -275,12 +277,31 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("random", "best_from_random", "quick_ordering", "oapt"),
         help="AP Tree construction strategy (default: oapt)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the offline build (default: the "
+        "REPRO_WORKERS environment variable, else serial)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument("--dataset", default="internet2")
         sub_parser.add_argument(
             "--snapshot", default="", help="load the network from a JSON snapshot"
+        )
+        # Accept the global options after the subcommand too.  SUPPRESS
+        # keeps the subparser from overwriting a value already parsed at
+        # the top level.
+        sub_parser.add_argument(
+            "--strategy",
+            default=argparse.SUPPRESS,
+            choices=("random", "best_from_random", "quick_ordering", "oapt"),
+            help=argparse.SUPPRESS,
+        )
+        sub_parser.add_argument(
+            "--workers", type=int, default=argparse.SUPPRESS, help=argparse.SUPPRESS
         )
 
     stats = sub.add_parser("stats", help="dataset and classifier statistics")

@@ -107,6 +107,62 @@ class AtomicUniverse:
                 universe._containing[atom_id].add(pid)
         return universe
 
+    @classmethod
+    def assemble(
+        cls,
+        manager: BDDManager,
+        pred_fns: Mapping[int, Function],
+        atoms: Iterable[Function],
+        r: Mapping[int, Iterable[int]],
+    ) -> "AtomicUniverse":
+        """Rebuild a universe from already-computed parts.
+
+        ``atoms`` become ids ``0..n-1`` in iteration order; ``r`` maps each
+        pid to the atom ids (positions) inside it.  This is the re-entry
+        point for universes that crossed a process boundary (the parallel
+        pipeline and the reconstruction worker ship atoms via
+        :mod:`repro.bdd.serialize` and reassemble here) and for merges.
+        The invariants are *not* re-verified -- use :meth:`verify_partition`
+        when the parts come from an untrusted path.
+        """
+        universe = cls(manager)
+        for fn in atoms:
+            if fn.is_false:
+                raise ValueError("an atom must be satisfiable")
+            universe._mint_atom(fn)
+        for pid in sorted(pred_fns):
+            universe._register_predicate(pid, pred_fns[pid])
+            r_set = universe._r[pid]
+            for atom_id in r.get(pid, ()):
+                r_set.add(atom_id)
+                universe._containing[atom_id].add(pid)
+        return universe
+
+    def renumber_canonical(self) -> "AtomicUniverse":
+        """The same universe with atoms renumbered ``0..n-1`` by witness.
+
+        Atoms are sorted by their smallest satisfying assignment
+        (:meth:`BDDManager.first_sat`) -- a total order that depends only
+        on the partition itself, never on the refinement history.  Two
+        universes over the same predicate set therefore get identical atom
+        ids however they were computed, which is what makes the parallel
+        pipeline's output independent of the worker count.
+        """
+        first_sat = self.manager.first_sat
+        order = sorted(
+            self._atoms, key=lambda aid: first_sat(self._atoms[aid].node)
+        )
+        mapping = {old: new for new, old in enumerate(order)}
+        return AtomicUniverse.assemble(
+            self.manager,
+            dict(self._pred_fns),
+            [self._atoms[old] for old in order],
+            {
+                pid: [mapping[old] for old in atom_ids]
+                for pid, atom_ids in self._r.items()
+            },
+        )
+
     def _mint_atom(self, fn: Function) -> int:
         atom_id = self._next_atom_id
         self._next_atom_id += 1
@@ -177,17 +233,26 @@ class AtomicUniverse:
 
     def verify_partition(self) -> bool:
         """Check the defining invariants: atoms are pairwise disjoint,
-        cover the space, and each R(p) reconstitutes p.  Test hook."""
-        union = Function.false(self.manager)
-        atoms = list(self._atoms.values())
-        for i, atom in enumerate(atoms):
+        cover the space, and each R(p) reconstitutes p.  Test hook.
+
+        Disjointness rides on a counting argument instead of the O(n^2)
+        pairwise intersections: non-false atoms whose union is TRUE are
+        pairwise disjoint iff their model counts sum to exactly
+        ``2**num_vars`` (any overlap would be double-counted and push the
+        sum over).  That keeps the check linear in the number of atoms and
+        usable on multi-thousand-atom universes.
+        """
+        manager = self.manager
+        union = Function.false(manager)
+        total_models = 0
+        for atom in self._atoms.values():
             if atom.is_false:
                 return False
-            for other in atoms[i + 1 :]:
-                if not atom.disjoint(other):
-                    return False
+            total_models += manager.sat_count(atom.node)
             union = union | atom
         if not union.is_true:
+            return False
+        if total_models != 1 << manager.num_vars:
             return False
         for pid, fn in self._pred_fns.items():
             rebuilt = Function.false(self.manager)

@@ -25,6 +25,8 @@ __all__ = [
     "fixed_order_chooser",
     "quick_ordering",
     "oapt_chooser",
+    "oapt_depth_costs",
+    "oapt_survivor",
     "optimal_subtree_cost",
 ]
 
@@ -72,13 +74,79 @@ def _weigher(
     return weigh
 
 
+def oapt_depth_costs(
+    s_i: frozenset[int],
+    s_j: frozenset[int],
+    atom_count: int,
+    weight_all: float,
+    w_i: float,
+    w_j: float,
+) -> tuple[float, float]:
+    """Immediate added depth when i is placed above j, and vice versa.
+
+    With quadrants A = Si∩Sj, B = Si∖Sj, C = Sj∖Si, D = S∖(Si∪Sj):
+    placing ``pi`` first charges ``w(Si)`` if its true-branch still
+    splits (A and B non-empty) plus ``w(S∖Si)`` if its false-branch
+    still splits (C and D non-empty); symmetrically for ``pj``.  The
+    four cases of Fig. 6 are instances of this formula.  ``atom_count``
+    is ``|S|``; ``w_i``/``w_j`` are the candidates' weights within ``S``.
+    """
+    a = s_i & s_j
+    b = s_i - s_j
+    c = s_j - s_i
+    has_d = len(s_i | s_j) < atom_count
+    cost_i = 0.0
+    cost_j = 0.0
+    if a and b:
+        cost_i += w_i
+    if c and has_d:
+        cost_i += weight_all - w_i
+    if a and c:
+        cost_j += w_j
+    if b and has_d:
+        cost_j += weight_all - w_j
+    return cost_i, cost_j
+
+
+def oapt_survivor(
+    candidates: Sequence[int],
+    sets: Mapping[int, frozenset[int]],
+    atom_count: int,
+    weight_all: float,
+    weigh: Callable[[frozenset[int]], float],
+) -> int:
+    """One OAPT linear scan: the candidate never found inferior.
+
+    ``sets[pid]`` must already be restricted to the current atom set.
+    Module-level (rather than a closure inside :func:`oapt_chooser`) so
+    parallel construction can run the same scan on candidate chunks in
+    worker processes and again over the chunk survivors -- the relation is
+    acyclic, so a survivor-of-survivors is still not inferior to anyone.
+    """
+    best = candidates[0]
+    best_set = sets[best]
+    best_weight = weigh(best_set)
+    for pid in candidates[1:]:
+        challenger = sets[pid]
+        challenger_weight = weigh(challenger)
+        cost_challenger, cost_best = oapt_depth_costs(
+            challenger, best_set, atom_count, weight_all,
+            challenger_weight, best_weight,
+        )
+        if cost_challenger < cost_best:
+            best = pid
+            best_set = challenger
+            best_weight = challenger_weight
+    return best
+
+
 def oapt_chooser(
     universe: AtomicUniverse,
     weights: Mapping[int, float] | None = None,
 ) -> Chooser:
     """The OAPT selection rule (Section V-C, weighted per Section V-D).
 
-    For the current atom set ``S``, a linear scan maintains a predicate
+    For the current atom set ``S``, a linear scan keeps a predicate
     ``ps`` never found inferior: for each candidate ``pi``, if ``pi`` is
     superior to ``ps`` then ``ps := pi``.  The pairwise relation compares
     the *immediate* depth contribution of placing one predicate above the
@@ -89,51 +157,9 @@ def oapt_chooser(
     weigh = _weigher(weights)
     r_cache = {pid: universe.r(pid) for pid in universe.predicate_ids()}
 
-    def depth_costs(
-        s_i: frozenset[int],
-        s_j: frozenset[int],
-        atoms: frozenset[int],
-        weight_all: float,
-    ) -> tuple[float, float]:
-        """Immediate added depth when i is placed above j, and vice versa.
-
-        With quadrants A = Si∩Sj, B = Si∖Sj, C = Sj∖Si, D = S∖(Si∪Sj):
-        placing ``pi`` first charges ``w(Si)`` if its true-branch still
-        splits (A and B non-empty) plus ``w(S∖Si)`` if its false-branch
-        still splits (C and D non-empty); symmetrically for ``pj``.  The
-        four cases of Fig. 6 are instances of this formula.
-        """
-        a = s_i & s_j
-        b = s_i - s_j
-        c = s_j - s_i
-        has_d = len(s_i | s_j) < len(atoms)
-        w_i = weigh(s_i)
-        w_j = weigh(s_j)
-        cost_i = 0.0
-        cost_j = 0.0
-        if a and b:
-            cost_i += w_i
-        if c and has_d:
-            cost_i += weight_all - w_i
-        if a and c:
-            cost_j += w_j
-        if b and has_d:
-            cost_j += weight_all - w_j
-        return cost_i, cost_j
-
     def choose(candidates: list[int], atoms: frozenset[int]) -> int:
-        best = candidates[0]
-        best_set = atoms & r_cache[best]
-        weight_all = weigh(atoms)
-        for pid in candidates[1:]:
-            challenger = atoms & r_cache[pid]
-            cost_challenger, cost_best = depth_costs(
-                challenger, best_set, atoms, weight_all
-            )
-            if cost_challenger < cost_best:
-                best = pid
-                best_set = challenger
-        return best
+        sets = {pid: atoms & r_cache[pid] for pid in candidates}
+        return oapt_survivor(candidates, sets, len(atoms), weigh(atoms), weigh)
 
     return choose
 

@@ -149,10 +149,23 @@ class DynamicSimulation:
       stale and had to be rebuilt inline); compile time at a swap is
       charged to the reconstruction core, like the tree build itself
       (Section VI-B's process split).
+
+    ``reconstruction`` selects where rebuilds execute:
+
+    * ``"inline"`` -- the rebuild runs in this process and its *measured*
+      wall time advances the simulated completion clock (the original
+      discrete-event treatment);
+    * ``"process"`` -- rebuilds run in a real background worker
+      (:class:`repro.parallel.ReconstructionProcess`): the predicate
+      snapshot is serialized out, the universe and tree come back
+      serialized, and the swap happens in whichever bucket the worker's
+      result actually arrives -- the two-process loop of Fig. 8 executed
+      for real.
     """
 
     METHODS = ("apclassifier", "aplinear", "pscan")
     ENGINES = ("interpreted", "compiled")
+    RECONSTRUCTIONS = ("inline", "process")
 
     def __init__(
         self,
@@ -167,11 +180,14 @@ class DynamicSimulation:
         engine: str = "interpreted",
         backend: str | None = None,
         recorder=None,
+        reconstruction: str = "inline",
     ) -> None:
         if method not in self.METHODS:
             raise ValueError(f"unknown method {method!r}")
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
+        if reconstruction not in self.RECONSTRUCTIONS:
+            raise ValueError(f"unknown reconstruction mode {reconstruction!r}")
         if not 0 < initial_count <= len(predicates):
             raise ValueError("initial_count out of range")
         if reconstruct_interval_s < bucket_s:
@@ -205,6 +221,15 @@ class DynamicSimulation:
         self._next_synthetic_pid = 1 + max(lp.pid for lp in pool)
         self._process = self._build_process()
         self._staged_process: _QueryProcess | None = None
+        self.reconstruction = reconstruction
+        self._recon = None
+        if reconstruction == "process" and method == "apclassifier":
+            # Imported lazily: repro.parallel imports repro.core.
+            from ..parallel import ReconstructionProcess
+
+            self._recon = ReconstructionProcess(
+                self.manager, strategy=strategy, recorder=recorder
+            )
 
     # ------------------------------------------------------------------
     # Structure management
@@ -348,6 +373,7 @@ class DynamicSimulation:
         event_index = 0
         rebuild_at = self.reconstruct_interval_s
         rebuild_done_at = float("inf")
+        in_flight = False
         pending_during_rebuild: list[tuple[str, int, Function | None]] = []
         now = 0.0
 
@@ -356,16 +382,25 @@ class DynamicSimulation:
             update_time = 0.0
             annotation = ""
 
-            # Reconstruction trigger: snapshot + build happens "on the
-            # other core"; we charge its wall time to the rebuild clock
-            # only, not to the query process.
-            if rebuild_at <= bucket_end and self.method == "apclassifier":
-                started = time.perf_counter()
-                new_process = self._build_process()
-                build_time = time.perf_counter() - started
-                rebuild_done_at = rebuild_at + build_time
+            # Reconstruction trigger.  Inline mode builds here and charges
+            # the measured wall time to the rebuild clock only, not to the
+            # query process; process mode ships the snapshot to the worker
+            # and carries on.  A rebuild still in flight is never
+            # re-triggered -- the next interval tick finds it done first.
+            if (
+                rebuild_at <= bucket_end
+                and self.method == "apclassifier"
+                and not in_flight
+            ):
+                if self._recon is not None:
+                    self._recon.submit(self._live_labeled())
+                else:
+                    started = time.perf_counter()
+                    self._staged_process = self._build_process()
+                    build_time = time.perf_counter() - started
+                    rebuild_done_at = rebuild_at + build_time
                 rebuild_at += self.reconstruct_interval_s
-                self._staged_process = new_process
+                in_flight = True
                 pending_during_rebuild = []
                 annotation = "rebuild_start"
                 if self.recorder is not None:
@@ -378,25 +413,36 @@ class DynamicSimulation:
                 event_index += 1
                 kind, pid, fn = self._pick_update(event.kind)
                 update_time += self._apply_update(self._process, kind, pid, fn)
-                if rebuild_done_at != float("inf"):  # rebuild in flight
+                if in_flight:
                     pending_during_rebuild.append((kind, pid, fn))
 
-            # Rebuild completion: replay queued updates onto the new tree,
-            # then swap it in (Fig. 8).
-            if rebuild_done_at <= bucket_end and self.method == "apclassifier":
+            # Rebuild completion: inline mode completes when the simulated
+            # clock passes the measured build time; process mode completes
+            # when the worker's result has actually arrived on the pipe.
+            done = False
+            if in_flight and self.method == "apclassifier":
+                if self._recon is not None:
+                    if self._recon.poll():
+                        universe, tree, _ = self._recon.receive()
+                        self._staged_process = _QueryProcess(universe, tree)
+                        done = True
+                elif rebuild_done_at <= bucket_end:
+                    done = True
+
+            # Replay queued updates onto the new tree, then swap (Fig. 8).
+            if done:
                 staged = self._staged_process
                 assert staged is not None
-                for kind, pid, fn in pending_during_rebuild:
-                    if kind == "add":
-                        assert fn is not None
-                        staged.engine.add_predicate(
-                            LabeledPredicate(pid, "forward", "sim", "sim", fn)
-                        )
-                    elif staged.universe.has_predicate(pid):
-                        staged.engine.remove_predicate(pid)
+                replayed = staged.engine.replay(pending_during_rebuild)
+                # The staged engine has no recorder of its own (only the
+                # live process is observed), so credit the replays here.
+                if self.recorder is not None:
+                    self.recorder.updates.replayed += replayed
                 pending_during_rebuild = []
                 self._process = staged
+                self._staged_process = None
                 rebuild_done_at = float("inf")
+                in_flight = False
                 annotation = "swap"
                 cost_model = QueryCostModel(self._sample_headers(self._process))
                 per_query = self._measure_cost(self._process, cost_model)
@@ -424,4 +470,23 @@ class DynamicSimulation:
                     event=annotation,
                 )
             now = bucket_end
+        # A rebuild still in flight when simulated time runs out is
+        # discarded, but the worker must be drained so the next run()
+        # can submit again.
+        if self._recon is not None and self._recon.busy:
+            self._recon.receive()
+            self._staged_process = None
         return samples
+
+    def close(self) -> None:
+        """Shut down the reconstruction worker, if one is running."""
+        recon = self._recon
+        self._recon = None
+        if recon is not None:
+            recon.close()
+
+    def __enter__(self) -> "DynamicSimulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
+from ..bdd import Function
 from ..network.dataplane import LabeledPredicate, PredicateChange
 from .aptree import APTree
 from .atomic import AtomicUniverse
@@ -108,6 +110,34 @@ class UpdateEngine:
         else:
             split_count = sum(1 for split in splits if split.is_split)
         return split_count
+
+    def replay(
+        self, pending: Sequence[tuple[str, int, Function | None]]
+    ) -> int:
+        """Re-apply updates that arrived while a reconstruction ran.
+
+        ``pending`` is the (kind, pid, fn) log the query process kept
+        during the rebuild (Fig. 8): the freshly built structure predates
+        those updates, so they are replayed here before the swap.  Deletes
+        of predicates the rebuild never saw (added *and* removed while it
+        ran) are skipped.  Returns the number of replayed entries.
+        """
+        replayed = 0
+        for kind, pid, fn in pending:
+            if kind == "add":
+                assert fn is not None
+                self.add_predicate(
+                    LabeledPredicate(pid, "forward", "replay", "replay", fn)
+                )
+            elif not self.universe.has_predicate(pid):
+                continue
+            else:
+                self.remove_predicate(pid)
+            replayed += 1
+        rec = self.recorder
+        if rec is not None:
+            rec.updates.replayed += replayed
+        return replayed
 
     def remove_predicate(self, pid: int) -> None:
         """Tombstone a predicate; the tree structure is intentionally kept.

@@ -14,20 +14,16 @@ everything else is untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Mapping, Sequence
 
 from ..bdd import BDDManager, Function
 from .box import Box
 from .builder import Network
-from .predicates import PredicateCompiler
+from .predicates import ACL_IN, ACL_OUT, FORWARD, PredicateCompiler
 from .rules import ForwardingRule
 from .tables import Acl
 
 __all__ = ["DataPlane", "LabeledPredicate", "PredicateChange", "FORWARD", "ACL_IN", "ACL_OUT"]
-
-FORWARD = "forward"
-ACL_IN = "acl_in"
-ACL_OUT = "acl_out"
 
 
 @dataclass(frozen=True)
@@ -63,7 +59,12 @@ class PredicateChange:
 class DataPlane:
     """Compiled network state: labeled predicates plus lookup indexes."""
 
-    def __init__(self, network: Network, manager: BDDManager | None = None) -> None:
+    def __init__(
+        self,
+        network: Network,
+        manager: BDDManager | None = None,
+        precompiled: Mapping[str, Sequence[tuple[str, str, Function]]] | None = None,
+    ) -> None:
         self.network = network
         self.layout = network.layout
         self.compiler = PredicateCompiler(network.layout, manager)
@@ -77,7 +78,19 @@ class DataPlane:
             name: {} for name in network.boxes
         }
         for box in network.boxes.values():
-            self._compile_box(box)
+            if precompiled is not None:
+                # Sharded conversion already compiled this box's functions
+                # (into *this* manager); mint them in the canonical order
+                # so pids match a serial compile exactly.
+                for kind, port, fn in precompiled[box.name]:
+                    if fn.manager is not self.manager:
+                        raise ValueError(
+                            "precompiled predicates must live in the data "
+                            "plane's manager"
+                        )
+                    self._mint(kind, box.name, port, fn)
+            else:
+                self._compile_box(box)
 
     # ------------------------------------------------------------------
     # Compilation
@@ -93,13 +106,8 @@ class DataPlane:
         return predicate
 
     def _compile_box(self, box: Box) -> None:
-        for port, fn in self.compiler.port_predicates(box.table).items():
-            if not fn.is_false:
-                self._mint(FORWARD, box.name, port, fn)
-        for port, acl in box.input_acls.items():
-            self._mint(ACL_IN, box.name, port, self.compiler.acl_predicate(acl))
-        for port, acl in box.output_acls.items():
-            self._mint(ACL_OUT, box.name, port, self.compiler.acl_predicate(acl))
+        for kind, port, fn in self.compiler.box_predicates(box):
+            self._mint(kind, box.name, port, fn)
 
     # ------------------------------------------------------------------
     # Read access

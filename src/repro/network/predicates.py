@@ -13,10 +13,17 @@ from __future__ import annotations
 
 from ..bdd import BDDManager, Function
 from ..headerspace.fields import HeaderLayout
+from .box import Box
 from .rules import Match
 from .tables import Acl, ForwardingTable
 
-__all__ = ["PredicateCompiler"]
+__all__ = ["PredicateCompiler", "FORWARD", "ACL_IN", "ACL_OUT"]
+
+#: Predicate kinds, shared with :mod:`repro.network.dataplane` (defined
+#: here so worker processes can compile boxes without importing it).
+FORWARD = "forward"
+ACL_IN = "acl_in"
+ACL_OUT = "acl_out"
 
 
 class PredicateCompiler:
@@ -89,3 +96,21 @@ class PredicateCompiler:
                     predicates[port] = predicates[port] | effective
             covered = covered | body
         return predicates
+
+    def box_predicates(self, box: Box) -> list[tuple[str, str, Function]]:
+        """Every labeled predicate of one box as ``(kind, port, fn)``.
+
+        This is *the* canonical per-box compile order -- forwarding ports
+        (false ports skipped), then input ACLs, then output ACLs -- shared
+        by :class:`repro.network.dataplane.DataPlane` and the sharded
+        conversion workers so both assign identical pids.
+        """
+        compiled: list[tuple[str, str, Function]] = []
+        for port, fn in self.port_predicates(box.table).items():
+            if not fn.is_false:
+                compiled.append((FORWARD, port, fn))
+        for port, acl in box.input_acls.items():
+            compiled.append((ACL_IN, port, self.acl_predicate(acl)))
+        for port, acl in box.output_acls.items():
+            compiled.append((ACL_OUT, port, self.acl_predicate(acl)))
+        return compiled

@@ -7,11 +7,18 @@ entire evaluation (Figs. 4-14) is built on.  See DESIGN.md
 ("Observability layer") for the architecture and the snapshot schema.
 """
 
-from .recorder import BDDCounters, Recorder, TreeCounters, UpdateCounters
+from .recorder import (
+    BDDCounters,
+    ParallelCounters,
+    Recorder,
+    TreeCounters,
+    UpdateCounters,
+)
 from .schema import SNAPSHOT_SCHEMA, SchemaError, validate_snapshot
 
 __all__ = [
     "BDDCounters",
+    "ParallelCounters",
     "Recorder",
     "SNAPSHOT_SCHEMA",
     "SchemaError",

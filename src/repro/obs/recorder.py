@@ -30,13 +30,16 @@ from typing import Iterator
 
 __all__ = [
     "BDDCounters",
+    "ParallelCounters",
     "Recorder",
     "TreeCounters",
     "UpdateCounters",
 ]
 
 #: Snapshot format identifier; bump on incompatible shape changes.
-SCHEMA_ID = "repro.obs.snapshot/1"
+#: /2 added the "parallel" section (offline-pipeline stage walls, shard
+#: sizes, shipping volume) and ``updates.replayed``.
+SCHEMA_ID = "repro.obs.snapshot/2"
 
 #: Update latencies kept for the percentile summary.  Beyond this the
 #: reservoir stops growing (count/mean/max stay exact; percentiles then
@@ -126,6 +129,7 @@ class UpdateCounters:
         "split_events",
         "rebuilds",
         "reconstructs",
+        "replayed",
         "compiles",
         "stale_fallback_swapped",
         "stale_fallback_version",
@@ -144,6 +148,7 @@ class UpdateCounters:
         self.split_events = 0
         self.rebuilds = 0
         self.reconstructs = 0
+        self.replayed = 0
         self.compiles = 0
         self.stale_fallback_swapped = 0
         self.stale_fallback_version = 0
@@ -191,6 +196,58 @@ class UpdateCounters:
         return self.stale_fallback_swapped + self.stale_fallback_version
 
 
+class ParallelCounters:
+    """Offline-pipeline counters: stage walls, shards, shipping volume.
+
+    Populated by :mod:`repro.parallel` -- per-stage wall time, the shard
+    sizes each stage fanned out, bytes of serialized BDDs crossing the
+    process boundary in each direction, and the atom count after each
+    universe merge step (the divide-and-conquer convergence trace).
+    """
+
+    __slots__ = (
+        "workers",
+        "pool_tasks",
+        "stage_seconds",
+        "shard_sizes",
+        "bytes_to_workers",
+        "bytes_from_workers",
+        "merge_atom_counts",
+    )
+
+    def __init__(self) -> None:
+        self.workers = 0
+        self.pool_tasks = 0
+        self.stage_seconds: dict[str, float] = {}
+        self.shard_sizes: dict[str, list[int]] = {}
+        self.bytes_to_workers = 0
+        self.bytes_from_workers = 0
+        self.merge_atom_counts: list[int] = []
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Accrue wall time for one pipeline stage."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def record_shards(self, stage: str, sizes: list[int]) -> None:
+        """One fan-out: the per-worker-task shard sizes of a stage."""
+        self.shard_sizes.setdefault(stage, []).extend(sizes)
+        self.pool_tasks += len(sizes)
+
+    def record_shipping(self, to_workers: int, from_workers: int) -> None:
+        """Serialized-BDD bytes sent to / received from workers."""
+        self.bytes_to_workers += to_workers
+        self.bytes_from_workers += from_workers
+
+    def record_merge(self, atom_count: int) -> None:
+        """One universe merge completed with ``atom_count`` atoms."""
+        self.merge_atom_counts.append(atom_count)
+
+    def record_pool(self, workers: int) -> None:
+        """Note the pool width a stage ran with (max is reported)."""
+        if workers > self.workers:
+            self.workers = workers
+
+
 class Recorder:
     """Collects instrumentation from every component it is attached to.
 
@@ -205,6 +262,7 @@ class Recorder:
         self.bdd = BDDCounters()
         self.tree = TreeCounters()
         self.updates = UpdateCounters()
+        self.parallel = ParallelCounters()
         self.timeline: list[dict] = []
         self._managers: list = []  # BDDManager instances under observation
         self._nodes_at_attach: list[int] = []
@@ -283,6 +341,7 @@ class Recorder:
         bdd = self.bdd
         tree = self.tree
         updates = self.updates
+        parallel = self.parallel
         nodes_attached = sum(self._nodes_at_attach)
         nodes_current = sum(len(manager) for manager in self._managers)
         ordered_latencies = sorted(updates.latency_samples)
@@ -340,6 +399,7 @@ class Recorder:
                 "split_events": updates.split_events,
                 "rebuilds": updates.rebuilds,
                 "reconstructs": updates.reconstructs,
+                "replayed": updates.replayed,
                 "compiles": updates.compiles,
                 "stale_fallbacks": {
                     "total": updates.stale_fallbacks,
@@ -357,6 +417,21 @@ class Recorder:
                     "p95": _percentile(ordered_latencies, 95.0),
                     "max": updates.latency_max_s,
                 },
+            },
+            "parallel": {
+                "workers": parallel.workers,
+                "pool_tasks": parallel.pool_tasks,
+                "stage_seconds": {
+                    stage: parallel.stage_seconds[stage]
+                    for stage in sorted(parallel.stage_seconds)
+                },
+                "shard_sizes": {
+                    stage: list(parallel.shard_sizes[stage])
+                    for stage in sorted(parallel.shard_sizes)
+                },
+                "bytes_to_workers": parallel.bytes_to_workers,
+                "bytes_from_workers": parallel.bytes_from_workers,
+                "merge_atom_counts": list(parallel.merge_atom_counts),
             },
             "timeline": list(self.timeline),
         }

@@ -42,7 +42,7 @@ def _cache_section() -> dict:
 SNAPSHOT_SCHEMA: dict = {
     "type": "object",
     "required": {
-        "schema": {"type": "const", "value": "repro.obs.snapshot/1"},
+        "schema": {"type": "const", "value": "repro.obs.snapshot/2"},
         "bdd": {
             "type": "object",
             "required": {
@@ -95,6 +95,7 @@ SNAPSHOT_SCHEMA: dict = {
                 "split_events": {"type": "integer"},
                 "rebuilds": {"type": "integer"},
                 "reconstructs": {"type": "integer"},
+                "replayed": {"type": "integer"},
                 "compiles": {"type": "integer"},
                 "stale_fallbacks": {
                     "type": "object",
@@ -113,6 +114,32 @@ SNAPSHOT_SCHEMA: dict = {
                         "p95": {"type": "number"},
                         "max": {"type": "number"},
                     },
+                },
+            },
+        },
+        "parallel": {
+            "type": "object",
+            "required": {
+                "workers": {"type": "integer"},
+                "pool_tasks": {"type": "integer"},
+                "stage_seconds": {
+                    "type": "object",
+                    "required": {},
+                    "values": {"type": "number"},
+                },
+                "shard_sizes": {
+                    "type": "object",
+                    "required": {},
+                    "values": {
+                        "type": "array",
+                        "items": {"type": "integer"},
+                    },
+                },
+                "bytes_to_workers": {"type": "integer"},
+                "bytes_from_workers": {"type": "integer"},
+                "merge_atom_counts": {
+                    "type": "array",
+                    "items": {"type": "integer"},
                 },
             },
         },

@@ -1,0 +1,256 @@
+"""Stage 3 of the parallel offline pipeline: tree construction.
+
+Two construction strategies have exploitable parallelism:
+
+* **Best-from-Random** -- the trials are independent once each gets its
+  own seed (:func:`~repro.core.construction.draw_trial_seeds`).  Workers
+  need no BDDs to *score* a trial: tree shape and leaf depths depend
+  only on the ``R`` sets (integer sets), so each worker rebuilds the
+  universe's structure from plain data, builds its trials' trees, and
+  ships back one float per trial.  The parent rebuilds only the winning
+  tree, against the real universe.
+* **OAPT** -- the dominant cost is the root scan (all predicates against
+  all atoms).  The survivor relation is acyclic, so a chunked scan --
+  survivors of fixed-size chunks, then a scan over the survivors -- also
+  yields a predicate not inferior to any other.  The chunk count is
+  fixed (not tied to the worker count) and the serial fallback runs the
+  same chunked scan in-process, so the chosen root is identical for
+  every worker count.
+
+Either way the final tree is built in the parent against the canonical
+universe; only scores and candidate ids cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Mapping, Sequence
+
+from ..core.aptree import APTree, build_ap_tree
+from ..core.atomic import AtomicUniverse
+from ..core.construction import (
+    ConstructionReport,
+    best_from_random,
+    build_random,
+    build_tree,
+    draw_trial_seeds,
+)
+from ..core.ordering import _weigher, oapt_chooser, oapt_survivor
+from .pool import WorkerPool, shard, shared_pool
+
+__all__ = [
+    "parallel_best_from_random",
+    "parallel_build_oapt",
+    "parallel_build_tree",
+]
+
+#: Chunk count for the OAPT root scan.  A constant (not the worker
+#: count!) so the survivor-of-survivors outcome is identical under any
+#: pool width, including the serial fallback.
+_OAPT_ROOT_CHUNKS = 8
+
+
+class _Structural:
+    """A pickled stand-in exposing just what tree *scoring* reads.
+
+    :func:`~repro.core.aptree.build_ap_tree` consults ``predicate_ids``,
+    ``r``, ``atom_ids``, ``manager``, and ``predicate_fn(pid).node``;
+    depths never evaluate a BDD, so a dummy node id suffices.
+    """
+
+    class _Fn:
+        node = 0
+
+    _FN = _Fn()
+
+    def __init__(
+        self, atom_ids: Sequence[int], r: Mapping[int, Sequence[int]]
+    ) -> None:
+        self.manager = None
+        self._atom_ids = frozenset(atom_ids)
+        self._r = {pid: frozenset(atoms) for pid, atoms in r.items()}
+
+    def atom_ids(self) -> frozenset[int]:
+        return self._atom_ids
+
+    def predicate_ids(self) -> list[int]:
+        return sorted(self._r)
+
+    def r(self, pid: int) -> frozenset[int]:
+        return self._r[pid]
+
+    def predicate_fn(self, pid: int):
+        return self._FN
+
+
+#: One trial-scoring task:
+#: (atom ids, (pid, r atom ids) pairs, seeds, (atom, weight) pairs | None).
+_TrialTask = tuple[
+    tuple[int, ...],
+    tuple[tuple[int, tuple[int, ...]], ...],
+    tuple[int, ...],
+    tuple[tuple[int, float], ...] | None,
+]
+
+
+def _score_trials(task: _TrialTask) -> list[float]:
+    """Worker: average leaf depth of one random-order tree per seed."""
+    atom_ids, r_pairs, seeds, weight_pairs = task
+    standin = _Structural(atom_ids, dict(r_pairs))
+    weights = dict(weight_pairs) if weight_pairs is not None else None
+    return [
+        build_random(standin, random.Random(seed)).average_depth(weights)
+        for seed in seeds
+    ]
+
+
+def parallel_best_from_random(
+    universe: AtomicUniverse,
+    trials: int = 100,
+    rng: random.Random | None = None,
+    weights: Mapping[int, float] | None = None,
+    pool: WorkerPool | None = None,
+) -> tuple[APTree, list[float]]:
+    """Best-from-Random with trials fanned across the pool.
+
+    Identical tree and identical depth list to
+    ``best_from_random(universe, seeds=draw_trial_seeds(rng, trials))``:
+    both paths score the same seeds in the same order and keep the first
+    minimum.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    if pool is None:
+        pool = shared_pool()
+    seeds = draw_trial_seeds(rng, trials)
+    if pool.serial:
+        return best_from_random(universe, weights=weights, seeds=seeds)
+    atom_ids = tuple(sorted(universe.atom_ids()))
+    r_pairs = tuple(
+        (pid, tuple(sorted(universe.r(pid))))
+        for pid in universe.predicate_ids()
+    )
+    weight_pairs = tuple(sorted(weights.items())) if weights else None
+    tasks: list[_TrialTask] = [
+        (atom_ids, r_pairs, tuple(chunk), weight_pairs)
+        for chunk in shard(seeds, pool.workers)
+    ]
+    depths = [depth for chunk in pool.map(_score_trials, tasks) for depth in chunk]
+    best_index = min(range(len(depths)), key=depths.__getitem__)
+    tree = build_random(universe, random.Random(seeds[best_index]))
+    return tree, depths
+
+
+#: One root-scan task:
+#: ((pid, r atom ids) chunk, atom count, total weight, weight pairs | None).
+_RootTask = tuple[
+    tuple[tuple[int, tuple[int, ...]], ...],
+    int,
+    float,
+    tuple[tuple[int, float], ...] | None,
+]
+
+
+def _chunk_survivor(task: _RootTask) -> int:
+    """Worker: the OAPT survivor of one candidate chunk."""
+    chunk, atom_count, weight_all, weight_pairs = task
+    weigh = _weigher(dict(weight_pairs) if weight_pairs is not None else None)
+    sets = {pid: frozenset(atoms) for pid, atoms in chunk}
+    return oapt_survivor(
+        [pid for pid, _ in chunk], sets, atom_count, weight_all, weigh
+    )
+
+
+def _oapt_root(
+    universe: AtomicUniverse,
+    weights: Mapping[int, float] | None,
+    pool: WorkerPool,
+) -> int | None:
+    """The root predicate by chunked scan (None if nothing splits)."""
+    atoms = universe.atom_ids()
+    splitting = [
+        pid
+        for pid in universe.predicate_ids()
+        if 0 < len(universe.r(pid)) < len(atoms)
+    ]
+    if not splitting:
+        return None
+    weigh = _weigher(dict(weights) if weights else None)
+    weight_all = weigh(atoms)
+    chunks = shard(splitting, min(_OAPT_ROOT_CHUNKS, len(splitting)))
+    tasks: list[_RootTask] = [
+        (
+            tuple((pid, tuple(sorted(universe.r(pid)))) for pid in chunk),
+            len(atoms),
+            weight_all,
+            tuple(sorted(weights.items())) if weights else None,
+        )
+        for chunk in chunks
+    ]
+    survivors = pool.map(_chunk_survivor, tasks)
+    sets = {pid: universe.r(pid) for pid in survivors}
+    return oapt_survivor(survivors, sets, len(atoms), weight_all, weigh)
+
+
+def parallel_build_oapt(
+    universe: AtomicUniverse,
+    weights: Mapping[int, float] | None = None,
+    pool: WorkerPool | None = None,
+) -> APTree:
+    """OAPT construction with the root scan spread across the pool.
+
+    The serial fallback runs the *same* chunked scan in-process, so the
+    resulting tree is identical for every worker count (though it may
+    legitimately differ from :func:`~repro.core.construction.build_oapt`'s
+    single-scan root when several predicates are mutually non-inferior).
+    """
+    if pool is None:
+        pool = shared_pool()
+    root = _oapt_root(universe, weights, pool)
+    base = oapt_chooser(universe, weights)
+    all_atoms = universe.atom_ids()
+
+    def choose(candidates: list[int], atoms: frozenset[int]) -> int:
+        if root is not None and atoms == all_atoms and root in candidates:
+            return root
+        return base(candidates, atoms)
+
+    return build_ap_tree(universe, choose)
+
+
+def parallel_build_tree(
+    universe: AtomicUniverse,
+    strategy: str = "oapt",
+    rng: random.Random | None = None,
+    trials: int = 100,
+    weights: Mapping[int, float] | None = None,
+    pool: WorkerPool | None = None,
+    workers: int | None = None,
+) -> ConstructionReport:
+    """:func:`~repro.core.construction.build_tree` with pool dispatch.
+
+    Strategies with no exploitable parallelism fall through to the
+    serial builders unchanged.
+    """
+    if pool is None:
+        pool = shared_pool(workers)
+    rng = rng if rng is not None else random.Random(0)
+    started = time.perf_counter()
+    built_trials = 1
+    if strategy == "best_from_random":
+        tree, depths = parallel_best_from_random(
+            universe, trials, rng, weights, pool
+        )
+        built_trials = len(depths)
+    elif strategy == "oapt":
+        tree = parallel_build_oapt(universe, weights, pool)
+    else:
+        return build_tree(universe, strategy, rng, trials, weights)
+    elapsed = time.perf_counter() - started
+    return ConstructionReport(
+        strategy=strategy,
+        tree=tree,
+        elapsed_s=elapsed,
+        average_depth=tree.average_depth(dict(weights) if weights else None),
+        trials=built_trials,
+    )

@@ -1,0 +1,99 @@
+"""The end-to-end parallel offline pipeline: rules -> predicates ->
+atoms -> AP Tree, with every stage fanned across one worker pool.
+
+This is the multi-core counterpart of the serial offline path
+(``DataPlane`` + ``AtomicUniverse.compute`` + ``build_tree``) that
+:meth:`repro.core.classifier.APClassifier.build` routes through when
+``workers > 1``.  The contract is exact output equivalence: for a given
+network and strategy, any worker count (including the serial fallback at
+``workers=1``) produces the same pids, the same canonical atom ids with
+the same BDD nodes, the same ``R`` sets, and a tree computing the same
+classification function.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..bdd import BDDManager
+from ..core.atomic import AtomicUniverse
+from ..core.construction import ConstructionReport
+from ..network.builder import Network
+from ..network.dataplane import DataPlane
+from .atoms import compute_atoms
+from .build import parallel_build_tree
+from .convert import parallel_dataplane
+from .pool import WorkerPool, shared_pool
+
+__all__ = ["OfflineResult", "offline_pipeline"]
+
+
+@dataclass
+class OfflineResult:
+    """Everything the offline pipeline produced, with per-stage walls."""
+
+    dataplane: DataPlane
+    universe: AtomicUniverse
+    report: ConstructionReport
+    workers: int
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.timings.values())
+
+
+def offline_pipeline(
+    network: Network,
+    workers: int | None = None,
+    strategy: str = "oapt",
+    manager: BDDManager | None = None,
+    pool: WorkerPool | None = None,
+    recorder=None,
+    rng: random.Random | None = None,
+    trials: int = 100,
+    weights: Mapping[int, float] | None = None,
+) -> OfflineResult:
+    """Run conversion, atom computation, and construction on the pool."""
+    if pool is None:
+        pool = shared_pool(workers)
+    parallel = recorder.parallel if recorder is not None else None
+    timings: dict[str, float] = {}
+
+    started = time.perf_counter()
+    dataplane = parallel_dataplane(
+        network, manager=manager, pool=pool, recorder=recorder
+    )
+    timings["convert"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    universe = compute_atoms(
+        dataplane.manager, dataplane.predicates(), pool=pool, recorder=recorder
+    )
+    timings["atoms"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    report = parallel_build_tree(
+        universe,
+        strategy=strategy,
+        rng=rng,
+        trials=trials,
+        weights=weights,
+        pool=pool,
+    )
+    timings["build"] = time.perf_counter() - started
+
+    if parallel is not None:
+        parallel.record_pool(pool.workers)
+        for stage, seconds in timings.items():
+            parallel.record_stage(stage, seconds)
+    return OfflineResult(
+        dataplane=dataplane,
+        universe=universe,
+        report=report,
+        workers=pool.workers,
+        timings=timings,
+    )

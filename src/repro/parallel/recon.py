@@ -1,0 +1,180 @@
+"""A real reconstruction process (Section VI-B, Fig. 8).
+
+The query process ships a predicate snapshot (pids + serialized BDDs)
+down a pipe; the worker computes the atomic universe and builds a fresh
+AP Tree in its *own* manager, then ships both back as snapshots
+(:mod:`repro.parallel.snapshot`).  The parent restores them into the
+canonical manager and swaps after replaying queued updates -- the
+version-stamp staleness machinery on the tree is untouched, because the
+restored tree is a brand-new object at version 0.
+
+The worker is a long-lived daemon: one process serves every rebuild of a
+simulation run, so process startup is paid once.
+"""
+
+from __future__ import annotations
+
+import random
+import traceback
+from multiprocessing import get_context
+from typing import Sequence
+
+from ..bdd import BDDManager
+from ..bdd.serialize import dump_functions, load_functions
+from ..core.aptree import APTree
+from ..core.atomic import AtomicUniverse
+from ..core.construction import build_tree
+from ..network.dataplane import LabeledPredicate
+from .pool import default_start_method
+from .snapshot import (
+    restore_tree,
+    restore_universe,
+    snapshot_tree,
+    snapshot_universe,
+)
+
+__all__ = ["ReconstructionProcess"]
+
+
+def _reconstruction_worker(conn, strategy: str) -> None:
+    """Worker loop: one (universe, tree) rebuild per request, until None."""
+    import time
+
+    # Ready handshake: under spawn the child re-imports the package
+    # before this line runs; signalling here lets the parent charge that
+    # startup to construction instead of to the first rebuild.
+    conn.send({"ready": True})
+    while True:
+        request = conn.recv()
+        if request is None:
+            break
+        try:
+            started = time.perf_counter()
+            functions = load_functions(request["predicates"])
+            manager = functions[0].manager if functions else BDDManager(1)
+            labeled = [
+                LabeledPredicate(pid, "forward", "recon", "recon", fn)
+                for pid, fn in zip(request["pids"], functions)
+            ]
+            universe = AtomicUniverse.compute(manager, labeled)
+            universe = universe.renumber_canonical()
+            tree = build_tree(
+                universe, strategy=request["strategy"], rng=random.Random(0)
+            ).tree
+            conn.send(
+                {
+                    "universe": snapshot_universe(universe),
+                    "tree": snapshot_tree(tree, universe),
+                    "elapsed_s": time.perf_counter() - started,
+                }
+            )
+        except Exception:  # ship the failure instead of hanging the parent
+            conn.send({"error": traceback.format_exc()})
+    conn.close()
+
+
+class ReconstructionProcess:
+    """Handle on a live rebuild worker: submit / poll / receive.
+
+    One rebuild may be in flight at a time (matching the paper's single
+    reconstruction core); :meth:`submit` while busy is a logic error.
+    """
+
+    def __init__(
+        self,
+        manager: BDDManager,
+        strategy: str = "oapt",
+        start_method: str | None = None,
+        recorder=None,
+    ) -> None:
+        self.manager = manager
+        self.strategy = strategy
+        self.recorder = recorder
+        context = get_context(
+            start_method if start_method is not None else default_start_method()
+        )
+        self._conn, child_conn = context.Pipe()
+        self._process = context.Process(
+            target=_reconstruction_worker,
+            args=(child_conn, strategy),
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        ready = self._conn.recv()
+        if not (isinstance(ready, dict) and ready.get("ready")):
+            raise RuntimeError("reconstruction worker failed to start")
+        self._busy = False
+
+    @property
+    def busy(self) -> bool:
+        """True while a submitted rebuild has not been received."""
+        return self._busy
+
+    def submit(self, predicates: Sequence[LabeledPredicate]) -> None:
+        """Ship a predicate snapshot to the worker (non-blocking)."""
+        if self._busy:
+            raise RuntimeError("a rebuild is already in flight")
+        dumped = dump_functions([labeled.fn for labeled in predicates])
+        self._conn.send(
+            {
+                "pids": [labeled.pid for labeled in predicates],
+                "predicates": dumped,
+                "strategy": self.strategy,
+            }
+        )
+        if self.recorder is not None:
+            self.recorder.parallel.record_shipping(
+                to_workers=len(dumped), from_workers=0
+            )
+        self._busy = True
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """Is a finished rebuild waiting to be received?"""
+        return self._busy and self._conn.poll(timeout)
+
+    def receive(self) -> tuple[AtomicUniverse, APTree, float]:
+        """Block for the in-flight result and restore it canonically."""
+        if not self._busy:
+            raise RuntimeError("no rebuild in flight")
+        payload = self._conn.recv()
+        self._busy = False
+        error = payload.get("error")
+        if error is not None:
+            raise RuntimeError(f"reconstruction worker failed:\n{error}")
+        if self.recorder is not None:
+            self.recorder.parallel.record_shipping(
+                to_workers=0,
+                from_workers=len(payload["universe"]["atoms"])
+                + len(payload["universe"]["predicates"]),
+            )
+        universe = restore_universe(payload["universe"], self.manager)
+        tree = restore_tree(payload["tree"], universe)
+        return universe, tree, payload["elapsed_s"]
+
+    def close(self) -> None:
+        """Shut the worker down (idempotent)."""
+        process = self._process
+        if process is None:
+            return
+        self._process = None
+        try:
+            if process.is_alive():
+                self._conn.send(None)
+                process.join(timeout=5.0)
+        except (BrokenPipeError, OSError):
+            pass
+        if process.is_alive():  # pragma: no cover - unresponsive worker
+            process.terminate()
+            process.join()
+        self._conn.close()
+
+    def __enter__(self) -> "ReconstructionProcess":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "busy" if self._busy else "idle"
+        return f"ReconstructionProcess({self.strategy}, {state})"

@@ -1,0 +1,119 @@
+"""Whole-artifact serialization: universes and AP Trees as plain data.
+
+The reconstruction worker (Section VI-B, Fig. 8) computes a fresh
+universe and tree in its own process and must ship both back to the
+query process.  BDD functions travel via :mod:`repro.bdd.serialize`;
+this module adds the structure around them: atom order, ``R`` sets as
+positions, and the tree as a flat preorder record list.
+
+Atom ids are positional: a snapshot stores atoms in sorted-id order and
+:func:`restore_universe` re-mints them as ``0..n-1``.  Universes that
+went through :meth:`AtomicUniverse.renumber_canonical` (everything the
+parallel pipeline produces) already have exactly those ids, so a
+snapshot round-trip is id-stable.
+"""
+
+from __future__ import annotations
+
+from ..bdd import BDDManager
+from ..bdd.serialize import dump_functions, load_functions
+from ..core.aptree import APTree, APTreeNode
+from ..core.atomic import AtomicUniverse
+
+__all__ = [
+    "snapshot_universe",
+    "restore_universe",
+    "snapshot_tree",
+    "restore_tree",
+]
+
+_LEAF = -1
+
+
+def snapshot_universe(universe: AtomicUniverse) -> dict:
+    """The universe as a JSON-ready dict (atoms positional, R by position)."""
+    order = sorted(universe.atom_ids())
+    position = {atom_id: index for index, atom_id in enumerate(order)}
+    pids = universe.predicate_ids()
+    return {
+        "atoms": dump_functions([universe.atom_fn(a) for a in order]),
+        "pids": pids,
+        "predicates": dump_functions([universe.predicate_fn(p) for p in pids]),
+        "r": [
+            sorted(position[atom_id] for atom_id in universe.r(pid))
+            for pid in pids
+        ],
+    }
+
+
+def restore_universe(payload: dict, manager: BDDManager) -> AtomicUniverse:
+    """Rebuild a snapshot in ``manager``; atoms become ids ``0..n-1``."""
+    atoms = load_functions(payload["atoms"], manager)
+    predicates = load_functions(payload["predicates"], manager)
+    pids = payload["pids"]
+    return AtomicUniverse.assemble(
+        manager,
+        dict(zip(pids, predicates)),
+        atoms,
+        dict(zip(pids, payload["r"])),
+    )
+
+
+def snapshot_tree(tree: APTree, universe: AtomicUniverse) -> list[list[int]]:
+    """The tree as preorder records.
+
+    ``[_LEAF, atom position, 0]`` for leaves, ``[pid, low index, high
+    index]`` for internal nodes; children always index later records.
+    ``universe`` must be the universe the tree was built over (its atom
+    order defines the leaf positions).
+    """
+    position = {
+        atom_id: index
+        for index, atom_id in enumerate(sorted(universe.atom_ids()))
+    }
+    records: list[list[int]] = []
+    # (node, parent record index, child slot); preorder so children
+    # always land at larger indices than their parent.
+    stack: list[tuple[APTreeNode, int, int]] = [(tree.root, -1, 0)]
+    while stack:
+        node, parent, slot = stack.pop()
+        index = len(records)
+        if parent >= 0:
+            records[parent][slot] = index
+        if node.is_leaf:
+            assert node.atom_id is not None
+            records.append([_LEAF, position[node.atom_id], 0])
+        else:
+            assert node.pid is not None
+            assert node.low is not None and node.high is not None
+            records.append([node.pid, 0, 0])
+            stack.append((node.high, index, 2))
+            stack.append((node.low, index, 1))
+    return records
+
+
+def restore_tree(records: list[list[int]], universe: AtomicUniverse) -> APTree:
+    """Rebuild a snapshot against a (restored) universe.
+
+    Leaf positions resolve through the universe's sorted atom ids and
+    internal nodes re-fetch their predicate's BDD node from the
+    universe, so the tree is fully wired into the target manager.
+    """
+    if not records:
+        raise ValueError("empty tree snapshot")
+    order = sorted(universe.atom_ids())
+    built: list[APTreeNode | None] = [None] * len(records)
+    for index in reversed(range(len(records))):
+        pid, first, second = records[index]
+        if pid == _LEAF:
+            built[index] = APTreeNode.leaf(order[first])
+        else:
+            low = built[first]
+            high = built[second]
+            assert low is not None and high is not None
+            built[index] = APTreeNode.internal(
+                pid, universe.predicate_fn(pid).node, low, high
+            )
+    root = built[0]
+    assert root is not None
+    return APTree(universe.manager, root)

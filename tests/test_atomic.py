@@ -171,3 +171,36 @@ class TestScaleSanity:
             1 for pid in universe.predicate_ids() if len(universe.r(pid)) == 1
         )
         assert singletons >= universe.predicate_count // 4
+
+
+class TestVerifyPartitionCounting:
+    """The sat-count form of verify_partition (overlap detection without
+    pairwise intersections)."""
+
+    def test_overlapping_atoms_fail_the_model_count(self, toy_dataplane):
+        mgr = toy_dataplane.manager
+        x0 = Function.variable(mgr, 0)
+        x1 = Function.variable(mgr, 1)
+        # x0 and x1 overlap but their union is not TRUE either; add the
+        # complement so only overlap (double-counted models) can fail.
+        universe = AtomicUniverse.assemble(
+            mgr, {}, [x0, x1, ~(x0 | x1)], {}
+        )
+        assert not universe.verify_partition()
+
+    def test_assemble_rejects_false_atoms(self, toy_dataplane):
+        mgr = toy_dataplane.manager
+        with pytest.raises(ValueError, match="satisfiable"):
+            AtomicUniverse.assemble(mgr, {}, [Function.false(mgr)], {})
+
+    def test_r_mismatch_fails(self, toy_dataplane):
+        universe = AtomicUniverse.compute(
+            toy_dataplane.manager, toy_dataplane.predicates()
+        )
+        rebuilt = AtomicUniverse.assemble(
+            universe.manager,
+            {pid: universe.predicate_fn(pid) for pid in universe.predicate_ids()},
+            [universe.atom_fn(a) for a in sorted(universe.atom_ids())],
+            {},  # every R set emptied: predicates no longer reconstitute
+        )
+        assert not rebuilt.verify_partition()

@@ -83,3 +83,25 @@ class TestFunctionsRoundTrip:
         text = dump_functions([fn])
         (loaded,) = load_functions(text, mgr)
         assert loaded.node == fn.node
+
+
+class TestDeepBDDs:
+    def test_chain_cube_beyond_recursion_limit(self):
+        """A cube over thousands of variables serializes iteratively.
+
+        The BDD of a full cube is a chain with one node per constrained
+        variable -- a recursive postorder would blow the interpreter's
+        recursion limit (default 1000) long before this width.
+        """
+        import sys
+
+        width = sys.getrecursionlimit() + 3000
+        mgr = BDDManager(width)
+        fn = Function.cube(mgr, {var: bool(var % 2) for var in range(width)})
+        triples = dump_node(mgr, fn.node)
+        assert len(triples) == width + 1  # one per variable + root marker
+        other = BDDManager(width)
+        rebuilt = load_node(other, triples)
+        witness = sum(1 << (width - 1 - v) for v in range(width) if v % 2)
+        assert other.evaluate_from(rebuilt, witness)
+        assert not other.evaluate_from(rebuilt, witness ^ 1)
