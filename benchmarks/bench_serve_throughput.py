@@ -1,0 +1,341 @@
+"""Serving-layer throughput: micro-batching gain and degradation curve.
+
+Three experiments on a private Internet2-like classifier (private because
+the degradation leg mutates the data plane and reconstructs, which would
+corrupt the shared session fixtures):
+
+* **Closed loop.**  One sequential client versus 96 concurrent clients
+  through the same :class:`repro.serve.QueryService`, with the batching
+  window on and off.  The acceptance bar rides here: micro-batched
+  serving must reach >= 3x the single-query QPS -- coalescing concurrent
+  arrivals into one ``classify_batch`` call amortizes the compiled
+  engine's bit-parallel path across requests that arrived independently.
+* **Open loop.**  Requests injected at ~1.5x the measured batched
+  capacity against a bounded queue with the ``shed`` policy: the service
+  must stay up, serve at capacity, shed the excess, and account for
+  every request (served + shed + timed out == offered).
+* **Degradation curve.**  Continuous closed-loop load while the data
+  plane churns: rule updates stale the compiled artifact (queries fall
+  back to the interpreted tree -- exact, slower), then a live
+  reconstruction rebuilds and swaps behind the reader-preferring lock.
+  The timeline shows the stale dip and the post-swap recovery.
+
+Results land in ``BENCH_serve_throughput.json`` at the repo root; with
+``REPRO_OBS_SIDECAR=1`` an observed run writes
+``benchmarks/results/serve_throughput.obs.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from pathlib import Path
+
+from conftest import OBS_SIDECARS, emit, emit_obs
+
+from repro.analysis.reporting import format_qps, render_series, render_table
+from repro.core.classifier import APClassifier
+from repro.datasets import internet2_like, uniform_over_atoms
+from repro.headerspace.fields import parse_ipv4
+from repro.network.rules import ForwardingRule, Match
+from repro.obs import Recorder
+from repro.serve import QueryService, QueryShed
+
+RESULT_JSON = Path(__file__).parent.parent / "BENCH_serve_throughput.json"
+
+MIN_BATCHED_SPEEDUP = 3.0
+CLIENTS = 512
+SINGLE_REQUESTS = 4000
+BATCHED_REQUESTS = 60_000
+BEST_OF = 3
+OPEN_LOOP_S = 0.3
+BUCKET_S = 0.05
+
+
+def fresh_classifier():
+    return APClassifier.build(
+        internet2_like(prefixes_per_router=14), strategy="oapt"
+    )
+
+
+def trace_headers(classifier, count=2000):
+    return list(
+        uniform_over_atoms(classifier.universe, count, random.Random(17)).headers
+    )
+
+
+async def closed_loop_qps(service, headers, clients, total_requests) -> float:
+    """Total QPS of ``clients`` synchronous request loops."""
+    per_client = total_requests // clients
+
+    async def client(offset: int) -> None:
+        for index in range(per_client):
+            await service.classify(headers[(offset + index) % len(headers)])
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client(i * 211) for i in range(clients)))
+    return clients * per_client / (time.perf_counter() - started)
+
+
+async def measure(classifier, headers, clients, total, max_batch, max_delay_s):
+    """One warmed measurement on a fresh service; returns (qps, counters)."""
+    async with QueryService(
+        classifier, max_batch=max_batch, max_delay_s=max_delay_s
+    ) as service:
+        await closed_loop_qps(service, headers, clients, min(total, 5000))
+        qps = await closed_loop_qps(service, headers, clients, total)
+        return qps, service.counters
+
+
+async def run_closed_loop(classifier, headers) -> dict:
+    # The three configurations are measured interleaved, best-of-N, so a
+    # machine-load swing hits all of them instead of skewing the ratio.
+    single_qps = unbatched_qps = batched_qps = 0.0
+    counters = None
+    for _ in range(BEST_OF):
+        # Single-query baseline: one caller at a time, configured for
+        # single-caller latency (no coalescing window).
+        qps, _ = await measure(classifier, headers, 1, SINGLE_REQUESTS, 1, 0)
+        single_qps = max(single_qps, qps)
+        # Batching off under concurrency: the same closed-loop clients,
+        # but every request dispatched as its own singleton batch.
+        qps, _ = await measure(
+            classifier, headers, CLIENTS, BATCHED_REQUESTS, 1, 0
+        )
+        unbatched_qps = max(unbatched_qps, qps)
+        # Batching on: the dispatcher coalesces whatever is queued,
+        # waiting up to 200us for company after the first arrival.
+        # max_batch equals the client cohort: a larger cap would leave
+        # the dispatcher waiting out the window for requests that cannot
+        # arrive (every client is already blocked).
+        qps, run_counters = await measure(
+            classifier, headers, CLIENTS, BATCHED_REQUESTS, CLIENTS, 0.0002
+        )
+        if qps > batched_qps:
+            batched_qps, counters = qps, run_counters
+
+    return {
+        "clients": CLIENTS,
+        "best_of": BEST_OF,
+        "single_qps": single_qps,
+        "concurrent_unbatched_qps": unbatched_qps,
+        "batched_qps": batched_qps,
+        "batched_speedup": batched_qps / single_qps,
+        "mean_batch_size": (
+            counters.batched_requests / counters.batches
+            if counters.batches
+            else 0.0
+        ),
+    }
+
+
+async def run_open_loop(classifier, headers, offered_rate: float) -> dict:
+    """Inject at ``offered_rate`` against a bounded queue, shed policy."""
+    outcome = {"served": 0, "shed": 0, "timeout": 0}
+
+    async def fire(header: int) -> None:
+        try:
+            await service.classify(header, timeout=1.0)
+        except QueryShed:
+            outcome["shed"] += 1
+        except asyncio.TimeoutError:
+            outcome["timeout"] += 1
+        else:
+            outcome["served"] += 1
+
+    service = QueryService(
+        classifier,
+        max_batch=256,
+        max_delay_s=0.0002,
+        queue_limit=512,
+        overflow="shed",
+    )
+    tasks: list[asyncio.Task] = []
+    tick_s = 0.005
+    per_tick = max(1, int(offered_rate * tick_s))
+    async with service:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + OPEN_LOOP_S
+        index = 0
+        while loop.time() < deadline:
+            for _ in range(per_tick):
+                tasks.append(
+                    asyncio.ensure_future(fire(headers[index % len(headers)]))
+                )
+                index += 1
+            await asyncio.sleep(tick_s)
+        await asyncio.gather(*tasks)
+        depth_max = service.counters.queue_depth_max
+
+    offered = len(tasks)
+    assert outcome["served"] + outcome["shed"] + outcome["timeout"] == offered
+    assert depth_max <= 512
+    return {
+        "offered_rate_qps": offered_rate,
+        "offered": offered,
+        "queue_limit": 512,
+        "queue_depth_max": depth_max,
+        **outcome,
+        "shed_fraction": outcome["shed"] / offered,
+    }
+
+
+async def run_degradation(classifier, headers) -> list[dict]:
+    """Throughput timeline across fresh -> stale -> rebuild -> swapped."""
+    state = {"done": 0, "stop": False, "phase": "fresh"}
+
+    async def client(offset: int) -> None:
+        index = 0
+        while not state["stop"]:
+            await service.classify(headers[(offset + index) % len(headers)])
+            state["done"] += 1
+            index += 1
+
+    async def controller() -> None:
+        await asyncio.sleep(4 * BUCKET_S)
+        # Two /24 drop exceptions: structural changes that stale the
+        # compiled artifact and push queries onto the interpreted tree.
+        for dotted in ("10.3.77.0", "10.9.13.0"):
+            rule = ForwardingRule(
+                Match.prefix("dst_ip", parse_ipv4(dotted), 24), (), 24
+            )
+            await service.insert_rule("SEAT", rule)
+        state["phase"] = "stale-fallback"
+        await asyncio.sleep(4 * BUCKET_S)
+        state["phase"] = "reconstructing"
+        await service.reconstruct()
+        state["phase"] = "swapped"
+        await asyncio.sleep(4 * BUCKET_S)
+        state["stop"] = True
+
+    samples: list[dict] = []
+
+    async def sampler() -> None:
+        last, clock = 0, 0.0
+        while not state["stop"]:
+            await asyncio.sleep(BUCKET_S)
+            clock += BUCKET_S
+            done = state["done"]
+            samples.append(
+                {
+                    "time_s": round(clock, 3),
+                    "phase": state["phase"],
+                    "throughput_qps": (done - last) / BUCKET_S,
+                }
+            )
+            last = done
+
+    service = QueryService(classifier, max_batch=CLIENTS, max_delay_s=0.0002)
+    async with service:
+        clients = [
+            asyncio.ensure_future(client(i * 211)) for i in range(CLIENTS)
+        ]
+        await asyncio.gather(controller(), sampler())
+        await asyncio.gather(*clients)
+    assert service.counters.swaps == 1
+    return samples
+
+
+def phase_means(samples: list[dict]) -> dict:
+    totals: dict[str, list[float]] = {}
+    for sample in samples:
+        totals.setdefault(sample["phase"], []).append(sample["throughput_qps"])
+    return {
+        phase: sum(values) / len(values) for phase, values in totals.items()
+    }
+
+
+def test_serve_throughput():
+    classifier = fresh_classifier()
+    headers = trace_headers(classifier)
+
+    closed = asyncio.run(run_closed_loop(classifier, headers))
+    open_loop = asyncio.run(
+        run_open_loop(classifier, headers, offered_rate=1.5 * closed["batched_qps"])
+    )
+    degradation = asyncio.run(run_degradation(classifier, headers))
+    means = phase_means(degradation)
+
+    emit(
+        "serve_closed_loop",
+        render_table(
+            f"Serving throughput (internet2-like, {CLIENTS} clients, "
+            "closed loop)",
+            ["configuration", "throughput", "vs single"],
+            [
+                ("single client", format_qps(closed["single_qps"]), "1.0x"),
+                (
+                    f"{CLIENTS} clients, batching off",
+                    format_qps(closed["concurrent_unbatched_qps"]),
+                    f"{closed['concurrent_unbatched_qps'] / closed['single_qps']:.2f}x",
+                ),
+                (
+                    f"{CLIENTS} clients, batching on",
+                    format_qps(closed["batched_qps"]),
+                    f"{closed['batched_speedup']:.2f}x",
+                ),
+            ],
+        ),
+    )
+    emit(
+        "serve_degradation",
+        render_series(
+            "Serving during churn: stale fallback, live rebuild, swap",
+            "time",
+            "throughput",
+            [
+                (f"{s['time_s']:.2f}s [{s['phase']}]", format_qps(s["throughput_qps"]))
+                for s in degradation
+            ],
+        ),
+    )
+
+    # The tentpole's acceptance bar.
+    assert closed["batched_speedup"] >= MIN_BATCHED_SPEEDUP, (
+        f"micro-batching gained only {closed['batched_speedup']:.2f}x "
+        f"(bar: {MIN_BATCHED_SPEEDUP}x)"
+    )
+    # Saturated open-loop load sheds instead of queueing without bound.
+    assert open_loop["shed"] > 0
+    assert open_loop["served"] > 0
+    # The service kept answering in every phase and recovered after the
+    # swap (recompiled artifact; generous 0.3x floor keeps CI noise out).
+    assert all(means[phase] > 0 for phase in means)
+    assert means["swapped"] > 0.3 * means["fresh"]
+
+    stats = classifier.stats()
+    payload = {
+        "dataset": "internet2-like",
+        "predicates": stats.predicates,
+        "atoms": stats.atoms,
+        "closed_loop": closed,
+        "open_loop": open_loop,
+        "degradation_timeline": degradation,
+        "degradation_phase_means_qps": means,
+        "min_batched_speedup_required": MIN_BATCHED_SPEEDUP,
+    }
+    RESULT_JSON.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
+
+    if OBS_SIDECARS:
+        # One extra observed run outside the measured sections: the
+        # recorder's serve section mirrors what this bench measured.
+        recorder = Recorder()
+        observed = fresh_classifier()
+        observed.set_recorder(recorder)
+        observed_headers = trace_headers(observed, count=500)
+
+        async def observed_run() -> None:
+            async with QueryService(
+                observed,
+                max_batch=CLIENTS,
+                max_delay_s=0.0002,
+                recorder=recorder,
+            ) as service:
+                await closed_loop_qps(service, observed_headers, CLIENTS, 5120)
+                await service.reconstruct()
+                await closed_loop_qps(service, observed_headers, CLIENTS, 5120)
+
+        asyncio.run(observed_run())
+        emit_obs("serve_throughput", recorder)

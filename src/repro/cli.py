@@ -1,5 +1,5 @@
 """Command-line interface: inspect datasets, query behaviors, verify
-invariants, and snapshot networks.
+invariants, snapshot networks, and run the online query service.
 
 Examples::
 
@@ -9,6 +9,11 @@ Examples::
     ap-classifier verify --dataset fattree --ingress edge_0_0
     ap-classifier snapshot --dataset internet2 --out /tmp/i2.json
     ap-classifier query --snapshot /tmp/i2.json --dst-ip 10.1.0.1 --ingress SEAT
+    ap-classifier serve --dataset internet2 --port 9000
+
+Error contract: operational failures (unknown dataset names, missing or
+malformed snapshot files, unknown boxes) exit non-zero with a one-line
+``error: ...`` message on stderr -- never a traceback.
 """
 
 from __future__ import annotations
@@ -37,17 +42,35 @@ _DATASETS = {
 }
 
 
+class CLIError(Exception):
+    """Operational failure reported as a one-line message (exit code 2)."""
+
+
 def _load(args: argparse.Namespace) -> Network:
     snapshot = getattr(args, "snapshot", "")
     if snapshot:
-        return load_network(snapshot)
+        try:
+            return load_network(snapshot)
+        except OSError as exc:
+            raise CLIError(f"cannot read snapshot {snapshot!r}: {exc}") from exc
+        except ValueError as exc:
+            raise CLIError(f"malformed snapshot {snapshot!r}: {exc}") from exc
     try:
         factory = _DATASETS[args.dataset]
     except KeyError:
-        raise SystemExit(
+        raise CLIError(
             f"unknown dataset {args.dataset!r}; choose from {sorted(_DATASETS)}"
         ) from None
     return factory()
+
+
+def _load_snapshot(path: str) -> Network:
+    try:
+        return load_network(path)
+    except OSError as exc:
+        raise CLIError(f"cannot read snapshot {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise CLIError(f"malformed snapshot {path!r}: {exc}") from exc
 
 
 def _build(args: argparse.Namespace) -> APClassifier:
@@ -139,7 +162,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         fields["proto"] = args.proto
     packet = Packet(layout, layout.pack(fields))
     if args.ingress not in classifier.dataplane.network.boxes:
-        raise SystemExit(f"unknown ingress box {args.ingress!r}")
+        raise CLIError(f"unknown ingress box {args.ingress!r}")
     behavior = classifier.query(packet, ingress_box=args.ingress)
     print(f"packet: {packet}")
     print(f"atomic predicate: a{behavior.atom_id}")
@@ -201,7 +224,7 @@ def _cmd_tree(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     classifier = _build(args)
     if args.ingress not in classifier.dataplane.network.boxes:
-        raise SystemExit(f"unknown ingress box {args.ingress!r}")
+        raise CLIError(f"unknown ingress box {args.ingress!r}")
     verifier = NetworkVerifier.from_classifier(classifier)
     loops = verifier.find_loops(args.ingress)
     blackholes = verifier.find_blackholes(args.ingress)
@@ -234,7 +257,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
     network = _load(args)
-    save_network(network, args.out)
+    try:
+        save_network(network, args.out)
+    except OSError as exc:
+        raise CLIError(f"cannot write snapshot {args.out!r}: {exc}") from exc
     print(f"wrote {args.dataset} snapshot to {args.out}")
     return 0
 
@@ -243,17 +269,17 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     from .core.delta import behavior_delta
     from .network.dataplane import DataPlane
 
-    before_net = load_network(args.before)
-    after_net = load_network(args.after)
+    before_net = _load_snapshot(args.before)
+    after_net = _load_snapshot(args.after)
     if before_net.layout != after_net.layout:
-        raise SystemExit("snapshots use different header layouts")
+        raise CLIError("snapshots use different header layouts")
     before = APClassifier.build(before_net, strategy=args.strategy)
     # Share the manager so the delta sweep is exact.
     after = APClassifier.from_dataplane(
         DataPlane(after_net, before.dataplane.manager), strategy=args.strategy
     )
     if args.ingress not in before_net.boxes or args.ingress not in after_net.boxes:
-        raise SystemExit(f"unknown ingress box {args.ingress!r}")
+        raise CLIError(f"unknown ingress box {args.ingress!r}")
     deltas = behavior_delta(before, after, args.ingress)
     if not deltas:
         print(f"no behavior changes from {args.ingress}")
@@ -264,6 +290,40 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     if len(deltas) > args.limit:
         print(f"  ... and {len(deltas) - args.limit} more")
     return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the asyncio query service behind the TCP endpoint.
+
+    Builds the classifier for the selected dataset/snapshot, wires a
+    :class:`repro.obs.Recorder` (so the ``metrics`` op reports live
+    ``serve`` counters), and serves newline-JSON requests until
+    interrupted.  See ``docs/serving.md`` for the wire protocol and the
+    batching/backpressure knobs.
+    """
+    import asyncio
+
+    from .obs import Recorder
+    from .serve import QueryService, serve_forever
+
+    if args.max_delay_ms < 0:
+        raise CLIError("--max-delay-ms must be >= 0")
+    classifier = _build(args)
+    recorder = Recorder()
+    service = QueryService(
+        classifier,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+        queue_limit=args.queue_limit,
+        overflow=args.overflow,
+        timeout_s=args.timeout_ms / 1e3 if args.timeout_ms else None,
+        recorder=recorder,
+    )
+    try:
+        asyncio.run(serve_forever(service, args.host, args.port))
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -364,12 +424,43 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--ingress", required=True)
     diff.add_argument("--limit", type=int, default=10)
     diff.set_defaults(func=_cmd_diff, dataset="(snapshots)")
+
+    serve = sub.add_parser(
+        "serve", help="run the online query service (newline-JSON over TCP)"
+    )
+    common(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: pick a free one)")
+    serve.add_argument("--max-batch", type=int, default=128,
+                       help="most requests coalesced per classify_batch call")
+    serve.add_argument("--max-delay-ms", type=float, default=1.0,
+                       help="micro-batching latency budget in milliseconds")
+    serve.add_argument("--queue-limit", type=int, default=1024,
+                       help="admission queue bound")
+    serve.add_argument("--overflow", choices=("wait", "shed"), default="wait",
+                       help="policy when the queue saturates: backpressure "
+                       "callers (wait) or drop with an error (shed)")
+    serve.add_argument("--timeout-ms", type=float, default=0.0,
+                       help="per-request deadline; 0 disables")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Parse and dispatch; operational failures become one-line errors.
+
+    Returns the subcommand's exit status, or 2 after printing
+    ``error: <message>`` to stderr for a :class:`CLIError` -- scripts
+    get a stable non-zero code and a single greppable line instead of a
+    traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

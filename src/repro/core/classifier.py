@@ -246,7 +246,14 @@ class APClassifier:
     def query(
         self, packet: Packet | int, ingress_box: str, in_port: str | None = None
     ) -> Behavior:
-        """Both stages: full network-wide behavior of a packet."""
+        """Both stages: full network-wide behavior of a packet.
+
+        Stage 1 (:meth:`classify`) finds the packet's atomic predicate;
+        stage 2 (:meth:`behavior_of_atom`) walks the topology from
+        ``ingress_box`` using only integer-set membership tests.  The
+        returned :class:`~repro.core.behavior.Behavior` exposes
+        ``paths()``, ``delivered_hosts()``, and ``drops()``.
+        """
         return self.behavior_of_atom(self.classify(packet), ingress_box, in_port)
 
     # ------------------------------------------------------------------
@@ -350,10 +357,25 @@ class APClassifier:
             self.dataplane.manager, self.dataplane.predicates()
         )
         report = build_tree(universe, strategy=self.strategy)
+        self.install_rebuild(universe, report.tree)
+
+    def install_rebuild(self, universe: AtomicUniverse, tree: APTree) -> None:
+        """Adopt an externally built ``(universe, tree)`` pair.
+
+        The swap half of the Section VI-B split for callers that run the
+        rebuild elsewhere -- a background thread or process (see
+        :class:`repro.serve.QueryService` and
+        :class:`repro.parallel.ReconstructionProcess`).  The pair must
+        describe this classifier's data plane (same ``BDDManager``); any
+        updates that arrived after the rebuild's predicate snapshot must
+        already have been replayed onto it.  Counts as a reconstruction
+        in the observability metrics; the compiled artifact is dropped,
+        so queries take the interpreted path until :meth:`compile`.
+        """
         rec = self.recorder
         if rec is not None:
             rec.updates.reconstructs += 1
-        self._swap_tree(universe, report.tree)
+        self._swap_tree(universe, tree)
 
     def _swap_tree(self, universe: AtomicUniverse, tree: APTree) -> None:
         if universe is not self.universe:

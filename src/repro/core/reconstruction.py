@@ -363,7 +363,14 @@ class DynamicSimulation:
     def run(
         self, duration_s: float, update_rate_per_s: float
     ) -> list[ThroughputSample]:
-        """Simulate ``duration_s`` seconds; returns the throughput timeline."""
+        """Simulate ``duration_s`` seconds; returns the throughput timeline.
+
+        Updates arrive as a Poisson process at ``update_rate_per_s``;
+        each :class:`ThroughputSample` covers one ``bucket_s`` bucket
+        and carries the bucket's query throughput plus the event that
+        landed in it (``"update"``, ``"reconstruct"``, ``"swap"``) --
+        the Fig. 14 sawtooth is read straight off this list.
+        """
         events = poisson_update_schedule(update_rate_per_s, duration_s, self.rng)
         cost_model = QueryCostModel(self._sample_headers(self._process))
         per_query = self._measure_cost(self._process, cost_model)

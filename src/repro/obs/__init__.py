@@ -11,6 +11,7 @@ from .recorder import (
     BDDCounters,
     ParallelCounters,
     Recorder,
+    ServeCounters,
     TreeCounters,
     UpdateCounters,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "Recorder",
     "SNAPSHOT_SCHEMA",
     "SchemaError",
+    "ServeCounters",
     "TreeCounters",
     "UpdateCounters",
     "validate_snapshot",

@@ -32,6 +32,7 @@ __all__ = [
     "BDDCounters",
     "ParallelCounters",
     "Recorder",
+    "ServeCounters",
     "TreeCounters",
     "UpdateCounters",
 ]
@@ -39,7 +40,13 @@ __all__ = [
 #: Snapshot format identifier; bump on incompatible shape changes.
 #: /2 added the "parallel" section (offline-pipeline stage walls, shard
 #: sizes, shipping volume) and ``updates.replayed``.
-SCHEMA_ID = "repro.obs.snapshot/2"
+#: /3 added the "serve" section (online query service: batch-size
+#: histogram, queue depth watermark, sheds/timeouts, service latency).
+SCHEMA_ID = "repro.obs.snapshot/3"
+
+#: Service latencies kept for the percentile summary; same bounded-
+#: reservoir treatment as update latencies.
+MAX_SERVICE_LATENCY_SAMPLES = 50_000
 
 #: Update latencies kept for the percentile summary.  Beyond this the
 #: reservoir stops growing (count/mean/max stay exact; percentiles then
@@ -248,6 +255,106 @@ class ParallelCounters:
             self.workers = workers
 
 
+class ServeCounters:
+    """Online-query-service counters (:mod:`repro.serve`).
+
+    Populated by :class:`repro.serve.QueryService`: admission outcomes
+    (served / shed / timed out), micro-batch sizes, the admission-queue
+    depth high-water mark, degradation events (stale-artifact serving
+    windows, reconstruction swaps), and a service-latency reservoir for
+    the p50/p99 summary.
+    """
+
+    __slots__ = (
+        "requests",
+        "served",
+        "shed",
+        "timeouts",
+        "rejected",
+        "batches",
+        "batched_requests",
+        "batch_size_histogram",
+        "queue_depth_max",
+        "swaps",
+        "latency_samples",
+        "latency_total_s",
+        "latency_count",
+        "latency_max_s",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.served = 0
+        self.shed = 0
+        self.timeouts = 0
+        self.rejected = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.batch_size_histogram: dict[int, int] = {}
+        self.queue_depth_max = 0
+        self.swaps = 0
+        self.latency_samples: list[float] = []
+        self.latency_total_s = 0.0
+        self.latency_count = 0
+        self.latency_max_s = 0.0
+
+    def record_admission(self, queue_depth: int) -> None:
+        """One request admitted with the queue at ``queue_depth``."""
+        self.requests += 1
+        if queue_depth > self.queue_depth_max:
+            self.queue_depth_max = queue_depth
+
+    def record_batch(self, size: int) -> None:
+        """One dispatched micro-batch of ``size`` coalesced requests."""
+        self.batches += 1
+        self.batched_requests += size
+        histogram = self.batch_size_histogram
+        histogram[size] = histogram.get(size, 0) + 1
+
+    def record_served(self, latency_s: float) -> None:
+        """One request answered after ``latency_s`` in the service."""
+        self.served += 1
+        self.latency_count += 1
+        self.latency_total_s += latency_s
+        if latency_s > self.latency_max_s:
+            self.latency_max_s = latency_s
+        if len(self.latency_samples) < MAX_SERVICE_LATENCY_SAMPLES:
+            self.latency_samples.append(latency_s)
+
+    def summary(self) -> dict:
+        """The JSON-shaped ``serve`` snapshot section (schema /3)."""
+        ordered = sorted(self.latency_samples)
+        return {
+            "requests": self.requests,
+            "served": self.served,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "mean_batch_size": (
+                self.batched_requests / self.batches if self.batches else 0.0
+            ),
+            "batch_size_histogram": {
+                str(size): self.batch_size_histogram[size]
+                for size in sorted(self.batch_size_histogram)
+            },
+            "queue_depth_max": self.queue_depth_max,
+            "swaps": self.swaps,
+            "latency_s": {
+                "count": self.latency_count,
+                "mean": (
+                    self.latency_total_s / self.latency_count
+                    if self.latency_count
+                    else 0.0
+                ),
+                "p50": _percentile(ordered, 50.0),
+                "p99": _percentile(ordered, 99.0),
+                "max": self.latency_max_s,
+            },
+        }
+
+
 class Recorder:
     """Collects instrumentation from every component it is attached to.
 
@@ -263,6 +370,7 @@ class Recorder:
         self.tree = TreeCounters()
         self.updates = UpdateCounters()
         self.parallel = ParallelCounters()
+        self.serve = ServeCounters()
         self.timeline: list[dict] = []
         self._managers: list = []  # BDDManager instances under observation
         self._nodes_at_attach: list[int] = []
@@ -334,9 +442,14 @@ class Recorder:
         """The collected state as a JSON-serializable dict.
 
         The shape is pinned by :data:`repro.obs.schema.SNAPSHOT_SCHEMA`
-        and checked by :func:`repro.obs.schema.validate_snapshot`; every
-        number is finite, so ``json.dumps(..., allow_nan=False)`` always
-        succeeds.
+        (currently ``repro.obs.snapshot/3``) and checked by
+        :func:`repro.obs.schema.validate_snapshot`; every number is
+        finite, so ``json.dumps(..., allow_nan=False)`` always succeeds.
+        Sections: ``bdd`` (cache and node-table counters), ``tree``
+        (per-query evaluation counts and depth histogram), ``updates``
+        (splits, rebuilds, staleness fallbacks), ``parallel`` (offline
+        pipeline phases), ``serve`` (the query service's batch/queue/
+        latency counters), and ``timeline`` (dynamic-run samples).
         """
         bdd = self.bdd
         tree = self.tree
@@ -433,6 +546,7 @@ class Recorder:
                 "bytes_from_workers": parallel.bytes_from_workers,
                 "merge_atom_counts": list(parallel.merge_atom_counts),
             },
+            "serve": self.serve.summary(),
             "timeline": list(self.timeline),
         }
 

@@ -42,7 +42,7 @@ def _cache_section() -> dict:
 SNAPSHOT_SCHEMA: dict = {
     "type": "object",
     "required": {
-        "schema": {"type": "const", "value": "repro.obs.snapshot/2"},
+        "schema": {"type": "const", "value": "repro.obs.snapshot/3"},
         "bdd": {
             "type": "object",
             "required": {
@@ -140,6 +140,36 @@ SNAPSHOT_SCHEMA: dict = {
                 "merge_atom_counts": {
                     "type": "array",
                     "items": {"type": "integer"},
+                },
+            },
+        },
+        "serve": {
+            "type": "object",
+            "required": {
+                "requests": {"type": "integer"},
+                "served": {"type": "integer"},
+                "shed": {"type": "integer"},
+                "timeouts": {"type": "integer"},
+                "rejected": {"type": "integer"},
+                "batches": {"type": "integer"},
+                "batched_requests": {"type": "integer"},
+                "mean_batch_size": {"type": "number"},
+                "batch_size_histogram": {
+                    "type": "object",
+                    "required": {},
+                    "values": {"type": "integer"},
+                },
+                "queue_depth_max": {"type": "integer"},
+                "swaps": {"type": "integer"},
+                "latency_s": {
+                    "type": "object",
+                    "required": {
+                        "count": {"type": "integer"},
+                        "mean": {"type": "number"},
+                        "p50": {"type": "number"},
+                        "p99": {"type": "number"},
+                        "max": {"type": "number"},
+                    },
                 },
             },
         },

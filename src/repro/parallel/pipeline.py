@@ -57,7 +57,17 @@ def offline_pipeline(
     trials: int = 100,
     weights: Mapping[int, float] | None = None,
 ) -> OfflineResult:
-    """Run conversion, atom computation, and construction on the pool."""
+    """Run conversion, atom computation, and construction on the pool.
+
+    The three offline phases (rule-to-predicate conversion sharded per
+    box, divide-and-conquer atomic predicates with a witness-guided
+    merge, and the Best-from-Random / OAPT root scan) execute on
+    ``pool`` (default: the shared pool sized by ``workers`` or
+    ``REPRO_WORKERS``).  The returned :class:`OfflineResult` carries the
+    dataplane, universe, tree, and per-phase ``timings``; the artifacts
+    are output-equivalent to the serial build for any worker count --
+    same canonical atom ids, same R-sets, same classifications.
+    """
     if pool is None:
         pool = shared_pool(workers)
     parallel = recorder.parallel if recorder is not None else None

@@ -1,0 +1,20 @@
+"""``repro.serve``: the online query service (serving layer).
+
+Fronts an :class:`~repro.core.classifier.APClassifier` with an asyncio
+micro-batching dispatcher so many concurrent callers share the compiled
+engine's batch path, with bounded admission (backpressure or shedding),
+per-request deadlines, and graceful degradation while the data plane
+churns and reconstructions swap trees underneath the queries.  See
+``docs/serving.md`` for the operations guide and the TCP wire protocol.
+"""
+
+from .service import QueryService, QueryShed, ServiceClosed
+from .tcp import serve_forever, start_tcp_server
+
+__all__ = [
+    "QueryService",
+    "QueryShed",
+    "ServiceClosed",
+    "serve_forever",
+    "start_tcp_server",
+]

@@ -1,0 +1,588 @@
+"""The in-process :class:`QueryService`: asyncio micro-batching front-end.
+
+The paper's deployment story (and the companion outsourced-identification
+work, Wang & Qian arXiv:1603.02613) is a long-lived classifier *service*
+fielding a stream of packet-behavior queries while the data plane churns
+underneath it.  This module is that serving layer:
+
+* **Adaptive micro-batching.**  Concurrent ``classify``/``query`` calls
+  land in one admission queue; a single dispatcher coalesces them --
+  up to ``max_batch`` requests or a ``max_delay_s`` latency budget,
+  whichever closes first -- into one
+  :meth:`~repro.core.classifier.APClassifier.classify_batch` call, so
+  the compiled engine's bit-parallel path is amortized across requests
+  that arrived independently.
+* **Bounded admission with selectable saturation policy.**  The queue
+  holds at most ``queue_limit`` requests.  ``overflow="wait"`` applies
+  backpressure (callers suspend until a slot frees -- closed-loop
+  clients slow down); ``overflow="shed"`` fails fast with
+  :class:`QueryShed` (open-loop load peaks are dropped and counted
+  instead of growing the queue without bound).
+* **Per-request timeouts.**  A request that misses its deadline raises
+  :class:`asyncio.TimeoutError` in the caller and its future is
+  cancelled; the dispatcher skips cancelled requests, so a timeout
+  leaves no orphan work behind.
+* **Graceful degradation during updates** (Section VI-B's
+  query-process/reconstruction-process split).  Rule updates stale the
+  compiled artifact; queries keep flowing through the interpreted-tree
+  fallback (still exact, just slower).  :meth:`QueryService.reconstruct`
+  rebuilds the universe and tree in a background executor thread while
+  the dispatcher keeps serving, journals updates that arrive mid-rebuild,
+  replays them onto the staged structures, and swaps behind a
+  *reader-preferring* lock -- queries are never blocked by a waiting
+  swap; the swap slips into the next gap between batches.
+
+Every counter (batch-size histogram, queue depth high-water mark, sheds,
+timeouts, p50/p99 service latency, swaps) lands in
+:class:`repro.obs.ServeCounters` -- either a private instance or the
+``serve`` section of a shared :class:`repro.obs.Recorder` snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from contextlib import asynccontextmanager
+from typing import AsyncIterator
+
+from ..core.classifier import APClassifier
+from ..core.construction import build_tree
+from ..core.update import UpdateEngine
+from ..headerspace.header import Packet
+from ..network.dataplane import PredicateChange
+from ..network.rules import ForwardingRule
+from ..obs import ServeCounters
+
+__all__ = ["QueryService", "QueryShed", "ServiceClosed"]
+
+#: Sentinel distinguishing "no timeout argument" from "timeout=None".
+_UNSET = object()
+
+
+class QueryShed(Exception):
+    """Request dropped at admission: the queue is saturated and the
+    service runs the ``overflow="shed"`` policy."""
+
+
+class ServiceClosed(Exception):
+    """The service is not running (never started, or stopped)."""
+
+
+class _Request:
+    """One admitted query waiting for a dispatch slot."""
+
+    __slots__ = ("header", "future", "ingress", "in_port", "admitted_at")
+
+    def __init__(
+        self,
+        header: int,
+        future: asyncio.Future,
+        ingress: str | None,
+        in_port: str | None,
+        admitted_at: float,
+    ) -> None:
+        self.header = header
+        self.future = future
+        self.ingress = ingress
+        self.in_port = in_port
+        self.admitted_at = admitted_at
+
+
+class _SwapLock:
+    """Reader-preferring read/write lock for the serving event loop.
+
+    Readers (dispatcher batches) only wait while a writer *holds* the
+    lock, never for a writer that is merely waiting -- so queries keep
+    flowing while a reconstruction swap looks for a gap.  Writers
+    (updates, swaps) wait until no reader and no writer is active.
+    Writer starvation is accepted by design: batches are short (one
+    ``classify_batch`` call), so gaps occur at every batch boundary.
+    """
+
+    def __init__(self) -> None:
+        self._readers = 0
+        self._writing = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._no_writer = asyncio.Event()
+        self._no_writer.set()
+
+    @asynccontextmanager
+    async def read(self) -> AsyncIterator[None]:
+        while self._writing:
+            await self._no_writer.wait()
+        self._readers += 1
+        self._idle.clear()
+        try:
+            yield
+        finally:
+            self._readers -= 1
+            if self._readers == 0 and not self._writing:
+                self._idle.set()
+
+    @asynccontextmanager
+    async def write(self) -> AsyncIterator[None]:
+        while self._writing or self._readers:
+            await self._idle.wait()
+        self._writing = True
+        self._idle.clear()
+        self._no_writer.clear()
+        try:
+            yield
+        finally:
+            self._writing = False
+            self._no_writer.set()
+            if self._readers == 0:
+                self._idle.set()
+
+
+class QueryService:
+    """Serve classify/behavior queries over one :class:`APClassifier`.
+
+    Use as an async context manager, or call :meth:`start`/:meth:`stop`::
+
+        classifier = APClassifier.build(network)
+        async with QueryService(classifier) as service:
+            atom = await service.classify(packet)
+            behavior = await service.query(packet, ingress_box="SEAT")
+
+    Parameters:
+
+    ``max_batch``
+        Most requests coalesced into one ``classify_batch`` call.
+    ``max_delay_s``
+        Longest the dispatcher waits for more requests after the first
+        one arrives -- the batching latency budget.  ``0`` dispatches
+        whatever is queued immediately (no added latency, smaller
+        batches).
+    ``queue_limit``
+        Admission-queue bound; with ``overflow="wait"`` it is the
+        backpressure threshold, with ``"shed"`` the drop threshold.
+    ``timeout_s``
+        Default per-request deadline (``None``: wait forever).  Each
+        request may override it.
+    ``recorder``
+        Optional :class:`repro.obs.Recorder`; the service then feeds the
+        ``serve`` section of its snapshots.  Without one, a private
+        :class:`~repro.obs.ServeCounters` is kept (see :meth:`metrics`).
+    ``autocompile``
+        Compile the classifier's flat-array artifact at :meth:`start`
+        and re-compile at each reconstruction swap (recommended; the
+        batch path is what micro-batching amortizes).
+    ``recompile_after_updates``
+        If set, recompile inline once this many updates have staled the
+        artifact, instead of waiting for the next reconstruction.
+    """
+
+    OVERFLOW_POLICIES = ("wait", "shed")
+
+    def __init__(
+        self,
+        classifier: APClassifier,
+        *,
+        max_batch: int = 128,
+        max_delay_s: float = 0.001,
+        queue_limit: int = 1024,
+        overflow: str = "wait",
+        timeout_s: float | None = None,
+        recorder=None,
+        autocompile: bool = True,
+        backend: str | None = None,
+        recompile_after_updates: int | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be >= 0")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if overflow not in self.OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {overflow!r}; "
+                f"choose from {self.OVERFLOW_POLICIES}"
+            )
+        if recompile_after_updates is not None and recompile_after_updates < 1:
+            raise ValueError("recompile_after_updates must be >= 1")
+        self.classifier = classifier
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.queue_limit = queue_limit
+        self.overflow = overflow
+        self.timeout_s = timeout_s
+        self.recorder = recorder
+        self.autocompile = autocompile
+        self.backend = backend
+        self.recompile_after_updates = recompile_after_updates
+        self.counters: ServeCounters = (
+            recorder.serve if recorder is not None else ServeCounters()
+        )
+        self._queue: deque[_Request] = deque()
+        # Admission slots, hand-rolled instead of asyncio.Semaphore: the
+        # uncontended path must stay synchronous (no coroutine hop), and
+        # the dispatcher releases a whole batch in one call.
+        self._free = queue_limit
+        self._slot_waiters: deque[asyncio.Future] = deque()
+        self._wakeup = asyncio.Event()
+        self._swap_lock = _SwapLock()
+        self._dispatcher: asyncio.Task | None = None
+        self._journal: list[PredicateChange] | None = None
+        self._reconstructing = False
+        self._updates_since_compile = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._dispatcher is not None and not self._dispatcher.done()
+
+    async def start(self) -> None:
+        """Compile (if ``autocompile``) and start the dispatcher task."""
+        if self.running:
+            return
+        if self.autocompile and not self.classifier.compiled_fresh:
+            self.classifier.compile(self.backend)
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop(), name="repro-serve-dispatch"
+        )
+
+    async def stop(self) -> None:
+        """Cancel the dispatcher and fail every pending request.
+
+        Idempotent; pending callers see :class:`ServiceClosed`.
+        """
+        dispatcher = self._dispatcher
+        self._dispatcher = None
+        if dispatcher is not None:
+            dispatcher.cancel()
+            try:
+                await dispatcher
+            except asyncio.CancelledError:
+                pass
+        drained = 0
+        while self._queue:
+            request = self._queue.popleft()
+            drained += 1
+            if not request.future.done():
+                request.future.set_exception(ServiceClosed("service stopped"))
+        # Freed slots wake admission waiters, which observe the stopped
+        # service, re-release, and raise -- the wakeup cascades until
+        # every waiter has drained.
+        self._release_slots(drained)
+
+    async def __aenter__(self) -> "QueryService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+
+    async def classify(self, packet: Packet | int, *, timeout=_UNSET) -> int:
+        """Stage 1 through the batching front-end: the packet's atom id."""
+        header = packet.value if isinstance(packet, Packet) else packet
+        return await self._submit(header, None, None, timeout)
+
+    async def query(
+        self,
+        packet: Packet | int,
+        ingress_box: str,
+        in_port: str | None = None,
+        *,
+        timeout=_UNSET,
+    ):
+        """Both stages: the packet's network-wide :class:`Behavior`.
+
+        Stage 2 runs inside the same swap-lock section as stage 1, so
+        the atom id and the behavior computer always belong to the same
+        classifier generation even when a reconstruction swap races the
+        request.
+        """
+        header = packet.value if isinstance(packet, Packet) else packet
+        return await self._submit(header, ingress_box, in_port, timeout)
+
+    async def _submit(
+        self, header: int, ingress: str | None, in_port: str | None, timeout
+    ):
+        dispatcher = self._dispatcher
+        if dispatcher is None or dispatcher.done():
+            raise ServiceClosed("service is not running")
+        counters = self.counters
+        if self._free > 0:
+            self._free -= 1  # uncontended admission: no await
+        elif self.overflow == "shed":
+            counters.shed += 1
+            raise QueryShed(
+                f"admission queue at limit ({self.queue_limit}); "
+                f"request shed"
+            )
+        else:
+            await self._wait_for_slot()  # backpressure in "wait" mode
+            if not self.running:
+                self._release_slots(1)
+                raise ServiceClosed("service stopped during admission")
+        future = asyncio.get_running_loop().create_future()
+        request = _Request(header, future, ingress, in_port, time.perf_counter())
+        self._queue.append(request)
+        counters.record_admission(len(self._queue))
+        self._wakeup.set()
+        if timeout is _UNSET:
+            timeout = self.timeout_s
+        try:
+            if timeout is None:
+                result = await future
+            else:
+                result = await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            counters.timeouts += 1
+            raise
+        counters.record_served(time.perf_counter() - request.admitted_at)
+        return result
+
+    async def _wait_for_slot(self) -> None:
+        """Suspend until an admission slot frees (``wait`` overflow)."""
+        loop = asyncio.get_running_loop()
+        while self._free <= 0:
+            waiter = loop.create_future()
+            self._slot_waiters.append(waiter)
+            try:
+                await waiter
+            except asyncio.CancelledError:
+                # A wakeup may have raced the cancellation; hand it on.
+                if waiter.done() and not waiter.cancelled():
+                    self._wake_slot_waiters()
+                raise
+        self._free -= 1
+
+    def _release_slots(self, count: int) -> None:
+        if count:
+            self._free += count
+            self._wake_slot_waiters()
+
+    def _wake_slot_waiters(self) -> None:
+        # Waiters re-check the slot count on wakeup, so waking at most
+        # ``_free`` of them is enough and spurious wakeups are harmless.
+        available = self._free
+        waiters = self._slot_waiters
+        while available > 0 and waiters:
+            waiter = waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                available -= 1
+
+    async def _dispatch_loop(self) -> None:
+        queue = self._queue
+        loop = asyncio.get_running_loop()
+        while True:
+            if not queue:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            # Coalescing window: after the first request, wait up to
+            # max_delay_s (or until max_batch are queued) for company.
+            # Already-runnable submitters are drained with plain yields
+            # (one event-loop pass each); the timed wait only runs once
+            # arrivals pause, so a filling queue costs no timers.
+            if self.max_delay_s > 0 and len(queue) < self.max_batch:
+                deadline = loop.time() + self.max_delay_s
+                while len(queue) < self.max_batch:
+                    size = len(queue)
+                    await asyncio.sleep(0)
+                    if len(queue) != size:
+                        continue
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    self._wakeup.clear()
+                    try:
+                        await asyncio.wait_for(self._wakeup.wait(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+            elif len(queue) < self.max_batch:
+                # No latency budget: still take one free event-loop pass
+                # so submitters that are already scheduled join the batch.
+                await asyncio.sleep(0)
+            batch: list[_Request] = []
+            while queue and len(batch) < self.max_batch:
+                batch.append(queue.popleft())
+            self._release_slots(len(batch))
+            # Timed-out requests were cancelled by their callers; drop
+            # them here so they cost no classification work.
+            live = [req for req in batch if not req.future.cancelled()]
+            if not live:
+                continue
+            self.counters.record_batch(len(live))
+            async with self._swap_lock.read():
+                self._serve_batch(live)
+
+    def _serve_batch(self, live: list[_Request]) -> None:
+        """Classify one coalesced batch and resolve its futures.
+
+        Runs synchronously under the read side of the swap lock: both
+        stages see a single classifier generation.
+        """
+        classifier = self.classifier
+        try:
+            atom_ids = classifier.classify_batch(
+                [request.header for request in live]
+            )
+        except Exception as exc:  # defensive: keep the dispatcher alive
+            for request in live:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        for request, atom_id in zip(live, atom_ids):
+            if request.future.done():
+                continue
+            if request.ingress is None:
+                request.future.set_result(atom_id)
+                continue
+            try:
+                behavior = classifier.behavior_of_atom(
+                    atom_id, request.ingress, request.in_port
+                )
+            except Exception as exc:
+                request.future.set_exception(exc)
+            else:
+                request.future.set_result(behavior)
+
+    # ------------------------------------------------------------------
+    # Update path (write side of the swap lock)
+    # ------------------------------------------------------------------
+
+    async def insert_rule(self, box: str, rule: ForwardingRule):
+        """Install a forwarding rule; queries degrade to the interpreted
+        fallback until the next recompile or reconstruction swap."""
+        return await self._apply_rule(box, rule, insert=True)
+
+    async def remove_rule(self, box: str, rule: ForwardingRule):
+        """Remove a forwarding rule (tombstone semantics, Section VI-A)."""
+        return await self._apply_rule(box, rule, insert=False)
+
+    async def _apply_rule(self, box: str, rule: ForwardingRule, insert: bool):
+        classifier = self.classifier
+        async with self._swap_lock.write():
+            if insert:
+                changes = classifier.dataplane.insert_rule(box, rule)
+            else:
+                changes = classifier.dataplane.remove_rule(box, rule)
+            results = classifier.apply_changes(changes)
+            if self._journal is not None:
+                self._journal.extend(changes)
+            if changes:
+                self._updates_since_compile += len(changes)
+                if (
+                    self.recompile_after_updates is not None
+                    and self._updates_since_compile
+                    >= self.recompile_after_updates
+                ):
+                    self._compile_now()
+        return results
+
+    async def recompile(self) -> None:
+        """Refresh the compiled artifact against the live tree now."""
+        async with self._swap_lock.write():
+            self._compile_now()
+
+    def _compile_now(self) -> None:
+        self.classifier.compile(self.backend)
+        self._updates_since_compile = 0
+
+    # ------------------------------------------------------------------
+    # Reconstruction (Section VI-B, served live)
+    # ------------------------------------------------------------------
+
+    @property
+    def reconstructing(self) -> bool:
+        return self._reconstructing
+
+    async def reconstruct(self) -> None:
+        """Rebuild universe + tree in the background, then swap.
+
+        The heavy work (atomic predicates, tree construction) runs in a
+        worker thread via the event loop's default executor, so the
+        dispatcher keeps answering on the old structures -- on the stale
+        compiled artifact if it is still fresh for the old tree, on the
+        interpreted fallback otherwise.  Updates applied while the
+        rebuild runs are journaled and replayed onto the staged
+        structures before the swap (Fig. 8), so the swapped-in
+        classifier is exact for the *current* data plane.
+        """
+        if self._reconstructing:
+            raise RuntimeError("a reconstruction is already in flight")
+        self._reconstructing = True
+        try:
+            classifier = self.classifier
+            async with self._swap_lock.write():
+                snapshot = classifier.dataplane.predicates()
+                self._journal = []
+            loop = asyncio.get_running_loop()
+            universe, tree = await loop.run_in_executor(
+                None, self._rebuild, snapshot
+            )
+            async with self._swap_lock.write():
+                journal = self._journal or []
+                self._journal = None
+                if journal:
+                    staged = UpdateEngine(universe, tree)
+                    for change in journal:
+                        if (
+                            change.removed is not None
+                            and universe.has_predicate(change.removed.pid)
+                        ):
+                            staged.remove_predicate(change.removed.pid)
+                        if (
+                            change.added is not None
+                            and not universe.has_predicate(change.added.pid)
+                        ):
+                            staged.add_predicate(change.added)
+                    if self.recorder is not None:
+                        self.recorder.updates.replayed += len(journal)
+                classifier.install_rebuild(universe, tree)
+                if self.autocompile:
+                    self._compile_now()
+                self.counters.swaps += 1
+        finally:
+            self._reconstructing = False
+            self._journal = None
+
+    def _rebuild(self, snapshot):
+        """Executor-thread half of :meth:`reconstruct` (CPU-heavy)."""
+        from ..core.atomic import AtomicUniverse
+
+        classifier = self.classifier
+        universe = AtomicUniverse.compute(
+            classifier.dataplane.manager, snapshot
+        )
+        tree = build_tree(universe, strategy=classifier.strategy).tree
+        return universe, tree
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Point-in-time service metrics (``/metrics``-style snapshot).
+
+        The cumulative counters match the ``serve`` section of a
+        :meth:`repro.obs.Recorder.snapshot`; instantaneous gauges
+        (queue depth, running/degraded state) are added on top.
+        """
+        data = self.counters.summary()
+        data["queue_depth"] = len(self._queue)
+        data["running"] = self.running
+        data["reconstructing"] = self._reconstructing
+        data["compiled_fresh"] = self.classifier.compiled_fresh
+        return data
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return (
+            f"QueryService({state}, max_batch={self.max_batch}, "
+            f"queue={len(self._queue)}/{self.queue_limit}, "
+            f"overflow={self.overflow!r})"
+        )

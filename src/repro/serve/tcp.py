@@ -1,0 +1,186 @@
+"""Newline-delimited-JSON TCP front-end for :class:`QueryService`.
+
+One request per line, one JSON response per line, in order.  The
+protocol is deliberately minimal -- it exists so non-Python clients (and
+``repro serve`` smoke tests) can drive the service without a dependency
+on an RPC stack.  See ``docs/serving.md`` for the full wire contract.
+
+Requests (``op`` selects the action)::
+
+    {"op": "ping"}
+    {"op": "classify", "header": 167772161}
+    {"op": "classify", "packet": {"dst_ip": "10.0.0.1"}}
+    {"op": "query", "packet": {"dst_ip": "10.0.0.1"}, "ingress": "SEAT"}
+    {"op": "metrics"}
+
+Responses always carry ``ok``::
+
+    {"ok": true, "atom": 12}
+    {"ok": true, "atom": 12, "paths": [...], "delivered": [...], "drops": [...]}
+    {"ok": false, "error": "shed"}          (queue saturated, shed policy)
+    {"ok": false, "error": "timeout"}       (per-request deadline missed)
+    {"ok": false, "error": "<message>"}     (malformed request, unknown box, ...)
+
+A malformed line never kills the connection: the error is reported on
+that line's response and the next line is processed normally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..headerspace.fields import parse_ipv4
+from .service import QueryService, QueryShed, ServiceClosed
+
+__all__ = ["start_tcp_server", "serve_forever"]
+
+#: Refuse absurd lines instead of buffering them (64 KiB is far beyond
+#: any legitimate request in this protocol).
+MAX_LINE_BYTES = 64 * 1024
+
+#: Packet-field keys parsed as dotted-quad IPv4 strings; everything else
+#: in a ``packet`` object must already be an integer field value.
+_IP_FIELDS = ("dst_ip", "src_ip")
+
+
+class _BadRequest(ValueError):
+    """The request line is structurally invalid (reported per-line)."""
+
+
+def _header_of(layout, request: dict) -> int:
+    """Extract the packed header from a request's ``header``/``packet``."""
+    if "header" in request:
+        header = request["header"]
+        if not isinstance(header, int) or isinstance(header, bool):
+            raise _BadRequest("'header' must be an integer")
+        return header
+    packet = request.get("packet")
+    if not isinstance(packet, dict):
+        raise _BadRequest("request needs an integer 'header' or a 'packet' object")
+    fields = {}
+    for name, value in packet.items():
+        if name not in layout:
+            raise _BadRequest(f"unknown packet field {name!r} for this layout")
+        if name in _IP_FIELDS and isinstance(value, str):
+            fields[name] = parse_ipv4(value)
+        elif isinstance(value, int) and not isinstance(value, bool):
+            fields[name] = value
+        else:
+            raise _BadRequest(f"packet field {name!r} must be an int or IPv4 string")
+    try:
+        return layout.pack(fields)
+    except (KeyError, ValueError) as exc:
+        raise _BadRequest(f"cannot pack packet: {exc}") from exc
+
+
+def _behavior_payload(atom_id: int, behavior) -> dict:
+    return {
+        "ok": True,
+        "atom": atom_id,
+        "paths": [list(path) for path in behavior.paths()],
+        "delivered": sorted(behavior.delivered_hosts()),
+        "drops": [[box, reason] for box, reason in behavior.drops()],
+    }
+
+
+async def _handle_request(service: QueryService, request: dict) -> dict:
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "pong": True}
+    if op == "metrics":
+        return {"ok": True, "metrics": service.metrics()}
+    layout = service.classifier.dataplane.layout
+    if op == "classify":
+        atom_id = await service.classify(_header_of(layout, request))
+        return {"ok": True, "atom": atom_id}
+    if op == "query":
+        ingress = request.get("ingress")
+        if not isinstance(ingress, str) or not ingress:
+            raise _BadRequest("'query' needs a non-empty string 'ingress'")
+        in_port = request.get("in_port")
+        if in_port is not None and not isinstance(in_port, str):
+            raise _BadRequest("'in_port' must be a string when present")
+        behavior = await service.query(
+            _header_of(layout, request), ingress, in_port
+        )
+        return _behavior_payload(behavior.atom_id, behavior)
+    raise _BadRequest(f"unknown op {op!r}")
+
+
+async def _handle_connection(
+    service: QueryService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionError, ValueError):
+                # ValueError: line over MAX_LINE_BYTES; drop the client.
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise _BadRequest("request must be a JSON object")
+                response = await _handle_request(service, request)
+            except QueryShed:
+                response = {"ok": False, "error": "shed"}
+            except asyncio.TimeoutError:
+                response = {"ok": False, "error": "timeout"}
+            except ServiceClosed:
+                response = {"ok": False, "error": "service closed"}
+                writer.write(
+                    (json.dumps(response, allow_nan=False) + "\n").encode()
+                )
+                break
+            except (_BadRequest, ValueError, KeyError) as exc:
+                service.counters.rejected += 1
+                response = {"ok": False, "error": str(exc) or repr(exc)}
+            writer.write((json.dumps(response, allow_nan=False) + "\n").encode())
+            try:
+                await writer.drain()
+            except ConnectionError:
+                break
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def start_tcp_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Bind the newline-JSON endpoint; ``port=0`` picks a free port.
+
+    The service must already be started.  The caller owns both
+    lifetimes: close the returned server, then stop the service.
+    """
+    return await asyncio.start_server(
+        lambda reader, writer: _handle_connection(service, reader, writer),
+        host,
+        port,
+        limit=MAX_LINE_BYTES,
+    )
+
+
+async def serve_forever(
+    service: QueryService, host: str, port: int, *, announce=print
+) -> None:
+    """``repro serve`` driver: start service + endpoint, run until cancelled."""
+    async with service:
+        server = await start_tcp_server(service, host, port)
+        bound = server.sockets[0].getsockname()
+        announce(f"serving on {bound[0]}:{bound[1]} (newline-JSON; ctrl-c to stop)")
+        try:
+            async with server:
+                await server.serve_forever()
+        except asyncio.CancelledError:
+            pass

@@ -12,9 +12,11 @@ class TestStats:
         assert "atomic predicates" in out
         assert "AP Tree avg depth" in out
 
-    def test_unknown_dataset(self):
-        with pytest.raises(SystemExit):
-            main(["stats", "--dataset", "bogus"])
+    def test_unknown_dataset(self, capsys):
+        assert main(["stats", "--dataset", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown dataset")
+        assert len(err.strip().splitlines()) == 1
 
 
 class TestQuery:
@@ -50,19 +52,20 @@ class TestQuery:
         out = capsys.readouterr().out
         assert "dropped" in out
 
-    def test_unknown_ingress(self):
-        with pytest.raises(SystemExit):
-            main(
-                [
-                    "query",
-                    "--dataset",
-                    "toy",
-                    "--dst-ip",
-                    "10.0.0.1",
-                    "--ingress",
-                    "nope",
-                ]
-            )
+    def test_unknown_ingress(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "toy",
+                "--dst-ip",
+                "10.0.0.1",
+                "--ingress",
+                "nope",
+            ]
+        )
+        assert code == 2
+        assert "unknown ingress box" in capsys.readouterr().err
 
 
 class TestTree:
@@ -117,9 +120,9 @@ class TestVerify:
         assert code == 0
         assert "waypoint" in capsys.readouterr().out
 
-    def test_unknown_ingress(self):
-        with pytest.raises(SystemExit):
-            main(["verify", "--dataset", "toy", "--ingress", "nope"])
+    def test_unknown_ingress(self, capsys):
+        assert main(["verify", "--dataset", "toy", "--ingress", "nope"]) == 2
+        assert "unknown ingress box" in capsys.readouterr().err
 
 
 class TestSnapshot:
@@ -214,13 +217,14 @@ class TestDiff:
         assert code == 0
         assert "no behavior changes" in capsys.readouterr().out
 
-    def test_unknown_ingress(self, tmp_path):
+    def test_unknown_ingress(self, tmp_path, capsys):
         before, after = self._snapshots(tmp_path)
-        with pytest.raises(SystemExit):
-            main(
-                ["diff", "--before", str(before), "--after", str(after),
-                 "--ingress", "nope"]
-            )
+        code = main(
+            ["diff", "--before", str(before), "--after", str(after),
+             "--ingress", "nope"]
+        )
+        assert code == 2
+        assert "unknown ingress box" in capsys.readouterr().err
 
 
 class TestStatsMemory:
@@ -229,6 +233,54 @@ class TestStatsMemory:
         out = capsys.readouterr().out
         assert "memory breakdown" in out
         assert "atom BDD nodes" in out
+
+
+class TestErrorSurfaces:
+    """Operational failures exit non-zero with one line, no traceback."""
+
+    def test_missing_snapshot_path(self, capsys):
+        code = main(
+            ["query", "--snapshot", "/no/such/file.json",
+             "--dst-ip", "10.0.0.1", "--ingress", "b1"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read snapshot")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_malformed_snapshot_file(self, capsys, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("this is not a snapshot")
+        assert main(["stats", "--snapshot", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: malformed snapshot")
+        assert "Traceback" not in err
+
+    def test_missing_diff_snapshot(self, capsys, tmp_path):
+        missing = tmp_path / "absent.json"
+        code = main(
+            ["diff", "--before", str(missing), "--after", str(missing),
+             "--ingress", "b1"]
+        )
+        assert code == 2
+        assert "cannot read snapshot" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--dataset", "toy"])
+        assert args.func.__name__ == "_cmd_serve"
+        assert args.overflow == "wait"
+        assert args.port == 0
+
+    def test_bad_overflow_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--overflow", "bogus"])
+
+    def test_negative_delay_rejected(self, capsys):
+        assert main(["serve", "--dataset", "toy", "--max-delay-ms", "-1"]) == 2
+        assert "max-delay-ms" in capsys.readouterr().err
 
 
 class TestParser:

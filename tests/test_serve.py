@@ -1,0 +1,459 @@
+"""Online query service: micro-batching, admission, degradation paths.
+
+The correctness bar for the serving layer is strict: a query served
+*during* an update or a reconstruction swap must return exactly what a
+quiesced classifier would return for the same data plane state.  These
+tests pin that, plus the bounded-admission accounting (sheds, timeouts,
+backpressure) and clean cancellation (no orphan tasks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import threading
+
+import pytest
+
+from repro.core.classifier import APClassifier
+from repro.datasets import internet2_like, toy_network, uniform_over_atoms
+from repro.headerspace.fields import parse_ipv4
+from repro.network.rules import ForwardingRule, Match
+from repro.obs import Recorder, validate_snapshot
+from repro.serve import QueryService, QueryShed, ServiceClosed, start_tcp_server
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def behavior_key(behavior):
+    """Generation-independent fingerprint of a behavior (atom ids are not
+    comparable across reconstructions; paths and verdicts are)."""
+    return (
+        tuple(tuple(path) for path in behavior.paths()),
+        tuple(sorted(behavior.delivered_hosts())),
+        tuple(sorted(behavior.drops())),
+    )
+
+
+@pytest.fixture(scope="module")
+def toy_classifier():
+    return APClassifier.build(toy_network())
+
+
+def sample_headers(classifier, count, seed=3):
+    trace = uniform_over_atoms(classifier.universe, count, random.Random(seed))
+    return list(trace.headers)
+
+
+class TestBasicServing:
+    def test_classify_matches_direct(self, toy_classifier):
+        headers = sample_headers(toy_classifier, 64)
+        expected = toy_classifier.classify_batch(headers)
+
+        async def scenario():
+            async with QueryService(toy_classifier, max_delay_s=0) as service:
+                return await asyncio.gather(
+                    *(service.classify(h) for h in headers)
+                )
+
+        assert run(scenario()) == expected
+
+    def test_query_matches_direct(self, toy_classifier):
+        headers = sample_headers(toy_classifier, 16)
+        expected = [
+            behavior_key(toy_classifier.query(h, "b1")) for h in headers
+        ]
+
+        async def scenario():
+            async with QueryService(toy_classifier, max_delay_s=0) as service:
+                behaviors = await asyncio.gather(
+                    *(service.query(h, "b1") for h in headers)
+                )
+            return [behavior_key(b) for b in behaviors]
+
+        assert run(scenario()) == expected
+
+    def test_concurrent_requests_coalesce(self, toy_classifier):
+        headers = sample_headers(toy_classifier, 200)
+
+        async def scenario():
+            service = QueryService(
+                toy_classifier, max_batch=64, max_delay_s=0.01
+            )
+            async with service:
+                await asyncio.gather(*(service.classify(h) for h in headers))
+            return service
+
+        service = run(scenario())
+        counters = service.counters
+        assert counters.served == len(headers)
+        assert counters.batches < len(headers)  # coalescing happened
+        assert max(counters.batch_size_histogram) > 1
+        assert counters.batched_requests == counters.served
+
+    def test_not_running_raises(self, toy_classifier):
+        async def scenario():
+            service = QueryService(toy_classifier)
+            with pytest.raises(ServiceClosed):
+                await service.classify(0)
+
+        run(scenario())
+
+    def test_stop_fails_pending(self, toy_classifier):
+        async def scenario():
+            # A huge delay budget parks the request in the dispatcher's
+            # coalescing window; stop() must fail it, not leak it.
+            service = QueryService(
+                toy_classifier, max_batch=64, max_delay_s=30.0
+            )
+            await service.start()
+            task = asyncio.ensure_future(service.classify(0))
+            await asyncio.sleep(0.01)
+            await service.stop()
+            with pytest.raises(ServiceClosed):
+                await task
+
+        run(scenario())
+
+    def test_metrics_shape(self, toy_classifier):
+        async def scenario():
+            async with QueryService(toy_classifier, max_delay_s=0) as service:
+                await service.classify(0)
+                return service.metrics()
+
+        metrics = run(scenario())
+        assert metrics["served"] == 1
+        assert metrics["queue_depth"] == 0
+        assert metrics["running"] is True
+        assert metrics["compiled_fresh"] is True
+        assert metrics["latency_s"]["p99"] >= metrics["latency_s"]["p50"] >= 0
+
+
+class TestAdmission:
+    def test_shed_policy_counts_and_raises(self, toy_classifier):
+        async def scenario():
+            service = QueryService(
+                toy_classifier,
+                max_delay_s=0.05,
+                queue_limit=4,
+                overflow="shed",
+            )
+            async with service:
+                # All ten admissions run before the dispatcher wakes:
+                # tasks are scheduled in creation order, ahead of the
+                # event-triggered dispatcher resumption.
+                results = await asyncio.gather(
+                    *(service.classify(0) for _ in range(10)),
+                    return_exceptions=True,
+                )
+            served = [r for r in results if isinstance(r, int)]
+            shed = [r for r in results if isinstance(r, QueryShed)]
+            return service, served, shed
+
+        service, served, shed = run(scenario())
+        assert len(served) == 4
+        assert len(shed) == 6
+        assert service.counters.shed == 6
+        assert service.counters.served == 4
+        assert service.counters.queue_depth_max == 4
+
+    def test_wait_policy_backpressures_and_serves_all(self, toy_classifier):
+        async def scenario():
+            service = QueryService(
+                toy_classifier,
+                max_delay_s=0,
+                queue_limit=4,
+                overflow="wait",
+            )
+            async with service:
+                results = await asyncio.gather(
+                    *(service.classify(h) for h in range(20))
+                )
+            return service, results
+
+        service, results = run(scenario())
+        assert len(results) == 20
+        assert service.counters.shed == 0
+        assert service.counters.served == 20
+        assert service.counters.queue_depth_max <= 4
+
+    def test_timeout_cancels_cleanly(self, toy_classifier):
+        async def scenario():
+            # The lone request sits in a 0.5 s coalescing window but
+            # carries a 10 ms deadline: it must time out, be skipped by
+            # the dispatcher, and leave no orphan task behind.
+            service = QueryService(
+                toy_classifier, max_batch=8, max_delay_s=0.5
+            )
+            async with service:
+                with pytest.raises(asyncio.TimeoutError):
+                    await service.classify(0, timeout=0.01)
+                assert service.counters.timeouts == 1
+                # The service is still healthy for the next caller.
+                atom = await asyncio.wait_for(
+                    service.classify(0, timeout=2.0), 5.0
+                )
+                assert atom == toy_classifier.classify(0)
+            await asyncio.sleep(0)
+            orphans = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task() and not task.done()
+            ]
+            assert orphans == []
+            # The timed-out request was never counted as served, and its
+            # classification work was skipped (only the healthy request's
+            # singleton batch ran).
+            assert service.counters.served == 1
+            assert service.counters.batched_requests == 1
+
+        run(scenario())
+
+
+class TestDegradation:
+    """Updates and reconstructions must never produce a wrong answer."""
+
+    def test_stale_artifact_fallback_serves_exact_results(self):
+        classifier = APClassifier.build(toy_network())
+        recorder = Recorder()
+        classifier.set_recorder(recorder)
+        rule = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.2.0.0"), 24), (), 24
+        )
+
+        async def scenario():
+            async with QueryService(
+                classifier, max_delay_s=0, recorder=recorder
+            ) as service:
+                assert classifier.compiled_fresh
+                await service.insert_rule("b1", rule)
+                # The artifact is stale now; queries degrade to the
+                # interpreted tree but stay exact.
+                assert not classifier.compiled_fresh
+                dropped = await service.query(
+                    parse_ipv4("10.2.0.77"), "b1"
+                )
+                assert dropped.delivered_hosts() == frozenset()
+                await service.recompile()
+                assert classifier.compiled_fresh
+                recompiled = await service.query(
+                    parse_ipv4("10.2.0.77"), "b1"
+                )
+                assert behavior_key(recompiled) == behavior_key(dropped)
+
+        run(scenario())
+        assert recorder.updates.stale_fallbacks > 0
+
+    def test_recompile_after_updates_policy(self):
+        classifier = APClassifier.build(toy_network())
+        rule = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.2.0.0"), 24), (), 24
+        )
+
+        async def scenario():
+            async with QueryService(
+                classifier, max_delay_s=0, recompile_after_updates=1
+            ) as service:
+                await service.insert_rule("b1", rule)
+                # The policy recompiled inline: no degradation window.
+                assert classifier.compiled_fresh
+
+        run(scenario())
+
+    def test_queries_during_reconstruction_match_quiesced(self):
+        classifier = APClassifier.build(internet2_like())
+        headers = sample_headers(classifier, 48)
+        quiesced = {
+            h: behavior_key(classifier.query(h, "SEAT")) for h in headers
+        }
+        gate = threading.Event()
+
+        class GatedService(QueryService):
+            def _rebuild(self, snapshot):
+                gate.wait(timeout=30)
+                return super()._rebuild(snapshot)
+
+        async def scenario():
+            service = GatedService(classifier, max_delay_s=0.002)
+            async with service:
+                recon = asyncio.ensure_future(service.reconstruct())
+                await asyncio.sleep(0.01)
+                assert service.reconstructing
+                # Mid-rebuild queries: served on the old generation.
+                during = await asyncio.gather(
+                    *(service.query(h, "SEAT") for h in headers)
+                )
+                gate.set()
+                await recon
+                # Post-swap queries: served on the rebuilt generation.
+                after = await asyncio.gather(
+                    *(service.query(h, "SEAT") for h in headers)
+                )
+            return service, during, after
+
+        service, during, after = run(scenario())
+        for h, behavior in zip(headers, during):
+            assert behavior_key(behavior) == quiesced[h]
+        for h, behavior in zip(headers, after):
+            assert behavior_key(behavior) == quiesced[h]
+        assert service.counters.swaps == 1
+
+    def test_updates_during_reconstruction_are_replayed(self):
+        classifier = APClassifier.build(toy_network())
+        recorder = Recorder()
+        gate = threading.Event()
+        rule = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.2.0.0"), 24), (), 24
+        )
+        probe = parse_ipv4("10.2.0.9")
+
+        class GatedService(QueryService):
+            def _rebuild(self, snapshot):
+                gate.wait(timeout=30)
+                return super()._rebuild(snapshot)
+
+        async def scenario():
+            service = GatedService(
+                classifier, max_delay_s=0, recorder=recorder
+            )
+            async with service:
+                recon = asyncio.ensure_future(service.reconstruct())
+                await asyncio.sleep(0.01)
+                assert service.reconstructing
+                # This update postdates the rebuild's snapshot: it must
+                # be journaled and replayed before the swap.
+                await service.insert_rule("b1", rule)
+                mid = await service.query(probe, "b1")
+                assert mid.delivered_hosts() == frozenset()
+                gate.set()
+                await recon
+                post = await service.query(probe, "b1")
+            return mid, post
+
+        mid, post = run(scenario())
+        assert behavior_key(post) == behavior_key(mid)
+        assert recorder.updates.replayed >= 1
+        assert recorder.serve.swaps == 1
+        # Ground truth: a classifier built fresh from the updated
+        # network agrees with what was served after the swap.
+        reference = APClassifier.build(classifier.dataplane.network)
+        assert behavior_key(reference.query(probe, "b1")) == behavior_key(post)
+
+    def test_reconstruct_rejects_reentry(self, toy_classifier):
+        gate = threading.Event()
+
+        class GatedService(QueryService):
+            def _rebuild(self, snapshot):
+                gate.wait(timeout=30)
+                return super()._rebuild(snapshot)
+
+        async def scenario():
+            service = GatedService(toy_classifier, max_delay_s=0)
+            async with service:
+                recon = asyncio.ensure_future(service.reconstruct())
+                await asyncio.sleep(0.01)
+                with pytest.raises(RuntimeError):
+                    await service.reconstruct()
+                gate.set()
+                await recon
+
+        run(scenario())
+
+
+class TestObservability:
+    def test_recorder_snapshot_validates(self):
+        classifier = APClassifier.build(toy_network())
+        recorder = Recorder()
+        classifier.set_recorder(recorder)
+        headers = sample_headers(classifier, 32)
+
+        async def scenario():
+            async with QueryService(
+                classifier, max_delay_s=0.005, recorder=recorder
+            ) as service:
+                await asyncio.gather(*(service.classify(h) for h in headers))
+                await service.reconstruct()
+                await asyncio.gather(*(service.classify(h) for h in headers))
+
+        run(scenario())
+        snapshot = validate_snapshot(recorder.snapshot())
+        serve = snapshot["serve"]
+        assert serve["served"] == 2 * len(headers)
+        assert serve["swaps"] == 1
+        assert serve["latency_s"]["count"] == serve["served"]
+        assert sum(serve["batch_size_histogram"].values()) == serve["batches"]
+        json.dumps(snapshot, allow_nan=False)  # strict-JSON round trip
+
+
+class TestTCP:
+    def test_wire_protocol(self):
+        classifier = APClassifier.build(toy_network())
+
+        async def scenario():
+            service = QueryService(classifier, max_delay_s=0)
+            async with service:
+                server = await start_tcp_server(service)
+                port = server.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+
+                async def ask(payload):
+                    writer.write((json.dumps(payload) + "\n").encode())
+                    await writer.drain()
+                    return json.loads(await reader.readline())
+
+                responses = {
+                    "ping": await ask({"op": "ping"}),
+                    "classify_header": await ask(
+                        {"op": "classify", "header": parse_ipv4("10.2.0.1")}
+                    ),
+                    "classify_packet": await ask(
+                        {"op": "classify", "packet": {"dst_ip": "10.2.0.1"}}
+                    ),
+                    "query": await ask(
+                        {
+                            "op": "query",
+                            "packet": {"dst_ip": "10.2.0.1"},
+                            "ingress": "b1",
+                        }
+                    ),
+                    "bad_ingress": await ask(
+                        {
+                            "op": "query",
+                            "packet": {"dst_ip": "10.2.0.1"},
+                            "ingress": "nope",
+                        }
+                    ),
+                    "bad_op": await ask({"op": "frobnicate"}),
+                    "bad_json": None,
+                    "metrics": await ask({"op": "metrics"}),
+                }
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                responses["bad_json"] = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                server.close()
+                await server.wait_closed()
+            return responses
+
+        responses = run(scenario())
+        assert responses["ping"] == {"ok": True, "pong": True}
+        expected_atom = classifier.classify(parse_ipv4("10.2.0.1"))
+        assert responses["classify_header"] == {"ok": True, "atom": expected_atom}
+        assert responses["classify_packet"]["atom"] == expected_atom
+        query = responses["query"]
+        assert query["ok"] is True
+        assert ["b1", "b2", "h2"] in query["paths"]
+        assert query["delivered"] == ["h2"]
+        assert responses["bad_ingress"]["ok"] is False
+        assert responses["bad_op"]["ok"] is False
+        assert "unknown op" in responses["bad_op"]["error"]
+        assert responses["bad_json"]["ok"] is False
+        metrics = responses["metrics"]["metrics"]
+        assert metrics["served"] == 3  # two classifies + the good query
+        assert metrics["running"] is True
