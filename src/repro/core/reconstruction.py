@@ -221,6 +221,13 @@ class DynamicSimulation:
         self._next_synthetic_pid = 1 + max(lp.pid for lp in pool)
         self._process = self._build_process()
         self._staged_process: _QueryProcess | None = None
+        # Updates applied while a rebuild is in flight, queued for replay
+        # onto the staged tree.  Instance state (not a run() local) so a
+        # process-mode rebuild that outlives one run() call still gets
+        # its replay at the swap in a follow-on call.
+        self._pending_during_rebuild: list[
+            tuple[str, int, Function | None]
+        ] = []
         self.reconstruction = reconstruction
         self._recon = None
         if reconstruction == "process" and method == "apclassifier":
@@ -380,8 +387,11 @@ class DynamicSimulation:
         event_index = 0
         rebuild_at = self.reconstruct_interval_s
         rebuild_done_at = float("inf")
-        in_flight = False
-        pending_during_rebuild: list[tuple[str, int, Function | None]] = []
+        # A process-mode rebuild races real wall time, so it can outlive
+        # one run() call: pick its in-flight state (and the updates
+        # queued for replay) back up instead of double-submitting.
+        in_flight = self._recon is not None and self._recon.busy
+        pending_during_rebuild = self._pending_during_rebuild
         now = 0.0
 
         while now < duration_s:
@@ -477,12 +487,12 @@ class DynamicSimulation:
                     event=annotation,
                 )
             now = bucket_end
-        # A rebuild still in flight when simulated time runs out is
-        # discarded, but the worker must be drained so the next run()
-        # can submit again.
-        if self._recon is not None and self._recon.busy:
-            self._recon.receive()
-            self._staged_process = None
+        # A process-mode rebuild still in flight when simulated time runs
+        # out stays in flight: a follow-on run() picks it up (see the
+        # ``in_flight`` initialization above) and swaps it in with the
+        # queued updates replayed, instead of discarding the worker's
+        # result.  close() copes with a still-busy worker.
+        self._pending_during_rebuild = pending_during_rebuild
         return samples
 
     def close(self) -> None:

@@ -26,8 +26,10 @@ underneath it.  This module is that serving layer:
   query-process/reconstruction-process split).  Rule updates stale the
   compiled artifact; queries keep flowing through the interpreted-tree
   fallback (still exact, just slower).  :meth:`QueryService.reconstruct`
-  rebuilds the universe and tree in a background executor thread while
-  the dispatcher keeps serving, journals updates that arrive mid-rebuild,
+  rebuilds the universe and tree in a background executor thread --
+  against a *private* BDD manager, so the rebuild never races the
+  canonical manager the loop thread keeps updating -- while the
+  dispatcher keeps serving, journals updates that arrive mid-rebuild,
   replays them onto the staged structures, and swaps behind a
   *reader-preferring* lock -- queries are never blocked by a waiting
   swap; the swap slips into the next gap between batches.
@@ -41,18 +43,28 @@ timeouts, p50/p99 service latency, swaps) lands in
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from collections import deque
 from contextlib import asynccontextmanager
 from typing import AsyncIterator
 
+from ..bdd import BDDManager
+from ..bdd.serialize import dump_functions, load_functions
+from ..core.atomic import AtomicUniverse
 from ..core.classifier import APClassifier
 from ..core.construction import build_tree
 from ..core.update import UpdateEngine
 from ..headerspace.header import Packet
-from ..network.dataplane import PredicateChange
+from ..network.dataplane import LabeledPredicate, PredicateChange
 from ..network.rules import ForwardingRule
 from ..obs import ServeCounters
+from ..parallel.snapshot import (
+    restore_tree,
+    restore_universe,
+    snapshot_tree,
+    snapshot_universe,
+)
 
 __all__ = ["QueryService", "QueryShed", "ServiceClosed"]
 
@@ -416,8 +428,20 @@ class QueryService:
             if not live:
                 continue
             self.counters.record_batch(len(live))
-            async with self._swap_lock.read():
-                self._serve_batch(live)
+            try:
+                async with self._swap_lock.read():
+                    self._serve_batch(live)
+            except asyncio.CancelledError:
+                # stop() can cancel us while this batch waits for a
+                # writer to release the swap lock.  Its requests already
+                # left the queue, so stop()'s drain cannot see them --
+                # fail them here or callers with no timeout hang forever.
+                for request in live:
+                    if not request.future.done():
+                        request.future.set_exception(
+                            ServiceClosed("service stopped")
+                        )
+                raise
 
     def _serve_batch(self, live: list[_Request]) -> None:
         """Classify one coalesced batch and resolve its futures.
@@ -511,6 +535,16 @@ class QueryService:
         rebuild runs are journaled and replayed onto the staged
         structures before the swap (Fig. 8), so the swapped-in
         classifier is exact for the *current* data plane.
+
+        The rebuild thread never touches the canonical
+        :class:`~repro.bdd.BDDManager`: that manager keeps taking
+        updates on the event-loop thread during the rebuild, and it has
+        no internal locking.  Instead the predicate snapshot is
+        serialized under the write lock, the thread recomputes in a
+        private manager (the in-loop analogue of
+        :class:`repro.parallel.ReconstructionProcess`, which isolates
+        with a separate *process*), and the result is restored into the
+        canonical manager back on the loop thread, under the write lock.
         """
         if self._reconstructing:
             raise RuntimeError("a reconstruction is already in flight")
@@ -519,12 +553,17 @@ class QueryService:
             classifier = self.classifier
             async with self._swap_lock.write():
                 snapshot = classifier.dataplane.predicates()
+                pids = [labeled.pid for labeled in snapshot]
+                dumped = dump_functions([labeled.fn for labeled in snapshot])
                 self._journal = []
             loop = asyncio.get_running_loop()
-            universe, tree = await loop.run_in_executor(
-                None, self._rebuild, snapshot
+            payload = await loop.run_in_executor(
+                None, self._rebuild, pids, dumped
             )
             async with self._swap_lock.write():
+                manager = classifier.dataplane.manager
+                universe = restore_universe(payload["universe"], manager)
+                tree = restore_tree(payload["tree"], universe)
                 journal = self._journal or []
                 self._journal = None
                 if journal:
@@ -550,16 +589,9 @@ class QueryService:
             self._reconstructing = False
             self._journal = None
 
-    def _rebuild(self, snapshot):
+    def _rebuild(self, pids: list[int], dumped: str) -> dict:
         """Executor-thread half of :meth:`reconstruct` (CPU-heavy)."""
-        from ..core.atomic import AtomicUniverse
-
-        classifier = self.classifier
-        universe = AtomicUniverse.compute(
-            classifier.dataplane.manager, snapshot
-        )
-        tree = build_tree(universe, strategy=classifier.strategy).tree
-        return universe, tree
+        return _rebuild_isolated(pids, dumped, self.classifier.strategy)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -586,3 +618,26 @@ class QueryService:
             f"queue={len(self._queue)}/{self.queue_limit}, "
             f"overflow={self.overflow!r})"
         )
+
+
+def _rebuild_isolated(pids: list[int], dumped: str, strategy: str) -> dict:
+    """Recompute (universe, tree) from a serialized predicate snapshot.
+
+    A module-level function on purpose: it receives only plain data and
+    deserializes into a manager of its own, so running it on an executor
+    thread can never race the canonical :class:`BDDManager` that the
+    event loop keeps mutating.  Mirrors ``parallel.recon``'s worker loop,
+    minus the process boundary.
+    """
+    functions = load_functions(dumped)
+    manager = functions[0].manager if functions else BDDManager(1)
+    labeled = [
+        LabeledPredicate(pid, "forward", "rebuild", "rebuild", fn)
+        for pid, fn in zip(pids, functions)
+    ]
+    universe = AtomicUniverse.compute(manager, labeled).renumber_canonical()
+    tree = build_tree(universe, strategy=strategy, rng=random.Random(0)).tree
+    return {
+        "universe": snapshot_universe(universe),
+        "tree": snapshot_tree(tree, universe),
+    }

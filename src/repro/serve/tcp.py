@@ -142,6 +142,14 @@ async def _handle_connection(
             except (_BadRequest, ValueError, KeyError) as exc:
                 service.counters.rejected += 1
                 response = {"ok": False, "error": str(exc) or repr(exc)}
+            except Exception as exc:
+                # Catch-all so the per-line contract survives unexpected
+                # failures surfaced from classification (e.g. an
+                # exception set on the request future by the dispatcher).
+                response = {
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
             writer.write((json.dumps(response, allow_nan=False) + "\n").encode())
             try:
                 await writer.drain()

@@ -330,7 +330,16 @@ def test_dynamic_simulation_process_mode_swaps_and_replays():
         recorder=recorder,
     ) as sim:
         samples = sim.run(duration_s=1.5, update_rate_per_s=30.0)
-    events = [sample.event for sample in samples if sample.event]
+        events = [sample.event for sample in samples if sample.event]
+        # The worker rebuild races real wall time, not the simulated
+        # clock: under load it can outlive one run() window.  In-flight
+        # rebuilds carry across run() calls, so extend the simulation
+        # until the swap lands instead of guessing a duration.
+        for _ in range(40):
+            if "swap" in events:
+                break
+            more = sim.run(duration_s=0.5, update_rate_per_s=30.0)
+            events += [sample.event for sample in more if sample.event]
     assert "rebuild_start" in events
     assert "swap" in events
     snapshot = validate_snapshot(recorder.snapshot())

@@ -118,6 +118,23 @@ class TestBasicServing:
 
         run(scenario())
 
+    def test_stop_fails_batch_parked_at_swap_lock(self, toy_classifier):
+        async def scenario():
+            # Park the dispatcher *after* it pops a batch: a held write
+            # lock (an in-flight update/reconstruct swap) blocks the
+            # read side.  stop() must fail that popped batch too -- its
+            # requests are no longer in the queue for the drain to see.
+            service = QueryService(toy_classifier, max_delay_s=0)
+            await service.start()
+            async with service._swap_lock.write():
+                task = asyncio.ensure_future(service.classify(0))
+                await asyncio.sleep(0.01)  # batch popped, parked at read()
+                await service.stop()
+                with pytest.raises(ServiceClosed):
+                    await asyncio.wait_for(task, 5.0)
+
+        run(scenario())
+
     def test_metrics_shape(self, toy_classifier):
         async def scenario():
             async with QueryService(toy_classifier, max_delay_s=0) as service:
@@ -272,9 +289,9 @@ class TestDegradation:
         gate = threading.Event()
 
         class GatedService(QueryService):
-            def _rebuild(self, snapshot):
+            def _rebuild(self, *args):
                 gate.wait(timeout=30)
-                return super()._rebuild(snapshot)
+                return super()._rebuild(*args)
 
         async def scenario():
             service = GatedService(classifier, max_delay_s=0.002)
@@ -311,9 +328,9 @@ class TestDegradation:
         probe = parse_ipv4("10.2.0.9")
 
         class GatedService(QueryService):
-            def _rebuild(self, snapshot):
+            def _rebuild(self, *args):
                 gate.wait(timeout=30)
-                return super()._rebuild(snapshot)
+                return super()._rebuild(*args)
 
         async def scenario():
             service = GatedService(
@@ -342,13 +359,58 @@ class TestDegradation:
         reference = APClassifier.build(classifier.dataplane.network)
         assert behavior_key(reference.query(probe, "b1")) == behavior_key(post)
 
+    def test_rebuild_never_touches_canonical_manager(self):
+        # The executor-thread half of reconstruct() must work in a
+        # private manager: the canonical one keeps taking updates on the
+        # loop thread mid-rebuild and has no locking, so any node or
+        # cache it minted from the rebuild thread would be a data race.
+        from repro.bdd.serialize import dump_functions
+        from repro.serve.service import _rebuild_isolated
+
+        classifier = APClassifier.build(toy_network())
+        manager = classifier.dataplane.manager
+        snapshot = classifier.dataplane.predicates()
+        pids = [labeled.pid for labeled in snapshot]
+        dumped = dump_functions([labeled.fn for labeled in snapshot])
+        before = manager.cache_stats()
+        payload = _rebuild_isolated(pids, dumped, classifier.strategy)
+        assert manager.cache_stats() == before
+        assert payload["universe"]["pids"] == pids
+
+    def test_updates_racing_live_rebuild_stay_exact(self):
+        # No gate here on purpose: the rebuild thread really runs while
+        # the loop thread mutates the canonical manager via updates.
+        classifier = APClassifier.build(internet2_like())
+        rule = ForwardingRule(
+            Match.prefix("dst_ip", parse_ipv4("10.2.0.0"), 24), (), 24
+        )
+        probe = parse_ipv4("10.2.0.9")
+
+        async def scenario():
+            async with QueryService(classifier, max_delay_s=0) as service:
+                recon = asyncio.ensure_future(service.reconstruct())
+                flips = 0
+                while not recon.done() and flips < 50:
+                    await service.insert_rule("SEAT", rule)
+                    await service.remove_rule("SEAT", rule)
+                    flips += 1
+                    await asyncio.sleep(0)
+                await recon
+                return await service.query(probe, "SEAT")
+
+        post = run(scenario())
+        reference = APClassifier.build(classifier.dataplane.network)
+        assert behavior_key(reference.query(probe, "SEAT")) == behavior_key(
+            post
+        )
+
     def test_reconstruct_rejects_reentry(self, toy_classifier):
         gate = threading.Event()
 
         class GatedService(QueryService):
-            def _rebuild(self, snapshot):
+            def _rebuild(self, *args):
                 gate.wait(timeout=30)
-                return super()._rebuild(snapshot)
+                return super()._rebuild(*args)
 
         async def scenario():
             service = GatedService(toy_classifier, max_delay_s=0)
@@ -457,3 +519,36 @@ class TestTCP:
         metrics = responses["metrics"]["metrics"]
         assert metrics["served"] == 3  # two classifies + the good query
         assert metrics["running"] is True
+
+    def test_unexpected_error_keeps_connection_alive(self):
+        classifier = APClassifier.build(toy_network())
+
+        async def scenario():
+            service = QueryService(classifier, max_delay_s=0)
+            async with service:
+                async def boom(*args, **kwargs):
+                    raise TypeError("boom")
+
+                service.classify = boom  # surfaces through the future
+                server = await start_tcp_server(service)
+                port = server.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+
+                async def ask(payload):
+                    writer.write((json.dumps(payload) + "\n").encode())
+                    await writer.drain()
+                    return json.loads(await reader.readline())
+
+                error = await ask({"op": "classify", "header": 1})
+                pong = await ask({"op": "ping"})
+                writer.close()
+                await writer.wait_closed()
+                server.close()
+                await server.wait_closed()
+            return error, pong
+
+        error, pong = run(scenario())
+        assert error == {"ok": False, "error": "TypeError: boom"}
+        assert pong == {"ok": True, "pong": True}
