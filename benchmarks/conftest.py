@@ -15,13 +15,13 @@ output capture.
 from __future__ import annotations
 
 import json
-import os
 import random
 from dataclasses import dataclass
 from pathlib import Path
 
 import pytest
 
+from repro import config
 from repro.core.atomic import AtomicUniverse
 from repro.core.classifier import APClassifier
 from repro.datasets import internet2_like, stanford_like, uniform_over_atoms
@@ -36,7 +36,7 @@ TRACE_LEN = 2000
 #: Instrumentation sidecars are opt-in: the figure benches replay a small
 #: observed workload *after* their measured sections and write
 #: ``results/<name>.obs.json`` only when this is set (see README).
-OBS_SIDECARS = bool(os.environ.get("REPRO_OBS_SIDECAR"))
+OBS_SIDECARS = config.obs_sidecar()
 
 
 @dataclass

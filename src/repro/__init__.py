@@ -47,6 +47,7 @@ from .network import (
     Match,
     Network,
 )
+from . import config, persist
 
 __version__ = "1.0.0"
 
@@ -73,5 +74,7 @@ __all__ = [
     "ForwardingTable",
     "Acl",
     "AclRule",
+    "config",
+    "persist",
     "__version__",
 ]

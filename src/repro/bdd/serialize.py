@@ -18,6 +18,8 @@ from .manager import FALSE, TRUE, BDDManager
 __all__ = [
     "dump_node",
     "load_node",
+    "dump_nodes_flat",
+    "load_nodes_flat",
     "dump_functions",
     "load_functions",
     "to_dot",
@@ -95,6 +97,84 @@ def load_node(manager: BDDManager, triples: Sequence[Sequence[int]]) -> int:
     if marker_var != -1:
         raise ValueError("malformed serialization: missing root marker")
     return deref(root_ref)
+
+
+def dump_nodes_flat(
+    manager: BDDManager, nodes: Sequence[int]
+) -> tuple[list[int], list[int]]:
+    """Concatenate :func:`dump_node` output for many roots into one flat
+    int list (3 ints per triple, root markers included) plus offsets.
+
+    ``offsets`` has ``len(nodes) + 1`` entries in *triple* units:
+    function ``i`` occupies flat triples ``offsets[i]:offsets[i+1]``.
+    This is the shape the binary artifact stores -- two integer sections
+    instead of per-function JSON.
+    """
+    flat: list[int] = []
+    extend = flat.extend
+    offsets = [0]
+    for node in nodes:
+        for triple in dump_node(manager, node):
+            extend(triple)
+        offsets.append(len(flat) // 3)
+    return flat, offsets
+
+
+def load_nodes_flat(
+    manager: BDDManager, flat: Sequence[int], offsets: Sequence[int]
+) -> list[int]:
+    """Inverse of :func:`dump_nodes_flat`; returns one node per root.
+
+    The loop inlines :func:`load_node`'s dereferencing (no tuple
+    objects, hoisted locals): artifact warm starts rebuild every atom
+    BDD through here, so this is the hot path of a classifier load.
+    """
+    if hasattr(flat, "tolist"):  # numpy / array.array: python ints are
+        flat = flat.tolist()  # faster than numpy scalars in this loop
+    if hasattr(offsets, "tolist"):
+        offsets = offsets.tolist()
+    if offsets and offsets[-1] * 3 != len(flat):
+        raise ValueError(
+            f"flat triples length {len(flat)} disagrees with final offset "
+            f"{offsets[-1]}"
+        )
+    mk = manager._mk
+    out: list[int] = []
+    for index in range(len(offsets) - 1):
+        start = offsets[index] * 3
+        stop = offsets[index + 1] * 3
+        if stop <= start:
+            raise ValueError(f"empty serialization for function {index}")
+        built: list[int] = []
+        append = built.append
+        marker = stop - 3
+        k = start
+        while k < marker:
+            low_ref = flat[k + 1]
+            high_ref = flat[k + 2]
+            append(
+                mk(
+                    flat[k],
+                    FALSE if low_ref == _FALSE_REF
+                    else TRUE if low_ref == _TRUE_REF
+                    else built[low_ref],
+                    FALSE if high_ref == _FALSE_REF
+                    else TRUE if high_ref == _TRUE_REF
+                    else built[high_ref],
+                )
+            )
+            k += 3
+        if flat[marker] != -1:
+            raise ValueError(
+                f"malformed serialization: function {index} has no root marker"
+            )
+        root_ref = flat[marker + 1]
+        out.append(
+            FALSE if root_ref == _FALSE_REF
+            else TRUE if root_ref == _TRUE_REF
+            else built[root_ref]
+        )
+    return out
 
 
 def to_dot(

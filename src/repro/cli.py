@@ -7,9 +7,12 @@ Examples::
     ap-classifier query --dataset internet2 --dst-ip 10.1.0.1 --ingress SEAT
     ap-classifier tree --dataset stanford --strategy quick_ordering
     ap-classifier verify --dataset fattree --ingress edge_0_0
-    ap-classifier snapshot --dataset internet2 --out /tmp/i2.json
+    ap-classifier save --dataset internet2 --out /tmp/i2.apc
+    ap-classifier save --dataset internet2 --format network --out /tmp/i2.json
+    ap-classifier load /tmp/i2.apc
+    ap-classifier query --artifact /tmp/i2.apc --dst-ip 10.1.0.1 --ingress SEAT
     ap-classifier query --snapshot /tmp/i2.json --dst-ip 10.1.0.1 --ingress SEAT
-    ap-classifier serve --dataset internet2 --port 9000
+    ap-classifier serve --dataset internet2 --port 9000 --serve-workers 4
 
 Error contract: operational failures (unknown dataset names, missing or
 malformed snapshot files, unknown boxes) exit non-zero with a one-line
@@ -74,9 +77,26 @@ def _load_snapshot(path: str) -> Network:
 
 
 def _build(args: argparse.Namespace) -> APClassifier:
+    artifact = getattr(args, "artifact", "")
+    if artifact:
+        return _load_classifier_file(artifact)
     return APClassifier.build(
         _load(args), strategy=args.strategy, workers=args.workers
     )
+
+
+def _load_classifier_file(path: str) -> APClassifier:
+    """A ready classifier from an artifact or classifier-JSON file."""
+    from . import persist
+    from .artifact import ArtifactError
+
+    try:
+        return persist.load(path)
+    except OSError as exc:
+        raise CLIError(f"cannot read {path!r}: {exc}") from exc
+    except (ArtifactError, ValueError, KeyError) as exc:
+        # SnapshotMismatch is a ValueError; so are malformed JSON payloads.
+        raise CLIError(f"cannot load {path!r}: {exc}") from exc
 
 
 def _instrumented_stats(args: argparse.Namespace) -> int:
@@ -255,13 +275,78 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return exit_code
 
 
-def _cmd_snapshot(args: argparse.Namespace) -> int:
-    network = _load(args)
+def _cmd_save(args: argparse.Namespace) -> int:
+    """``save``: persist the network or the built classifier to a file.
+
+    ``--format network`` writes the bare network JSON (readable back via
+    ``--snapshot``); ``--format artifact``/``json`` build the classifier
+    and persist it through :mod:`repro.persist` (readable back via
+    ``--artifact`` or ``load``).
+    """
+    if args.format == "network":
+        network = _load(args)
+        try:
+            save_network(network, args.out)
+        except OSError as exc:
+            raise CLIError(f"cannot write snapshot {args.out!r}: {exc}") from exc
+        print(f"wrote {args.dataset} snapshot to {args.out}")
+        return 0
+    from . import persist
+    from .artifact import ArtifactError
+
+    classifier = _build(args)
     try:
-        save_network(network, args.out)
+        written = persist.save(classifier, args.out, format=args.format)
     except OSError as exc:
-        raise CLIError(f"cannot write snapshot {args.out!r}: {exc}") from exc
-    print(f"wrote {args.dataset} snapshot to {args.out}")
+        raise CLIError(f"cannot write {args.out!r}: {exc}") from exc
+    except ArtifactError as exc:
+        raise CLIError(f"cannot save classifier: {exc}") from exc
+    print(f"wrote {args.format} classifier ({written} bytes) to {args.out}")
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    """Hidden legacy alias: ``snapshot`` == ``save --format network``."""
+    args.format = "network"
+    return _cmd_save(args)
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    """``load``: summarize (and check) a persisted classifier."""
+    from . import persist
+    from .artifact import ArtifactError, describe_artifact
+
+    try:
+        fmt = persist.detect_format(args.path)
+    except OSError as exc:
+        raise CLIError(f"cannot read {args.path!r}: {exc}") from exc
+    if fmt == "artifact" and not args.deep_verify:
+        try:
+            summary = describe_artifact(args.path)
+        except ArtifactError as exc:
+            raise CLIError(f"cannot load {args.path!r}: {exc}") from exc
+        rows = [(key, summary[key]) for key in sorted(summary) if key != "sections"]
+        rows.append(("sections", len(summary["sections"])))
+    else:
+        if fmt == "artifact":
+            from .artifact import load_artifact
+
+            try:
+                classifier = load_artifact(args.path, deep_verify=True)
+            except ArtifactError as exc:
+                raise CLIError(f"cannot load {args.path!r}: {exc}") from exc
+        else:
+            classifier = _load_classifier_file(args.path)
+        stats = classifier.stats()
+        rows = [
+            ("format", fmt),
+            ("predicates", stats.predicates),
+            ("atomic predicates", stats.atoms),
+            ("AP Tree leaves", stats.tree_leaves),
+            ("AP Tree max depth", stats.tree_max_depth),
+            ("verified", "deep" if args.deep_verify else "full restore"),
+        ]
+    print(render_table(f"persisted classifier: {args.path}", ["field", "value"], rows))
     return 0
 
 
@@ -303,12 +388,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """
     import asyncio
 
+    from . import config
     from .obs import Recorder
     from .serve import QueryService, serve_forever
 
     if args.max_delay_ms < 0:
         raise CLIError("--max-delay-ms must be >= 0")
+    try:
+        serve_workers = config.serve_workers(args.serve_workers)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
     classifier = _build(args)
+    if serve_workers > 1:
+        return _serve_multi(args, classifier, serve_workers)
     recorder = Recorder()
     service = QueryService(
         classifier,
@@ -323,6 +415,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(serve_forever(service, args.host, args.port))
     except KeyboardInterrupt:
         print("interrupted; shutting down")
+    return 0
+
+
+def _serve_multi(
+    args: argparse.Namespace, classifier: APClassifier, serve_workers: int
+) -> int:
+    """``serve --serve-workers N``: the shared-memory worker pool."""
+    import time
+
+    from .artifact import ArtifactError
+    from .serve import ServeWorkerPool
+
+    try:
+        pool = ServeWorkerPool(
+            classifier,
+            workers=serve_workers,
+            host=args.host,
+            port=args.port,
+            service_options={
+                "max_batch": args.max_batch,
+                "max_delay_s": args.max_delay_ms / 1e3,
+                "queue_limit": args.queue_limit,
+                "overflow": args.overflow,
+                "timeout_s": args.timeout_ms / 1e3 if args.timeout_ms else None,
+            },
+        )
+    except ArtifactError as exc:
+        raise CLIError(f"cannot build serving artifact: {exc}") from exc
+    try:
+        port = pool.start()
+    except (RuntimeError, OSError) as exc:
+        raise CLIError(f"cannot start serve workers: {exc}") from exc
+    print(
+        f"serving on {args.host}:{port} with {pool.workers} workers "
+        "(newline-JSON; ctrl-c to stop)"
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        pool.stop()
     return 0
 
 
@@ -344,12 +479,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the offline build (default: the "
         "REPRO_WORKERS environment variable, else serial)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    # The metavar controls the usage listing; "snapshot" stays
+    # registered below as a hidden legacy alias of `save --format network`.
+    sub = parser.add_subparsers(
+        dest="command",
+        required=True,
+        metavar="{stats,query,reachability,tree,verify,save,load,diff,serve}",
+    )
 
     def common(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument("--dataset", default="internet2")
         sub_parser.add_argument(
             "--snapshot", default="", help="load the network from a JSON snapshot"
+        )
+        sub_parser.add_argument(
+            "--artifact",
+            default="",
+            help="skip the build: load a classifier saved by `save` "
+            "(binary artifact or classifier JSON)",
         )
         # Accept the global options after the subcommand too.  SUPPRESS
         # keeps the subparser from overwriting a value already parsed at
@@ -411,7 +558,35 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--host", default="")
     verify.set_defaults(func=_cmd_verify)
 
-    snapshot = sub.add_parser("snapshot", help="save a dataset to JSON")
+    save = sub.add_parser(
+        "save", help="persist the classifier (artifact/json) or network"
+    )
+    common(save)
+    save.add_argument("--out", required=True)
+    save.add_argument(
+        "--format",
+        choices=("artifact", "json", "network"),
+        default="artifact",
+        help="artifact: binary compiled classifier (default); json: "
+        "portable classifier snapshot; network: bare network JSON",
+    )
+    save.set_defaults(func=_cmd_save)
+
+    load_parser = sub.add_parser(
+        "load", help="summarize and check a persisted classifier"
+    )
+    load_parser.add_argument("path")
+    load_parser.add_argument(
+        "--deep-verify",
+        action="store_true",
+        help="fully restore and recompile the network to check every "
+        "stored predicate BDD (slow, complete)",
+    )
+    load_parser.set_defaults(func=_cmd_load, dataset="(file)")
+
+    # Hidden legacy alias: pre-`save` scripts used `snapshot` for the
+    # bare network JSON.  Same behavior, absent from the usage line.
+    snapshot = sub.add_parser("snapshot")
     common(snapshot)
     snapshot.add_argument("--out", required=True)
     snapshot.set_defaults(func=_cmd_snapshot)
@@ -443,6 +618,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "callers (wait) or drop with an error (shed)")
     serve.add_argument("--timeout-ms", type=float, default=0.0,
                        help="per-request deadline; 0 disables")
+    serve.add_argument("--serve-workers", type=int, default=None,
+                       help="worker processes sharing the compiled "
+                       "classifier via shared memory (default: the "
+                       "REPRO_SERVE_WORKERS environment variable, else 1)")
     serve.set_defaults(func=_cmd_serve)
     return parser
 

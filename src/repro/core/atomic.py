@@ -138,6 +138,44 @@ class AtomicUniverse:
                 universe._containing[atom_id].add(pid)
         return universe
 
+    @classmethod
+    def assemble_with_ids(
+        cls,
+        manager: BDDManager,
+        pred_fns: Mapping[int, Function],
+        atoms: Mapping[int, Function],
+        r: Mapping[int, Iterable[int]],
+    ) -> "AtomicUniverse":
+        """:meth:`assemble`, but preserving explicit atom ids.
+
+        Persistence paths (``repro.core.snapshots``, ``repro.artifact``)
+        must restore a classifier whose atom ids are bit-identical to
+        the saved ones -- classification *output* is atom ids, so
+        re-minting ``0..n-1`` would change answers for any universe
+        whose ids have gaps (post-update states).  ``r`` references are
+        validated against ``atoms``; invariants beyond that are not
+        re-verified (see :meth:`verify_partition`).
+        """
+        universe = cls(manager)
+        for atom_id in sorted(atoms):
+            fn = atoms[atom_id]
+            if fn.is_false:
+                raise ValueError("an atom must be satisfiable")
+            universe._atoms[int(atom_id)] = fn
+            universe._containing[int(atom_id)] = set()
+        universe._next_atom_id = max(atoms, default=-1) + 1
+        for pid in sorted(pred_fns):
+            universe._register_predicate(pid, pred_fns[pid])
+            r_set = universe._r[pid]
+            for atom_id in r.get(pid, ()):
+                if atom_id not in universe._containing:
+                    raise ValueError(
+                        f"R({pid}) references unknown atom {atom_id}"
+                    )
+                r_set.add(atom_id)
+                universe._containing[atom_id].add(pid)
+        return universe
+
     def renumber_canonical(self) -> "AtomicUniverse":
         """The same universe with atoms renumbered ``0..n-1`` by witness.
 

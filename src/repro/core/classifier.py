@@ -178,6 +178,26 @@ class APClassifier:
             rec.updates.compiles += 1
         return self._compiled
 
+    def attach_compiled(self, compiled: CompiledAPTree) -> CompiledAPTree:
+        """Adopt an externally constructed compiled engine.
+
+        The warm-start half of the persistence story: a binary artifact
+        load rebuilds the engine from stored arrays
+        (:meth:`CompiledAPTree.from_arrays`) instead of re-flattening
+        the tree, then installs it here.  The engine must be stamped
+        against this classifier's live tree -- attaching a stale one
+        would silently send every query down the interpreted fallback,
+        which is exactly the failure mode the freshness check exists to
+        catch.
+        """
+        if not compiled.is_fresh_for(self.tree):
+            raise ValueError(
+                "compiled engine is stale for this classifier's tree "
+                "(stamp it with the live tree before attaching)"
+            )
+        self._compiled = compiled
+        return compiled
+
     @property
     def compiled(self) -> CompiledAPTree | None:
         """The last compiled artifact, fresh or not (``None`` if never)."""

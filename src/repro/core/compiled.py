@@ -49,14 +49,14 @@ mirroring the paper's query-process/reconstruction-process split
 
 from __future__ import annotations
 
-import os
 from typing import Callable, Sequence
 
+from .. import config
 from ..bdd.manager import BDDManager, TRUE
 from .aptree import APTree
 
 try:  # pragma: no cover - exercised via the CI matrix
-    if os.environ.get("REPRO_DISABLE_NUMPY"):
+    if config.numpy_disabled():
         _np = None
     else:
         import numpy as _np
@@ -73,6 +73,17 @@ __all__ = [
 
 NUMPY_BACKEND = "numpy"
 STDLIB_BACKEND = "stdlib"
+
+
+def _as_int_list(seq) -> list[int]:
+    """Plain python ints: ``tolist`` beats ``list`` for numpy/array
+    (``list(np_arr)`` would yield numpy scalars, which are slower in the
+    tight scalar loops and don't serialize as JSON)."""
+    if isinstance(seq, list):
+        return seq
+    if hasattr(seq, "tolist"):
+        return seq.tolist()
+    return list(seq)
 
 #: Below this batch size the whole-batch machinery costs more than it
 #: saves; batch entry points fall back to the scalar loop.
@@ -254,6 +265,44 @@ class FlatBDDSet:
         backend: str | None = None,
     ) -> "FlatBDDSet":
         return cls(manager, roots, backend=backend)
+
+    # -- persistence (repro.artifact) ------------------------------------
+
+    def to_arrays(self) -> dict:
+        """The node arrays as plain data (see :meth:`from_arrays`)."""
+        return {
+            "num_vars": self.num_vars,
+            "entries": list(self._entries),
+            "var": list(self._var),
+            "low": list(self._low),
+            "high": list(self._high),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict, backend: str | None = None) -> "FlatBDDSet":
+        """Rehydrate a set from :meth:`to_arrays` output.
+
+        The result has no :class:`BDDManager` (``manager is None``) --
+        it can evaluate but not be recompiled against live BDDs.
+        """
+        self = cls.__new__(cls)
+        self.manager = None
+        self.backend = _resolve_backend(backend)
+        self.num_vars = int(arrays["num_vars"])
+        self._entries = _as_int_list(arrays["entries"])
+        var = _as_int_list(arrays["var"])
+        self._var = var
+        self._low = _as_int_list(arrays["low"])
+        self._high = _as_int_list(arrays["high"])
+        self.roots = list(range(len(self._entries)))
+        self._shifts = [self.num_vars - 1 - v for v in var]
+        if self.backend == NUMPY_BACKEND:
+            self._np_var = _np.asarray(var, dtype=_np.int32)
+            child = _np.empty(2 * len(var), dtype=_np.int32)
+            child[0::2] = self._low
+            child[1::2] = self._high
+            self._np_child = child
+        return self
 
     def __len__(self) -> int:
         return len(self.roots)
@@ -468,6 +517,7 @@ class CompiledAPTree:
         self._build_tree_arrays(tree)
         self._build_fused(tree)
         del self._tree_nodes  # the arrays are a snapshot; drop live refs
+        self._scalar_ready = True
         if self.backend == NUMPY_BACKEND:
             self._np_f_var = _np.asarray(self._f_var, dtype=_np.int32)
             child = _np.empty(2 * len(self._f_var), dtype=_np.int32)
@@ -482,6 +532,124 @@ class CompiledAPTree:
     ) -> "CompiledAPTree":
         """Flatten ``tree`` for the given (or auto-selected) backend."""
         return cls(tree, backend=backend)
+
+    # -- persistence (repro.artifact) ------------------------------------
+
+    def to_arrays(self) -> dict:
+        """Every array and scalar needed to rebuild this engine.
+
+        The fused program's children are interleaved (``child[2i]`` =
+        low, ``child[2i+1]`` = high) -- exactly the layout the numpy
+        descent gathers from, so an artifact section can be mapped
+        straight into ``_np_f_child`` without a shuffle.
+        """
+        if self.backend == NUMPY_BACKEND:
+            f_child = self._np_f_child
+        else:
+            f_child = [0] * (2 * len(self._f_var))
+            f_child[0::2] = _as_int_list(self._f_low)
+            f_child[1::2] = _as_int_list(self._f_high)
+        return {
+            "num_vars": self.num_vars,
+            "num_sinks": self._num_sinks,
+            "f_root": self._f_root,
+            "pred_entry": self.pred_entry,
+            "low_idx": self.low_idx,
+            "high_idx": self.high_idx,
+            "atom_id": self.atom_id,
+            "bdd_var": self._bdd_var,
+            "bdd_low": self._bdd_low,
+            "bdd_high": self._bdd_high,
+            "f_var": self._f_var,
+            "f_child": f_child,
+            "f_atom": self._f_atom,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: dict,
+        *,
+        tree: APTree | None = None,
+        tree_version: int | None = None,
+        backend: str | None = None,
+    ) -> "CompiledAPTree":
+        """Rebuild an engine from :meth:`to_arrays`-shaped data.
+
+        This is the artifact warm-start entry point: under the numpy
+        backend every array is adopted as-is (``np.frombuffer`` views of
+        an ``mmap``ed file included -- zero copies), and the scalar-path
+        python lists are materialized lazily on the first non-batch
+        classify.  The stdlib backend copies into plain lists up front.
+
+        ``tree=None`` produces a *serving-only* engine: it classifies
+        but is fresh for no live tree (see :meth:`is_fresh_for`).  Pass
+        the restored tree plus its version to stamp the engine fresh.
+        """
+        self = cls.__new__(cls)
+        self.tree = tree
+        self.tree_version = (
+            tree.version if tree is not None and tree_version is None
+            else (tree_version or 0)
+        )
+        self.backend = _resolve_backend(backend)
+        self.num_vars = int(arrays["num_vars"])
+        self._num_sinks = int(arrays["num_sinks"])
+        self._f_root = int(arrays["f_root"])
+        if self.backend == NUMPY_BACKEND:
+            self.pred_entry = arrays["pred_entry"]
+            self.low_idx = arrays["low_idx"]
+            self.high_idx = arrays["high_idx"]
+            self.atom_id = arrays["atom_id"]
+            self._bdd_var = arrays["bdd_var"]
+            self._bdd_low = arrays["bdd_low"]
+            self._bdd_high = arrays["bdd_high"]
+            self._bdd_shift = None  # derived with the scalar lists
+            self._np_f_var = _np.asarray(arrays["f_var"], dtype=_np.int32)
+            child = _np.asarray(arrays["f_child"], dtype=_np.int32)
+            self._np_f_child = child
+            self._np_f_atom = _np.asarray(arrays["f_atom"], dtype=_np.int64)
+            self._f_var = self._np_f_var
+            self._f_low = child[0::2]  # strided views, enough for stats
+            self._f_high = child[1::2]
+            self._f_atom = self._np_f_atom
+            self._scalar_ready = False
+        else:
+            self.pred_entry = _as_int_list(arrays["pred_entry"])
+            self.low_idx = _as_int_list(arrays["low_idx"])
+            self.high_idx = _as_int_list(arrays["high_idx"])
+            self.atom_id = _as_int_list(arrays["atom_id"])
+            self._bdd_var = _as_int_list(arrays["bdd_var"])
+            self._bdd_low = _as_int_list(arrays["bdd_low"])
+            self._bdd_high = _as_int_list(arrays["bdd_high"])
+            shift = self.num_vars - 1
+            self._bdd_shift = [shift - v for v in self._bdd_var]
+            f_child = _as_int_list(arrays["f_child"])
+            self._f_var = _as_int_list(arrays["f_var"])
+            self._f_low = f_child[0::2]
+            self._f_high = f_child[1::2]
+            self._f_atom = _as_int_list(arrays["f_atom"])
+            self._scalar_ready = True
+        return self
+
+    def _materialize_scalar(self) -> None:
+        """Build the python-list arrays the scalar ``classify`` walks.
+
+        Deferred so a batch-only consumer (a serve worker fed through
+        ``classify_batch``) never pays list conversion on the zero-copy
+        numpy views.
+        """
+        self.pred_entry = _as_int_list(self.pred_entry)
+        self.low_idx = _as_int_list(self.low_idx)
+        self.high_idx = _as_int_list(self.high_idx)
+        self.atom_id = _as_int_list(self.atom_id)
+        self._bdd_low = _as_int_list(self._bdd_low)
+        self._bdd_high = _as_int_list(self._bdd_high)
+        if self._bdd_shift is None:
+            self._bdd_var = _as_int_list(self._bdd_var)
+            shift = self.num_vars - 1
+            self._bdd_shift = [shift - v for v in self._bdd_var]
+        self._scalar_ready = True
 
     # -- construction ----------------------------------------------------
 
@@ -604,7 +772,12 @@ class CompiledAPTree:
         counter can coincide with the version this artifact stamped at
         compile time, so comparing versions across different tree
         objects would accept a stale artifact.
+
+        Serving-only engines (loaded from a binary artifact with no
+        live tree, ``tree is None``) are fresh for themselves only.
         """
+        if tree is None or self.tree is None:
+            return tree is self.tree
         return tree is self.tree and tree.version == self.tree_version
 
     def stale_reason(self, tree: APTree) -> str | None:
@@ -617,6 +790,8 @@ class CompiledAPTree:
         version).  The observability layer records fallbacks per reason,
         which is how compiled-artifact churn shows up in snapshots.
         """
+        if tree is None or self.tree is None:
+            return None if tree is self.tree else "swapped"
         if tree is not self.tree:
             return "swapped"
         if tree.version != self.tree_version:
@@ -631,6 +806,8 @@ class CompiledAPTree:
 
     def classify(self, header: int) -> int:
         """Atom id of one packed header via the flat tree arrays."""
+        if not self._scalar_ready:
+            self._materialize_scalar()
         pred_entry = self.pred_entry
         low_idx = self.low_idx
         high_idx = self.high_idx

@@ -11,11 +11,19 @@ On load the network is recompiled to predicates (cheap and deterministic)
 and every stored predicate function is checked against the recompiled one
 by BDD node identity -- a stale snapshot against a changed network fails
 loudly instead of answering queries wrong.
+
+.. deprecated::
+    ``save_classifier``/``load_classifier`` are thin shims now; call
+    :mod:`repro.persist` instead (``persist.classifier_to_json`` /
+    ``persist.classifier_from_json`` for the string form, or
+    ``persist.save``/``persist.load`` for files, which also speak the
+    binary artifact format).
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 
 from ..bdd.serialize import dump_node, load_node
 from ..network.dataplane import DataPlane
@@ -55,6 +63,28 @@ def _load_tree(
 
 
 def save_classifier(classifier: APClassifier) -> str:
+    """Deprecated shim; use repro.persist (``classifier_to_json``)."""
+    warnings.warn(
+        "save_classifier is deprecated; use repro.persist"
+        " (persist.classifier_to_json, or persist.save for files)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _save_json(classifier)
+
+
+def load_classifier(text: str) -> APClassifier:
+    """Deprecated shim; use repro.persist (``classifier_from_json``)."""
+    warnings.warn(
+        "load_classifier is deprecated; use repro.persist"
+        " (persist.classifier_from_json, or persist.load for files)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _load_json(text)
+
+
+def _save_json(classifier: APClassifier) -> str:
     """Serialize a built classifier to a JSON string."""
     manager = classifier.dataplane.manager
     universe = classifier.universe
@@ -86,8 +116,8 @@ def save_classifier(classifier: APClassifier) -> str:
     return json.dumps(payload)
 
 
-def load_classifier(text: str) -> APClassifier:
-    """Restore a classifier from :func:`save_classifier` output.
+def _load_json(text: str) -> APClassifier:
+    """Restore a classifier from :func:`_save_json` output.
 
     Raises :class:`SnapshotMismatch` when the stored predicates disagree
     with the ones recompiled from the stored network (which would mean

@@ -10,6 +10,7 @@ entire evaluation (Figs. 4-14) is built on.  See DESIGN.md
 from .recorder import (
     BDDCounters,
     ParallelCounters,
+    PersistCounters,
     Recorder,
     ServeCounters,
     TreeCounters,
@@ -20,6 +21,7 @@ from .schema import SNAPSHOT_SCHEMA, SchemaError, validate_snapshot
 __all__ = [
     "BDDCounters",
     "ParallelCounters",
+    "PersistCounters",
     "Recorder",
     "SNAPSHOT_SCHEMA",
     "SchemaError",

@@ -31,6 +31,7 @@ from typing import Iterator
 __all__ = [
     "BDDCounters",
     "ParallelCounters",
+    "PersistCounters",
     "Recorder",
     "ServeCounters",
     "TreeCounters",
@@ -42,7 +43,10 @@ __all__ = [
 #: sizes, shipping volume) and ``updates.replayed``.
 #: /3 added the "serve" section (online query service: batch-size
 #: histogram, queue depth watermark, sheds/timeouts, service latency).
-SCHEMA_ID = "repro.obs.snapshot/3"
+#: /4 added the "persist" section (artifact/snapshot save and load
+#: timings, byte volumes, mmap-vs-copy load counts) and the serve
+#: ``workers``/``generations`` counters (multi-worker serving).
+SCHEMA_ID = "repro.obs.snapshot/4"
 
 #: Service latencies kept for the percentile summary; same bounded-
 #: reservoir treatment as update latencies.
@@ -276,6 +280,8 @@ class ServeCounters:
         "batch_size_histogram",
         "queue_depth_max",
         "swaps",
+        "workers",
+        "generations",
         "latency_samples",
         "latency_total_s",
         "latency_count",
@@ -293,6 +299,8 @@ class ServeCounters:
         self.batch_size_histogram: dict[int, int] = {}
         self.queue_depth_max = 0
         self.swaps = 0
+        self.workers = 0
+        self.generations = 0
         self.latency_samples: list[float] = []
         self.latency_total_s = 0.0
         self.latency_count = 0
@@ -322,7 +330,7 @@ class ServeCounters:
             self.latency_samples.append(latency_s)
 
     def summary(self) -> dict:
-        """The JSON-shaped ``serve`` snapshot section (schema /3)."""
+        """The JSON-shaped ``serve`` snapshot section (schema /4)."""
         ordered = sorted(self.latency_samples)
         return {
             "requests": self.requests,
@@ -341,6 +349,8 @@ class ServeCounters:
             },
             "queue_depth_max": self.queue_depth_max,
             "swaps": self.swaps,
+            "workers": self.workers,
+            "generations": self.generations,
             "latency_s": {
                 "count": self.latency_count,
                 "mean": (
@@ -352,6 +362,68 @@ class ServeCounters:
                 "p99": _percentile(ordered, 99.0),
                 "max": self.latency_max_s,
             },
+        }
+
+
+class PersistCounters:
+    """Persistence counters (:mod:`repro.persist` / :mod:`repro.artifact`).
+
+    Populated by the save/load entry points: how many artifacts or
+    snapshots were written and restored, the wall time and byte volume
+    of each direction, and whether loads went through the ``mmap``
+    zero-copy path or the stdlib copy fallback.
+    """
+
+    __slots__ = (
+        "saves",
+        "loads",
+        "save_seconds",
+        "load_seconds",
+        "bytes_written",
+        "bytes_read",
+        "mmap_loads",
+        "copy_loads",
+    )
+
+    def __init__(self) -> None:
+        self.saves = 0
+        self.loads = 0
+        self.save_seconds = 0.0
+        self.load_seconds = 0.0
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.mmap_loads = 0
+        self.copy_loads = 0
+
+    def record_save(self, size_bytes: int, seconds: float) -> None:
+        """One classifier persisted (``size_bytes`` on disk or in shm)."""
+        self.saves += 1
+        self.bytes_written += size_bytes
+        self.save_seconds += seconds
+
+    def record_load(
+        self, size_bytes: int, seconds: float, *, mmapped: bool
+    ) -> None:
+        """One classifier (or serving engine) restored."""
+        self.loads += 1
+        self.bytes_read += size_bytes
+        self.load_seconds += seconds
+        if mmapped:
+            self.mmap_loads += 1
+        else:
+            self.copy_loads += 1
+
+    def summary(self) -> dict:
+        """The JSON-shaped ``persist`` snapshot section (schema /4)."""
+        return {
+            "saves": self.saves,
+            "loads": self.loads,
+            "save_seconds": self.save_seconds,
+            "load_seconds": self.load_seconds,
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+            "mmap_loads": self.mmap_loads,
+            "copy_loads": self.copy_loads,
         }
 
 
@@ -371,6 +443,7 @@ class Recorder:
         self.updates = UpdateCounters()
         self.parallel = ParallelCounters()
         self.serve = ServeCounters()
+        self.persist = PersistCounters()
         self.timeline: list[dict] = []
         self._managers: list = []  # BDDManager instances under observation
         self._nodes_at_attach: list[int] = []
@@ -442,14 +515,15 @@ class Recorder:
         """The collected state as a JSON-serializable dict.
 
         The shape is pinned by :data:`repro.obs.schema.SNAPSHOT_SCHEMA`
-        (currently ``repro.obs.snapshot/3``) and checked by
+        (currently ``repro.obs.snapshot/4``) and checked by
         :func:`repro.obs.schema.validate_snapshot`; every number is
         finite, so ``json.dumps(..., allow_nan=False)`` always succeeds.
         Sections: ``bdd`` (cache and node-table counters), ``tree``
         (per-query evaluation counts and depth histogram), ``updates``
         (splits, rebuilds, staleness fallbacks), ``parallel`` (offline
         pipeline phases), ``serve`` (the query service's batch/queue/
-        latency counters), and ``timeline`` (dynamic-run samples).
+        latency counters), ``persist`` (artifact/snapshot save and load
+        traffic), and ``timeline`` (dynamic-run samples).
         """
         bdd = self.bdd
         tree = self.tree
@@ -547,6 +621,7 @@ class Recorder:
                 "merge_atom_counts": list(parallel.merge_atom_counts),
             },
             "serve": self.serve.summary(),
+            "persist": self.persist.summary(),
             "timeline": list(self.timeline),
         }
 

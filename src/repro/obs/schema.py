@@ -42,7 +42,7 @@ def _cache_section() -> dict:
 SNAPSHOT_SCHEMA: dict = {
     "type": "object",
     "required": {
-        "schema": {"type": "const", "value": "repro.obs.snapshot/3"},
+        "schema": {"type": "const", "value": "repro.obs.snapshot/4"},
         "bdd": {
             "type": "object",
             "required": {
@@ -161,6 +161,8 @@ SNAPSHOT_SCHEMA: dict = {
                 },
                 "queue_depth_max": {"type": "integer"},
                 "swaps": {"type": "integer"},
+                "workers": {"type": "integer"},
+                "generations": {"type": "integer"},
                 "latency_s": {
                     "type": "object",
                     "required": {
@@ -171,6 +173,19 @@ SNAPSHOT_SCHEMA: dict = {
                         "max": {"type": "number"},
                     },
                 },
+            },
+        },
+        "persist": {
+            "type": "object",
+            "required": {
+                "saves": {"type": "integer"},
+                "loads": {"type": "integer"},
+                "save_seconds": {"type": "number"},
+                "load_seconds": {"type": "number"},
+                "bytes_written": {"type": "integer"},
+                "bytes_read": {"type": "integer"},
+                "mmap_loads": {"type": "integer"},
+                "copy_loads": {"type": "integer"},
             },
         },
         "timeline": {

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
-import os
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from .. import config
 
 __all__ = [
     "ENV_WORKERS",
@@ -37,8 +38,8 @@ __all__ = [
     "close_shared_pools",
 ]
 
-ENV_WORKERS = "REPRO_WORKERS"
-ENV_START = "REPRO_MP_START"
+ENV_WORKERS = config.ENV_WORKERS
+ENV_START = config.ENV_MP_START
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -46,31 +47,12 @@ _R = TypeVar("_R")
 
 def resolve_workers(workers: int | None = None) -> int:
     """The effective pool width: argument, else env, else 1 (serial)."""
-    if workers is None:
-        raw = os.environ.get(ENV_WORKERS, "").strip()
-        if not raw:
-            return 1
-        try:
-            workers = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"{ENV_WORKERS} must be an integer, got {raw!r}"
-            ) from None
-    return max(1, int(workers))
+    return config.workers(workers)
 
 
 def default_start_method() -> str:
     """``REPRO_MP_START`` if set, else ``fork`` where available."""
-    methods = multiprocessing.get_all_start_methods()
-    requested = os.environ.get(ENV_START, "").strip()
-    if requested:
-        if requested not in methods:
-            raise ValueError(
-                f"{ENV_START}={requested!r} is not available on this "
-                f"platform (choose from {methods})"
-            )
-        return requested
-    return "fork" if "fork" in methods else "spawn"
+    return config.mp_start()
 
 
 def shard(items: Iterable[_T], shards: int) -> list[list[_T]]:

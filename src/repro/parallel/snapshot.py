@@ -92,12 +92,23 @@ def snapshot_tree(tree: APTree, universe: AtomicUniverse) -> list[list[int]]:
     return records
 
 
-def restore_tree(records: list[list[int]], universe: AtomicUniverse) -> APTree:
+def restore_tree(
+    records: list[list[int]],
+    universe: AtomicUniverse,
+    extra_fn_nodes: dict[int, int] | None = None,
+) -> APTree:
     """Rebuild a snapshot against a (restored) universe.
 
     Leaf positions resolve through the universe's sorted atom ids and
     internal nodes re-fetch their predicate's BDD node from the
     universe, so the tree is fully wired into the target manager.
+
+    ``extra_fn_nodes`` resolves pids the universe no longer knows: a
+    tree can reference *tombstoned* predicates (removed from the
+    universe, still evaluated by their nodes until the next rebuild),
+    and the binary artifact persists those functions separately (see
+    ``repro.artifact.codec``).  A pid found in neither raises
+    ``KeyError`` as before.
     """
     if not records:
         raise ValueError("empty tree snapshot")
@@ -111,9 +122,11 @@ def restore_tree(records: list[list[int]], universe: AtomicUniverse) -> APTree:
             low = built[first]
             high = built[second]
             assert low is not None and high is not None
-            built[index] = APTreeNode.internal(
-                pid, universe.predicate_fn(pid).node, low, high
-            )
+            if extra_fn_nodes is not None and not universe.has_predicate(pid):
+                fn_node = extra_fn_nodes[pid]
+            else:
+                fn_node = universe.predicate_fn(pid).node
+            built[index] = APTreeNode.internal(pid, fn_node, low, high)
     root = built[0]
     assert root is not None
     return APTree(universe.manager, root)

@@ -10,11 +10,14 @@ churns and reconstructions swap trees underneath the queries.  See
 
 from .service import QueryService, QueryShed, ServiceClosed
 from .tcp import serve_forever, start_tcp_server
+from .workers import ServeWorkerPool, closed_loop_qps
 
 __all__ = [
     "QueryService",
     "QueryShed",
     "ServiceClosed",
+    "ServeWorkerPool",
+    "closed_loop_qps",
     "serve_forever",
     "start_tcp_server",
 ]

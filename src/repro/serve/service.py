@@ -512,6 +512,26 @@ class QueryService:
         async with self._swap_lock.write():
             self._compile_now()
 
+    async def adopt_generation(self, classifier: APClassifier) -> None:
+        """Swap in a whole replacement classifier (generation handoff).
+
+        The multi-worker serve pool publishes each new artifact
+        generation by restoring it from shared memory and handing the
+        result here; single-process callers can use it the same way
+        after :func:`repro.persist.load`.  The swap takes the write side
+        of the swap lock, so in-flight batches finish on the old
+        generation and the next batch sees the new one -- never a mix.
+        """
+        async with self._swap_lock.write():
+            if self.autocompile and not classifier.compiled_fresh:
+                classifier.compile(self.backend)
+            if self.recorder is not None:
+                classifier.set_recorder(self.recorder)
+            self.classifier = classifier
+            self._updates_since_compile = 0
+            self.counters.swaps += 1
+            self.counters.generations += 1
+
     def _compile_now(self) -> None:
         self.classifier.compile(self.backend)
         self._updates_since_compile = 0

@@ -164,19 +164,24 @@ async def _handle_connection(
 
 
 async def start_tcp_server(
-    service: QueryService, host: str = "127.0.0.1", port: int = 0
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    sock=None,
 ) -> asyncio.AbstractServer:
     """Bind the newline-JSON endpoint; ``port=0`` picks a free port.
 
     The service must already be started.  The caller owns both
     lifetimes: close the returned server, then stop the service.
+    ``sock`` serves an already-bound listening socket instead of binding
+    ``host``/``port`` -- the multi-worker pool passes per-worker
+    ``SO_REUSEPORT`` sockets this way.
     """
-    return await asyncio.start_server(
-        lambda reader, writer: _handle_connection(service, reader, writer),
-        host,
-        port,
-        limit=MAX_LINE_BYTES,
-    )
+    handler = lambda reader, writer: _handle_connection(service, reader, writer)
+    if sock is not None:
+        return await asyncio.start_server(handler, sock=sock, limit=MAX_LINE_BYTES)
+    return await asyncio.start_server(handler, host, port, limit=MAX_LINE_BYTES)
 
 
 async def serve_forever(

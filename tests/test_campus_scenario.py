@@ -24,7 +24,7 @@ from repro.core.middlebox import (
     RewriteBranch,
 )
 from repro.core.propagation import AtomPropagation
-from repro.core.snapshots import load_classifier, save_classifier
+from repro.persist import classifier_from_json, classifier_to_json
 from repro.core.verifier import NetworkVerifier
 from repro.headerspace.fields import five_tuple_layout, parse_ipv4
 from repro.headerspace.header import Packet
@@ -167,7 +167,7 @@ class TestChangeManagement:
         assert any(delta.diverges_at == "core" for delta in deltas)
 
     def test_snapshot_round_trip_preserves_policy(self, campus_classifier):
-        restored = load_classifier(save_classifier(campus_classifier))
+        restored = classifier_from_json(classifier_to_json(campus_classifier))
         packet = Packet.of(
             restored.dataplane.layout, src_ip="10.20.1.1", dst_ip="10.30.0.5"
         )

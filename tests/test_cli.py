@@ -291,3 +291,86 @@ class TestParser:
     def test_strategy_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--strategy", "bogus", "stats"])
+
+
+class TestSaveLoad:
+    def test_save_artifact_then_query_via_artifact_flag(self, capsys, tmp_path):
+        out = tmp_path / "toy.apc"
+        assert main(["save", "--dataset", "toy", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "wrote artifact classifier" in stdout
+        assert out.stat().st_size > 0
+        code = main(
+            [
+                "query",
+                "--artifact",
+                str(out),
+                "--dst-ip",
+                "10.2.0.1",
+                "--ingress",
+                "b1",
+            ]
+        )
+        assert code == 0
+        assert "b1 -> b2 -> h2" in capsys.readouterr().out
+
+    def test_save_json_then_load(self, capsys, tmp_path):
+        out = tmp_path / "toy.json"
+        assert main(["save", "--dataset", "toy", "--format", "json",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["load", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "persisted classifier" in stdout
+        assert "json" in stdout
+
+    def test_load_artifact_summary_and_deep_verify(self, capsys, tmp_path):
+        out = tmp_path / "toy.apc"
+        main(["save", "--dataset", "toy", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["load", str(out)]) == 0
+        assert "persisted classifier" in capsys.readouterr().out
+        assert main(["load", str(out), "--deep-verify"]) == 0
+        assert "deep" in capsys.readouterr().out
+
+    def test_save_network_format_round_trips(self, capsys, tmp_path):
+        out = tmp_path / "toy.net.json"
+        assert main(["save", "--dataset", "toy", "--format", "network",
+                     "--out", str(out)]) == 0
+        assert "snapshot" in capsys.readouterr().out
+        assert main(["stats", "--snapshot", str(out)]) == 0
+
+    def test_snapshot_alias_still_works(self, capsys, tmp_path):
+        out = tmp_path / "toy.net.json"
+        assert main(["snapshot", "--dataset", "toy", "--out", str(out)]) == 0
+        assert "wrote toy snapshot" in capsys.readouterr().out
+
+    def test_corrupt_artifact_one_line_error(self, capsys, tmp_path):
+        out = tmp_path / "toy.apc"
+        main(["save", "--dataset", "toy", "--out", str(out)])
+        capsys.readouterr()
+        blob = out.read_bytes()
+        bad = tmp_path / "bad.apc"
+        bad.write_bytes(blob[: len(blob) - 16])
+        assert main(["load", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+        # The same contract holds when the artifact feeds a query.
+        assert main(["query", "--artifact", str(bad), "--dst-ip", "10.2.0.1",
+                     "--ingress", "b1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_artifact_path(self, capsys):
+        assert main(["stats", "--artifact", "/nonexistent/x.apc"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read")
+
+    def test_serve_workers_flag_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--serve-workers", "4"])
+        assert args.serve_workers == 4
+        args = parser.parse_args(["serve"])
+        assert args.serve_workers is None

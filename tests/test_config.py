@@ -1,0 +1,102 @@
+"""The REPRO_* knob registry: typed accessors, defaults, loud failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import config
+
+
+class TestFlags:
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv(config.ENV_OBS_SIDECAR, raising=False)
+        assert config.obs_sidecar() is False
+        monkeypatch.delenv(config.ENV_ARTIFACT_VERIFY, raising=False)
+        assert config.artifact_verify() is True
+
+    @pytest.mark.parametrize("raw", ["1", "true", "YES", "on"])
+    def test_truthy(self, monkeypatch, raw):
+        monkeypatch.setenv(config.ENV_OBS_SIDECAR, raw)
+        assert config.obs_sidecar() is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "No", "OFF"])
+    def test_falsy(self, monkeypatch, raw):
+        monkeypatch.setenv(config.ENV_ARTIFACT_MMAP, raw)
+        assert config.artifact_mmap() is False
+
+    def test_garbage_flag_is_loud(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_ARTIFACT_VERIFY, "maybe")
+        with pytest.raises(ValueError, match="REPRO_ARTIFACT_VERIFY"):
+            config.artifact_verify()
+
+    def test_disable_numpy_keeps_legacy_truthiness(self, monkeypatch):
+        # Any unrecognized non-empty value disables the fast path (the
+        # safe direction); explicit falsy spellings keep it on.
+        monkeypatch.setenv(config.ENV_DISABLE_NUMPY, "definitely")
+        assert config.numpy_disabled() is True
+        monkeypatch.setenv(config.ENV_DISABLE_NUMPY, "0")
+        assert config.numpy_disabled() is False
+        monkeypatch.delenv(config.ENV_DISABLE_NUMPY)
+        assert config.numpy_disabled() is False
+
+
+class TestInts:
+    def test_workers_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_WORKERS, "4")
+        assert config.workers() == 4
+        assert config.workers(2) == 2
+
+    def test_workers_floor_is_one(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_WORKERS, "-3")
+        assert config.workers() == 1
+        assert config.workers(0) == 1
+
+    def test_serve_workers_default(self, monkeypatch):
+        monkeypatch.delenv(config.ENV_SERVE_WORKERS, raising=False)
+        assert config.serve_workers() == 1
+        monkeypatch.setenv(config.ENV_SERVE_WORKERS, "3")
+        assert config.serve_workers() == 3
+        assert config.serve_workers(2) == 2
+
+    def test_bad_int_is_loud(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_WORKERS, "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            config.workers()
+
+
+class TestMpStart:
+    def test_default_is_available(self, monkeypatch):
+        monkeypatch.delenv(config.ENV_MP_START, raising=False)
+        import multiprocessing
+
+        assert config.mp_start() in multiprocessing.get_all_start_methods()
+
+    def test_unknown_method_is_loud(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_MP_START, "teleport")
+        with pytest.raises(ValueError, match="REPRO_MP_START"):
+            config.mp_start()
+
+
+class TestRegistry:
+    def test_every_knob_described(self):
+        names = {knob.name for knob in config.KNOBS}
+        assert names == {
+            "REPRO_WORKERS",
+            "REPRO_MP_START",
+            "REPRO_DISABLE_NUMPY",
+            "REPRO_OBS_SIDECAR",
+            "REPRO_SERVE_WORKERS",
+            "REPRO_ARTIFACT_MMAP",
+            "REPRO_ARTIFACT_VERIFY",
+        }
+        rows = config.describe()
+        assert {row["name"] for row in rows} == names
+        assert all(row["help"] for row in rows)
+
+    def test_pool_module_delegates(self, monkeypatch):
+        from repro.parallel import pool
+
+        monkeypatch.setenv(config.ENV_WORKERS, "5")
+        assert pool.resolve_workers() == 5
+        assert pool.ENV_WORKERS == config.ENV_WORKERS
+        assert pool.ENV_START == config.ENV_MP_START

@@ -9,7 +9,8 @@ import time
 import pytest
 
 from repro.core.classifier import APClassifier
-from repro.core.snapshots import SnapshotMismatch, load_classifier, save_classifier
+from repro import persist
+from repro.persist import SnapshotMismatch, classifier_from_json, classifier_to_json
 from repro.datasets import internet2_like, stanford_like, toy_network
 
 
@@ -29,7 +30,7 @@ def assert_same_answers(original, restored, samples=60, seed=0):
 class TestRoundTrip:
     def test_toy(self):
         original = APClassifier.build(toy_network())
-        restored = load_classifier(save_classifier(original))
+        restored = classifier_from_json(classifier_to_json(original))
         assert restored.universe.atom_count == original.universe.atom_count
         assert restored.tree.average_depth() == pytest.approx(
             original.tree.average_depth()
@@ -38,14 +39,14 @@ class TestRoundTrip:
 
     def test_internet2_like(self):
         original = APClassifier.build(internet2_like(prefixes_per_router=2))
-        restored = load_classifier(save_classifier(original))
+        restored = classifier_from_json(classifier_to_json(original))
         assert_same_answers(original, restored)
 
     def test_stanford_like_with_acls(self):
         original = APClassifier.build(
             stanford_like(subnets_per_zone=2, host_ports_per_zone=1)
         )
-        restored = load_classifier(save_classifier(original))
+        restored = classifier_from_json(classifier_to_json(original))
         assert_same_answers(original, restored, samples=30)
 
     def test_restored_classifier_is_updatable(self):
@@ -53,7 +54,7 @@ class TestRoundTrip:
         from repro.network.rules import ForwardingRule, Match
 
         original = APClassifier.build(internet2_like(prefixes_per_router=1))
-        restored = load_classifier(save_classifier(original))
+        restored = classifier_from_json(classifier_to_json(original))
         rule = ForwardingRule(
             Match.prefix("dst_ip", parse_ipv4("10.1.0.0"), 24), ("to_SALT",), 24
         )
@@ -70,9 +71,9 @@ class TestRoundTrip:
         started = time.perf_counter()
         original = APClassifier.build(network)
         build_s = time.perf_counter() - started
-        text = save_classifier(original)
+        text = classifier_to_json(original)
         started = time.perf_counter()
-        load_classifier(text)
+        classifier_from_json(text)
         load_s = time.perf_counter() - started
         # Warm restart skips atom computation + tree construction; it must
         # not be slower than a cold build (it is usually much faster).
@@ -81,11 +82,11 @@ class TestRoundTrip:
 
 class TestValidation:
     def test_version_checked(self):
-        text = save_classifier(APClassifier.build(toy_network()))
+        text = classifier_to_json(APClassifier.build(toy_network()))
         payload = json.loads(text)
         payload["version"] = 99
         with pytest.raises(ValueError):
-            load_classifier(json.dumps(payload))
+            classifier_from_json(json.dumps(payload))
 
     def test_stale_snapshot_detected(self):
         """Snapshot taken, then the network changes: load must refuse."""
@@ -93,7 +94,7 @@ class TestValidation:
         from repro.network.rules import ForwardingRule, Match
 
         classifier = APClassifier.build(toy_network())
-        text = save_classifier(classifier)
+        text = classifier_to_json(classifier)
         payload = json.loads(text)
         # Tamper: add a rule to the embedded network without updating the
         # stored predicates.
@@ -106,11 +107,48 @@ class TestValidation:
             }
         )
         with pytest.raises(SnapshotMismatch):
-            load_classifier(json.dumps(payload))
+            classifier_from_json(json.dumps(payload))
 
     def test_corrupt_r_mapping_detected(self):
         classifier = APClassifier.build(toy_network())
-        payload = json.loads(save_classifier(classifier))
+        payload = json.loads(classifier_to_json(classifier))
         payload["predicates"][0]["r"] = [99999]
         with pytest.raises(SnapshotMismatch):
-            load_classifier(json.dumps(payload))
+            classifier_from_json(json.dumps(payload))
+
+
+class TestDeprecatedShims:
+    def test_old_names_warn_and_still_work(self):
+        from repro.core.snapshots import load_classifier, save_classifier
+
+        original = APClassifier.build(toy_network())
+        with pytest.warns(DeprecationWarning, match="use repro.persist"):
+            text = save_classifier(original)
+        with pytest.warns(DeprecationWarning, match="use repro.persist"):
+            restored = load_classifier(text)
+        assert_same_answers(original, restored, samples=20)
+
+
+class TestPersistFacade:
+    def test_json_file_round_trip(self, tmp_path):
+        original = APClassifier.build(toy_network())
+        path = tmp_path / "clf.json"
+        written = persist.save(original, path, format="json")
+        assert written == path.stat().st_size
+        assert persist.detect_format(path) == "json"
+        restored = persist.load(path)
+        assert_same_answers(original, restored, samples=20)
+
+    def test_artifact_file_round_trip(self, tmp_path):
+        original = APClassifier.build(toy_network())
+        path = tmp_path / "clf.apc"
+        written = persist.save(original, path)
+        assert written == path.stat().st_size
+        assert persist.detect_format(path) == "artifact"
+        restored = persist.load(path)
+        assert_same_answers(original, restored, samples=20)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        original = APClassifier.build(toy_network())
+        with pytest.raises(ValueError, match="unknown persistence format"):
+            persist.save(original, tmp_path / "x", format="pickle")
