@@ -1,0 +1,366 @@
+"""Hot-path kernel bench: per-engine QPS, Zipf cache curve, serve QPS.
+
+Three experiments backing the million-QPS hot-path claim:
+
+* **Per-engine batch kernel.**  Stage-1 classification of the session
+  traces through every available engine, array-in/array-out
+  (:meth:`CompiledAPTree.classify_batch_array` over pre-packed uint64
+  words with a reusable ``out`` buffer), against two references: the
+  interpreted tree walk and the list-in/list-out numpy path (what
+  ``classify_batch`` on a Python list costs -- packing, descent, and the
+  ``tolist`` round-trip).  The acceptance bar rides on stanford-like:
+  with the native engine built, the word-packed kernel must reach >= 2x
+  the list-path numpy throughput.  Identical atom ids are asserted for
+  every engine on every header before anything is timed.
+* **Zipf hit-rate curve.**  The hot-header :class:`ResultCache` replayed
+  over ``zipf_over_headers`` traces across a skew sweep -- the curve
+  shows how much of a real (repeat-heavy) stream the cache absorbs at
+  each skew, and that a cache smaller than the distinct-header
+  population still holds the hot ranks.
+* **Serve-integrated QPS.**  Closed-loop serving of the Zipf(1.0) trace
+  through :class:`QueryService` with the cache off and on.  With the
+  cache on, repeats are answered synchronously at admission -- no
+  future, no queue slot, no dispatcher pass -- and the closed-loop QPS
+  must exceed the committed ``BENCH_serve_throughput.json`` batched
+  number by >= 3x.
+
+Results land in ``BENCH_kernel.json`` at the repo root; with
+``REPRO_OBS_SIDECAR=1`` an observed serve run writes
+``benchmarks/results/kernel.obs.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from pathlib import Path
+
+from conftest import OBS_SIDECARS, emit, emit_obs
+
+from repro.analysis.reporting import format_qps, render_series, render_table
+from repro.core import kernel
+from repro.core.compiled import (
+    NUMPY_BACKEND,
+    CompiledAPTree,
+    available_backends,
+)
+from repro.datasets import zipf_over_headers
+from repro.obs import Recorder
+from repro.serve import QueryService, ResultCache
+
+RESULT_JSON = Path(__file__).parent.parent / "BENCH_kernel.json"
+SERVE_JSON = Path(__file__).parent.parent / "BENCH_serve_throughput.json"
+
+MIN_NATIVE_SPEEDUP = 2.0
+MIN_SERVE_CACHE_SPEEDUP = 3.0
+BEST_OF = 5
+
+ZIPF_SWEEP = (0.5, 0.8, 1.0, 1.2, 1.5)
+ZIPF_QUERIES = 20_000
+ZIPF_DISTINCT = 1024
+CACHE_SIZE = 512  # half the distinct population: LRU must hold the hot ranks
+
+SERVE_CLIENTS = 512
+SERVE_REQUESTS = 60_000
+SERVE_BEST_OF = 3
+SERVE_CACHE_SIZE = 4096
+
+
+def _best_qps(run, n: int) -> float:
+    """Best-of-N throughput; the minimum time is the least-noisy sample."""
+    run()  # warmup
+    best = min(_timed(run) for _ in range(BEST_OF))
+    return n / best
+
+
+def _timed(run) -> float:
+    started = time.perf_counter()
+    run()
+    return time.perf_counter() - started
+
+
+def engine_qps(ds) -> dict:
+    """Array-path QPS for every engine plus the two reference paths."""
+    import numpy as np
+
+    tree = ds.classifier.tree
+    headers = list(ds.headers)
+    expected = tree.classify_many(headers)
+
+    interpreted_qps = _best_qps(lambda: tree.classify_many(headers), len(headers))
+
+    # The list path: what a caller holding Python ints pays end to end
+    # (pack + descent + tolist).  This is the pre-kernel numpy interface.
+    numpy_tree = CompiledAPTree.compile(tree, backend=NUMPY_BACKEND)
+    assert numpy_tree.classify_batch(headers) == expected
+    numpy_list_qps = _best_qps(
+        lambda: numpy_tree.classify_batch(headers), len(headers)
+    )
+
+    # The array path: pre-packed words in, reusable int64 out.  For
+    # num_vars <= 64 the packed form IS the header array -- zero copies.
+    packed = kernel.pack_headers(headers, numpy_tree.num_vars)
+    out = np.empty(len(headers), dtype=np.int64)
+    engines: dict[str, dict[str, float]] = {}
+    for backend in available_backends():
+        compiled = CompiledAPTree.compile(tree, backend=backend)
+        if backend == kernel.STDLIB_BACKEND:
+            # No array substrate: stdlib batches over big-int lane masks,
+            # so its honest cost is the list path it actually serves.
+            assert compiled.classify_batch(headers) == expected
+            qps = _best_qps(
+                lambda c=compiled: c.classify_batch(headers), len(headers)
+            )
+            path = "list"
+        else:
+            got = compiled.classify_batch_array(packed)
+            assert got.tolist() == expected, f"{backend} diverged on {ds.name}"
+            qps = _best_qps(
+                lambda c=compiled: c.classify_batch_array(packed, out=out),
+                len(headers),
+            )
+            path = "array"
+        engines[backend] = {
+            "qps": qps,
+            "path": path,
+            "vs_interpreted": qps / interpreted_qps,
+            "vs_numpy_list": qps / numpy_list_qps,
+        }
+
+    return {
+        "dataset": ds.name,
+        "headers": len(headers),
+        "num_vars": numpy_tree.num_vars,
+        "interpreted_qps": interpreted_qps,
+        "numpy_list_qps": numpy_list_qps,
+        "engines": engines,
+        "outputs_identical": True,
+    }
+
+
+def zipf_hit_rates(ds) -> list[dict]:
+    """Replay the ResultCache over the skew sweep; pure cache dynamics."""
+    curve = []
+    for s in ZIPF_SWEEP:
+        trace = zipf_over_headers(
+            ds.universe,
+            ZIPF_QUERIES,
+            random.Random(23),
+            distinct=ZIPF_DISTINCT,
+            s=s,
+        )
+        cache = ResultCache(CACHE_SIZE)
+        hits = 0
+        for header, atom_id in zip(trace.headers, trace.atom_ids):
+            if cache.get(header) is not None:
+                hits += 1
+            else:
+                cache.put(header, atom_id)
+        curve.append(
+            {
+                "s": s,
+                "queries": len(trace),
+                "distinct": ZIPF_DISTINCT,
+                "cache_size": CACHE_SIZE,
+                "hit_rate": hits / len(trace),
+                "evictions": max(0, len(trace) - hits - CACHE_SIZE),
+            }
+        )
+    return curve
+
+
+async def closed_loop_qps(service, headers, clients, total_requests) -> float:
+    per_client = total_requests // clients
+
+    async def client(offset: int) -> None:
+        for index in range(per_client):
+            await service.classify(headers[(offset + index) % len(headers)])
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client(i * 211) for i in range(clients)))
+    return clients * per_client / (time.perf_counter() - started)
+
+
+async def serve_zipf(classifier, headers, cache_size: int) -> tuple[float, dict]:
+    """Best-of-N closed-loop QPS on the Zipf trace; returns cache stats."""
+    qps, stats = 0.0, {}
+    for _ in range(SERVE_BEST_OF):
+        async with QueryService(
+            classifier,
+            max_batch=SERVE_CLIENTS,
+            max_delay_s=0.0002,
+            cache_size=cache_size,
+        ) as service:
+            await closed_loop_qps(service, headers, SERVE_CLIENTS, 5120)
+            run_qps = await closed_loop_qps(
+                service, headers, SERVE_CLIENTS, SERVE_REQUESTS
+            )
+            if run_qps > qps:
+                qps = run_qps
+                counters = service.counters
+                stats = {
+                    "cache_hits": counters.cache_hits,
+                    "cache_misses": counters.cache_misses,
+                    "hit_rate": (
+                        counters.cache_hits
+                        / max(1, counters.cache_hits + counters.cache_misses)
+                    ),
+                }
+    return qps, stats
+
+
+def run_serve_integrated(ds) -> dict:
+    trace = zipf_over_headers(
+        ds.universe,
+        ZIPF_QUERIES,
+        random.Random(23),
+        distinct=ZIPF_DISTINCT,
+        s=1.0,
+    )
+    headers = list(trace.headers)
+    uncached_qps, _ = asyncio.run(serve_zipf(ds.classifier, headers, 0))
+    cached_qps, cache_stats = asyncio.run(
+        serve_zipf(ds.classifier, headers, SERVE_CACHE_SIZE)
+    )
+
+    # The committed serving bench's batched number is the bar's baseline;
+    # fall back to this run's uncached measurement on a fresh checkout.
+    if SERVE_JSON.exists():
+        reference_qps = json.loads(SERVE_JSON.read_text())["closed_loop"][
+            "batched_qps"
+        ]
+        reference = "BENCH_serve_throughput.json batched_qps"
+    else:
+        reference_qps = uncached_qps
+        reference = "uncached zipf closed loop (serve bench not yet run)"
+
+    return {
+        "workload": {"s": 1.0, "distinct": ZIPF_DISTINCT, "queries": ZIPF_QUERIES},
+        "clients": SERVE_CLIENTS,
+        "cache_size": SERVE_CACHE_SIZE,
+        "uncached_qps": uncached_qps,
+        "cached_qps": cached_qps,
+        "cache": cache_stats,
+        "reference": reference,
+        "reference_qps": reference_qps,
+        "speedup_vs_reference": cached_qps / reference_qps,
+    }
+
+
+def test_kernel_hot_path(i2, stan):
+    per_engine = [engine_qps(ds) for ds in (i2, stan)]
+    curve = zipf_hit_rates(i2)
+    serve = run_serve_integrated(i2)
+
+    rows = []
+    for result in per_engine:
+        rows.append(
+            (
+                f"{result['dataset']} numpy (list path)",
+                format_qps(result["numpy_list_qps"]),
+                "1.0x",
+            )
+        )
+        for backend, data in result["engines"].items():
+            rows.append(
+                (
+                    f"{result['dataset']} {backend} ({data['path']} path)",
+                    format_qps(data["qps"]),
+                    f"{data['vs_numpy_list']:.2f}x",
+                )
+            )
+    emit(
+        "kernel_engines",
+        render_table(
+            "Batch kernel per engine (array-in/array-out vs numpy list path)",
+            ["engine", "throughput", "vs numpy list"],
+            rows,
+        ),
+    )
+    emit(
+        "kernel_zipf_curve",
+        render_series(
+            f"Result-cache hit rate vs Zipf skew "
+            f"({ZIPF_DISTINCT} distinct headers, cache {CACHE_SIZE})",
+            "s",
+            "hit rate",
+            [(f"{p['s']:.1f}", f"{p['hit_rate'] * 100:.1f}%") for p in curve],
+        ),
+    )
+    emit(
+        "kernel_serve",
+        render_table(
+            f"Serve-integrated Zipf(1.0) closed loop ({SERVE_CLIENTS} clients)",
+            ["configuration", "throughput", "vs reference"],
+            [
+                (
+                    "cache off",
+                    format_qps(serve["uncached_qps"]),
+                    f"{serve['uncached_qps'] / serve['reference_qps']:.2f}x",
+                ),
+                (
+                    f"cache {SERVE_CACHE_SIZE}",
+                    format_qps(serve["cached_qps"]),
+                    f"{serve['speedup_vs_reference']:.2f}x",
+                ),
+            ],
+        ),
+    )
+
+    # Acceptance bar 1: with the native engine built, the word-packed
+    # array kernel clears 2x the list-path numpy throughput on
+    # stanford-like.  Without a compiler the engine gracefully falls
+    # back, so the bar only applies when native is actually available.
+    stan_result = per_engine[1]
+    native = stan_result["engines"].get(kernel.NATIVE_BACKEND)
+    if native is not None:
+        assert native["vs_numpy_list"] >= MIN_NATIVE_SPEEDUP, (
+            f"native kernel: {native['vs_numpy_list']:.2f}x over numpy list "
+            f"path on {stan_result['dataset']} (bar: {MIN_NATIVE_SPEEDUP}x)"
+        )
+
+    # Acceptance bar 2: the cached serve path beats the committed batched
+    # serving number by 3x on the skewed workload.
+    assert serve["speedup_vs_reference"] >= MIN_SERVE_CACHE_SPEEDUP, (
+        f"cached serve: {serve['speedup_vs_reference']:.2f}x over "
+        f"{serve['reference']} (bar: {MIN_SERVE_CACHE_SPEEDUP}x)"
+    )
+    # The curve must actually bend: more skew, more hits.
+    assert curve[-1]["hit_rate"] > curve[0]["hit_rate"]
+    assert serve["cache"]["hit_rate"] > 0.5
+
+    payload = {
+        "engines_available": available_backends(),
+        "native_available": kernel.native_available(),
+        "per_engine": per_engine,
+        "zipf_hit_rate_curve": curve,
+        "serve_integrated": serve,
+        "min_native_speedup_required": MIN_NATIVE_SPEEDUP,
+        "min_serve_cache_speedup_required": MIN_SERVE_CACHE_SPEEDUP,
+    }
+    RESULT_JSON.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
+
+    if OBS_SIDECARS:
+        # One observed serve run after the measured sections: the /5
+        # snapshot's serve.result_cache section mirrors this bench.
+        recorder = Recorder()
+        observed = i2.classifier
+        trace = zipf_over_headers(
+            i2.universe, 2048, random.Random(29), distinct=256, s=1.0
+        )
+        headers = list(trace.headers)
+
+        async def observed_run() -> None:
+            async with QueryService(
+                observed,
+                max_batch=SERVE_CLIENTS,
+                max_delay_s=0.0002,
+                cache_size=1024,
+                recorder=recorder,
+            ) as service:
+                await closed_loop_qps(service, headers, 128, 4096)
+
+        asyncio.run(observed_run())
+        emit_obs("kernel", recorder)

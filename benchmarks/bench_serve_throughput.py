@@ -18,11 +18,28 @@ corrupt the shared session fixtures):
   plane churns: rule updates stale the compiled artifact (queries fall
   back to the interpreted tree -- exact, slower), then a live
   reconstruction rebuilds and swaps behind the reader-preferring lock.
-  The timeline shows the stale dip and the post-swap recovery.
+  The timeline shows the stale dip and the post-swap recovery.  The
+  service runs with the hot-header result cache enabled, and every
+  bucket records the cache hit rate and the single-flight coalescing
+  count: each rule update and the swap itself invalidate the cache
+  (generation keying), so the timeline shows the hit rate collapse at
+  each churn event and refill after.  Clients replay the trace in
+  per-client shuffled order -- independent callers over one hot set --
+  so concurrent duplicates exist (and coalesce) without the lockstep
+  platooning a shared sequential walk degenerates into.
+
+Two serving axes are configurable without editing the file:
+
+* ``REPRO_ENGINE=native|numpy|stdlib`` picks the classification engine
+  for every leg (the payload records which one ran);
+* the closed loop adds a "batching + cache" configuration
+  (``cache_size=4096``) next to the existing three, quantifying what
+  the result cache adds on top of micro-batching for a recycled trace.
 
 Results land in ``BENCH_serve_throughput.json`` at the repo root; with
 ``REPRO_OBS_SIDECAR=1`` an observed run writes
-``benchmarks/results/serve_throughput.obs.json``.
+``benchmarks/results/serve_throughput.obs.json`` (including the
+``serve.result_cache`` section of snapshot schema /5).
 """
 
 from __future__ import annotations
@@ -35,6 +52,7 @@ from pathlib import Path
 
 from conftest import OBS_SIDECARS, emit, emit_obs
 
+from repro import config
 from repro.analysis.reporting import format_qps, render_series, render_table
 from repro.core.classifier import APClassifier
 from repro.datasets import internet2_like, uniform_over_atoms
@@ -47,6 +65,10 @@ RESULT_JSON = Path(__file__).parent.parent / "BENCH_serve_throughput.json"
 
 MIN_BATCHED_SPEEDUP = 3.0
 CLIENTS = 512
+#: Engine axis: every leg serves through this backend (None = default
+#: preference ladder, i.e. native > numpy > stdlib as available).
+ENGINE = config.engine()
+CACHE_SIZE = 4096
 SINGLE_REQUESTS = 4000
 BATCHED_REQUESTS = 60_000
 BEST_OF = 3
@@ -79,10 +101,16 @@ async def closed_loop_qps(service, headers, clients, total_requests) -> float:
     return clients * per_client / (time.perf_counter() - started)
 
 
-async def measure(classifier, headers, clients, total, max_batch, max_delay_s):
+async def measure(
+    classifier, headers, clients, total, max_batch, max_delay_s, cache_size=0
+):
     """One warmed measurement on a fresh service; returns (qps, counters)."""
     async with QueryService(
-        classifier, max_batch=max_batch, max_delay_s=max_delay_s
+        classifier,
+        max_batch=max_batch,
+        max_delay_s=max_delay_s,
+        backend=ENGINE,
+        cache_size=cache_size,
     ) as service:
         await closed_loop_qps(service, headers, clients, min(total, 5000))
         qps = await closed_loop_qps(service, headers, clients, total)
@@ -92,8 +120,8 @@ async def measure(classifier, headers, clients, total, max_batch, max_delay_s):
 async def run_closed_loop(classifier, headers) -> dict:
     # The three configurations are measured interleaved, best-of-N, so a
     # machine-load swing hits all of them instead of skewing the ratio.
-    single_qps = unbatched_qps = batched_qps = 0.0
-    counters = None
+    single_qps = unbatched_qps = batched_qps = cached_qps = 0.0
+    counters = cache_counters = None
     for _ in range(BEST_OF):
         # Single-query baseline: one caller at a time, configured for
         # single-caller latency (no coalescing window).
@@ -115,14 +143,36 @@ async def run_closed_loop(classifier, headers) -> dict:
         )
         if qps > batched_qps:
             batched_qps, counters = qps, run_counters
+        # Cache axis: same batched configuration plus the hot-header
+        # result cache.  The closed loop recycles its trace, so after
+        # one pass nearly every request is a synchronous hit.
+        qps, run_counters = await measure(
+            classifier,
+            headers,
+            CLIENTS,
+            BATCHED_REQUESTS,
+            CLIENTS,
+            0.0002,
+            cache_size=CACHE_SIZE,
+        )
+        if qps > cached_qps:
+            cached_qps, cache_counters = qps, run_counters
 
     return {
         "clients": CLIENTS,
         "best_of": BEST_OF,
+        "engine": ENGINE or "default",
         "single_qps": single_qps,
         "concurrent_unbatched_qps": unbatched_qps,
         "batched_qps": batched_qps,
         "batched_speedup": batched_qps / single_qps,
+        "cache_size": CACHE_SIZE,
+        "cached_qps": cached_qps,
+        "cached_speedup": cached_qps / single_qps,
+        "cache_hit_rate": (
+            cache_counters.cache_hits
+            / max(1, cache_counters.cache_hits + cache_counters.cache_misses)
+        ),
         "mean_batch_size": (
             counters.batched_requests / counters.batches
             if counters.batches
@@ -183,13 +233,29 @@ async def run_open_loop(classifier, headers, offered_rate: float) -> dict:
 
 
 async def run_degradation(classifier, headers) -> list[dict]:
-    """Throughput timeline across fresh -> stale -> rebuild -> swapped."""
+    """Throughput timeline across fresh -> stale -> rebuild -> swapped.
+
+    Runs with the result cache enabled so each bucket can record the
+    hit rate: the two rule updates and the reconstruction swap all
+    invalidate the cache, so the timeline shows the hit rate drop to
+    zero at each churn event and climb back as the trace refills it --
+    and a swap can never serve a pre-swap atom id.
+
+    Each client replays the shared trace in its *own* shuffled order
+    (independent clients over one hot set).  Lockstep walks of a shared
+    sequence are pathological by construction: clients platoon behind
+    one frontier position, every batch carries a handful of distinct
+    headers, and the cache can only refill at platoons-per-batch no
+    matter how fast the service is.  Requests that do collide within a
+    batch window exercise the single-flight path and are counted.
+    """
     state = {"done": 0, "stop": False, "phase": "fresh"}
 
-    async def client(offset: int) -> None:
+    async def client(seed: int) -> None:
+        order = random.Random(seed).sample(range(len(headers)), len(headers))
         index = 0
         while not state["stop"]:
-            await service.classify(headers[(offset + index) % len(headers)])
+            await service.classify(headers[order[index % len(order)]])
             state["done"] += 1
             index += 1
 
@@ -207,27 +273,45 @@ async def run_degradation(classifier, headers) -> list[dict]:
         state["phase"] = "reconstructing"
         await service.reconstruct()
         state["phase"] = "swapped"
-        await asyncio.sleep(4 * BUCKET_S)
+        # One extra bucket vs the other phases: the first post-swap
+        # bucket is spent refilling the invalidated cache.
+        await asyncio.sleep(6 * BUCKET_S)
         state["stop"] = True
 
     samples: list[dict] = []
 
     async def sampler() -> None:
         last, clock = 0, 0.0
+        last_hits = last_misses = last_coalesced = 0
         while not state["stop"]:
             await asyncio.sleep(BUCKET_S)
             clock += BUCKET_S
             done = state["done"]
+            counters = service.counters
+            hits, misses = counters.cache_hits, counters.cache_misses
+            coalesced = counters.cache_coalesced
+            lookups = (hits - last_hits) + (misses - last_misses)
             samples.append(
                 {
                     "time_s": round(clock, 3),
                     "phase": state["phase"],
                     "throughput_qps": (done - last) / BUCKET_S,
+                    "cache_hit_rate": (
+                        (hits - last_hits) / lookups if lookups else 0.0
+                    ),
+                    "coalesced": coalesced - last_coalesced,
                 }
             )
-            last = done
+            last, last_hits, last_misses = done, hits, misses
+            last_coalesced = coalesced
 
-    service = QueryService(classifier, max_batch=CLIENTS, max_delay_s=0.0002)
+    service = QueryService(
+        classifier,
+        max_batch=CLIENTS,
+        max_delay_s=0.0002,
+        backend=ENGINE,
+        cache_size=CACHE_SIZE,
+    )
     async with service:
         clients = [
             asyncio.ensure_future(client(i * 211)) for i in range(CLIENTS)
@@ -235,6 +319,9 @@ async def run_degradation(classifier, headers) -> list[dict]:
         await asyncio.gather(controller(), sampler())
         await asyncio.gather(*clients)
     assert service.counters.swaps == 1
+    # Every churn event retired the cached generation: two rule updates
+    # plus the reconstruction swap.
+    assert service.counters.cache_invalidations >= 3
     return samples
 
 
@@ -276,17 +363,27 @@ def test_serve_throughput():
                     format_qps(closed["batched_qps"]),
                     f"{closed['batched_speedup']:.2f}x",
                 ),
+                (
+                    f"{CLIENTS} clients, batching + cache {CACHE_SIZE}",
+                    format_qps(closed["cached_qps"]),
+                    f"{closed['cached_speedup']:.2f}x",
+                ),
             ],
         ),
     )
     emit(
         "serve_degradation",
         render_series(
-            "Serving during churn: stale fallback, live rebuild, swap",
+            "Serving during churn: stale fallback, live rebuild, swap "
+            f"(cache {CACHE_SIZE})",
             "time",
-            "throughput",
+            "throughput / cache hit rate",
             [
-                (f"{s['time_s']:.2f}s [{s['phase']}]", format_qps(s["throughput_qps"]))
+                (
+                    f"{s['time_s']:.2f}s [{s['phase']}]",
+                    f"{format_qps(s['throughput_qps'])} "
+                    f"({s['cache_hit_rate'] * 100:.0f}% hit)",
+                )
                 for s in degradation
             ],
         ),
@@ -304,10 +401,18 @@ def test_serve_throughput():
     # swap (recompiled artifact; generous 0.3x floor keeps CI noise out).
     assert all(means[phase] > 0 for phase in means)
     assert means["swapped"] > 0.3 * means["fresh"]
+    # The cache axis earned its keep on the recycled trace, and the
+    # post-swap phase shows the cache refilling (hits after the swap can
+    # only come from post-swap classifications: generation keying).
+    assert closed["cached_qps"] > closed["batched_qps"]
+    assert closed["cache_hit_rate"] > 0.9
+    swapped = [s for s in degradation if s["phase"] == "swapped"]
+    assert any(s["cache_hit_rate"] > 0 for s in swapped)
 
     stats = classifier.stats()
     payload = {
         "dataset": "internet2-like",
+        "engine": ENGINE or "default",
         "predicates": stats.predicates,
         "atoms": stats.atoms,
         "closed_loop": closed,
@@ -331,6 +436,8 @@ def test_serve_throughput():
                 observed,
                 max_batch=CLIENTS,
                 max_delay_s=0.0002,
+                backend=ENGINE,
+                cache_size=CACHE_SIZE,
                 recorder=recorder,
             ) as service:
                 await closed_loop_qps(service, observed_headers, CLIENTS, 5120)

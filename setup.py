@@ -1,10 +1,29 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Build script: optional native kernel extension + no-PEP517 shim.
 
-All real metadata lives in ``pyproject.toml``; this file only enables
-``pip install -e . --no-use-pep517`` on offline machines where pip cannot
-build editable wheels.
+All distribution metadata lives in ``pyproject.toml``; this file exists
+for two reasons:
+
+* it declares the **optional** C extension ``repro._native._kernel``
+  (the fused-program classification kernel behind ``REPRO_ENGINE=native``).
+  ``optional=True`` makes a failed compile a warning, not an install
+  failure -- environments without a C toolchain fall back to the numpy
+  or pure-stdlib engines at runtime;
+* it enables ``pip install -e . --no-use-pep517`` on offline machines
+  where pip cannot build editable wheels.
+
+Developers build the extension in place with::
+
+    python setup.py build_ext --inplace
 """
 
-from setuptools import setup
+from setuptools import Extension, setup
 
-setup()
+setup(
+    ext_modules=[
+        Extension(
+            "repro._native._kernel",
+            sources=["src/repro/_native/_kernelmodule.c"],
+            optional=True,
+        )
+    ]
+)

@@ -19,6 +19,21 @@ from ..network.dataplane import DataPlane
 __all__ = ["APLinearClassifier"]
 
 
+def _headers_of(packets) -> list[int]:
+    """Plain-int headers from packets, arrays, or header sequences.
+
+    A numpy array converts in one bulk ``tolist`` (python ints, no
+    per-element numpy scalars); other sequences are unwrapped per
+    element only because they may hold :class:`Packet` objects.
+    """
+    if hasattr(packets, "tolist"):
+        return packets.tolist()
+    return [
+        packet.value if isinstance(packet, Packet) else packet
+        for packet in packets
+    ]
+
+
 class APLinearClassifier:
     """AP Verifier's atoms + linear search; stage 2 identical to AP Classifier."""
 
@@ -56,10 +71,7 @@ class APLinearClassifier:
 
     def classify_batch(self, packets) -> list[int]:
         """Batched linear scan (compiled when :meth:`compile` was called)."""
-        headers = [
-            packet.value if isinstance(packet, Packet) else packet
-            for packet in packets
-        ]
+        headers = _headers_of(packets)
         if self._flat is None:
             classify = self.universe.classify
             return [classify(header) for header in headers]

@@ -20,6 +20,7 @@ from ..core.behavior import (
 from ..core.compiled import FlatBDDSet
 from ..headerspace.header import Packet
 from ..network.dataplane import DataPlane
+from .aplinear import _headers_of
 
 __all__ = ["PScanIdentifier"]
 
@@ -70,10 +71,7 @@ class PScanIdentifier:
 
     def verdict_bits_batch(self, packets) -> list[int]:
         """Batched :meth:`verdict_bits` via the flattened predicate set."""
-        headers = [
-            packet.value if isinstance(packet, Packet) else packet
-            for packet in packets
-        ]
+        headers = _headers_of(packets)
         if self._flat is None:
             verdict_bits = self.verdict_bits
             return [verdict_bits(header) for header in headers]

@@ -296,7 +296,12 @@ def _cmd_save(args: argparse.Namespace) -> int:
 
     classifier = _build(args)
     try:
-        written = persist.save(classifier, args.out, format=args.format)
+        written = persist.save(
+            classifier,
+            args.out,
+            format=args.format,
+            backend=getattr(args, "engine", None),
+        )
     except OSError as exc:
         raise CLIError(f"cannot write {args.out!r}: {exc}") from exc
     except ArtifactError as exc:
@@ -410,6 +415,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         overflow=args.overflow,
         timeout_s=args.timeout_ms / 1e3 if args.timeout_ms else None,
         recorder=recorder,
+        backend=args.engine,
+        cache_size=args.cache_size,
     )
     try:
         asyncio.run(serve_forever(service, args.host, args.port))
@@ -433,12 +440,14 @@ def _serve_multi(
             workers=serve_workers,
             host=args.host,
             port=args.port,
+            backend=args.engine,
             service_options={
                 "max_batch": args.max_batch,
                 "max_delay_s": args.max_delay_ms / 1e3,
                 "queue_limit": args.queue_limit,
                 "overflow": args.overflow,
                 "timeout_s": args.timeout_ms / 1e3 if args.timeout_ms else None,
+                "cache_size": args.cache_size,
             },
         )
     except ArtifactError as exc:
@@ -570,6 +579,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact: binary compiled classifier (default); json: "
         "portable classifier snapshot; network: bare network JSON",
     )
+    save.add_argument(
+        "--engine",
+        choices=("native", "numpy", "stdlib"),
+        default=None,
+        help="engine the compiled artifact is built with (default: "
+        "REPRO_ENGINE, else best available)",
+    )
     save.set_defaults(func=_cmd_save)
 
     load_parser = sub.add_parser(
@@ -622,6 +638,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes sharing the compiled "
                        "classifier via shared memory (default: the "
                        "REPRO_SERVE_WORKERS environment variable, else 1)")
+    serve.add_argument("--engine", choices=("native", "numpy", "stdlib"),
+                       default=None,
+                       help="classification engine for the compiled "
+                       "artifact; an explicit choice fails if unavailable "
+                       "(default: REPRO_ENGINE, else best available)")
+    serve.add_argument("--cache-size", type=int, default=0,
+                       help="hot-header result cache capacity; 0 (default) "
+                       "disables the cache")
     serve.set_defaults(func=_cmd_serve)
     return parser
 

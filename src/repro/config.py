@@ -30,6 +30,14 @@ Knob reference (also surfaced by :func:`describe` and
     Truthy = never import numpy; the compiled engine and artifact loads
     use the pure-stdlib paths.  Read once at ``repro.core.compiled``
     import time.
+``REPRO_ENGINE``
+    Preferred classification engine: ``native`` (the optional C
+    extension), ``numpy``, or ``stdlib``; unset = auto (best
+    available).  A *preference*, not a demand: if the preferred engine
+    is not importable in this process the next one down is used, so a
+    deployment can set ``REPRO_ENGINE=native`` everywhere and hosts
+    without a compiled extension degrade gracefully.  Explicit
+    ``backend=`` arguments still fail loudly when unavailable.
 ``REPRO_OBS_SIDECAR``
     Truthy = benchmarks write ``*.obs.json`` recorder sidecars next to
     their ``BENCH_*.json`` outputs.
@@ -55,10 +63,12 @@ __all__ = [
     "ENV_WORKERS",
     "ENV_MP_START",
     "ENV_DISABLE_NUMPY",
+    "ENV_ENGINE",
     "ENV_OBS_SIDECAR",
     "ENV_SERVE_WORKERS",
     "ENV_ARTIFACT_MMAP",
     "ENV_ARTIFACT_VERIFY",
+    "ENGINES",
     "Knob",
     "KNOBS",
     "env_flag",
@@ -66,6 +76,7 @@ __all__ = [
     "workers",
     "mp_start",
     "numpy_disabled",
+    "engine",
     "obs_sidecar",
     "serve_workers",
     "artifact_mmap",
@@ -76,10 +87,14 @@ __all__ = [
 ENV_WORKERS = "REPRO_WORKERS"
 ENV_MP_START = "REPRO_MP_START"
 ENV_DISABLE_NUMPY = "REPRO_DISABLE_NUMPY"
+ENV_ENGINE = "REPRO_ENGINE"
 ENV_OBS_SIDECAR = "REPRO_OBS_SIDECAR"
 ENV_SERVE_WORKERS = "REPRO_SERVE_WORKERS"
 ENV_ARTIFACT_MMAP = "REPRO_ARTIFACT_MMAP"
 ENV_ARTIFACT_VERIFY = "REPRO_ARTIFACT_VERIFY"
+
+#: Engine names accepted by ``REPRO_ENGINE`` (and ``backend=`` args).
+ENGINES = ("native", "numpy", "stdlib")
 
 
 @dataclass(frozen=True)
@@ -98,6 +113,8 @@ KNOBS: tuple[Knob, ...] = (
          "multiprocessing start method"),
     Knob(ENV_DISABLE_NUMPY, "bool", "0",
          "force the pure-stdlib compiled/artifact paths"),
+    Knob(ENV_ENGINE, "str", "auto (best available)",
+         "preferred classification engine: native | numpy | stdlib"),
     Knob(ENV_OBS_SIDECAR, "bool", "0",
          "benchmarks emit *.obs.json recorder sidecars"),
     Knob(ENV_SERVE_WORKERS, "int", "1",
@@ -174,6 +191,30 @@ def numpy_disabled() -> bool:
     if not raw:
         return False
     return raw.lower() not in _FALSE
+
+
+def engine(explicit: str | None = None) -> str | None:
+    """The preferred engine: argument, else ``REPRO_ENGINE``, else None.
+
+    ``None`` means "auto": pick the best engine importable in this
+    process (native when the C extension is built, else numpy, else
+    stdlib -- see :func:`repro.core.compiled.default_backend`).  A
+    malformed value raises; availability is *not* checked here -- the
+    compiled engine resolves the preference against what is importable
+    and falls back one step at a time.
+    """
+    requested = explicit if explicit is not None else _raw(ENV_ENGINE)
+    if not requested:
+        return None
+    lowered = requested.lower()
+    if lowered == "auto":
+        return None
+    if lowered not in ENGINES:
+        raise ValueError(
+            f"{ENV_ENGINE} must be one of {ENGINES} (or auto/unset), "
+            f"got {requested!r}"
+        )
+    return lowered
 
 
 def obs_sidecar() -> bool:

@@ -20,7 +20,7 @@ from ..network.rules import ForwardingRule
 from .aptree import APTree
 from .atomic import AtomicUniverse
 from .behavior import Behavior, BehaviorComputer
-from .compiled import CompiledAPTree
+from .compiled import STDLIB_BACKEND, CompiledAPTree
 from .construction import build_tree
 from .update import UpdateEngine, UpdateResult
 from .weights import VisitCounter
@@ -256,6 +256,42 @@ class APClassifier:
             for atom_id in atom_ids:
                 record(atom_id)
         return atom_ids
+
+    def classify_batch_array(self, headers, out=None):
+        """Stage 1 for a batch, numpy arrays end-to-end.
+
+        ``headers`` is a ``uint64`` header array (adopted zero-copy by
+        the compiled kernel) or a plain sequence; the result is an
+        ``int64`` atom-id array, written into ``out`` when a reusable
+        buffer is supplied.  Requires numpy in the process.  When no
+        fresh accelerated artifact exists (stale artifact, or a
+        stdlib-backend engine) the batch takes the same exact fallback
+        as :meth:`classify_batch` and is copied into the array -- the
+        array interface never trades exactness.
+        """
+        compiled = self._compiled
+        if (
+            compiled is not None
+            and compiled.is_fresh_for(self.tree)
+            and compiled.backend != STDLIB_BACKEND
+        ):
+            atom_ids = compiled.classify_batch_array(headers, out=out)
+            if self.counter is not None:
+                record = self.counter.record
+                for atom_id in atom_ids.tolist():
+                    record(atom_id)
+            return atom_ids
+        import numpy as np
+
+        if isinstance(headers, np.ndarray):
+            headers = headers.tolist()
+        # classify_batch does the stale-fallback accounting and visit
+        # counting for this branch.
+        atom_list = self.classify_batch(headers)
+        if out is None:
+            return np.asarray(atom_list, dtype=np.int64)
+        out[: len(atom_list)] = atom_list
+        return out
 
     def behavior_of_atom(
         self, atom_id: int, ingress_box: str, in_port: str | None = None

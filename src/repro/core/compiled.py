@@ -28,16 +28,29 @@ Three layers, lowest first:
   descent.  :meth:`CompiledAPTree.classify_batch` advances all packets
   together through the fused program.
 
-Two batch backends produce identical results and are auto-selected:
+Three batch backends produce identical results and are auto-selected
+(preference order ``native`` > ``numpy`` > ``stdlib``, overridable with
+the ``REPRO_ENGINE`` environment knob -- see :mod:`repro.core.kernel`):
 
-* ``numpy`` -- packets become a bit matrix (``np.unpackbits``); all
-  cursors advance together with vectorized gathers, finished lanes are
+* ``native`` -- the optional C extension (:mod:`repro._native`) walks
+  each packet's fused-program path in a GIL-free scalar loop over
+  word-packed headers; work is the sum of path lengths.
+* ``numpy`` -- packets are packed into uint64 words; all cursors
+  advance together with vectorized gathers, finished lanes are
   compacted away.
 * ``stdlib`` -- pure-Python *bit-parallel* evaluation: each header bit
   column is packed into one arbitrary-precision int (bit ``j`` = packet
   ``j``), and a single topological pass pushes lane masks through the
   fused program with big-int AND/ANDNOT.  Cost scales with program
   size, not ``packets x path length``.
+
+The batch entry points accept numpy arrays end-to-end:
+:meth:`CompiledAPTree.classify_batch_array` takes a ``uint64`` header
+array (zero-copy -- for <=64-variable layouts the array *is* the packed
+form) and fills an ``int64`` output array without building any Python
+list, while :meth:`CompiledAPTree.classify_batch` keeps the
+list-in/list-out contract and dispatches on input type instead of
+unconditionally copying.
 
 Staleness protocol: artifacts stamp ``tree.version`` at compile time.
 Every structural mutation (leaf splits, tombstones) bumps the version,
@@ -53,7 +66,15 @@ from typing import Callable, Sequence
 
 from .. import config
 from ..bdd.manager import BDDManager, TRUE
+from . import kernel as _kernel
 from .aptree import APTree
+from .kernel import (
+    NATIVE_BACKEND,
+    NUMPY_BACKEND,
+    STDLIB_BACKEND,
+    available_backends,
+    default_backend,
+)
 
 try:  # pragma: no cover - exercised via the CI matrix
     if config.numpy_disabled():
@@ -66,13 +87,31 @@ except ImportError:  # pragma: no cover
 __all__ = [
     "CompiledAPTree",
     "FlatBDDSet",
+    "NATIVE_BACKEND",
+    "NUMPY_BACKEND",
+    "STDLIB_BACKEND",
     "available_backends",
     "default_backend",
     "flatten_bdds",
 ]
 
-NUMPY_BACKEND = "numpy"
-STDLIB_BACKEND = "stdlib"
+# Backend resolution (including the REPRO_ENGINE preference and the
+# native extension probe) lives in repro.core.kernel -- but the result
+# must agree with *this* module's numpy import, which the accelerated
+# paths actually use.  If they diverge (tests simulate a numpy-less
+# host by nulling ``_np`` here), demand semantics still hold: an
+# explicit request for an accelerated backend raises, auto-selection
+# degrades to stdlib.
+def _resolve_backend(backend: str | None) -> str:
+    resolved = _kernel.resolve_backend(backend)
+    if resolved != STDLIB_BACKEND and _np is None:
+        if backend is not None:
+            raise ValueError(
+                f"backend {backend!r} requires numpy, which is not "
+                f"available (set backend='stdlib' or leave it unset)"
+            )
+        return STDLIB_BACKEND
+    return resolved
 
 
 def _as_int_list(seq) -> list[int]:
@@ -88,30 +127,6 @@ def _as_int_list(seq) -> list[int]:
 #: Below this batch size the whole-batch machinery costs more than it
 #: saves; batch entry points fall back to the scalar loop.
 _MIN_BATCH = 16
-
-#: Iterations between finished-lane compactions of the numpy descent.
-_COMPACT_BLOCK = 16
-
-
-def available_backends() -> tuple[str, ...]:
-    """Backends usable in this process, preferred first."""
-    if _np is not None:
-        return (NUMPY_BACKEND, STDLIB_BACKEND)
-    return (STDLIB_BACKEND,)
-
-
-def default_backend() -> str:
-    return available_backends()[0]
-
-
-def _resolve_backend(backend: str | None) -> str:
-    if backend is None:
-        return default_backend()
-    if backend not in (NUMPY_BACKEND, STDLIB_BACKEND):
-        raise ValueError(f"unknown backend {backend!r}")
-    if backend == NUMPY_BACKEND and _np is None:
-        raise ValueError("numpy backend requested but numpy is unavailable")
-    return backend
 
 
 # ----------------------------------------------------------------------
@@ -241,7 +256,11 @@ class FlatBDDSet:
         backend: str | None = None,
     ) -> None:
         self.manager = manager
+        # The native kernel runs only the fused tree program; predicate
+        # sets step down to the numpy descent.
         self.backend = _resolve_backend(backend)
+        if self.backend == NATIVE_BACKEND:
+            self.backend = NUMPY_BACKEND
         self.num_vars = manager.num_vars
         self.roots = list(roots)
         var, low, high, entry_of = flatten_bdds(manager, self.roots)
@@ -288,6 +307,8 @@ class FlatBDDSet:
         self = cls.__new__(cls)
         self.manager = None
         self.backend = _resolve_backend(backend)
+        if self.backend == NATIVE_BACKEND:
+            self.backend = NUMPY_BACKEND
         self.num_vars = int(arrays["num_vars"])
         self._entries = _as_int_list(arrays["entries"])
         var = _as_int_list(arrays["var"])
@@ -518,13 +539,14 @@ class CompiledAPTree:
         self._build_fused(tree)
         del self._tree_nodes  # the arrays are a snapshot; drop live refs
         self._scalar_ready = True
-        if self.backend == NUMPY_BACKEND:
+        if self.backend in (NUMPY_BACKEND, NATIVE_BACKEND):
             self._np_f_var = _np.asarray(self._f_var, dtype=_np.int32)
             child = _np.empty(2 * len(self._f_var), dtype=_np.int32)
             child[0::2] = self._f_low
             child[1::2] = self._f_high
             self._np_f_child = child
             self._np_f_atom = _np.asarray(self._f_atom, dtype=_np.int64)
+            self._init_kernel()
 
     @classmethod
     def compile(
@@ -543,7 +565,7 @@ class CompiledAPTree:
         descent gathers from, so an artifact section can be mapped
         straight into ``_np_f_child`` without a shuffle.
         """
-        if self.backend == NUMPY_BACKEND:
+        if self.backend in (NUMPY_BACKEND, NATIVE_BACKEND):
             f_child = self._np_f_child
         else:
             f_child = [0] * (2 * len(self._f_var))
@@ -596,7 +618,7 @@ class CompiledAPTree:
         self.num_vars = int(arrays["num_vars"])
         self._num_sinks = int(arrays["num_sinks"])
         self._f_root = int(arrays["f_root"])
-        if self.backend == NUMPY_BACKEND:
+        if self.backend in (NUMPY_BACKEND, NATIVE_BACKEND):
             self.pred_entry = arrays["pred_entry"]
             self.low_idx = arrays["low_idx"]
             self.high_idx = arrays["high_idx"]
@@ -614,6 +636,7 @@ class CompiledAPTree:
             self._f_high = child[1::2]
             self._f_atom = self._np_f_atom
             self._scalar_ready = False
+            self._init_kernel()
         else:
             self.pred_entry = _as_int_list(arrays["pred_entry"])
             self.low_idx = _as_int_list(arrays["low_idx"])
@@ -650,6 +673,30 @@ class CompiledAPTree:
             shift = self.num_vars - 1
             self._bdd_shift = [shift - v for v in self._bdd_var]
         self._scalar_ready = True
+
+    def _init_kernel(self) -> None:
+        """Precompute the word/shift tables and scratch for the kernel.
+
+        Derived once from ``_np_f_var`` (for artifact loads this is the
+        only consumer of ``f_var`` on the batch path): node ``i`` reads
+        word ``_np_f_word[i]`` at in-word shift ``_np_f_shift[i]`` of a
+        little-endian packed header.  The :class:`~.kernel.Program` view
+        is what both descents (and the C kernel) consume; the scratch
+        buffers make steady-state batches allocation-free.
+        """
+        word, shift = _kernel.shift_arrays(self._np_f_var, self.num_vars)
+        self._np_f_word = word
+        self._np_f_shift = shift
+        self._program = _kernel.Program(
+            width=_kernel.words_per_header(self.num_vars),
+            f_word=word,
+            f_shift=shift,
+            f_child=self._np_f_child,
+            f_atom=self._np_f_atom,
+            num_sinks=self._num_sinks,
+            f_root=self._f_root,
+        )
+        self._scratch = _kernel.KernelScratch()
 
     # -- construction ----------------------------------------------------
 
@@ -825,49 +872,75 @@ class CompiledAPTree:
         return self.atom_id[i]
 
     def classify_batch(self, headers: Sequence[int]) -> list[int]:
-        """Atom ids for a whole batch, all packets advanced together."""
-        headers = list(headers)
+        """Atom ids for a whole batch, all packets advanced together.
+
+        Dispatches on input type instead of unconditionally copying: a
+        numpy array routes straight through the zero-copy
+        :meth:`classify_batch_array` path (``tolist`` only at the very
+        end, to honor the list-out contract -- callers that want arrays
+        out call ``classify_batch_array`` directly); a list is used
+        as-is; only foreign sequences are materialized.
+        """
+        if _np is not None and isinstance(headers, _np.ndarray):
+            if self.backend == STDLIB_BACKEND:
+                headers = headers.tolist()
+            else:
+                return self.classify_batch_array(headers).tolist()
+        elif not isinstance(headers, list):
+            headers = list(headers)
         if len(headers) < _MIN_BATCH:
             classify = self.classify
             return [classify(h) for h in headers]
-        if self.backend == NUMPY_BACKEND:
-            return self._classify_batch_numpy(headers)
-        return self._classify_batch_stdlib(headers)
+        if self.backend == STDLIB_BACKEND:
+            return self._classify_batch_stdlib(headers)
+        return self._classify_batch_numpy(headers)
+
+    def classify_batch_array(self, headers, out=None):
+        """Atom ids as an ``int64`` array -- numpy arrays end-to-end.
+
+        ``headers`` is either a ``uint64`` word array (``(n,)`` for
+        <=64-variable layouts, ``(n, W)`` for wider -- adopted with zero
+        copies) or a Python sequence (packed once, no intermediate bit
+        matrix).  ``out`` may supply a reusable ``int64[n]`` result
+        buffer; one is allocated when absent.  Lane/cursor/packing
+        scratch is leased from the engine's :class:`~.kernel.KernelScratch`
+        when uncontended, so a steady-state serving loop performs no
+        per-batch allocations beyond numpy's gather temporaries.
+
+        Requires an accelerated backend (``native`` or ``numpy``);
+        stdlib engines raise -- their batch substrate is big-int lane
+        masks, not arrays (use :meth:`classify_batch`).
+        """
+        if self.backend == STDLIB_BACKEND:
+            raise RuntimeError(
+                "classify_batch_array requires the native or numpy backend "
+                f"(engine backend is {self.backend!r})"
+            )
+        n = len(headers)
+        if out is None:
+            out = _np.empty(n, dtype=_np.int64)
+        scratch = self._scratch
+        leased = scratch.acquire()
+        try:
+            lease = scratch if leased else None
+            words = _kernel.pack_headers(headers, self.num_vars, lease)
+            if self.backend == NATIVE_BACKEND:
+                _kernel.descend_native(self._program, words, out)
+            else:
+                _kernel.descend_numpy(self._program, words, out, lease)
+        finally:
+            if leased:
+                scratch.release()
+        return out
 
     def _classify_batch_numpy(self, headers: list[int]) -> list[int]:
-        """Vectorized descent of the fused program.
+        """List-in/list-out shim over the word-packed kernel descent.
 
-        Every iteration gathers each lane's variable, its header bit and
-        its next node; sinks self-loop, and fully-sunk lanes are
-        compacted away every ``_COMPACT_BLOCK`` steps so stragglers don't
-        drag the whole batch.
+        Historically this packed an ``n x num_vars`` bit matrix and
+        allocated every lane/cursor array per call; both now live in
+        :mod:`repro.core.kernel` (word packing + reusable scratch).
         """
-        n = len(headers)
-        num_sinks = self._num_sinks
-        out = _np.empty(n, dtype=_np.int64)
-        bits = _np.ascontiguousarray(_bit_matrix(headers, self.num_vars))
-        flat_bits = bits.ravel()
-        lanes = _np.arange(n, dtype=_np.int32)
-        base = lanes * self.num_vars
-        cur = _np.full(n, self._f_root, dtype=_np.int32)
-        var = self._np_f_var
-        child = self._np_f_child
-        atom = self._np_f_atom
-        while True:
-            for _ in range(_COMPACT_BLOCK):
-                v = var.take(cur)
-                b = flat_bits.take(base + v)
-                cur = child.take(2 * cur + b)
-            done = cur < num_sinks
-            if done.any():
-                out[lanes[done]] = atom.take(cur[done])
-                keep = ~done
-                if not keep.any():
-                    break
-                lanes = lanes[keep]
-                cur = cur[keep]
-                base = base[keep]
-        return out.tolist()
+        return self.classify_batch_array(headers).tolist()
 
     def _classify_batch_stdlib(self, headers: list[int]) -> list[int]:
         """Bit-parallel descent: one topological mask-propagation pass.

@@ -19,6 +19,7 @@ from .workloads import (
     pareto_over_atoms,
     random_headers,
     uniform_over_atoms,
+    zipf_over_headers,
 )
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "pareto_over_atoms",
     "pareto_atom_counts",
     "random_headers",
+    "zipf_over_headers",
     "make_middlebox",
     "group_atoms",
 ]

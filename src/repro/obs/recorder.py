@@ -46,7 +46,9 @@ __all__ = [
 #: /4 added the "persist" section (artifact/snapshot save and load
 #: timings, byte volumes, mmap-vs-copy load counts) and the serve
 #: ``workers``/``generations`` counters (multi-worker serving).
-SCHEMA_ID = "repro.obs.snapshot/4"
+#: /5 added the serve ``result_cache`` block (hot-header result cache:
+#: hits, misses, evictions, invalidations, hit rate).
+SCHEMA_ID = "repro.obs.snapshot/5"
 
 #: Service latencies kept for the percentile summary; same bounded-
 #: reservoir treatment as update latencies.
@@ -282,6 +284,11 @@ class ServeCounters:
         "swaps",
         "workers",
         "generations",
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+        "cache_invalidations",
+        "cache_coalesced",
         "latency_samples",
         "latency_total_s",
         "latency_count",
@@ -301,6 +308,11 @@ class ServeCounters:
         self.swaps = 0
         self.workers = 0
         self.generations = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        self.cache_invalidations = 0
+        self.cache_coalesced = 0
         self.latency_samples: list[float] = []
         self.latency_total_s = 0.0
         self.latency_count = 0
@@ -330,7 +342,7 @@ class ServeCounters:
             self.latency_samples.append(latency_s)
 
     def summary(self) -> dict:
-        """The JSON-shaped ``serve`` snapshot section (schema /4)."""
+        """The JSON-shaped ``serve`` snapshot section (schema /5)."""
         ordered = sorted(self.latency_samples)
         return {
             "requests": self.requests,
@@ -351,6 +363,14 @@ class ServeCounters:
             "swaps": self.swaps,
             "workers": self.workers,
             "generations": self.generations,
+            "result_cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "evictions": self.cache_evictions,
+                "invalidations": self.cache_invalidations,
+                "coalesced": self.cache_coalesced,
+                "hit_rate": _rate(self.cache_hits, self.cache_misses),
+            },
             "latency_s": {
                 "count": self.latency_count,
                 "mean": (
@@ -515,7 +535,7 @@ class Recorder:
         """The collected state as a JSON-serializable dict.
 
         The shape is pinned by :data:`repro.obs.schema.SNAPSHOT_SCHEMA`
-        (currently ``repro.obs.snapshot/4``) and checked by
+        (currently ``repro.obs.snapshot/5``) and checked by
         :func:`repro.obs.schema.validate_snapshot`; every number is
         finite, so ``json.dumps(..., allow_nan=False)`` always succeeds.
         Sections: ``bdd`` (cache and node-table counters), ``tree``

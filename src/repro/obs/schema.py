@@ -42,7 +42,7 @@ def _cache_section() -> dict:
 SNAPSHOT_SCHEMA: dict = {
     "type": "object",
     "required": {
-        "schema": {"type": "const", "value": "repro.obs.snapshot/4"},
+        "schema": {"type": "const", "value": "repro.obs.snapshot/5"},
         "bdd": {
             "type": "object",
             "required": {
@@ -163,6 +163,17 @@ SNAPSHOT_SCHEMA: dict = {
                 "swaps": {"type": "integer"},
                 "workers": {"type": "integer"},
                 "generations": {"type": "integer"},
+                "result_cache": {
+                    "type": "object",
+                    "required": {
+                        "hits": {"type": "integer"},
+                        "misses": {"type": "integer"},
+                        "evictions": {"type": "integer"},
+                        "invalidations": {"type": "integer"},
+                        "coalesced": {"type": "integer"},
+                        "hit_rate": {"type": "number"},
+                    },
+                },
                 "latency_s": {
                     "type": "object",
                     "required": {

@@ -4,10 +4,13 @@ Fronts an :class:`~repro.core.classifier.APClassifier` with an asyncio
 micro-batching dispatcher so many concurrent callers share the compiled
 engine's batch path, with bounded admission (backpressure or shedding),
 per-request deadlines, and graceful degradation while the data plane
-churns and reconstructions swap trees underneath the queries.  See
-``docs/serving.md`` for the operations guide and the TCP wire protocol.
+churns and reconstructions swap trees underneath the queries.  An
+optional generation-keyed :class:`ResultCache` answers repeated hot
+headers synchronously at admission.  See ``docs/serving.md`` for the
+operations guide and the TCP wire protocol.
 """
 
+from .cache import ResultCache
 from .service import QueryService, QueryShed, ServiceClosed
 from .tcp import serve_forever, start_tcp_server
 from .workers import ServeWorkerPool, closed_loop_qps
@@ -15,6 +18,7 @@ from .workers import ServeWorkerPool, closed_loop_qps
 __all__ = [
     "QueryService",
     "QueryShed",
+    "ResultCache",
     "ServiceClosed",
     "ServeWorkerPool",
     "closed_loop_qps",

@@ -18,10 +18,26 @@ underneath it.  This module is that serving layer:
   clients slow down); ``overflow="shed"`` fails fast with
   :class:`QueryShed` (open-loop load peaks are dropped and counted
   instead of growing the queue without bound).
+* **Hot-header result cache** (optional, ``cache_size > 0``).  Skewed
+  query streams repeat a small set of headers; a generation-keyed LRU
+  (:mod:`repro.serve.cache`) answers repeats synchronously at admission
+  -- one dict probe instead of a future + queue + dispatcher round-trip
+  -- and is invalidated inside every mutation's write-lock section, so
+  a swap can never serve a pre-swap atom id.
+* **Single-flight request coalescing.**  A ``classify`` for a header
+  that is already queued does not take a second queue slot: it awaits
+  the in-flight request's future and both callers share one
+  classification.  Without this, concurrent callers replaying a shared
+  trace *platoon* after every cache invalidation -- whole batches carry
+  one distinct header, every probe misses because the put lands after
+  all of them -- and the cache never refills.  Coalescing collapses
+  each platoon to one batch slot and one cache insert.
 * **Per-request timeouts.**  A request that misses its deadline raises
-  :class:`asyncio.TimeoutError` in the caller and its future is
-  cancelled; the dispatcher skips cancelled requests, so a timeout
-  leaves no orphan work behind.
+  :class:`asyncio.TimeoutError` in the caller.  Behavior queries own
+  their future, so the timeout cancels it and the dispatcher skips the
+  work; classify futures may be shared by coalesced waiters, so the
+  request runs to completion (seeding the result cache) and only the
+  impatient caller sees the timeout.
 * **Graceful degradation during updates** (Section VI-B's
   query-process/reconstruction-process split).  Rule updates stale the
   compiled artifact; queries keep flowing through the interpreted-tree
@@ -65,11 +81,27 @@ from ..parallel.snapshot import (
     snapshot_tree,
     snapshot_universe,
 )
+from .cache import ResultCache
+
+try:  # pragma: no cover - exercised via the CI matrix
+    from .. import config as _config
+
+    if _config.numpy_disabled():
+        _np = None
+    else:
+        import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 __all__ = ["QueryService", "QueryShed", "ServiceClosed"]
 
 #: Sentinel distinguishing "no timeout argument" from "timeout=None".
 _UNSET = object()
+
+#: Cache hits answer without suspending; yield to the event loop after
+#: this many consecutive synchronous hits so hot-header callers cannot
+#: starve the dispatcher (or anything else scheduled on the loop).
+_HIT_YIELD_EVERY = 256
 
 
 class QueryShed(Exception):
@@ -185,6 +217,17 @@ class QueryService:
     ``recompile_after_updates``
         If set, recompile inline once this many updates have staled the
         artifact, instead of waiting for the next reconstruction.
+    ``cache_size``
+        Capacity of the hot-header result cache (``0``, the default,
+        disables it).  A cached header's atom id is answered
+        *synchronously at admission* -- no future, no queue slot, no
+        dispatcher pass -- which is where the throughput win on skewed
+        workloads comes from.  The cache is generation-keyed: rule
+        updates, reconstruction swaps, :meth:`adopt_generation`, and
+        any observed out-of-band tree change invalidate it before the
+        next probe, so a swap can never serve a pre-swap atom id.
+        Behavior queries (:meth:`query`) bypass the cache; only atom-id
+        classifies are cached.
     """
 
     OVERFLOW_POLICIES = ("wait", "shed")
@@ -202,9 +245,12 @@ class QueryService:
         autocompile: bool = True,
         backend: str | None = None,
         recompile_after_updates: int | None = None,
+        cache_size: int = 0,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
         if max_delay_s < 0:
             raise ValueError("max_delay_s must be >= 0")
         if queue_limit < 1:
@@ -226,6 +272,7 @@ class QueryService:
         self.autocompile = autocompile
         self.backend = backend
         self.recompile_after_updates = recompile_after_updates
+        self.cache_size = cache_size
         self.counters: ServeCounters = (
             recorder.serve if recorder is not None else ServeCounters()
         )
@@ -241,6 +288,23 @@ class QueryService:
         self._journal: list[PredicateChange] | None = None
         self._reconstructing = False
         self._updates_since_compile = 0
+        # Hot-header result cache (tentpole 3).  All cache state is
+        # confined to the event-loop thread; the freshness stamp below
+        # detects out-of-band tree changes (the staleness-fallback case)
+        # so even mutations that bypassed this service invalidate.
+        self._cache = (
+            ResultCache(cache_size, counters=self.counters)
+            if cache_size
+            else None
+        )
+        self._cache_tree = None
+        self._cache_tree_version = -1
+        self._hit_streak = 0  # synchronous hits since the last loop yield
+        self._batch_out = None  # reusable int64 buffer for the array path
+        # Single-flight registry: header -> the future of the queued
+        # classify request for it.  Confined to the event-loop thread;
+        # entries are removed wherever their future is completed.
+        self._inflight: dict[int, asyncio.Future] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -277,8 +341,10 @@ class QueryService:
         while self._queue:
             request = self._queue.popleft()
             drained += 1
+            self._retire_inflight(request)
             if not request.future.done():
                 request.future.set_exception(ServiceClosed("service stopped"))
+        self._inflight.clear()
         # Freed slots wake admission waiters, which observe the stopped
         # service, re-release, and raise -- the wakeup cascades until
         # every waiter has drained.
@@ -325,6 +391,52 @@ class QueryService:
         if dispatcher is None or dispatcher.done():
             raise ServiceClosed("service is not running")
         counters = self.counters
+        if ingress is None:
+            if self._cache is not None:
+                # Synchronous hot-header hit: no future, no queue slot,
+                # no dispatcher pass.  Safe without the swap lock
+                # because every invalidation runs synchronously on this
+                # same loop thread inside the writer's critical section
+                # -- a probe either happens-before the mutation (and
+                # the answer linearizes before it) or sees the
+                # already-cleared cache.
+                self._check_cache_generation()
+                atom_id = self._cache.get(header)
+                if atom_id is not None:
+                    counters.requests += 1
+                    counters.record_served(0.0)
+                    # A hit suspends nowhere, so a caller looping over
+                    # hot headers would never hand the event loop back
+                    # -- the dispatcher, updates, and every other task
+                    # would starve.  Yield once per streak of hits to
+                    # bound that.
+                    self._hit_streak += 1
+                    if self._hit_streak >= _HIT_YIELD_EVERY:
+                        self._hit_streak = 0
+                        await asyncio.sleep(0)
+                    return atom_id
+            while True:
+                shared = self._inflight.get(header)
+                if shared is None:
+                    break
+                # Single-flight: an identical classify is already
+                # queued.  Wait on its future instead of spending a
+                # queue slot and a batch lane on a duplicate.  The wait
+                # is shielded, so this caller's timeout cannot cancel
+                # the leader's future; if the *leader's* caller timed
+                # out (its ``wait_for`` cancels the shared future), the
+                # request died unanswered -- loop and resubmit.
+                counters.requests += 1
+                counters.cache_coalesced += 1
+                started = time.perf_counter()
+                try:
+                    result = await self._await_shared(shared, timeout)
+                except asyncio.CancelledError:
+                    if not shared.cancelled():
+                        raise  # this caller was cancelled, not the leader
+                    continue
+                counters.record_served(time.perf_counter() - started)
+                return result
         if self._free > 0:
             self._free -= 1  # uncontended admission: no await
         elif self.overflow == "shed":
@@ -343,6 +455,13 @@ class QueryService:
         self._queue.append(request)
         counters.record_admission(len(self._queue))
         self._wakeup.set()
+        if ingress is None:
+            # Register as the single-flight leader for this header.  The
+            # leader waits on its own future directly (the hot path adds
+            # nothing over the pre-coalescing code); followers shield
+            # themselves, so only a *leader* timeout cancels the future
+            # -- followers detect that cancellation and resubmit.
+            self._inflight[header] = future
         if timeout is _UNSET:
             timeout = self.timeout_s
         try:
@@ -352,9 +471,34 @@ class QueryService:
                 result = await asyncio.wait_for(future, timeout)
         except asyncio.TimeoutError:
             counters.timeouts += 1
+            # The timed-out wait cancelled the future: unregister it so
+            # coalesced waiters resubmit instead of spinning on a dead
+            # future (no-op for behavior queries).
+            self._retire_inflight(request)
+            raise
+        except asyncio.CancelledError:
+            self._retire_inflight(request)
             raise
         counters.record_served(time.perf_counter() - request.admitted_at)
         return result
+
+    async def _await_shared(self, future: asyncio.Future, timeout):
+        """Wait on a (possibly shared) single-flight classify future.
+
+        ``shield`` keeps one caller's timeout or cancellation from
+        cancelling the future under every other coalesced waiter: the
+        queued request runs to completion and still seeds the result
+        cache; only the impatient caller raises.
+        """
+        if timeout is _UNSET:
+            timeout = self.timeout_s
+        try:
+            if timeout is None:
+                return await asyncio.shield(future)
+            return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            self.counters.timeouts += 1
+            raise
 
     async def _wait_for_slot(self) -> None:
         """Suspend until an admission slot frees (``wait`` overflow)."""
@@ -422,9 +566,17 @@ class QueryService:
             while queue and len(batch) < self.max_batch:
                 batch.append(queue.popleft())
             self._release_slots(len(batch))
-            # Timed-out requests were cancelled by their callers; drop
-            # them here so they cost no classification work.
-            live = [req for req in batch if not req.future.cancelled()]
+            # Requests whose leader timed out (or was cancelled) carry a
+            # cancelled future; drop them so they cost no work.  Their
+            # single-flight entries were retired by the leader, but
+            # retire again here as a backstop so coalesced waiters can
+            # never be left probing a dead future.
+            live = []
+            for req in batch:
+                if req.future.cancelled():
+                    self._retire_inflight(req)
+                else:
+                    live.append(req)
             if not live:
                 continue
             self.counters.record_batch(len(live))
@@ -437,6 +589,7 @@ class QueryService:
                 # left the queue, so stop()'s drain cannot see them --
                 # fail them here or callers with no timeout hang forever.
                 for request in live:
+                    self._retire_inflight(request)
                     if not request.future.done():
                         request.future.set_exception(
                             ServiceClosed("service stopped")
@@ -450,16 +603,26 @@ class QueryService:
         stages see a single classifier generation.
         """
         classifier = self.classifier
+        headers = [request.header for request in live]
         try:
-            atom_ids = classifier.classify_batch(
-                [request.header for request in live]
-            )
+            atom_ids = self._classify_headers(classifier, headers)
         except Exception as exc:  # defensive: keep the dispatcher alive
             for request in live:
+                self._retire_inflight(request)
                 if not request.future.done():
                     request.future.set_exception(exc)
             return
+        cache = self._cache
+        if cache is not None:
+            # Re-stamp before populating: if the batch was answered by
+            # the interpreted staleness fallback after an out-of-band
+            # tree change, the old generation dies here and the new
+            # results seed the next one.
+            self._check_cache_generation()
         for request, atom_id in zip(live, atom_ids):
+            self._retire_inflight(request)
+            if cache is not None and request.ingress is None:
+                cache.put(request.header, atom_id)
             if request.future.done():
                 continue
             if request.ingress is None:
@@ -473,6 +636,71 @@ class QueryService:
                 request.future.set_exception(exc)
             else:
                 request.future.set_result(behavior)
+
+    def _classify_headers(self, classifier: APClassifier, headers: list[int]):
+        """One batched stage-1 call, through the array kernel when possible.
+
+        With numpy present the batch goes arrays end-to-end into a
+        service-owned reusable ``int64`` output buffer (no per-batch
+        result allocation); ``tolist`` at the end keeps the futures'
+        results plain Python ints (JSON-safe for the TCP front-end).
+        """
+        if _np is None:
+            return classifier.classify_batch(headers)
+        n = len(headers)
+        out = self._batch_out
+        if out is None or out.shape[0] < n:
+            out = self._batch_out = _np.empty(
+                max(self.max_batch, n), dtype=_np.int64
+            )
+        return classifier.classify_batch_array(headers, out=out[:n]).tolist()
+
+    # ------------------------------------------------------------------
+    # Result cache (generation keying)
+    # ------------------------------------------------------------------
+
+    def _check_cache_generation(self) -> None:
+        """Invalidate the cache if the serving tree changed under us.
+
+        The supported mutation paths (:meth:`_apply_rule`,
+        :meth:`adopt_generation`, :meth:`reconstruct`) invalidate
+        eagerly; this stamp check is the backstop for out-of-band
+        mutations -- anything that would send queries down the
+        staleness fallback -- observed via the tree's identity and
+        version counter.  Runs on the loop thread with no awaits
+        between check and use.
+        """
+        tree = self.classifier.tree
+        if tree is self._cache_tree and tree.version == self._cache_tree_version:
+            return
+        if self._cache_tree is not None:
+            self._cache.invalidate()
+        self._cache_tree = tree
+        self._cache_tree_version = tree.version
+
+    def _retire_inflight(self, request: "_Request") -> None:
+        """Drop the request's single-flight registration.
+
+        Runs wherever the request's future is completed, on the loop
+        thread with no awaits before the future resolves, so a new
+        leader for the same header can only register after every
+        coalesced waiter's answer is already determined.  The identity
+        check guards teardown paths that may complete a future twice.
+        """
+        if request.ingress is not None:
+            return
+        if self._inflight.get(request.header) is request.future:
+            del self._inflight[request.header]
+
+    def _invalidate_cache(self) -> None:
+        """Eager invalidation at a supported mutation point."""
+        cache = self._cache
+        if cache is None:
+            return
+        cache.invalidate()
+        tree = self.classifier.tree
+        self._cache_tree = tree
+        self._cache_tree_version = tree.version
 
     # ------------------------------------------------------------------
     # Update path (write side of the swap lock)
@@ -498,6 +726,7 @@ class QueryService:
             if self._journal is not None:
                 self._journal.extend(changes)
             if changes:
+                self._invalidate_cache()
                 self._updates_since_compile += len(changes)
                 if (
                     self.recompile_after_updates is not None
@@ -528,6 +757,7 @@ class QueryService:
             if self.recorder is not None:
                 classifier.set_recorder(self.recorder)
             self.classifier = classifier
+            self._invalidate_cache()
             self._updates_since_compile = 0
             self.counters.swaps += 1
             self.counters.generations += 1
@@ -602,6 +832,7 @@ class QueryService:
                     if self.recorder is not None:
                         self.recorder.updates.replayed += len(journal)
                 classifier.install_rebuild(universe, tree)
+                self._invalidate_cache()
                 if self.autocompile:
                     self._compile_now()
                 self.counters.swaps += 1
@@ -629,6 +860,11 @@ class QueryService:
         data["running"] = self.running
         data["reconstructing"] = self._reconstructing
         data["compiled_fresh"] = self.classifier.compiled_fresh
+        if self._cache is not None:
+            data["result_cache"] = {
+                **data["result_cache"],
+                **self._cache.stats(),
+            }
         return data
 
     def __repr__(self) -> str:

@@ -169,7 +169,13 @@ class TestBackends:
             CompiledAPTree.compile(tree, backend="cuda")
 
     def test_numpy_request_without_numpy_rejected(self, toy_universe, monkeypatch):
+        # Simulate a numpy-less host: backend resolution lives in
+        # repro.core.kernel, the evaluators in repro.core.compiled --
+        # both consult their own import.
+        import repro.core.kernel as kernel_mod
+
         monkeypatch.setattr(compiled_mod, "_np", None)
+        monkeypatch.setattr(kernel_mod, "_np", None)
         tree = build_tree(toy_universe, strategy="oapt").tree
         with pytest.raises(ValueError):
             CompiledAPTree.compile(tree, backend=NUMPY_BACKEND)

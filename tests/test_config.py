@@ -64,6 +64,40 @@ class TestInts:
             config.workers()
 
 
+class TestEngine:
+    def test_unset_means_auto(self, monkeypatch):
+        monkeypatch.delenv(config.ENV_ENGINE, raising=False)
+        assert config.engine() is None
+
+    @pytest.mark.parametrize("raw", ["native", "NumPy", "STDLIB"])
+    def test_env_names_are_case_insensitive(self, monkeypatch, raw):
+        monkeypatch.setenv(config.ENV_ENGINE, raw)
+        assert config.engine() == raw.lower()
+
+    def test_auto_spelling_means_auto(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_ENGINE, "auto")
+        assert config.engine() is None
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_ENGINE, "stdlib")
+        assert config.engine("numpy") == "numpy"
+
+    def test_unknown_engine_is_loud(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_ENGINE, "fortran")
+        with pytest.raises(ValueError, match="REPRO_ENGINE"):
+            config.engine()
+
+    def test_resolution_honors_preference(self, monkeypatch):
+        # The kernel resolves the env preference against availability:
+        # stdlib is always importable, so asking for it must stick.
+        from repro.core import kernel
+
+        monkeypatch.setenv(config.ENV_ENGINE, "stdlib")
+        assert kernel.default_backend() == kernel.STDLIB_BACKEND
+        monkeypatch.delenv(config.ENV_ENGINE)
+        assert kernel.default_backend() in kernel.available_backends()
+
+
 class TestMpStart:
     def test_default_is_available(self, monkeypatch):
         monkeypatch.delenv(config.ENV_MP_START, raising=False)
@@ -84,6 +118,7 @@ class TestRegistry:
             "REPRO_WORKERS",
             "REPRO_MP_START",
             "REPRO_DISABLE_NUMPY",
+            "REPRO_ENGINE",
             "REPRO_OBS_SIDECAR",
             "REPRO_SERVE_WORKERS",
             "REPRO_ARTIFACT_MMAP",

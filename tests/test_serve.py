@@ -161,9 +161,11 @@ class TestAdmission:
             async with service:
                 # All ten admissions run before the dispatcher wakes:
                 # tasks are scheduled in creation order, ahead of the
-                # event-triggered dispatcher resumption.
+                # event-triggered dispatcher resumption.  Headers are
+                # distinct -- duplicates would coalesce onto the queued
+                # request instead of contending for admission slots.
                 results = await asyncio.gather(
-                    *(service.classify(0) for _ in range(10)),
+                    *(service.classify(h) for h in range(10)),
                     return_exceptions=True,
                 )
             served = [r for r in results if isinstance(r, int)]
