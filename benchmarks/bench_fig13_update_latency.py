@@ -8,32 +8,63 @@ Stanford starts from 100/250/400; >90% finish within 1 ms.
 
 Shape to reproduce: additions are fast (ms scale), latency grows with the
 number of live atoms, and the initial predicate count has little effect.
+
+Beyond the paper: the ``engine`` axis runs the same addition stream
+through the incremental-maintenance engine (delta refinement + compiled
+patches, :mod:`repro.core.incremental`) next to the Section VI-A
+tombstone engine, and ``test_fig13_incremental_vs_full_rebuild`` pins the
+scoreboard the incremental engine exists for -- churn ops must beat the
+Section VI-B full-rebuild path by >=5x on the stanford-like dataset.
+Results of that comparison land in ``BENCH_fig13_incremental.json`` at
+the repo root.  ``--quick`` trims iteration counts for CI smoke.
 """
 
 from __future__ import annotations
 
+import json
 import random
 import time
+from pathlib import Path
 
 import pytest
-from conftest import emit
+from conftest import emit, emit_obs
 
 from repro.analysis.reporting import render_table
 from repro.analysis.stats import percentile
 from repro.core.atomic import AtomicUniverse
 from repro.core.construction import build_oapt
+from repro.core.incremental import IncrementalEngine
 from repro.core.update import UpdateEngine
+from repro.network.dataplane import LabeledPredicate
+from repro.obs import Recorder
 
 ADDITIONS = 30
+ADDITIONS_QUICK = 8
+
+#: Incremental-vs-rebuild comparison sizing.
+CHURN_OPS = 30
+CHURN_OPS_QUICK = 6
+REBUILD_ROUNDS = 3
+REBUILD_ROUNDS_QUICK = 2
+SPEEDUP_FLOOR = 5.0
+
+RESULT_JSON = Path(__file__).parent.parent / "BENCH_fig13_incremental.json"
+
+ENGINES = {
+    "tombstone": UpdateEngine,
+    "incremental": IncrementalEngine,
+}
 
 
-def addition_latencies(ds, initial: int, rng: random.Random) -> list[float]:
+def addition_latencies(
+    ds, initial: int, rng: random.Random, engine_cls=UpdateEngine, additions=ADDITIONS
+) -> list[float]:
     pool = list(ds.dataplane.predicates())
     rng.shuffle(pool)
-    base, extra = pool[:initial], pool[initial : initial + ADDITIONS]
+    base, extra = pool[:initial], pool[initial : initial + additions]
     universe = AtomicUniverse.compute(ds.dataplane.manager, base)
     tree = build_oapt(universe)
-    engine = UpdateEngine(universe, tree)
+    engine = engine_cls(universe, tree)
     latencies = []
     for labeled in extra:
         started = time.perf_counter()
@@ -42,20 +73,32 @@ def addition_latencies(ds, initial: int, rng: random.Random) -> list[float]:
     return latencies
 
 
+@pytest.mark.parametrize("engine_name", sorted(ENGINES))
 @pytest.mark.parametrize("which", ["i2", "stan"])
-def test_fig13_predicate_addition_latency(which, i2, stan, benchmark):
+def test_fig13_predicate_addition_latency(
+    which, engine_name, i2, stan, benchmark, quick
+):
     ds = i2 if which == "i2" else stan
+    engine_cls = ENGINES[engine_name]
+    additions = ADDITIONS_QUICK if quick else ADDITIONS
     total = len(ds.dataplane.predicates())
     initial_counts = [
         max(total // 4, 2),
         max(total // 2, 3),
         max(3 * total // 4, 4),
     ]
+    if quick:
+        initial_counts = initial_counts[1:2]
     rng = random.Random(13)
     rows = []
     all_latencies: dict[int, list[float]] = {}
     for initial in initial_counts:
-        latencies = [s * 1e3 for s in addition_latencies(ds, initial, rng)]
+        latencies = [
+            s * 1e3
+            for s in addition_latencies(
+                ds, initial, rng, engine_cls=engine_cls, additions=additions
+            )
+        ]
         all_latencies[initial] = latencies
         rows.append(
             (
@@ -66,11 +109,12 @@ def test_fig13_predicate_addition_latency(which, i2, stan, benchmark):
                 f"{max(latencies):.2f} ms",
             )
         )
+    suffix = "" if engine_name == "tombstone" else f"_{engine_name}"
     emit(
-        f"fig13_{ds.name}",
+        f"fig13_{ds.name}{suffix}",
         render_table(
-            f"Fig. 13 ({ds.name}): per-predicate addition latency "
-            f"({ADDITIONS} additions per initial size)",
+            f"Fig. 13 ({ds.name}, {engine_name} engine): per-predicate "
+            f"addition latency ({additions} additions per initial size)",
             ["initial predicates", "p50", "p80", "p95", "max"],
             rows,
         ),
@@ -85,6 +129,103 @@ def test_fig13_predicate_addition_latency(which, i2, stan, benchmark):
     def one_addition():
         universe = AtomicUniverse.compute(ds.dataplane.manager, pool[:-1])
         tree = build_oapt(universe)
-        UpdateEngine(universe, tree).add_predicate(pool[-1])
+        engine_cls(universe, tree).add_predicate(pool[-1])
 
-    benchmark.pedantic(one_addition, rounds=2, iterations=1)
+    benchmark.pedantic(one_addition, rounds=1 if quick else 2, iterations=1)
+
+
+def test_fig13_incremental_vs_full_rebuild(stan, quick):
+    """Churn ops through the incremental engine vs Section VI-B rebuilds.
+
+    One churn op = remove one live predicate (merge + splice + patch)
+    then re-add it under a fresh pid (refine + split + patch) -- the
+    steady-state cost of keeping the partition minimal.  The baseline is
+    what the removal *used* to cost once staleness forced it: a full
+    ``AtomicUniverse.compute`` plus tree build over the live predicates.
+    """
+    ops = CHURN_OPS_QUICK if quick else CHURN_OPS
+    rounds = REBUILD_ROUNDS_QUICK if quick else REBUILD_ROUNDS
+    pool = list(stan.dataplane.predicates())
+    universe = AtomicUniverse.compute(stan.dataplane.manager, pool)
+    tree = build_oapt(universe)
+    recorder = Recorder()
+    engine = IncrementalEngine(universe, tree, recorder=recorder)
+    live = {labeled.pid: labeled for labeled in pool}
+    next_pid = max(live) + 1
+    rng = random.Random(31)
+
+    op_latencies: list[float] = []
+    for _ in range(ops):
+        victim = live.pop(rng.choice(sorted(live)))
+        started = time.perf_counter()
+        engine.remove_predicate(victim.pid)
+        op_latencies.append(time.perf_counter() - started)
+        relabeled = LabeledPredicate(
+            next_pid, victim.kind, victim.box, victim.port, victim.fn
+        )
+        next_pid += 1
+        started = time.perf_counter()
+        engine.add_predicate(relabeled)
+        op_latencies.append(time.perf_counter() - started)
+        live[relabeled.pid] = relabeled
+
+    rebuild_latencies: list[float] = []
+    current = [live[pid] for pid in sorted(live)]
+    for _ in range(rounds):
+        started = time.perf_counter()
+        rebuilt = AtomicUniverse.compute(stan.dataplane.manager, current)
+        build_oapt(rebuilt)
+        rebuild_latencies.append(time.perf_counter() - started)
+
+    mean_op = sum(op_latencies) / len(op_latencies)
+    mean_rebuild = sum(rebuild_latencies) / len(rebuild_latencies)
+    speedup = mean_rebuild / mean_op
+    rows = [
+        (
+            "incremental op",
+            f"{mean_op * 1e3:.2f} ms",
+            f"{percentile([s * 1e3 for s in op_latencies], 95):.2f} ms",
+            f"{max(op_latencies) * 1e3:.2f} ms",
+        ),
+        (
+            "full rebuild",
+            f"{mean_rebuild * 1e3:.2f} ms",
+            "-",
+            f"{max(rebuild_latencies) * 1e3:.2f} ms",
+        ),
+        ("speedup (mean)", f"{speedup:.1f}x", "-", "-"),
+    ]
+    emit(
+        "fig13_incremental_vs_rebuild",
+        render_table(
+            f"Incremental maintenance vs full rebuild ({stan.name}, "
+            f"{ops} remove+re-add ops, {rounds} rebuild rounds)",
+            ["path", "mean", "p95", "max"],
+            rows,
+        ),
+    )
+    RESULT_JSON.write_text(
+        json.dumps(
+            {
+                "dataset": stan.name,
+                "ops": len(op_latencies),
+                "mean_op_s": mean_op,
+                "mean_rebuild_s": mean_rebuild,
+                "speedup": speedup,
+                "splices": engine.splices,
+                "merges": engine.merges_applied,
+                "full_rebuilds": engine.full_rebuilds,
+            },
+            indent=2,
+            allow_nan=False,
+        )
+        + "\n"
+    )
+    emit_obs("fig13_incremental", recorder)
+    # The scoreboard: maintaining atoms is >=5x cheaper than rebuilding
+    # them, and the engine never had to fall back to a rebuild.
+    assert engine.full_rebuilds == 0
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"incremental churn ops only {speedup:.1f}x faster than a full "
+        f"rebuild (floor {SPEEDUP_FLOOR}x)"
+    )

@@ -1,7 +1,7 @@
 """Serving-layer throughput: micro-batching gain and degradation curve.
 
-Three experiments on a private Internet2-like classifier (private because
-the degradation leg mutates the data plane and reconstructs, which would
+Four experiments on private Internet2-like classifiers (private because
+the churn legs mutate the data plane and reconstruct, which would
 corrupt the shared session fixtures):
 
 * **Closed loop.**  One sequential client versus 96 concurrent clients
@@ -27,6 +27,13 @@ corrupt the shared session fixtures):
   per-client shuffled order -- independent callers over one hot set --
   so concurrent duplicates exist (and coalesce) without the lockstep
   platooning a shared sequential walk degenerates into.
+* **Churn storm.**  The degradation scenario at burst intensity (16
+  updates back to back), run once per maintenance mode.  Tombstone
+  maintenance pins the service in the stale interpreted-fallback regime
+  for the rest of the run; incremental maintenance
+  (:mod:`repro.core.incremental`) patches the compiled program in place
+  on every update, so the timeline stays fresh throughout and no
+  reconstruction is needed.
 
 Two serving axes are configurable without editing the file:
 
@@ -325,6 +332,109 @@ async def run_degradation(classifier, headers) -> list[dict]:
     return samples
 
 
+async def run_churn_storm(classifier, headers, maintenance: str) -> dict:
+    """Degradation timeline for a churn *storm* under one maintenance mode.
+
+    The counterpart to :func:`run_degradation`: the same client load and
+    the same kind of structural churn, but a storm of it (a burst of
+    /24 inserts followed by their withdrawals).  Run once per
+    maintenance mode: under ``"tombstone"`` every update stales the
+    compiled artifact and nothing un-stales it, so the storm pins the
+    service in the degraded interpreted-fallback regime until a
+    reconstruction; under ``"incremental"`` every update splices the
+    tree and patches the compiled program in place, so the fast path
+    never goes stale and no reconstruction is needed.  The result cache
+    turns over its generation on every update in both modes (asserted
+    via the invalidation counter), so a patched artifact can never
+    serve a stale cached atom id.
+    """
+    state = {"done": 0, "stop": False, "phase": "fresh"}
+    storm_prefixes = [f"10.{octet}.77.0" for octet in range(3, 11)]
+    fresh_after_update = []
+
+    async def client(seed: int) -> None:
+        order = random.Random(seed).sample(range(len(headers)), len(headers))
+        index = 0
+        while not state["stop"]:
+            await service.classify(headers[order[index % len(order)]])
+            state["done"] += 1
+            index += 1
+
+    async def controller() -> None:
+        await asyncio.sleep(4 * BUCKET_S)
+        state["phase"] = "storm"
+        rules = []
+        # Paced across sampler buckets so the storm phase actually spans
+        # the timeline (patched updates are so fast that back-to-back
+        # application would fit inside a single bucket).
+        for index, dotted in enumerate(storm_prefixes):
+            rule = ForwardingRule(
+                Match.prefix("dst_ip", parse_ipv4(dotted), 24), (), 24
+            )
+            rules.append(rule)
+            await service.insert_rule("SEAT", rule)
+            fresh_after_update.append(classifier.compiled_fresh)
+            if index % 2 == 1:
+                await asyncio.sleep(BUCKET_S)
+        for index, rule in enumerate(rules):
+            await service.remove_rule("SEAT", rule)
+            fresh_after_update.append(classifier.compiled_fresh)
+            if index % 2 == 1:
+                await asyncio.sleep(BUCKET_S)
+        state["phase"] = "after"
+        await asyncio.sleep(4 * BUCKET_S)
+        state["stop"] = True
+
+    samples: list[dict] = []
+
+    async def sampler() -> None:
+        last, clock = 0, 0.0
+        while not state["stop"]:
+            await asyncio.sleep(BUCKET_S)
+            clock += BUCKET_S
+            done = state["done"]
+            samples.append(
+                {
+                    "time_s": round(clock, 3),
+                    "phase": state["phase"],
+                    "throughput_qps": (done - last) / BUCKET_S,
+                    "compiled_fresh": classifier.compiled_fresh,
+                }
+            )
+            last = done
+
+    service = QueryService(
+        classifier,
+        max_batch=CLIENTS,
+        max_delay_s=0.0002,
+        backend=ENGINE,
+        cache_size=CACHE_SIZE,
+        maintenance=maintenance,
+    )
+    async with service:
+        clients = [
+            asyncio.ensure_future(client(i * 211)) for i in range(CLIENTS)
+        ]
+        await asyncio.gather(controller(), sampler())
+        await asyncio.gather(*clients)
+    engine = classifier._engine
+    updates = 2 * len(storm_prefixes)
+    # No reconstruction ran in either mode, and every structural update
+    # retired the cached generation.
+    assert service.counters.swaps == 0
+    assert service.counters.cache_invalidations >= updates
+    return {
+        "maintenance": maintenance,
+        "timeline": samples,
+        "updates": updates,
+        "fresh_after_update": fresh_after_update,
+        "patches": getattr(engine, "patches", 0),
+        "splices": getattr(engine, "splices", 0),
+        "merges": getattr(engine, "merges_applied", 0),
+        "full_rebuilds": getattr(engine, "full_rebuilds", 0),
+    }
+
+
 def phase_means(samples: list[dict]) -> dict:
     totals: dict[str, list[float]] = {}
     for sample in samples:
@@ -344,6 +454,16 @@ def test_serve_throughput():
     )
     degradation = asyncio.run(run_degradation(classifier, headers))
     means = phase_means(degradation)
+    # Own classifiers: the storm legs churn the data plane (and one runs
+    # incremental maintenance), which must not contaminate the other legs.
+    storms = {}
+    for mode in ("tombstone", "incremental"):
+        storm_classifier = fresh_classifier()
+        storms[mode] = asyncio.run(
+            run_churn_storm(storm_classifier, trace_headers(storm_classifier), mode)
+        )
+    storm = storms["incremental"]
+    storm_means = phase_means(storm["timeline"])
 
     emit(
         "serve_closed_loop",
@@ -389,6 +509,27 @@ def test_serve_throughput():
         ),
     )
 
+    emit(
+        "serve_churn_storm",
+        "\n\n".join(
+            render_series(
+                f"Serving through a churn storm ({storms[mode]['updates']} "
+                f"updates, {mode} maintenance)",
+                "time",
+                "throughput / compiled",
+                [
+                    (
+                        f"{s['time_s']:.2f}s [{s['phase']}]",
+                        f"{format_qps(s['throughput_qps'])} "
+                        f"({'fresh' if s['compiled_fresh'] else 'STALE'})",
+                    )
+                    for s in storms[mode]["timeline"]
+                ],
+            )
+            for mode in ("tombstone", "incremental")
+        ),
+    )
+
     # The tentpole's acceptance bar.
     assert closed["batched_speedup"] >= MIN_BATCHED_SPEEDUP, (
         f"micro-batching gained only {closed['batched_speedup']:.2f}x "
@@ -401,6 +542,31 @@ def test_serve_throughput():
     # swap (recompiled artifact; generous 0.3x floor keeps CI noise out).
     assert all(means[phase] > 0 for phase in means)
     assert means["swapped"] > 0.3 * means["fresh"]
+    # The churn-storm contrast: under tombstone maintenance the first
+    # update stales the compiled artifact and the service stays pinned in
+    # the degraded interpreted-fallback regime through and *after* the
+    # storm (nothing short of a reconstruction un-stales it).  Under
+    # incremental maintenance every update patches the compiled program
+    # in place, so the fast path never goes stale and the service exits
+    # the storm already recovered -- no reconstruction, no rebuilds.
+    tombstone_storm = storms["tombstone"]
+    assert not any(tombstone_storm["fresh_after_update"])
+    assert not any(
+        s["compiled_fresh"]
+        for s in tombstone_storm["timeline"]
+        if s["phase"] in ("storm", "after")
+    )
+    assert all(storm["fresh_after_update"])
+    assert all(s["compiled_fresh"] for s in storm["timeline"])
+    assert storm["full_rebuilds"] == 0
+    assert storm["patches"] > 0
+    # Throughput floors: the service keeps answering through the storm
+    # (each update intentionally retires the cache generation, so storm
+    # buckets run without the ~100%-hit-rate boost the fresh phase
+    # enjoys), and recovers the cache-hot floor immediately after --
+    # without the reconstruction the tombstone path would need.
+    assert all(storm_means[phase] > 0 for phase in storm_means)
+    assert storm_means["after"] > 0.3 * storm_means["fresh"]
     # The cache axis earned its keep on the recycled trace, and the
     # post-swap phase shows the cache refilling (hits after the swap can
     # only come from post-swap classifications: generation keying).
@@ -419,6 +585,13 @@ def test_serve_throughput():
         "open_loop": open_loop,
         "degradation_timeline": degradation,
         "degradation_phase_means_qps": means,
+        "churn_storm": {
+            mode: {
+                **storms[mode],
+                "phase_means_qps": phase_means(storms[mode]["timeline"]),
+            }
+            for mode in storms
+        },
         "min_batched_speedup_required": MIN_BATCHED_SPEEDUP,
     }
     RESULT_JSON.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")

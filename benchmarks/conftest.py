@@ -33,6 +33,26 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 TRACE_LEN = 2000
 
+
+def pytest_addoption(parser):
+    """``--quick``: trimmed bench parameters for CI smoke legs.
+
+    Works because pytest loads the conftests of directories named on the
+    command line *before* parsing options -- so this registers in time
+    whenever a bench under ``benchmarks/`` is invoked directly.
+    """
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run benches with reduced iteration counts (CI smoke)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    return request.config.getoption("--quick")
+
 #: Instrumentation sidecars are opt-in: the figure benches replay a small
 #: observed workload *after* their measured sections and write
 #: ``results/<name>.obs.json`` only when this is set (see README).

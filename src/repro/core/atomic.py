@@ -22,7 +22,7 @@ from typing import Iterable, Mapping
 from ..bdd import BDDManager, Function
 from ..network.dataplane import LabeledPredicate
 
-__all__ = ["AtomicUniverse", "LeafSplit"]
+__all__ = ["AtomMerge", "AtomicUniverse", "LeafSplit"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,21 @@ class LeafSplit:
     @property
     def is_split(self) -> bool:
         return self.inside_id is not None and self.outside_id is not None
+
+
+@dataclass(frozen=True)
+class AtomMerge:
+    """Atoms coalesced into one because no live predicate separates them.
+
+    The inverse of :class:`LeafSplit`: after a predicate removal, the
+    sibling atoms it once split apart have identical live memberships and
+    collapse into a fresh atom (``merged_id``) that inherits them.  Under
+    pure incremental maintenance ``parts`` is always a pair; histories
+    with stacked tombstones can produce larger groups.
+    """
+
+    merged_id: int
+    parts: tuple[int, ...]
 
 
 class AtomicUniverse:
@@ -253,6 +268,10 @@ class AtomicUniverse:
         """``R(p)``: ids of the atoms whose disjunction equals predicate ``pid``."""
         return frozenset(self._r[pid])
 
+    def memberships(self, atom_id: int) -> frozenset[int]:
+        """Live pids whose ``R`` set contains the atom (inverse of :meth:`r`)."""
+        return frozenset(self._containing[atom_id])
+
     def contains(self, pid: int, atom_id: int) -> bool:
         """Is the atom inside the predicate?  (``ap in R(p)``, Section IV-B.)"""
         r_set = self._r.get(pid)
@@ -355,6 +374,56 @@ class AtomicUniverse:
         del self._pred_fns[pid]
         for atom_id in self._r.pop(pid):
             self._containing[atom_id].discard(pid)
+
+    def merge_siblings(
+        self,
+        pool: Iterable[int],
+        groups: Mapping[int, int] | None = None,
+    ) -> list[AtomMerge]:
+        """Coalesce atoms in ``pool`` whose live memberships are identical.
+
+        The delta counterpart of :meth:`coalesce`: instead of re-grouping
+        the whole universe, only the atoms a removal may have affected are
+        considered -- the callers (``repro.core.incremental``) pass the
+        leaf atoms under the removed predicate's tree nodes, so the sweep
+        is proportional to the touched region, not the atom count.
+
+        ``groups`` optionally restricts merges to atoms sharing a group
+        value (one group per spliced subtree): a pool atom with no group
+        entry never merges.  Merged atoms get a fresh id inheriting the
+        common memberships; returns one :class:`AtomMerge` per collapsed
+        group (empty when the removal separated nothing).
+        """
+        buckets: dict[tuple[frozenset[int], int], list[int]] = {}
+        for atom_id in pool:
+            if atom_id not in self._atoms:
+                continue
+            if groups is None:
+                group = 0
+            elif atom_id in groups:
+                group = groups[atom_id]
+            else:
+                continue
+            key = (frozenset(self._containing[atom_id]), group)
+            buckets.setdefault(key, []).append(atom_id)
+        merges: list[AtomMerge] = []
+        for (membership, _), members in sorted(
+            buckets.items(), key=lambda item: min(item[1])
+        ):
+            if len(members) == 1:
+                continue
+            members.sort()
+            merged = self._atoms[members[0]]
+            for member in members[1:]:
+                merged = merged | self._atoms[member]
+            new_id = self._mint_atom(merged)
+            for pid in membership:
+                self._r[pid].add(new_id)
+                self._containing[new_id].add(pid)
+            for member in members:
+                self._drop_atom(member)
+            merges.append(AtomMerge(new_id, tuple(members)))
+        return merges
 
     def coalesce(self) -> dict[int, int]:
         """Merge atoms no live predicate distinguishes.

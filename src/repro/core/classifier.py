@@ -52,6 +52,13 @@ class APClassifier:
     BYTES_PER_BDD_NODE = 20
     BYTES_PER_TREE_NODE = 40
 
+    #: Update-maintenance modes: ``tombstone`` is the paper's Section VI-A
+    #: engine (removals tombstone, minimality decays until a rebuild);
+    #: ``incremental`` keeps the partition minimal under churn with delta
+    #: refinement, local tree splices, and in-place compiled patches
+    #: (:mod:`repro.core.incremental`).
+    MAINTENANCE_MODES = ("tombstone", "incremental")
+
     def __init__(
         self,
         dataplane: DataPlane,
@@ -59,19 +66,60 @@ class APClassifier:
         tree: APTree,
         strategy: str = "oapt",
         count_visits: bool = False,
+        maintenance: str = "tombstone",
     ) -> None:
+        if maintenance not in self.MAINTENANCE_MODES:
+            raise ValueError(
+                f"unknown maintenance mode {maintenance!r} "
+                f"(expected one of {self.MAINTENANCE_MODES})"
+            )
         self.dataplane = dataplane
         self.universe = universe
         self.tree = tree
         self.strategy = strategy
+        self.maintenance = maintenance
         self.counter = VisitCounter() if count_visits else None
         self.behavior_computer = BehaviorComputer(dataplane, universe)
         #: Optional :class:`repro.obs.Recorder`; install via
         #: :meth:`set_recorder` so the tree, update engine, and BDD
         #: manager are wired (and re-wired across tree swaps) together.
         self.recorder = None
-        self._engine = UpdateEngine(universe, tree, self.counter)
+        self._engine = self._make_engine(universe, tree)
         self._compiled: CompiledAPTree | None = None
+
+    def _make_engine(self, universe: AtomicUniverse, tree: APTree) -> UpdateEngine:
+        if self.maintenance == "incremental":
+            # Imported lazily: incremental imports construction, which
+            # sits above this module in the package-init order.
+            from .incremental import IncrementalEngine
+
+            return IncrementalEngine(
+                universe,
+                tree,
+                self.counter,
+                recorder=self.recorder,
+                classifier=self,
+                strategy=self.strategy,
+            )
+        return UpdateEngine(universe, tree, self.counter, recorder=self.recorder)
+
+    def set_maintenance(self, maintenance: str) -> None:
+        """Switch update-maintenance mode; takes effect immediately.
+
+        The replacement engine adopts the live ``(universe, tree)`` pair
+        in place, so mid-stream switches are safe: an incremental engine
+        handed a tombstone-era tree detects the dead labels and schedules
+        one full rebuild on its first removal.
+        """
+        if maintenance == self.maintenance:
+            return
+        if maintenance not in self.MAINTENANCE_MODES:
+            raise ValueError(
+                f"unknown maintenance mode {maintenance!r} "
+                f"(expected one of {self.MAINTENANCE_MODES})"
+            )
+        self.maintenance = maintenance
+        self._engine = self._make_engine(self.universe, self.tree)
 
     def set_recorder(self, recorder) -> None:
         """Attach (or with ``None``, detach) an observability recorder.
@@ -103,6 +151,7 @@ class APClassifier:
         trials: int = 100,
         count_visits: bool = False,
         workers: int | None = None,
+        maintenance: str = "tombstone",
     ) -> "APClassifier":
         """Compile a network and build the classifier in one step.
 
@@ -130,6 +179,7 @@ class APClassifier:
                 result.report.tree,
                 strategy=strategy,
                 count_visits=count_visits,
+                maintenance=maintenance,
             )
         dataplane = DataPlane(network, manager)
         return cls.from_dataplane(
@@ -138,6 +188,7 @@ class APClassifier:
             rng=rng,
             trials=trials,
             count_visits=count_visits,
+            maintenance=maintenance,
         )
 
     @classmethod
@@ -148,6 +199,7 @@ class APClassifier:
         rng: random.Random | None = None,
         trials: int = 100,
         count_visits: bool = False,
+        maintenance: str = "tombstone",
     ) -> "APClassifier":
         universe = AtomicUniverse.compute(dataplane.manager, dataplane.predicates())
         report = build_tree(universe, strategy=strategy, rng=rng, trials=trials)
@@ -157,6 +209,7 @@ class APClassifier:
             report.tree,
             strategy=strategy,
             count_visits=count_visits,
+            maintenance=maintenance,
         )
 
     # ------------------------------------------------------------------
@@ -441,9 +494,7 @@ class APClassifier:
                 self.counter.reset()
         self.tree = tree
         tree.recorder = self.recorder
-        self._engine = UpdateEngine(
-            universe, tree, self.counter, recorder=self.recorder
-        )
+        self._engine = self._make_engine(universe, tree)
         # The artifact described the old tree; queries fall back to the
         # interpreted path until the caller recompiles.
         self._compiled = None

@@ -539,6 +539,16 @@ class CompiledAPTree:
         self._build_fused(tree)
         del self._tree_nodes  # the arrays are a snapshot; drop live refs
         self._scalar_ready = True
+        #: Engines compiled from a live tree keep enough indices
+        #: (atom -> row/sink, node entries) for in-place patching;
+        #: artifact-restored engines (:meth:`from_arrays`) do not.
+        self._patchable = True
+        #: Fused nodes orphaned by collapse patches (degradation metric).
+        self._dead_patches = 0
+        self._refresh_accelerated()
+
+    def _refresh_accelerated(self) -> None:
+        """(Re)build the numpy mirrors + kernel view from the list arrays."""
         if self.backend in (NUMPY_BACKEND, NATIVE_BACKEND):
             self._np_f_var = _np.asarray(self._f_var, dtype=_np.int32)
             child = _np.empty(2 * len(self._f_var), dtype=_np.int32)
@@ -614,6 +624,8 @@ class CompiledAPTree:
             tree.version if tree is not None and tree_version is None
             else (tree_version or 0)
         )
+        self._patchable = False
+        self._dead_patches = 0
         self.backend = _resolve_backend(backend)
         self.num_vars = int(arrays["num_vars"])
         self._num_sinks = int(arrays["num_sinks"])
@@ -736,6 +748,10 @@ class CompiledAPTree:
         self.low_idx = low_idx
         self.high_idx = high_idx
         self.atom_id = atom_id
+        # atom id -> leaf row, so patches can find a leaf in O(1).
+        self._atom_row = {
+            aid: i for i, aid in enumerate(atom_id) if aid >= 0
+        }
         self._tree_nodes = nodes
 
     def _build_fused(self, tree: APTree) -> None:
@@ -804,10 +820,224 @@ class CompiledAPTree:
         self._f_high = f_high
         self._num_sinks = num_sinks
         self._f_root = entries[0]
+        # Per tree-row fused entry (sink index for leaves, slice base for
+        # internal rows) and atom id -> sink index: the bookkeeping the
+        # in-place patches below navigate by.
+        self._f_entry = entries
+        self._atom_sink = {
+            self._f_atom[sink]: sink for sink in range(num_sinks)
+        }
         if __debug__:
             for u in range(num_sinks, size):
                 assert f_low[u] < num_sinks or f_low[u] > u
                 assert f_high[u] < num_sinks or f_high[u] > u
+
+    # -- in-place patches (incremental maintenance) ----------------------
+    #
+    # Both patches keep the compiled program *exact* for the mutated tree
+    # and finish by re-stamping ``tree_version``, so the fast path never
+    # drops into stale-fallback for a leaf-local update.  They only apply
+    # to engines compiled from a live tree (``_patchable``); artifact
+    # views return False and the caller recompiles.
+
+    @property
+    def patchable(self) -> bool:
+        return self._patchable
+
+    def patch_apply_splits(self, fn_node: int, splits) -> bool:
+        """Mirror :meth:`APTree.apply_splits` onto the compiled arrays.
+
+        Predicate addition is always leaf-local: each split leaf becomes
+        an internal node testing the new predicate, with the inside atom
+        on the high branch.  The patch grows the sink region by one per
+        split (the descent's termination test is ``cur < num_sinks``, so
+        new sinks must join the contiguous low region: every non-sink
+        index shifts up by the split count), appends one copy of the new
+        predicate's flattened slice per split with its terminals rewired
+        to the two child sinks, and redirects the old atom's sink into
+        that slice.  Returns True when patched (compiled stays fresh).
+        """
+        if not self._patchable or self.tree is None:
+            return False
+        real = [s for s in splits if s.is_split]
+        if not real:
+            # Absorbed-only addition: no atom changed id, no leaf moved --
+            # the program is already exact, only the version stamp aged.
+            self.tree_version = self.tree.version
+            return True
+        # --- shared predicate slice for the scalar tree arrays --------
+        var, low, high, entry_of = flatten_bdds(self.tree.manager, [fn_node])
+        offset = len(self._bdd_var) - 2
+        shift = self.num_vars - 1
+        for j in range(2, len(var)):
+            self._bdd_var.append(var[j])
+            self._bdd_shift.append(shift - var[j])
+            lo, hi = low[j], high[j]
+            self._bdd_low.append(lo if lo <= TRUE else lo + offset)
+            self._bdd_high.append(hi if hi <= TRUE else hi + offset)
+        entry = entry_of[fn_node] + offset
+        root_offset = entry_of[fn_node] - 2  # slice-relative root position
+        slice_len = len(var) - 2
+
+        # --- fused program: grow sinks, shift, append slice copies ----
+        old_size = len(self._f_var)
+        num_sinks = self._num_sinks
+        k = len(real)
+        # Old sink of each split atom redirects into its slice copy.
+        redirect: dict[int, int] = {}
+        sinks: list[tuple[int, int]] = []  # (inside sink, outside sink)
+        for t, split in enumerate(real):
+            s_in = self._atom_sink.pop(split.old_id)
+            self._f_atom[s_in] = split.inside_id
+            self._atom_sink[split.inside_id] = s_in
+            s_out = num_sinks + t
+            self._f_atom.append(split.outside_id)
+            self._atom_sink[split.outside_id] = s_out
+            sinks.append((s_in, s_out))
+            redirect[s_in] = old_size + k + t * slice_len + root_offset
+        # Sinks other than the redirected ones keep their index; every
+        # non-sink shifts by k to make room for the new sinks.
+        def remap(v: int) -> int:
+            mapped = redirect.get(v)
+            if mapped is not None:
+                return mapped
+            return v if v < num_sinks else v + k
+
+        nf_var = [0] * (num_sinks + k)
+        nf_low = list(range(num_sinks + k))
+        nf_high = list(range(num_sinks + k))
+        f_var, f_low, f_high = self._f_var, self._f_low, self._f_high
+        for u in range(num_sinks, old_size):
+            nf_var.append(f_var[u])
+            nf_low.append(remap(f_low[u]))
+            nf_high.append(remap(f_high[u]))
+        for t, (s_in, s_out) in enumerate(sinks):
+            base = old_size + k + t * slice_len
+            for j in range(2, len(var)):
+                nf_var.append(var[j])
+                lo, hi = low[j], high[j]
+                nf_low.append(
+                    s_in if lo == TRUE
+                    else s_out if lo == 0
+                    else base + (lo - 2)
+                )
+                nf_high.append(
+                    s_in if hi == TRUE
+                    else s_out if hi == 0
+                    else base + (hi - 2)
+                )
+        self._f_var = nf_var
+        self._f_low = nf_low
+        self._f_high = nf_high
+        self._num_sinks = num_sinks + k
+        self._f_root = remap(self._f_root)
+        # remap() sends a split leaf row's old sink straight to its slice
+        # entry, which is exactly the row's new meaning as internal node.
+        self._f_entry = [remap(e) for e in self._f_entry]
+
+        # --- scalar tree arrays ---------------------------------------
+        for t, split in enumerate(real):
+            row = self._atom_row.pop(split.old_id)
+            in_row = len(self.pred_entry)
+            out_row = in_row + 1
+            self.pred_entry[row] = entry
+            self.atom_id[row] = -1
+            self.high_idx[row] = in_row
+            self.low_idx[row] = out_row
+            for leaf_row, aid, sink in (
+                (in_row, split.inside_id, sinks[t][0]),
+                (out_row, split.outside_id, sinks[t][1]),
+            ):
+                self.pred_entry.append(-1)
+                self.low_idx.append(leaf_row)
+                self.high_idx.append(leaf_row)
+                self.atom_id.append(aid)
+                self._atom_row[aid] = leaf_row
+                self._f_entry.append(sink)
+
+        if __debug__:
+            ns, size = self._num_sinks, len(self._f_var)
+            for u in range(ns, size):
+                assert self._f_low[u] < ns or self._f_low[u] > u
+                assert self._f_high[u] < ns or self._f_high[u] > u
+        self._refresh_accelerated()
+        self.tree_version = self.tree.version
+        return True
+
+    def patch_leaf_merges(self, merges) -> bool:
+        """Collapse two-leaf internal nodes whose atoms merged.
+
+        ``merges`` is a sequence of ``(merged_id, (part_a, part_b))``
+        pairs (see :class:`~.atomic.AtomMerge`).  Each is applied only
+        when both parts are leaves under one shared parent -- the
+        leaf-local shape a removal splice produces.  The collapsed
+        node's slice stays in the arrays as dead weight (no edge reaches
+        it); ``_dead_patches`` counts the orphaned nodes so callers can
+        bound the drift.  All-or-nothing: returns False (arrays
+        untouched, compiled goes stale) unless *every* merge is
+        leaf-local.
+        """
+        if not self._patchable or self.tree is None:
+            return False
+        if not merges:
+            # Structure unchanged (e.g. a removal whose predicate split
+            # nothing): the program still computes the same atom function,
+            # so just restamp against the bumped tree version.
+            self.tree_version = self.tree.version
+            return True
+        plan: list[tuple[int, int, int, int]] = []
+        for merged_id, parts in merges:
+            if len(parts) != 2:
+                return False
+            row_a = self._atom_row.get(parts[0])
+            row_b = self._atom_row.get(parts[1])
+            if row_a is None or row_b is None:
+                return False
+            parent = -1
+            for r, entry in enumerate(self.pred_entry):
+                if entry < 0:
+                    continue
+                if {self.low_idx[r], self.high_idx[r]} == {row_a, row_b}:
+                    parent = r
+                    break
+            if parent < 0:
+                return False
+            plan.append((merged_id, parts[0], parts[1], parent))
+        for merged_id, part_a, part_b, parent in plan:
+            row_a = self._atom_row.pop(part_a)
+            row_b = self._atom_row.pop(part_b)
+            entry = self._f_entry[parent]
+            s_keep = self._atom_sink.pop(part_a)
+            s_dead = self._atom_sink.pop(part_b)
+            self._f_atom[s_keep] = merged_id
+            self._f_atom[s_dead] = merged_id  # unreachable, kept benign
+            self._atom_sink[merged_id] = s_keep
+            # Every edge that entered the collapsed predicate test now
+            # lands directly on the surviving sink.
+            f_low, f_high = self._f_low, self._f_high
+            for u in range(self._num_sinks, len(f_low)):
+                if f_low[u] == entry:
+                    f_low[u] = s_keep
+                if f_high[u] == entry:
+                    f_high[u] = s_keep
+            if self._f_root == entry:
+                self._f_root = s_keep
+            # Parent row becomes the merged leaf; child rows go dead.
+            self.pred_entry[parent] = -1
+            self.low_idx[parent] = parent
+            self.high_idx[parent] = parent
+            self.atom_id[parent] = merged_id
+            self._atom_row[merged_id] = parent
+            self._f_entry[parent] = s_keep
+            for row in (row_a, row_b):
+                self.pred_entry[row] = -1
+                self.low_idx[row] = row
+                self.high_idx[row] = row
+                self.atom_id[row] = -1
+            self._dead_patches += 1
+        self._refresh_accelerated()
+        self.tree_version = self.tree.version
+        return True
 
     # -- staleness -------------------------------------------------------
 

@@ -105,14 +105,29 @@ def behavior_delta(
             classifier_before, classifier_after, ingress_box, rng
         )
     deltas: list[BehaviorDelta] = []
+    # One behavior computation per atom per classifier, not per pair: an
+    # atom overlaps many atoms of the other universe, and behavior_of_atom
+    # re-traverses the forwarding graph every call.  Memoizing here keeps
+    # the sweep linear in behavior computations (the pair loop itself only
+    # pays one BDD intersection per pair).
+    before_cache: dict[int, Behavior] = {}
+    after_cache: dict[int, Behavior] = {}
     before_atoms = sorted(classifier_before.universe.atoms().items())
     for after_id, after_fn in sorted(classifier_after.universe.atoms().items()):
         for before_id, before_fn in before_atoms:
             overlap = after_fn & before_fn
             if overlap.is_false:
                 continue
-            before = classifier_before.behavior_of_atom(before_id, ingress_box)
-            after = classifier_after.behavior_of_atom(after_id, ingress_box)
+            before = before_cache.get(before_id)
+            if before is None:
+                before = before_cache[before_id] = (
+                    classifier_before.behavior_of_atom(before_id, ingress_box)
+                )
+            after = after_cache.get(after_id)
+            if after is None:
+                after = after_cache[after_id] = (
+                    classifier_after.behavior_of_atom(after_id, ingress_box)
+                )
             if diff_behaviors(before, after):
                 deltas.append(
                     BehaviorDelta(
@@ -137,6 +152,8 @@ def _delta_cross_manager(
     (true for prefix-rule planes), and a dense approximation otherwise.
     Build both classifiers on one manager to get the exact sweep."""
     deltas: list[BehaviorDelta] = []
+    before_cache: dict[int, Behavior] = {}
+    after_cache: dict[int, Behavior] = {}
     for after_id, after_fn in sorted(classifier_after.universe.atoms().items()):
         seen_before: set[int] = set()
         for cube in after_fn.iter_cubes():
@@ -147,8 +164,16 @@ def _delta_cross_manager(
             if before_id in seen_before:
                 continue
             seen_before.add(before_id)
-            before = classifier_before.behavior_of_atom(before_id, ingress_box)
-            after = classifier_after.behavior_of_atom(after_id, ingress_box)
+            before = before_cache.get(before_id)
+            if before is None:
+                before = before_cache[before_id] = (
+                    classifier_before.behavior_of_atom(before_id, ingress_box)
+                )
+            after = after_cache.get(after_id)
+            if after is None:
+                after = after_cache[after_id] = (
+                    classifier_after.behavior_of_atom(after_id, ingress_box)
+                )
             if diff_behaviors(before, after):
                 deltas.append(
                     BehaviorDelta(

@@ -1,0 +1,400 @@
+"""Incremental atom maintenance: delta refinement + local tree splice.
+
+Section VI treats every predicate change as either a leaf split plus
+tombstone (VI-A) or a *full* background reconstruction (VI-B), so the
+partition drifts away from minimal between rebuilds and update latency
+is bounded below by a whole rebuild.  This module closes that gap by
+maintaining the atomic-predicate universe itself under churn:
+
+* **Addition** is already a delta operation (``a & p`` / ``a & ~p`` per
+  atom, Section VI-A); the engine additionally patches the *compiled*
+  program in place (:meth:`CompiledAPTree.patch_apply_splits`) so the
+  fast path stays hot instead of falling back to the interpreted tree.
+* **Removal** no longer tombstones: the atoms the predicate's ``R`` set
+  touched are re-examined, sibling atoms whose live memberships became
+  identical are merged back (:meth:`AtomicUniverse.merge_siblings`),
+  and the AP Tree is **spliced locally** -- only the subtrees rooted at
+  nodes labeled by the removed predicate are rebuilt, over the merged
+  atom set and the live candidate predicates; every other node keeps
+  its identity and every unaffected atom keeps its id.  When each
+  affected subtree was a two-leaf fringe, the compiled program is
+  collapsed in place as well (:meth:`CompiledAPTree.patch_leaf_merges`).
+
+Why the splice is globally complete: under pure incremental maintenance
+every tree label is a live predicate, so for any pair of atoms that a
+removal leaves indistinguishable, the lowest common ancestor separating
+them *must* be a node labeled by the removed predicate (any other label
+would be a live predicate distinguishing them).  Merging within the
+spliced subtrees therefore restores the minimal-partition invariant
+everywhere -- the property the equivalence tests pin against a
+from-scratch rebuild.
+
+The engine falls back to a full rebuild (universe coalesce + fresh tree
+over the same ``APTree`` object, preserving identity for compiled-
+staleness checks) only when the tree degrades past a depth budget, when
+it was handed a tree with tombstone history (dead labels), or when a
+splice cannot be built -- all counted under ``updates.incremental`` in
+observability snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..network.dataplane import LabeledPredicate
+from .aptree import APTreeNode
+from .atomic import AtomMerge
+from .construction import build_tree
+from .update import UpdateEngine
+
+__all__ = ["IncrementalEngine"]
+
+
+def _leaf_atoms(node: APTreeNode) -> list[int]:
+    """Atom ids of every leaf under ``node`` (including ``node`` itself)."""
+    atoms: list[int] = []
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        if n.is_leaf:
+            assert n.atom_id is not None
+            atoms.append(n.atom_id)
+        else:
+            assert n.low is not None and n.high is not None
+            stack.append(n.low)
+            stack.append(n.high)
+    return atoms
+
+
+class IncrementalEngine(UpdateEngine):
+    """An :class:`UpdateEngine` that keeps the partition minimal under churn.
+
+    Drop-in for the base engine (same ``apply``/``replay`` surface).
+    ``classifier`` optionally hands the engine the owning
+    :class:`~repro.core.classifier.APClassifier` so compiled artifacts
+    are patched in place (or eagerly recompiled when a change is not
+    leaf-local) instead of decaying into stale-fallback.
+
+    The depth budget ``depth_factor * ceil(log2(atoms)) + depth_slack``
+    bounds how unbalanced splices may leave the tree before a full
+    rebuild resets it; pure additions degrade slowly (each split deepens
+    one path by one), so on realistic churn the budget is rarely hit.
+    """
+
+    def __init__(
+        self,
+        universe,
+        tree,
+        counter=None,
+        recorder=None,
+        *,
+        classifier=None,
+        strategy: str = "oapt",
+        depth_factor: float = 4.0,
+        depth_slack: int = 8,
+    ) -> None:
+        super().__init__(universe, tree, counter, recorder)
+        self.classifier = classifier
+        self.strategy = strategy
+        self.depth_factor = depth_factor
+        self.depth_slack = depth_slack
+        self.merges_applied = 0
+        self.splices = 0
+        self.patches = 0
+        self.patch_fallbacks = 0
+        self.full_rebuilds = 0
+        # A tree carrying tombstoned labels predates this engine (the
+        # splice-completeness argument needs every label live); the
+        # first removal cleans it up with one full rebuild.
+        self._labels_live = tree is None or all(
+            universe.has_predicate(node.pid)
+            for node in tree._walk()
+            if not node.is_leaf
+        )
+
+    # ------------------------------------------------------------------
+    # Additions
+    # ------------------------------------------------------------------
+
+    def add_predicate(self, labeled: LabeledPredicate) -> int:
+        tree = self.tree
+        version_before = tree.version if tree is not None else 0
+        splits = self.universe.add_predicate(labeled.pid, labeled.fn)
+        if self.counter is not None:
+            for split in splits:
+                if split.is_split:
+                    assert split.inside_id is not None
+                    assert split.outside_id is not None
+                    self.counter.on_split(
+                        split.old_id, split.inside_id, split.outside_id
+                    )
+        if tree is None:
+            return sum(1 for split in splits if split.is_split)
+        split_count = tree.apply_splits(labeled.pid, labeled.fn.node, splits)
+        compiled = self._compiled_for_patch(version_before)
+        if compiled is not None:
+            if compiled.patch_apply_splits(labeled.fn.node, splits):
+                self._note_patch()
+            else:
+                self._note_patch_fallback()
+        self._maybe_rebuild()
+        return split_count
+
+    # ------------------------------------------------------------------
+    # Removals
+    # ------------------------------------------------------------------
+
+    def remove_predicate(self, pid: int) -> int:
+        universe = self.universe
+        tree = self.tree
+        tombstoned = len(universe.r(pid))
+        if tree is None:
+            universe.remove_predicate(pid)
+            merges = universe.merge_siblings(universe.atom_ids())
+            self._note_merges(merges)
+            return tombstoned
+        if not self._labels_live:
+            universe.remove_predicate(pid)
+            self._full_rebuild()
+            return tombstoned
+        version_before = tree.version
+
+        # The subtrees whose label set changes: every node labeled pid.
+        # (The same pid never nests under itself -- each addition labels
+        # disjoint split leaves, and builds never repeat a pid on a path.)
+        sites: list[tuple[APTreeNode, APTreeNode | None, bool]] = []
+        stack: list[tuple[APTreeNode, APTreeNode | None, bool]] = [
+            (tree.root, None, False)
+        ]
+        while stack:
+            node, parent, is_high = stack.pop()
+            if node.is_leaf:
+                continue
+            if node.pid == pid:
+                sites.append((node, parent, is_high))
+                continue
+            assert node.low is not None and node.high is not None
+            stack.append((node.low, node, False))
+            stack.append((node.high, node, True))
+
+        universe.remove_predicate(pid)
+        if not sites:
+            # The predicate was never placed (it split nothing when the
+            # tree was built, e.g. R(p) covered every atom): removing it
+            # changes no structure and merges nothing.
+            tree.touch()
+            compiled = self._compiled_for_patch(version_before)
+            if compiled is not None and compiled.patch_leaf_merges(()):
+                self._note_patch()
+            return tombstoned
+
+        site_atoms = [_leaf_atoms(node) for node, _, _ in sites]
+        groups: dict[int, int] = {}
+        for index, atoms in enumerate(site_atoms):
+            for atom_id in atoms:
+                groups[atom_id] = index
+        merges = universe.merge_siblings(list(groups), groups)
+        self._note_merges(merges)
+        mapping: dict[int, int] = {}
+        for merge in merges:
+            for part in merge.parts:
+                mapping[part] = merge.merged_id
+        if self.counter is not None and mapping:
+            self.counter.on_merge(mapping)
+
+        # Splice: rebuild each affected subtree over its merged atoms and
+        # the live candidates, preserving everything outside the sites.
+        try:
+            for index, (node, parent, is_high) in enumerate(sites):
+                merged_atoms = frozenset(
+                    mapping.get(atom_id, atom_id)
+                    for atom_id in site_atoms[index]
+                )
+                replacement = self._build_local(merged_atoms)
+                if parent is None:
+                    tree.root = replacement
+                elif is_high:
+                    parent.high = replacement
+                else:
+                    parent.low = replacement
+                for atom_id in site_atoms[index]:
+                    tree._leaf_index.pop(atom_id, None)
+                stack2 = [replacement]
+                while stack2:
+                    n = stack2.pop()
+                    if n.is_leaf:
+                        tree._leaf_index[n.atom_id] = n
+                    else:
+                        stack2.append(n.low)
+                        stack2.append(n.high)
+                self.splices += 1
+                rec = self.recorder
+                if rec is not None:
+                    rec.updates.incremental_splices += 1
+        except ValueError:
+            # No live candidate distinguishes some atom pair under a
+            # site -- only possible with tombstone history the liveness
+            # probe missed; a full rebuild restores every invariant.
+            tree.touch()
+            self._full_rebuild()
+            return tombstoned
+        tree.touch()
+
+        compiled = self._compiled_for_patch(version_before)
+        if compiled is not None:
+            pairs = [(merge.merged_id, merge.parts) for merge in merges]
+            if compiled.patch_leaf_merges(pairs):
+                self._note_patch()
+            else:
+                self._note_patch_fallback()
+        self._maybe_rebuild()
+        return tombstoned
+
+    # ------------------------------------------------------------------
+    # Local subtree construction
+    # ------------------------------------------------------------------
+
+    def _build_local(self, atoms: frozenset[int]) -> APTreeNode:
+        """A pruned subtree over ``atoms`` using live candidates only.
+
+        Deterministic balanced chooser (most even split, smallest pid on
+        ties) -- splice results must not depend on set iteration order,
+        or the equivalence property against a rebuild becomes flaky.
+        """
+        if len(atoms) == 1:
+            return APTreeNode.leaf(next(iter(atoms)))
+        universe = self.universe
+        candidates: set[int] = set()
+        for atom_id in atoms:
+            candidates |= universe.memberships(atom_id)
+        r_sets = {pid: universe.r(pid) for pid in candidates}
+        fn_nodes = {
+            pid: universe.predicate_fn(pid).node for pid in candidates
+        }
+
+        def build(cands: list[int], subset: frozenset[int]) -> APTreeNode:
+            if len(subset) == 1:
+                return APTreeNode.leaf(next(iter(subset)))
+            splitting = [
+                pid
+                for pid in cands
+                if 0 < len(subset & r_sets[pid]) < len(subset)
+            ]
+            if not splitting:
+                raise ValueError(
+                    "multiple atoms under a splice but no live predicate "
+                    "distinguishes them"
+                )
+            pid = min(
+                splitting,
+                key=lambda p: (
+                    abs(2 * len(subset & r_sets[p]) - len(subset)),
+                    p,
+                ),
+            )
+            inside = subset & r_sets[pid]
+            outside = subset - r_sets[pid]
+            remaining = [c for c in splitting if c != pid]
+            return APTreeNode.internal(
+                pid, fn_nodes[pid], build(remaining, outside), build(remaining, inside)
+            )
+
+        return build(sorted(candidates), atoms)
+
+    # ------------------------------------------------------------------
+    # Degradation fallback
+    # ------------------------------------------------------------------
+
+    def depth_budget(self) -> float:
+        """Max depth tolerated before a splice-degraded tree is rebuilt."""
+        atoms = max(self.universe.atom_count, 2)
+        return self.depth_factor * math.ceil(math.log2(atoms)) + self.depth_slack
+
+    def _maybe_rebuild(self) -> None:
+        tree = self.tree
+        if tree is None:
+            return
+        if tree.max_depth() > self.depth_budget():
+            self._full_rebuild()
+
+    def _full_rebuild(self) -> None:
+        """Coalesce the universe and rebuild the tree *in place*.
+
+        The fresh structure is grafted onto the existing ``APTree``
+        object (root + leaf index) instead of swapping objects: the
+        owning classifier, any serving layer, and the compiled-engine
+        staleness protocol all key on tree identity, and an in-place
+        graft keeps every one of them coherent with a single version
+        bump.
+        """
+        universe = self.universe
+        tree = self.tree
+        mapping = universe.coalesce()
+        if self.counter is not None:
+            self.counter.on_merge(mapping)
+        report = build_tree(universe, strategy=self.strategy)
+        tree.root = report.tree.root
+        tree._leaf_index = report.tree._leaf_index
+        tree.touch()
+        self._labels_live = True
+        self.full_rebuilds += 1
+        rec = self.recorder
+        if rec is not None:
+            rec.updates.rebuilds += 1
+            rec.updates.incremental_full_rebuilds += 1
+        clf = self.classifier
+        if clf is not None and clf.compiled is not None:
+            clf.compile(backend=clf.compiled.backend)
+
+    # ------------------------------------------------------------------
+    # Compiled-artifact bookkeeping
+    # ------------------------------------------------------------------
+
+    def _compiled_for_patch(self, version_before: int):
+        """The owning classifier's artifact, iff it was fresh pre-update.
+
+        An artifact that was already stale (or compiled against another
+        tree object) is not this engine's to manage -- whoever let it go
+        stale owns the recompile policy.
+        """
+        clf = self.classifier
+        if clf is None:
+            return None
+        compiled = clf.compiled
+        if compiled is None or not compiled.patchable:
+            return None
+        if compiled.tree is not self.tree:
+            return None
+        if compiled.tree_version != version_before:
+            return None
+        return compiled
+
+    def _note_patch(self) -> None:
+        self.patches += 1
+        rec = self.recorder
+        if rec is not None:
+            rec.updates.incremental_patches += 1
+
+    def _note_patch_fallback(self) -> None:
+        """A fresh artifact could not be patched: recompile it eagerly.
+
+        The whole point of incremental maintenance at the serving layer
+        is never parking queries on the interpreted fallback; a synchronous
+        recompile costs one flatten, against an unbounded stale window.
+        """
+        self.patch_fallbacks += 1
+        rec = self.recorder
+        if rec is not None:
+            rec.updates.incremental_patch_fallbacks += 1
+        clf = self.classifier
+        if clf is not None and clf.compiled is not None:
+            clf.compile(backend=clf.compiled.backend)
+
+    def _note_merges(self, merges: Sequence[AtomMerge]) -> None:
+        if not merges:
+            return
+        self.merges_applied += len(merges)
+        rec = self.recorder
+        if rec is not None:
+            rec.updates.incremental_merges += len(merges)

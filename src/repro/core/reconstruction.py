@@ -27,6 +27,7 @@ from ..network.dataplane import LabeledPredicate
 from .atomic import AtomicUniverse
 from .compiled import CompiledAPTree, FlatBDDSet
 from .construction import build_tree
+from .incremental import IncrementalEngine
 from .update import UpdateEngine
 
 __all__ = [
@@ -120,10 +121,15 @@ class QueryCostModel:
 class _QueryProcess:
     """The live (universe, tree/scanner) pair serving queries."""
 
-    def __init__(self, universe: AtomicUniverse, tree) -> None:
+    def __init__(
+        self, universe: AtomicUniverse, tree, maintenance: str = "tombstone"
+    ) -> None:
         self.universe = universe
         self.tree = tree  # None for scan-based methods (APLinear/PScan)
-        self.engine = UpdateEngine(universe, tree)
+        if maintenance == "incremental":
+            self.engine: UpdateEngine = IncrementalEngine(universe, tree)
+        else:
+            self.engine = UpdateEngine(universe, tree)
 
 
 class DynamicSimulation:
@@ -161,11 +167,19 @@ class DynamicSimulation:
       serialized, and the swap happens in whichever bucket the worker's
       result actually arrives -- the two-process loop of Fig. 8 executed
       for real.
+
+    ``maintenance`` selects the query process's update engine:
+    ``"tombstone"`` is Section VI-A's grow-only discipline (deletions
+    leave dead atoms for the next reconstruction to coalesce);
+    ``"incremental"`` runs :class:`repro.core.incremental.IncrementalEngine`,
+    which merges atoms and splices the tree locally on deletion so the
+    partition stays minimal between reconstructions.
     """
 
     METHODS = ("apclassifier", "aplinear", "pscan")
     ENGINES = ("interpreted", "compiled")
     RECONSTRUCTIONS = ("inline", "process")
+    MAINTENANCE = ("tombstone", "incremental")
 
     def __init__(
         self,
@@ -181,6 +195,7 @@ class DynamicSimulation:
         backend: str | None = None,
         recorder=None,
         reconstruction: str = "inline",
+        maintenance: str = "tombstone",
     ) -> None:
         if method not in self.METHODS:
             raise ValueError(f"unknown method {method!r}")
@@ -188,6 +203,8 @@ class DynamicSimulation:
             raise ValueError(f"unknown engine {engine!r}")
         if reconstruction not in self.RECONSTRUCTIONS:
             raise ValueError(f"unknown reconstruction mode {reconstruction!r}")
+        if maintenance not in self.MAINTENANCE:
+            raise ValueError(f"unknown maintenance mode {maintenance!r}")
         if not 0 < initial_count <= len(predicates):
             raise ValueError("initial_count out of range")
         if reconstruct_interval_s < bucket_s:
@@ -219,14 +236,18 @@ class DynamicSimulation:
         ]
         self.manager = pool[0].fn.manager
         self._next_synthetic_pid = 1 + max(lp.pid for lp in pool)
+        self.maintenance = maintenance
         self._process = self._build_process()
         self._staged_process: _QueryProcess | None = None
         # Updates applied while a rebuild is in flight, queued for replay
-        # onto the staged tree.  Instance state (not a run() local) so a
-        # process-mode rebuild that outlives one run() call still gets
-        # its replay at the swap in a follow-on call.
+        # onto the staged tree.  ``("add", labeled)`` entries carry the
+        # original LabeledPredicate (not a re-fabricated one) so the
+        # replayed universe matches a direct build field-for-field.
+        # Instance state (not a run() local) so a process-mode rebuild
+        # that outlives one run() call still gets its replay at the swap
+        # in a follow-on call.
         self._pending_during_rebuild: list[
-            tuple[str, int, Function | None]
+            tuple[str, LabeledPredicate | int]
         ] = []
         self.reconstruction = reconstruction
         self._recon = None
@@ -253,7 +274,7 @@ class DynamicSimulation:
         tree = None
         if self.method == "apclassifier":
             tree = build_tree(universe, strategy=self.strategy, rng=self.rng).tree
-        return _QueryProcess(universe, tree)
+        return _QueryProcess(universe, tree, self.maintenance)
 
     def _classify_fn(self, process: _QueryProcess) -> Callable[[int], int]:
         if self.method == "apclassifier":
@@ -331,8 +352,14 @@ class DynamicSimulation:
     # Event application (real work, timed)
     # ------------------------------------------------------------------
 
-    def _pick_update(self, kind: str) -> tuple[str, int, Function | None]:
-        """Choose what to add/delete; falls back when a side is exhausted."""
+    def _pick_update(self, kind: str) -> tuple[str, LabeledPredicate | int]:
+        """Choose what to add/delete; falls back when a side is exhausted.
+
+        Additions come back as the full :class:`LabeledPredicate` so the
+        same object both updates the live process and rides the pending
+        journal into :meth:`UpdateEngine.replay` -- replayed and direct
+        builds see identical label metadata.
+        """
         if kind == "add" and not self._reserve:
             kind = "delete"
         if kind == "delete" and len(self._live) <= 1:
@@ -343,24 +370,23 @@ class DynamicSimulation:
             # added and deleted before, and universes never reuse pids.
             new_pid = self._next_synthetic_pid
             self._next_synthetic_pid += 1
-            return "add", new_pid, fn
+            return "add", LabeledPredicate(new_pid, "forward", "sim", "sim", fn)
         pid = self.rng.choice(sorted(self._live))
-        return "delete", pid, None
+        return "delete", pid
 
     def _apply_update(
-        self, process: _QueryProcess, kind: str, pid: int, fn: Function | None
+        self, process: _QueryProcess, kind: str, payload: LabeledPredicate | int
     ) -> float:
         started = time.perf_counter()
         if kind == "add":
-            assert fn is not None
-            self._live[pid] = fn
-            process.engine.add_predicate(
-                LabeledPredicate(pid, "forward", "sim", "sim", fn)
-            )
+            assert isinstance(payload, LabeledPredicate)
+            self._live[payload.pid] = payload.fn
+            process.engine.add_predicate(payload)
         else:
-            original = self._live.pop(pid)
-            self._reserve.append((pid, original))
-            process.engine.remove_predicate(pid)
+            assert isinstance(payload, int)
+            original = self._live.pop(payload)
+            self._reserve.append((payload, original))
+            process.engine.remove_predicate(payload)
         return time.perf_counter() - started
 
     # ------------------------------------------------------------------
@@ -428,10 +454,10 @@ class DynamicSimulation:
             while event_index < len(events) and events[event_index].at <= bucket_end:
                 event = events[event_index]
                 event_index += 1
-                kind, pid, fn = self._pick_update(event.kind)
-                update_time += self._apply_update(self._process, kind, pid, fn)
+                kind, payload = self._pick_update(event.kind)
+                update_time += self._apply_update(self._process, kind, payload)
                 if in_flight:
-                    pending_during_rebuild.append((kind, pid, fn))
+                    pending_during_rebuild.append((kind, payload))
 
             # Rebuild completion: inline mode completes when the simulated
             # clock passes the measured build time; process mode completes
@@ -441,7 +467,9 @@ class DynamicSimulation:
                 if self._recon is not None:
                     if self._recon.poll():
                         universe, tree, _ = self._recon.receive()
-                        self._staged_process = _QueryProcess(universe, tree)
+                        self._staged_process = _QueryProcess(
+                            universe, tree, self.maintenance
+                        )
                         done = True
                 elif rebuild_done_at <= bucket_end:
                     done = True

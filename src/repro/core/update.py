@@ -19,7 +19,6 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..bdd import Function
 from ..network.dataplane import LabeledPredicate, PredicateChange
 from .aptree import APTree
 from .atomic import AtomicUniverse
@@ -35,6 +34,12 @@ class UpdateResult:
     removed_pid: int | None
     added_pid: int | None
     atoms_split: int
+    #: Atoms whose ``R``/stage-2 membership changed because a removal
+    #: tombstoned the predicate out of them.  Pure removals split nothing,
+    #: but they are not free: every atom that carried the predicate had
+    #: its reverse mapping patched, and Fig. 13 accounting needs to tell
+    #: the two maintenance kinds apart.
+    tombstoned: int
     elapsed_s: float
 
 
@@ -62,9 +67,10 @@ class UpdateEngine:
         removed_pid: int | None = None
         added_pid: int | None = None
         atoms_split = 0
+        tombstoned = 0
         if change.removed is not None:
             removed_pid = change.removed.pid
-            self.remove_predicate(removed_pid)
+            tombstoned = self.remove_predicate(removed_pid)
         if change.added is not None:
             added_pid = change.added.pid
             atoms_split = self.add_predicate(change.added)
@@ -76,12 +82,14 @@ class UpdateEngine:
                 added=added_pid is not None,
                 removed=removed_pid is not None,
                 atoms_split=atoms_split,
+                tombstoned=tombstoned,
                 elapsed_s=elapsed_s,
             )
         return UpdateResult(
             removed_pid=removed_pid,
             added_pid=added_pid,
             atoms_split=atoms_split,
+            tombstoned=tombstoned,
             elapsed_s=elapsed_s,
         )
 
@@ -112,26 +120,29 @@ class UpdateEngine:
         return split_count
 
     def replay(
-        self, pending: Sequence[tuple[str, int, Function | None]]
+        self, pending: Sequence[tuple[str, LabeledPredicate | int]]
     ) -> int:
         """Re-apply updates that arrived while a reconstruction ran.
 
-        ``pending`` is the (kind, pid, fn) log the query process kept
-        during the rebuild (Fig. 8): the freshly built structure predates
-        those updates, so they are replayed here before the swap.  Deletes
-        of predicates the rebuild never saw (added *and* removed while it
-        ran) are skipped.  Returns the number of replayed entries.
+        ``pending`` is the journal the query process kept during the
+        rebuild (Fig. 8): ``("add", labeled)`` entries carry the *original*
+        :class:`LabeledPredicate` (pid, kind, box, table, fn) so the
+        replayed universe matches a direct build field-for-field, and
+        ``("remove", pid)`` entries carry just the pid.  The freshly built
+        structure predates those updates, so they are replayed here before
+        the swap.  Deletes of predicates the rebuild never saw (added *and*
+        removed while it ran) are skipped.  Returns the number of replayed
+        entries.
         """
         replayed = 0
-        for kind, pid, fn in pending:
+        for kind, payload in pending:
             if kind == "add":
-                assert fn is not None
-                self.add_predicate(
-                    LabeledPredicate(pid, "forward", "replay", "replay", fn)
-                )
-            elif not self.universe.has_predicate(pid):
-                continue
+                assert isinstance(payload, LabeledPredicate)
+                self.add_predicate(payload)
             else:
+                pid = payload.pid if isinstance(payload, LabeledPredicate) else payload
+                if not self.universe.has_predicate(pid):
+                    continue
                 self.remove_predicate(pid)
             replayed += 1
         rec = self.recorder
@@ -139,13 +150,16 @@ class UpdateEngine:
             rec.updates.replayed += replayed
         return replayed
 
-    def remove_predicate(self, pid: int) -> None:
+    def remove_predicate(self, pid: int) -> int:
         """Tombstone a predicate; the tree structure is intentionally kept.
 
         The tree is still marked changed: compiled artifacts treat any
         maintenance conservatively as staleness and fall back to the
-        interpreted tree until recompiled (Section VI-B split).
+        interpreted tree until recompiled (Section VI-B split).  Returns
+        the number of atoms whose ``R`` membership the tombstone patched.
         """
+        tombstoned = len(self.universe.r(pid))
         self.universe.remove_predicate(pid)
         if self.tree is not None:
             self.tree.touch()
+        return tombstoned

@@ -48,7 +48,10 @@ __all__ = [
 #: ``workers``/``generations`` counters (multi-worker serving).
 #: /5 added the serve ``result_cache`` block (hot-header result cache:
 #: hits, misses, evictions, invalidations, hit rate).
-SCHEMA_ID = "repro.obs.snapshot/5"
+#: /6 added ``updates.tombstoned`` (atoms whose membership a removal
+#: changed) and the ``updates.incremental`` block (merge/splice/patch
+#: counters of the incremental maintenance engine).
+SCHEMA_ID = "repro.obs.snapshot/6"
 
 #: Service latencies kept for the percentile summary; same bounded-
 #: reservoir treatment as update latencies.
@@ -138,12 +141,18 @@ class UpdateCounters:
         "adds",
         "removes",
         "atoms_split",
+        "tombstoned",
         "leaf_splits",
         "split_events",
         "rebuilds",
         "reconstructs",
         "replayed",
         "compiles",
+        "incremental_merges",
+        "incremental_splices",
+        "incremental_patches",
+        "incremental_patch_fallbacks",
+        "incremental_full_rebuilds",
         "stale_fallback_swapped",
         "stale_fallback_version",
         "latency_samples",
@@ -157,12 +166,18 @@ class UpdateCounters:
         self.adds = 0
         self.removes = 0
         self.atoms_split = 0
+        self.tombstoned = 0
         self.leaf_splits = 0
         self.split_events = 0
         self.rebuilds = 0
         self.reconstructs = 0
         self.replayed = 0
         self.compiles = 0
+        self.incremental_merges = 0
+        self.incremental_splices = 0
+        self.incremental_patches = 0
+        self.incremental_patch_fallbacks = 0
+        self.incremental_full_rebuilds = 0
         self.stale_fallback_swapped = 0
         self.stale_fallback_version = 0
         self.latency_samples: list[float] = []
@@ -176,6 +191,7 @@ class UpdateCounters:
         removed: bool,
         atoms_split: int,
         elapsed_s: float,
+        tombstoned: int = 0,
     ) -> None:
         """Accounting for one applied :class:`PredicateChange`."""
         self.updates_applied += 1
@@ -184,6 +200,7 @@ class UpdateCounters:
         if removed:
             self.removes += 1
         self.atoms_split += atoms_split
+        self.tombstoned += tombstoned
         self.latency_count += 1
         self.latency_total_s += elapsed_s
         if elapsed_s > self.latency_max_s:
@@ -535,7 +552,7 @@ class Recorder:
         """The collected state as a JSON-serializable dict.
 
         The shape is pinned by :data:`repro.obs.schema.SNAPSHOT_SCHEMA`
-        (currently ``repro.obs.snapshot/5``) and checked by
+        (currently ``repro.obs.snapshot/6``) and checked by
         :func:`repro.obs.schema.validate_snapshot`; every number is
         finite, so ``json.dumps(..., allow_nan=False)`` always succeeds.
         Sections: ``bdd`` (cache and node-table counters), ``tree``
@@ -602,12 +619,20 @@ class Recorder:
                 "adds": updates.adds,
                 "removes": updates.removes,
                 "atoms_split": updates.atoms_split,
+                "tombstoned": updates.tombstoned,
                 "leaf_splits": updates.leaf_splits,
                 "split_events": updates.split_events,
                 "rebuilds": updates.rebuilds,
                 "reconstructs": updates.reconstructs,
                 "replayed": updates.replayed,
                 "compiles": updates.compiles,
+                "incremental": {
+                    "merges": updates.incremental_merges,
+                    "splices": updates.incremental_splices,
+                    "patches": updates.incremental_patches,
+                    "patch_fallbacks": updates.incremental_patch_fallbacks,
+                    "full_rebuilds": updates.incremental_full_rebuilds,
+                },
                 "stale_fallbacks": {
                     "total": updates.stale_fallbacks,
                     "swapped": updates.stale_fallback_swapped,

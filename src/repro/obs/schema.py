@@ -42,7 +42,7 @@ def _cache_section() -> dict:
 SNAPSHOT_SCHEMA: dict = {
     "type": "object",
     "required": {
-        "schema": {"type": "const", "value": "repro.obs.snapshot/5"},
+        "schema": {"type": "const", "value": "repro.obs.snapshot/6"},
         "bdd": {
             "type": "object",
             "required": {
@@ -91,12 +91,23 @@ SNAPSHOT_SCHEMA: dict = {
                 "adds": {"type": "integer"},
                 "removes": {"type": "integer"},
                 "atoms_split": {"type": "integer"},
+                "tombstoned": {"type": "integer"},
                 "leaf_splits": {"type": "integer"},
                 "split_events": {"type": "integer"},
                 "rebuilds": {"type": "integer"},
                 "reconstructs": {"type": "integer"},
                 "replayed": {"type": "integer"},
                 "compiles": {"type": "integer"},
+                "incremental": {
+                    "type": "object",
+                    "required": {
+                        "merges": {"type": "integer"},
+                        "splices": {"type": "integer"},
+                        "patches": {"type": "integer"},
+                        "patch_fallbacks": {"type": "integer"},
+                        "full_rebuilds": {"type": "integer"},
+                    },
+                },
                 "stale_fallbacks": {
                     "type": "object",
                     "required": {

@@ -228,6 +228,16 @@ class QueryService:
         next probe, so a swap can never serve a pre-swap atom id.
         Behavior queries (:meth:`query`) bypass the cache; only atom-id
         classifies are cached.
+    ``maintenance``
+        Update-maintenance mode for the owned classifier (see
+        :attr:`APClassifier.MAINTENANCE_MODES`).  ``"incremental"``
+        keeps the atom partition minimal under rule churn and patches
+        the compiled artifact in place, so the batch fast path stays
+        hot through update storms instead of sliding into the
+        interpreted staleness fallback; the result cache still turns
+        over its generation on every mutation (the tree version bumps
+        per update), so a patched artifact can never serve a stale
+        atom id from cache.
     """
 
     OVERFLOW_POLICIES = ("wait", "shed")
@@ -246,6 +256,7 @@ class QueryService:
         backend: str | None = None,
         recompile_after_updates: int | None = None,
         cache_size: int = 0,
+        maintenance: str | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -262,6 +273,9 @@ class QueryService:
             )
         if recompile_after_updates is not None and recompile_after_updates < 1:
             raise ValueError("recompile_after_updates must be >= 1")
+        if maintenance is not None:
+            classifier.set_maintenance(maintenance)
+        self.maintenance = classifier.maintenance
         self.classifier = classifier
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
@@ -727,13 +741,18 @@ class QueryService:
                 self._journal.extend(changes)
             if changes:
                 self._invalidate_cache()
-                self._updates_since_compile += len(changes)
-                if (
-                    self.recompile_after_updates is not None
-                    and self._updates_since_compile
-                    >= self.recompile_after_updates
-                ):
-                    self._compile_now()
+                # Incremental maintenance patches the artifact in place,
+                # so it usually stays fresh through the update -- only
+                # updates that actually staled it count toward the
+                # recompile threshold.
+                if not classifier.compiled_fresh:
+                    self._updates_since_compile += len(changes)
+                    if (
+                        self.recompile_after_updates is not None
+                        and self._updates_since_compile
+                        >= self.recompile_after_updates
+                    ):
+                        self._compile_now()
         return results
 
     async def recompile(self) -> None:
@@ -752,6 +771,7 @@ class QueryService:
         generation and the next batch sees the new one -- never a mix.
         """
         async with self._swap_lock.write():
+            classifier.set_maintenance(self.maintenance)
             if self.autocompile and not classifier.compiled_fresh:
                 classifier.compile(self.backend)
             if self.recorder is not None:

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.reconstruction import DynamicSimulation
 from repro.datasets import internet2_like, uniform_over_atoms
-from repro.network.dataplane import DataPlane
+from repro.network.dataplane import DataPlane, LabeledPredicate
 
 
 @pytest.fixture(scope="module")
@@ -23,17 +23,19 @@ class TestPickUpdateFallbacks:
             pool, initial_count=len(pool), rng=random.Random(0), cost_samples=10
         )
         # Reserve is empty: an "add" must become a delete.
-        kind, pid, fn = sim._pick_update("add")
+        kind, payload = sim._pick_update("add")
         assert kind == "delete"
-        assert fn is None
+        assert isinstance(payload, int)
 
     def test_delete_falls_back_when_one_left(self, pool):
         sim = DynamicSimulation(
             pool, initial_count=1, rng=random.Random(1), cost_samples=10
         )
-        kind, pid, fn = sim._pick_update("delete")
+        kind, payload = sim._pick_update("delete")
         assert kind == "add"
-        assert fn is not None
+        # The full labeled predicate rides the journal, not a bare fn.
+        assert isinstance(payload, LabeledPredicate)
+        assert payload.fn is not None
 
     def test_synthetic_pids_never_collide(self, pool):
         sim = DynamicSimulation(
@@ -45,13 +47,13 @@ class TestPickUpdateFallbacks:
         existing = {lp.pid for lp in pool}
         minted = set()
         for _ in range(10):
-            kind, pid, fn = sim._pick_update("add")
+            kind, payload = sim._pick_update("add")
             if kind != "add":
                 break
-            assert pid not in existing
-            assert pid not in minted
-            minted.add(pid)
-            sim._apply_update(sim._process, kind, pid, fn)
+            assert payload.pid not in existing
+            assert payload.pid not in minted
+            minted.add(payload.pid)
+            sim._apply_update(sim._process, kind, payload)
 
     def test_add_then_delete_round_trip(self, pool):
         sim = DynamicSimulation(
@@ -61,10 +63,10 @@ class TestPickUpdateFallbacks:
             cost_samples=10,
         )
         live_before = set(sim._live)
-        kind, pid, fn = sim._pick_update("add")
-        sim._apply_update(sim._process, kind, pid, fn)
-        assert pid in sim._live
-        sim._apply_update(sim._process, "delete", pid, None)
+        kind, payload = sim._pick_update("add")
+        sim._apply_update(sim._process, kind, payload)
+        assert payload.pid in sim._live
+        sim._apply_update(sim._process, "delete", payload.pid)
         assert set(sim._live) == live_before
 
 
