@@ -47,11 +47,22 @@ def pytest_addoption(parser):
         default=False,
         help="run benches with reduced iteration counts (CI smoke)",
     )
+    parser.addoption(
+        "--shards",
+        type=int,
+        default=4,
+        help="top shard count for the multi-shard serving bench",
+    )
 
 
 @pytest.fixture(scope="session")
 def quick(request) -> bool:
     return request.config.getoption("--quick")
+
+
+@pytest.fixture(scope="session")
+def shards(request) -> int:
+    return request.config.getoption("--shards")
 
 #: Instrumentation sidecars are opt-in: the figure benches replay a small
 #: observed workload *after* their measured sections and write

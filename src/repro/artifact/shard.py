@@ -1,0 +1,518 @@
+"""Per-shard artifact slices and the shard plan that produces them.
+
+The AP Tree's top levels partition the packet space, so a shallow
+prefix cut (:func:`repro.core.compiled.extract_prefix`) is a natural
+shard router: every header routes to exactly one *frontier* subtree,
+and that subtree alone decides its atom.  This module turns a cut into
+a deployable cluster:
+
+* :func:`make_shard_plan` -- extract the prefix, weight each frontier
+  by its leaf count, and pack frontiers onto ``N`` shards with a greedy
+  longest-processing-time assignment, so shard programs stay balanced
+  even when the tree is skewed.
+* :func:`shard_artifact_bytes` -- one shard's slice as a binary
+  container (kind ``repro.shard``): per-frontier compiled subtree
+  programs (the same array layout :class:`~repro.core.compiled.
+  CompiledAPTree` persists, concatenated with per-subtree lengths in
+  the manifest), the shard's reachable atom ids, and the ``R`` sets
+  restricted to those atoms.  A shard backend maps *only its slice* --
+  memory per node shrinks with the shard count.
+* :class:`ShardServing` / :func:`load_shard_buffer` -- the serving-only
+  view a shard replica builds from its slice (zero-copy numpy views of
+  a shared-memory block, exactly like :func:`repro.artifact.
+  load_serving_buffer`), answering ``(frontier, header)`` queries.
+
+Replication, wire framing, and generation handoff live in
+:mod:`repro.serve.shard`; this module is pure data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from .. import config
+from ..core.compiled import (
+    CompiledAPTree,
+    TreePrefix,
+    extract_prefix,
+    prefix_depth_for,
+)
+from .container import (
+    ArtifactMismatch,
+    ArtifactVersionError,
+    artifact_from_buffer,
+    build_artifact_bytes,
+    open_artifact,
+)
+
+try:  # pragma: no cover - exercised via the CI matrix
+    if config.numpy_disabled():
+        _np = None
+    else:
+        import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "SHARD_KIND",
+    "SHARD_PAYLOAD_VERSION",
+    "ShardPlan",
+    "ShardServing",
+    "load_shard",
+    "load_shard_buffer",
+    "make_shard_plan",
+    "shard_artifact_bytes",
+    "write_shard_split",
+]
+
+SHARD_KIND = "repro.shard"
+SHARD_PAYLOAD_VERSION = 1
+
+#: Per-subtree program arrays, concatenated per-kind across a shard's
+#: frontiers (section name ``s_<name>``); the manifest's per-subtree
+#: ``lengths`` table slices them back apart at load time.
+_SUBTREE_SECTIONS = (
+    ("pred_entry", "i4"),
+    ("low_idx", "i4"),
+    ("high_idx", "i4"),
+    ("atom_id", "i8"),
+    ("bdd_var", "i4"),
+    ("bdd_low", "i4"),
+    ("bdd_high", "i4"),
+    ("f_var", "i4"),
+    ("f_child", "i4"),
+    ("f_atom", "i8"),
+)
+
+#: Default frontier-to-shard oversubscription: cutting deep enough for
+#: ~4 frontiers per shard gives the greedy packer room to balance.
+_FRONTIERS_PER_SHARD = 4
+
+
+def _as_list(seq) -> list[int]:
+    if isinstance(seq, list):
+        return seq
+    if hasattr(seq, "tolist"):
+        return seq.tolist()
+    return list(seq)
+
+
+class ShardPlan:
+    """A routing prefix plus the frontier-to-shard assignment.
+
+    The plan is the single source of truth the router and every slice
+    are generated from; :attr:`digest` fingerprints it (depth, shard
+    count, assignment, variable count) so replicas can refuse slices
+    from a different plan generation.
+    """
+
+    def __init__(
+        self, *, prefix: TreePrefix, assignment: list[int], shards: int
+    ) -> None:
+        if len(assignment) != prefix.num_frontiers:
+            raise ValueError(
+                f"assignment covers {len(assignment)} frontiers, prefix "
+                f"has {prefix.num_frontiers}"
+            )
+        self.prefix = prefix
+        self.assignment = list(assignment)
+        self.shards = shards
+        self.depth = prefix.depth
+        self.frontiers_of: list[list[int]] = [[] for _ in range(shards)]
+        for frontier, shard in enumerate(self.assignment):
+            if not 0 <= shard < shards:
+                raise ValueError(
+                    f"frontier {frontier} assigned to shard {shard} "
+                    f"(have {shards})"
+                )
+            self.frontiers_of[shard].append(frontier)
+        self.digest = _plan_digest(
+            self.depth, shards, self.assignment, prefix.program.num_vars
+        )
+
+    @property
+    def num_frontiers(self) -> int:
+        return self.prefix.num_frontiers
+
+    def shard_of(self, frontier: int) -> int:
+        return self.assignment[frontier]
+
+    def route(self, header: int) -> tuple[int, int]:
+        """``(frontier, shard)`` for one packed header."""
+        frontier = self.prefix.route(header)
+        return frontier, self.assignment[frontier]
+
+    def router_arrays(self) -> dict:
+        """Everything a remote router needs (JSON-serializable)."""
+        return {
+            "router": self.prefix.to_arrays(),
+            "assignment": list(self.assignment),
+            "shards": self.shards,
+            "depth": self.depth,
+            "plan_digest": self.digest,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPlan(depth={self.depth}, "
+            f"{self.num_frontiers} frontiers -> {self.shards} shards)"
+        )
+
+
+def _plan_digest(
+    depth: int, shards: int, assignment: list[int], num_vars: int
+) -> str:
+    blob = json.dumps([depth, shards, num_vars, assignment]).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _balanced_assignment(weights: list[int], shards: int) -> list[int]:
+    """Greedy LPT packing: heaviest frontier onto the lightest shard."""
+    loads = [0] * shards
+    out = [0] * len(weights)
+    order = sorted(range(len(weights)), key=lambda i: (-weights[i], i))
+    for frontier in order:
+        shard = loads.index(min(loads))
+        out[frontier] = shard
+        loads[shard] += max(1, weights[frontier])
+    return out
+
+
+def make_shard_plan(
+    classifier,
+    shards: int,
+    *,
+    depth: int | None = None,
+    backend: str | None = None,
+) -> ShardPlan:
+    """Cut ``classifier``'s tree for ``shards`` backends.
+
+    ``depth=None`` picks the shallowest cut with at least
+    ``4 * shards`` frontiers (or the deepest possible cut on tiny
+    trees), balancing routing work against packing freedom.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    tree = classifier.tree
+    if depth is None:
+        depth = prefix_depth_for(tree, _FRONTIERS_PER_SHARD * shards)
+    prefix = extract_prefix(tree, depth, backend=backend)
+    weights = prefix.frontier_leaf_counts()
+    assignment = _balanced_assignment(weights, shards)
+    return ShardPlan(prefix=prefix, assignment=assignment, shards=shards)
+
+
+# ----------------------------------------------------------------------
+# Slicing (save side)
+# ----------------------------------------------------------------------
+
+
+def shard_artifact_bytes(
+    classifier,
+    plan: ShardPlan,
+    shard_id: int,
+    *,
+    backend: str | None = None,
+) -> bytes:
+    """Shard ``shard_id``'s slice of the classifier as a container blob.
+
+    The slice holds one compiled program per owned frontier (built from
+    the live subtree, so it is exact for the current generation), the
+    union of atom ids those programs can answer, and every live
+    predicate's ``R`` set intersected with that atom set.
+    """
+    if not 0 <= shard_id < plan.shards:
+        raise ValueError(f"shard_id {shard_id} out of range 0..{plan.shards - 1}")
+    frontiers = plan.frontiers_of[shard_id]
+    num_vars = classifier.dataplane.manager.num_vars
+
+    subtree_meta: list[dict] = []
+    flat: dict[str, list[int]] = {name: [] for name, _ in _SUBTREE_SECTIONS}
+    shard_atoms: set[int] = set()
+    fused_nodes = 0
+    for frontier in frontiers:
+        program = CompiledAPTree.compile(
+            plan.prefix.subtree(frontier), backend=backend
+        )
+        arrays = program.to_arrays()
+        lengths: dict[str, int] = {}
+        for name, _dtype in _SUBTREE_SECTIONS:
+            data = _as_list(arrays[name])
+            flat[name].extend(data)
+            lengths[name] = len(data)
+        shard_atoms.update(_as_list(arrays["f_atom"]))
+        fused_nodes += lengths["f_var"]
+        subtree_meta.append(
+            {
+                "frontier": frontier,
+                "num_sinks": arrays["num_sinks"],
+                "f_root": arrays["f_root"],
+                "lengths": lengths,
+            }
+        )
+
+    atom_ids = sorted(shard_atoms)
+    atom_set = shard_atoms
+    universe = classifier.universe
+    pids = sorted(universe.predicate_ids())
+    r_values: list[int] = []
+    r_offsets = [0]
+    for pid in pids:
+        r_values.extend(sorted(a for a in universe.r(pid) if a in atom_set))
+        r_offsets.append(len(r_values))
+
+    manifest = {
+        "kind": SHARD_KIND,
+        "payload_version": SHARD_PAYLOAD_VERSION,
+        "num_vars": num_vars,
+        "shard": {
+            "id": shard_id,
+            "shards": plan.shards,
+            "depth": plan.depth,
+            "frontiers": list(frontiers),
+            "plan_digest": plan.digest,
+        },
+        "counts": {
+            "subtrees": len(frontiers),
+            "atoms": len(atom_ids),
+            "fused_nodes": fused_nodes,
+            "predicates": len(pids),
+            "r_values": len(r_values),
+        },
+        "predicates": {"pids": pids},
+        "subtrees": subtree_meta,
+    }
+    sections = [
+        (f"s_{name}", dtype, flat[name]) for name, dtype in _SUBTREE_SECTIONS
+    ]
+    sections += [
+        ("atom_ids", "i8", atom_ids),
+        ("r_values", "i8", r_values),
+        ("r_offsets", "i8", r_offsets),
+    ]
+    return build_artifact_bytes(manifest, sections)
+
+
+def write_shard_split(
+    classifier,
+    out_dir: str | os.PathLike,
+    *,
+    shards: int,
+    depth: int | None = None,
+    backend: str | None = None,
+) -> dict:
+    """Materialize a full cluster layout under ``out_dir``.
+
+    Writes ``shard-NNN.apc`` per shard plus ``cluster.json`` (router
+    arrays, assignment, digest, file list) -- enough for a router
+    process on another machine to serve without the source classifier.
+    Returns a summary dict (also the CLI's JSON output).
+    """
+    plan = make_shard_plan(classifier, shards, depth=depth, backend=backend)
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    files: list[str] = []
+    total_bytes = 0
+    for shard_id in range(plan.shards):
+        blob = shard_artifact_bytes(classifier, plan, shard_id, backend=backend)
+        name = f"shard-{shard_id:03d}.apc"
+        tmp = out / f"{name}.tmp.{os.getpid()}"
+        tmp.write_bytes(blob)
+        os.replace(tmp, out / name)
+        files.append(name)
+        total_bytes += len(blob)
+    cluster = {
+        "kind": "repro.shard-cluster",
+        "files": files,
+        **plan.router_arrays(),
+    }
+    (out / "cluster.json").write_text(
+        json.dumps(cluster, indent=2, allow_nan=False) + "\n"
+    )
+    return {
+        "out_dir": str(out),
+        "shards": plan.shards,
+        "depth": plan.depth,
+        "frontiers": plan.num_frontiers,
+        "plan_digest": plan.digest,
+        "files": files + ["cluster.json"],
+        "bytes": total_bytes,
+    }
+
+
+# ----------------------------------------------------------------------
+# Serving (load side)
+# ----------------------------------------------------------------------
+
+
+class ShardServing:
+    """One shard's serving-only engine: frontier id -> compiled subtree.
+
+    Built from a slice container; under numpy every program array is a
+    zero-copy view of the backing buffer (a shared-memory block for
+    replicas), pinned by the retained artifact reference.
+    """
+
+    def __init__(self, *, programs, manifest, artifact) -> None:
+        self.programs = programs
+        self.manifest = manifest
+        self._artifact = artifact  # pins the backing buffer
+        shard = manifest.get("shard", {})
+        self.shard_id = int(shard.get("id", 0))
+        self.shards = int(shard.get("shards", 1))
+        self.depth = int(shard.get("depth", 0))
+        self.plan_digest = str(shard.get("plan_digest", ""))
+        self.frontiers = sorted(programs)
+        self.num_vars = int(manifest["num_vars"])
+
+    def atom_ids(self) -> list[int]:
+        """Atom ids this shard can answer (sorted)."""
+        return [int(a) for a in self._artifact.section_ints("atom_ids")]
+
+    def r_sets(self) -> dict[int, list[int]]:
+        """Live-predicate ``R`` sets restricted to this shard's atoms."""
+        pids = self.manifest["predicates"]["pids"]
+        values = self._artifact.section_ints("r_values")
+        offsets = self._artifact.section_ints("r_offsets")
+        return {
+            int(pid): [int(v) for v in values[offsets[i] : offsets[i + 1]]]
+            for i, pid in enumerate(pids)
+        }
+
+    def _program(self, frontier: int) -> CompiledAPTree:
+        program = self.programs.get(frontier)
+        if program is None:
+            raise KeyError(
+                f"frontier {frontier} is not served by shard "
+                f"{self.shard_id} (owns {self.frontiers})"
+            )
+        return program
+
+    def classify(self, frontier: int, header: int) -> int:
+        """Atom id for one header already routed to ``frontier``."""
+        return self._program(frontier).classify(header)
+
+    def classify_batch(self, frontiers, headers) -> list[int]:
+        """Atom ids for a routed batch (parallel frontier/header lists)."""
+        frontiers = _as_list(frontiers)
+        n = len(headers)
+        out = [0] * n
+        groups: dict[int, list[int]] = {}
+        for i, frontier in enumerate(frontiers):
+            groups.setdefault(frontier, []).append(i)
+        for frontier, indices in groups.items():
+            program = self._program(frontier)
+            atoms = program.classify_batch([headers[i] for i in indices])
+            for i, atom in zip(indices, atoms):
+                out[i] = atom
+        return out
+
+    def classify_batch_array(self, frontiers, headers, out=None):
+        """Numpy fast path: ``int64`` atoms for a routed batch.
+
+        ``frontiers`` is an integer array, ``headers`` a ``uint64``
+        word array; headers are grouped per frontier with boolean masks
+        (the frontier count per shard is small by construction).
+        """
+        if _np is None:  # pragma: no cover - callers gate on numpy
+            raise RuntimeError("classify_batch_array requires numpy")
+        frontiers = _np.asarray(frontiers)
+        n = len(headers)
+        if out is None:
+            out = _np.empty(n, dtype=_np.int64)
+        handled = 0
+        for frontier, program in self.programs.items():
+            mask = frontiers == frontier
+            count = int(mask.sum())
+            if not count:
+                continue
+            out[mask] = program.classify_batch_array(headers[mask])
+            handled += count
+        if handled != n:
+            unknown = sorted(
+                {int(f) for f in frontiers.tolist()} - set(self.programs)
+            )
+            raise KeyError(
+                f"frontiers {unknown} are not served by shard "
+                f"{self.shard_id} (owns {self.frontiers})"
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardServing(shard {self.shard_id}/{self.shards}, "
+            f"{len(self.programs)} subtrees, depth={self.depth})"
+        )
+
+
+def _serving_from_artifact(artifact, *, backend: str | None) -> ShardServing:
+    manifest = artifact.manifest
+    kind = manifest.get("kind")
+    if kind != SHARD_KIND:
+        raise ArtifactMismatch(
+            f"expected a {SHARD_KIND!r} artifact, found {kind!r}"
+        )
+    version = manifest.get("payload_version")
+    if version != SHARD_PAYLOAD_VERSION:
+        raise ArtifactVersionError(
+            f"shard payload version {version} is not supported "
+            f"(this build reads version {SHARD_PAYLOAD_VERSION})"
+        )
+    num_vars = int(manifest["num_vars"])
+    sections = {
+        name: artifact.section_ints(f"s_{name}")
+        for name, _dtype in _SUBTREE_SECTIONS
+    }
+    cursors = {name: 0 for name, _dtype in _SUBTREE_SECTIONS}
+    programs: dict[int, CompiledAPTree] = {}
+    for sub in manifest.get("subtrees", []):
+        arrays: dict = {
+            "num_vars": num_vars,
+            "num_sinks": int(sub["num_sinks"]),
+            "f_root": int(sub["f_root"]),
+        }
+        lengths = sub["lengths"]
+        for name, _dtype in _SUBTREE_SECTIONS:
+            start = cursors[name]
+            end = start + int(lengths[name])
+            section = sections[name]
+            if end > len(section):
+                raise ArtifactMismatch(
+                    f"subtree table overruns section s_{name} "
+                    f"({end} > {len(section)})"
+                )
+            arrays[name] = section[start:end]
+            cursors[name] = end
+        programs[int(sub["frontier"])] = CompiledAPTree.from_arrays(
+            arrays, backend=backend
+        )
+    for name, _dtype in _SUBTREE_SECTIONS:
+        if cursors[name] != len(sections[name]):
+            raise ArtifactMismatch(
+                f"section s_{name} has {len(sections[name]) - cursors[name]} "
+                "trailing elements not covered by the subtree table"
+            )
+    return ShardServing(programs=programs, manifest=manifest, artifact=artifact)
+
+
+def load_shard_buffer(
+    buffer, *, backend: str | None = None, source: str = "<buffer>"
+) -> ShardServing:
+    """A shard slice already in memory (e.g. a shared-memory block).
+
+    The buffer must outlive the returned engine: program arrays view it
+    zero-copy under numpy.
+    """
+    artifact = artifact_from_buffer(buffer, source=source)
+    return _serving_from_artifact(artifact, backend=backend)
+
+
+def load_shard(
+    path: str | os.PathLike, *, backend: str | None = None
+) -> ShardServing:
+    """Open a ``shard-NNN.apc`` slice file (mmap when enabled)."""
+    artifact = open_artifact(path)
+    return _serving_from_artifact(artifact, backend=backend)

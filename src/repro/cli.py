@@ -22,6 +22,7 @@ malformed snapshot files, unknown boxes) exit non-zero with a one-line
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -404,6 +405,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise CLIError(str(exc)) from exc
     classifier = _build(args)
+    if args.shards > 0:
+        if serve_workers > 1:
+            raise CLIError("--shards and --serve-workers are exclusive")
+        return _serve_sharded(args, classifier)
     if serve_workers > 1:
         return _serve_multi(args, classifier, serve_workers)
     recorder = Recorder()
@@ -456,10 +461,11 @@ def _serve_multi(
         port = pool.start()
     except (RuntimeError, OSError) as exc:
         raise CLIError(f"cannot start serve workers: {exc}") from exc
-    print(
-        f"serving on {args.host}:{port} with {pool.workers} workers "
-        "(newline-JSON; ctrl-c to stop)"
-    )
+    print(json.dumps({
+        "listening": [args.host, port],
+        "workers": pool.workers,
+        "protocols": ["framed", "json"],
+    }), flush=True)
     try:
         while True:
             time.sleep(3600)
@@ -467,6 +473,77 @@ def _serve_multi(
         print("interrupted; shutting down")
     finally:
         pool.stop()
+    return 0
+
+
+def _serve_sharded(args: argparse.Namespace, classifier: APClassifier) -> int:
+    """``serve --shards N [--replicas R]``: router + shard backends.
+
+    Spawns an ``N x R`` grid of replica processes each serving its
+    shard's slice artifact out of shared memory, then runs the framed +
+    newline-JSON front tier routing over the AP Tree prefix.  The bound
+    front address is announced as one JSON line on stdout.
+    """
+    import asyncio
+
+    from .artifact import ArtifactError
+    from .obs import Recorder
+    from .serve import ShardCluster, ShardRouter, serve_front_forever
+
+    if args.replicas < 1:
+        raise CLIError("--replicas must be >= 1")
+    recorder = Recorder()
+    try:
+        cluster = ShardCluster(
+            classifier,
+            shards=args.shards,
+            replicas=args.replicas,
+            depth=args.shard_depth,
+            host="127.0.0.1",
+            backend=args.engine,
+            recorder=recorder,
+        )
+    except (ArtifactError, ValueError) as exc:
+        raise CLIError(f"cannot build shard slices: {exc}") from exc
+    try:
+        cluster.start()
+    except (RuntimeError, OSError) as exc:
+        raise CLIError(f"cannot start shard replicas: {exc}") from exc
+
+    async def _run() -> None:
+        router = ShardRouter.from_cluster(cluster)
+        try:
+            await serve_front_forever(router, args.host, args.port)
+        finally:
+            await router.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        cluster.stop()
+    return 0
+
+
+def _cmd_shard_split(args: argparse.Namespace) -> int:
+    """``shard-split``: write per-shard slice artifacts + cluster manifest."""
+    from .artifact import ArtifactError, write_shard_split
+
+    if args.shards < 1:
+        raise CLIError("--shards must be >= 1")
+    classifier = _build(args)
+    try:
+        summary = write_shard_split(
+            classifier,
+            args.out,
+            shards=args.shards,
+            depth=args.depth,
+            backend=args.engine,
+        )
+    except (ArtifactError, ValueError) as exc:
+        raise CLIError(f"cannot write shard split: {exc}") from exc
+    print(json.dumps(summary, indent=2, sort_keys=True))
     return 0
 
 
@@ -493,7 +570,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(
         dest="command",
         required=True,
-        metavar="{stats,query,reachability,tree,verify,save,load,diff,serve}",
+        metavar="{stats,query,reachability,tree,verify,save,load,diff,serve,"
+        "shard-split}",
     )
 
     def common(sub_parser: argparse.ArgumentParser) -> None:
@@ -617,7 +695,9 @@ def build_parser() -> argparse.ArgumentParser:
     diff.set_defaults(func=_cmd_diff, dataset="(snapshots)")
 
     serve = sub.add_parser(
-        "serve", help="run the online query service (newline-JSON over TCP)"
+        "serve",
+        help="run the online query service (framed binary + newline-JSON "
+        "over TCP; --shards for the multi-node router)",
     )
     common(serve)
     serve.add_argument("--host", default="127.0.0.1")
@@ -646,7 +726,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=0,
                        help="hot-header result cache capacity; 0 (default) "
                        "disables the cache")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="shard the classifier across N backend "
+                       "processes behind a header-space router; 0 "
+                       "(default) serves single-node")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="replicas per shard; the router fails over "
+                       "between them (default: 1)")
+    serve.add_argument("--shard-depth", type=int, default=None,
+                       help="routing-prefix depth for --shards (default: "
+                       "shallowest cut with 4 frontiers per shard)")
     serve.set_defaults(func=_cmd_serve)
+
+    shard_split = sub.add_parser(
+        "shard-split",
+        help="write per-shard slice artifacts plus a cluster manifest",
+    )
+    common(shard_split)
+    shard_split.add_argument("--out", required=True,
+                             help="output directory for shard-NNN.apc "
+                             "slices and cluster.json")
+    shard_split.add_argument("--shards", type=int, required=True,
+                             help="number of shard slices to cut")
+    shard_split.add_argument("--depth", type=int, default=None,
+                             help="routing-prefix depth (default: "
+                             "shallowest cut with 4 frontiers per shard)")
+    shard_split.add_argument("--engine",
+                             choices=("native", "numpy", "stdlib"),
+                             default=None,
+                             help="engine slices are compiled with "
+                             "(default: REPRO_ENGINE, else best available)")
+    shard_split.set_defaults(func=_cmd_shard_split)
     return parser
 
 

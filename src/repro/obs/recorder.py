@@ -51,7 +51,11 @@ __all__ = [
 #: /6 added ``updates.tombstoned`` (atoms whose membership a removal
 #: changed) and the ``updates.incremental`` block (merge/splice/patch
 #: counters of the incremental maintenance engine).
-SCHEMA_ID = "repro.obs.snapshot/6"
+#: /7 added the serve ``frames`` counter (batched framed-protocol
+#: requests) and the serve ``shard`` block (multi-node router: topology,
+#: per-shard routed counts, retries/failovers, generation-handoff count
+#: and latency).
+SCHEMA_ID = "repro.obs.snapshot/7"
 
 #: Service latencies kept for the percentile summary; same bounded-
 #: reservoir treatment as update latencies.
@@ -306,6 +310,15 @@ class ServeCounters:
         "cache_evictions",
         "cache_invalidations",
         "cache_coalesced",
+        "frames",
+        "shard_shards",
+        "shard_replicas",
+        "shard_routed",
+        "shard_retries",
+        "shard_failovers",
+        "shard_handoffs",
+        "shard_handoff_total_s",
+        "shard_handoff_last_s",
         "latency_samples",
         "latency_total_s",
         "latency_count",
@@ -330,6 +343,15 @@ class ServeCounters:
         self.cache_evictions = 0
         self.cache_invalidations = 0
         self.cache_coalesced = 0
+        self.frames = 0
+        self.shard_shards = 0
+        self.shard_replicas = 0
+        self.shard_routed: dict[int, int] = {}
+        self.shard_retries = 0
+        self.shard_failovers = 0
+        self.shard_handoffs = 0
+        self.shard_handoff_total_s = 0.0
+        self.shard_handoff_last_s = 0.0
         self.latency_samples: list[float] = []
         self.latency_total_s = 0.0
         self.latency_count = 0
@@ -358,8 +380,43 @@ class ServeCounters:
         if len(self.latency_samples) < MAX_SERVICE_LATENCY_SAMPLES:
             self.latency_samples.append(latency_s)
 
+    def record_frame(self, size: int, latency_s: float) -> None:
+        """One framed-protocol batch of ``size`` requests answered.
+
+        The whole frame counts as ``size`` requests/served but one
+        latency sample (the frame is one round trip) and one batch.
+        """
+        self.frames += 1
+        self.requests += size
+        self.served += size
+        self.latency_count += 1
+        self.latency_total_s += latency_s
+        if latency_s > self.latency_max_s:
+            self.latency_max_s = latency_s
+        if len(self.latency_samples) < MAX_SERVICE_LATENCY_SAMPLES:
+            self.latency_samples.append(latency_s)
+        self.record_batch(size)
+
+    def record_route(self, shard: int, size: int) -> None:
+        """``size`` queries routed to ``shard`` by the front-tier router."""
+        routed = self.shard_routed
+        routed[shard] = routed.get(shard, 0) + size
+
+    def record_retry(self, *, failover: bool = False) -> None:
+        """One replica retry (``failover`` when a different replica won)."""
+        self.shard_retries += 1
+        if failover:
+            self.shard_failovers += 1
+
+    def record_handoff(self, seconds: float) -> None:
+        """One completed cluster-wide generation handoff."""
+        self.shard_handoffs += 1
+        self.shard_handoff_total_s += seconds
+        self.shard_handoff_last_s = seconds
+        self.generations += 1
+
     def summary(self) -> dict:
-        """The JSON-shaped ``serve`` snapshot section (schema /5)."""
+        """The JSON-shaped ``serve`` snapshot section (schema /7)."""
         ordered = sorted(self.latency_samples)
         return {
             "requests": self.requests,
@@ -387,6 +444,22 @@ class ServeCounters:
                 "invalidations": self.cache_invalidations,
                 "coalesced": self.cache_coalesced,
                 "hit_rate": _rate(self.cache_hits, self.cache_misses),
+            },
+            "frames": self.frames,
+            "shard": {
+                "shards": self.shard_shards,
+                "replicas": self.shard_replicas,
+                "routed": {
+                    str(shard): self.shard_routed[shard]
+                    for shard in sorted(self.shard_routed)
+                },
+                "retries": self.shard_retries,
+                "failovers": self.shard_failovers,
+                "handoffs": self.shard_handoffs,
+                "handoff_s": {
+                    "total": self.shard_handoff_total_s,
+                    "last": self.shard_handoff_last_s,
+                },
             },
             "latency_s": {
                 "count": self.latency_count,
@@ -552,7 +625,7 @@ class Recorder:
         """The collected state as a JSON-serializable dict.
 
         The shape is pinned by :data:`repro.obs.schema.SNAPSHOT_SCHEMA`
-        (currently ``repro.obs.snapshot/6``) and checked by
+        (currently ``repro.obs.snapshot/7``) and checked by
         :func:`repro.obs.schema.validate_snapshot`; every number is
         finite, so ``json.dumps(..., allow_nan=False)`` always succeeds.
         Sections: ``bdd`` (cache and node-table counters), ``tree``

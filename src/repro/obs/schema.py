@@ -42,7 +42,7 @@ def _cache_section() -> dict:
 SNAPSHOT_SCHEMA: dict = {
     "type": "object",
     "required": {
-        "schema": {"type": "const", "value": "repro.obs.snapshot/6"},
+        "schema": {"type": "const", "value": "repro.obs.snapshot/7"},
         "bdd": {
             "type": "object",
             "required": {
@@ -183,6 +183,29 @@ SNAPSHOT_SCHEMA: dict = {
                         "invalidations": {"type": "integer"},
                         "coalesced": {"type": "integer"},
                         "hit_rate": {"type": "number"},
+                    },
+                },
+                "frames": {"type": "integer"},
+                "shard": {
+                    "type": "object",
+                    "required": {
+                        "shards": {"type": "integer"},
+                        "replicas": {"type": "integer"},
+                        "routed": {
+                            "type": "object",
+                            "required": {},
+                            "values": {"type": "integer"},
+                        },
+                        "retries": {"type": "integer"},
+                        "failovers": {"type": "integer"},
+                        "handoffs": {"type": "integer"},
+                        "handoff_s": {
+                            "type": "object",
+                            "required": {
+                                "total": {"type": "number"},
+                                "last": {"type": "number"},
+                            },
+                        },
                     },
                 },
                 "latency_s": {

@@ -12,6 +12,12 @@ operations guide and the TCP wire protocol.
 
 from .cache import ResultCache
 from .service import QueryService, QueryShed, ServiceClosed
+from .shard import (
+    ShardCluster,
+    ShardRouter,
+    serve_front_forever,
+    start_front_server,
+)
 from .tcp import serve_forever, start_tcp_server
 from .workers import ServeWorkerPool, closed_loop_qps
 
@@ -21,7 +27,11 @@ __all__ = [
     "ResultCache",
     "ServiceClosed",
     "ServeWorkerPool",
+    "ShardCluster",
+    "ShardRouter",
     "closed_loop_qps",
     "serve_forever",
+    "serve_front_forever",
+    "start_front_server",
     "start_tcp_server",
 ]

@@ -398,6 +398,39 @@ class QueryService:
         header = packet.value if isinstance(packet, Packet) else packet
         return await self._submit(header, ingress_box, in_port, timeout)
 
+    async def classify_frame(self, headers) -> list[int]:
+        """Stage 1 for a pre-batched frame, bypassing the coalescing queue.
+
+        The framed protocol (:mod:`repro.serve.proto`) already delivers
+        whole batches, so there is nothing to coalesce and no per-item
+        future to allocate: the frame runs under one read section of
+        the swap lock exactly like a dispatcher batch -- every answer
+        comes from a single classifier generation -- and is accounted
+        as one served frame of ``len(headers)`` requests.  ``headers``
+        may be a list of packed ints or (under numpy) a ``uint64`` word
+        array straight off the wire, which reaches the array kernel
+        with zero per-header Python work.
+        """
+        dispatcher = self._dispatcher
+        if dispatcher is None or dispatcher.done():
+            raise ServiceClosed("service is not running")
+        started = time.perf_counter()
+        async with self._swap_lock.read():
+            if _np is None:
+                atoms = self.classifier.classify_batch(list(headers))
+            else:
+                n = len(headers)
+                out = self._batch_out
+                if out is None or out.shape[0] < n:
+                    out = self._batch_out = _np.empty(
+                        max(self.max_batch, n), dtype=_np.int64
+                    )
+                atoms = self.classifier.classify_batch_array(
+                    headers, out=out[:n]
+                ).tolist()
+        self.counters.record_frame(len(atoms), time.perf_counter() - started)
+        return atoms
+
     async def _submit(
         self, header: int, ingress: str | None, in_port: str | None, timeout
     ):

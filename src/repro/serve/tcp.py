@@ -22,7 +22,17 @@ Responses always carry ``ok``::
     {"ok": false, "error": "<message>"}     (malformed request, unknown box, ...)
 
 A malformed line never kills the connection: the error is reported on
-that line's response and the next line is processed normally.
+that line's response and the next line is processed normally.  That
+includes oversized lines: a request longer than :data:`MAX_LINE_BYTES`
+is discarded as it streams in and answered with ``{"ok": false,
+"error": "request too large"}`` -- the connection survives.
+
+The same port also speaks the length-prefixed binary framing of
+:mod:`repro.serve.proto`: the first byte of a connection selects the
+protocol (frames start with ``0xAA``, JSON never does).  Framed
+clients get batched classification (``CLASSIFY`` -> ``RESULT``) against
+the service's zero-copy batch path; newline-JSON stays as the compat
+shim for humans and ``nc``.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ import asyncio
 import json
 
 from ..headerspace.fields import parse_ipv4
+from . import proto
 from .service import QueryService, QueryShed, ServiceClosed
 
 __all__ = ["start_tcp_server", "serve_forever"]
@@ -108,18 +119,125 @@ async def _handle_request(service: QueryService, request: dict) -> dict:
     raise _BadRequest(f"unknown op {op!r}")
 
 
+async def _read_line(reader: asyncio.StreamReader) -> tuple[bytes, bool]:
+    """One newline-terminated line, bounded: ``(line, overflowed)``.
+
+    A line longer than the stream's limit is discarded as it arrives
+    (``LimitOverrunError`` hands back how many buffered bytes are safe
+    to drop without eating the separator) and reported with
+    ``overflowed=True`` so the caller can answer an error on that line
+    and keep the connection -- ``readline`` would have raised
+    ``ValueError`` and forced a disconnect.  EOF returns the partial
+    trailing line, then ``(b"", False)``.
+    """
+    overflowed = False
+    while True:
+        try:
+            line = await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as exc:
+            return exc.partial, overflowed
+        except asyncio.LimitOverrunError as exc:
+            overflowed = True
+            await reader.read(exc.consumed)
+            continue
+        return line, overflowed
+
+
+async def _handle_framed(
+    service: QueryService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Binary-framed loop; the leading magic byte was already consumed."""
+    first = True
+    while True:
+        try:
+            if first:
+                ftype, payload = await proto.read_rest_of_frame(reader)
+                first = False
+            else:
+                ftype, payload = await proto.read_frame(reader)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            break
+        except proto.FrameError as exc:
+            # Desynchronized stream: report once, then drop it.
+            writer.write(proto.pack_frame(proto.ERROR, str(exc).encode()))
+            await writer.drain()
+            break
+        try:
+            if ftype == proto.PING:
+                response = proto.pack_frame(proto.PONG)
+            elif ftype == proto.CLASSIFY:
+                headers, _width = proto.decode_classify(payload)
+                atoms = await service.classify_frame(headers)
+                response = proto.pack_frame(
+                    proto.RESULT, proto.encode_result(atoms)
+                )
+            elif ftype == proto.METRICS:
+                response = proto.pack_frame(
+                    proto.METRICS_RESULT,
+                    json.dumps(service.metrics(), allow_nan=False).encode(),
+                )
+            else:
+                raise proto.FrameError(f"unsupported frame type {ftype:#04x}")
+        except QueryShed:
+            response = proto.pack_frame(proto.ERROR, b"shed")
+        except ServiceClosed:
+            writer.write(proto.pack_frame(proto.ERROR, b"service closed"))
+            await writer.drain()
+            break
+        except (proto.FrameError, ValueError) as exc:
+            service.counters.rejected += 1
+            response = proto.pack_frame(
+                proto.ERROR, (str(exc) or repr(exc)).encode()
+            )
+        except Exception as exc:
+            response = proto.pack_frame(
+                proto.ERROR, f"{type(exc).__name__}: {exc}".encode()
+            )
+        writer.write(response)
+        try:
+            await writer.drain()
+        except ConnectionError:
+            break
+
+
 async def _handle_connection(
     service: QueryService,
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
 ) -> None:
     try:
+        # First byte selects the protocol: 0xAA opens a framed
+        # connection, anything else (JSON starts with '{' or
+        # whitespace) the newline-JSON loop.
+        try:
+            first = await reader.read(1)
+        except (ConnectionError, OSError):
+            first = b""
+        if not first:
+            return
+        if first[0] == proto.FRAME_MAGIC:
+            await _handle_framed(service, reader, writer)
+            return
+        pending = first
         while True:
             try:
-                line = await reader.readline()
-            except (ConnectionError, ValueError):
-                # ValueError: line over MAX_LINE_BYTES; drop the client.
+                line, overflowed = await _read_line(reader)
+            except (ConnectionError, OSError):
                 break
+            line = pending + line
+            pending = b""
+            if overflowed:
+                service.counters.rejected += 1
+                writer.write(
+                    b'{"ok": false, "error": "request too large"}\n'
+                )
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+                continue
             if not line:
                 break
             if not line.strip():
@@ -184,14 +302,28 @@ async def start_tcp_server(
     return await asyncio.start_server(handler, host, port, limit=MAX_LINE_BYTES)
 
 
+def _announce_line(line: str) -> None:
+    # Flush: scripts discover the port by reading the first stdout line
+    # through a pipe, where plain print() would sit in the block buffer.
+    print(line, flush=True)
+
+
 async def serve_forever(
-    service: QueryService, host: str, port: int, *, announce=print
+    service: QueryService, host: str, port: int, *, announce=_announce_line
 ) -> None:
-    """``repro serve`` driver: start service + endpoint, run until cancelled."""
+    """``repro serve`` driver: start service + endpoint, run until cancelled.
+
+    The bound address is announced as one machine-readable JSON line
+    (``{"listening": [host, port], ...}``) so scripts starting the
+    server with ``port=0`` can parse the picked port from stdout.
+    """
     async with service:
         server = await start_tcp_server(service, host, port)
         bound = server.sockets[0].getsockname()
-        announce(f"serving on {bound[0]}:{bound[1]} (newline-JSON; ctrl-c to stop)")
+        announce(json.dumps({
+            "listening": [bound[0], bound[1]],
+            "protocols": ["framed", "json"],
+        }))
         try:
             async with server:
                 await server.serve_forever()
