@@ -1,0 +1,300 @@
+"""Differential queries: diff latency vs churn, what-if under load.
+
+Two questions about the verification API (``repro.diff``):
+
+* **Diff latency vs churn size** -- fork a shadow generation, apply a
+  churn burst of N rule updates through the incremental engine, and
+  diff it against the base generation.  Measured on both bench
+  datasets; the 16-update point is cross-checked against brute-force
+  reclassification of sampled headers (every sampled header must fall
+  inside a changed region exactly when its queried behavior actually
+  differs), and the changed-volume set must be nonzero.
+* **What-if under serving load** -- what-if queries answered by a
+  :class:`QueryService` while a closed loop of classify traffic runs on
+  the same event loop.  Records what-if p50/p99 and the live path's
+  latency with and without the concurrent what-ifs; the live p50 must
+  not regress beyond a generous machine-bound factor (the heavy BDD
+  work runs in the executor on a private replica -- the loop only ever
+  pays the snapshot serialization).
+
+Results land in ``BENCH_diff_api.json`` at the repo root; with
+``REPRO_OBS_SIDECAR=1`` the run writes
+``benchmarks/results/diff_api.obs.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from pathlib import Path
+
+from conftest import OBS_SIDECARS, emit, emit_obs
+
+from repro.analysis.reporting import render_table
+from repro.core.delta import diff_behaviors
+from repro.datasets.updates import rule_update_stream
+from repro.diff import diff_generations, fork_shadow
+from repro.headerspace.fields import format_ipv4
+from repro.obs import Recorder
+from repro.serve import QueryService
+
+RESULT_JSON = Path(__file__).parent.parent / "BENCH_diff_api.json"
+
+CHURN_SIZES = (4, 16, 64)
+QUICK_CHURN_SIZES = (4, 16)
+CROSS_CHECK_CHURN = 16
+CROSS_CHECK_SAMPLES = 96
+WHATIF_QUERIES = 5
+QUICK_WHATIF_QUERIES = 2
+LOAD_ROUNDS = 300
+QUICK_LOAD_ROUNDS = 80
+#: Live-path slowdown bar while what-ifs run concurrently.  Generous on
+#: purpose: the sweep runs in the executor and only the GIL couples it
+#: to the loop, so the bound is machine noise, not a design budget.
+MAX_LIVE_SLOWDOWN = 10.0
+LIVE_FLOOR_S = 0.05
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _churned_shadow(dataset, churn: int, recorder) -> object:
+    """Fork the dataset's classifier and apply a churn burst to it."""
+    shadow = fork_shadow(dataset.classifier, recorder=recorder)
+    rng = random.Random(0)
+    for update in rule_update_stream(
+        dataset.network, churn, rng, insert_fraction=1.0
+    ):
+        if update.kind == "insert":
+            shadow.insert_rule(update.box, update.rule)
+        else:
+            shadow.remove_rule(update.box, update.rule)
+    return shadow
+
+
+def _cross_check(before, after, report, ingress: str) -> int:
+    """Brute-force agreement: region membership == behavior change."""
+    rng = random.Random(3)
+    headers = [rng.getrandbits(report.num_vars) for _ in range(CROSS_CHECK_SAMPLES)]
+    headers.extend(entry.witness for entry in report.entries)
+    for header in headers:
+        changed = bool(
+            diff_behaviors(
+                before.query(header, ingress), after.query(header, ingress)
+            )
+        )
+        in_regions = sum(
+            1 for entry in report.entries if entry.region.evaluate(header)
+        )
+        assert in_regions == (1 if changed else 0), (
+            f"header {header:#x}: brute-force changed={changed} but lies "
+            f"in {in_regions} reported regions"
+        )
+    return len(headers)
+
+
+def test_diff_latency_vs_churn(datasets, quick):
+    recorder = Recorder()
+    churn_sizes = QUICK_CHURN_SIZES if quick else CHURN_SIZES
+    results = []
+    rows = []
+    for dataset in datasets:
+        ingress = sorted(dataset.network.boxes)[0]
+        for churn in churn_sizes:
+            shadow = _churned_shadow(dataset, churn, recorder)
+            started = time.perf_counter()
+            report = diff_generations(
+                dataset.classifier, shadow, ingress, recorder=recorder
+            )
+            elapsed = time.perf_counter() - started
+            checked = 0
+            if churn == CROSS_CHECK_CHURN:
+                assert not report.is_empty, (
+                    f"{dataset.name}: a {churn}-update churn burst must "
+                    "change some packet behavior"
+                )
+                checked = _cross_check(
+                    dataset.classifier, shadow, report, ingress
+                )
+            results.append(
+                {
+                    "dataset": dataset.name,
+                    "churn": churn,
+                    "ingress": ingress,
+                    "diff_s": elapsed,
+                    "sat_count_s": report.sat_count_s,
+                    "atoms_before": report.atoms_before,
+                    "atoms_after": report.atoms_after,
+                    "pairs_examined": report.pairs_examined,
+                    "changed_classes": len(report.entries),
+                    "changed_share": report.changed_share(),
+                    "cross_checked_headers": checked,
+                }
+            )
+            rows.append(
+                (
+                    dataset.name,
+                    churn,
+                    f"{elapsed * 1000:.1f} ms",
+                    report.pairs_examined,
+                    len(report.entries),
+                    f"{report.changed_share():.2e}",
+                )
+            )
+    emit(
+        "diff_latency",
+        render_table(
+            "Generation diff: latency vs churn size",
+            ["dataset", "churn", "diff", "pairs", "changed", "share"],
+            rows,
+        ),
+    )
+
+    payload = _load_payload()
+    payload["diff_vs_churn"] = results
+    payload["cross_check_churn"] = CROSS_CHECK_CHURN
+    RESULT_JSON.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
+
+    if OBS_SIDECARS:
+        emit_obs("diff_api", recorder)
+
+
+def _delivered_drop_specs(dataset, ingress: str, count: int) -> list[str]:
+    """Drop rules for /24s that currently deliver traffic from ingress.
+
+    Built from the bench trace itself, so each candidate change is
+    guaranteed to flip some packet class from delivered to dropped --
+    the what-if reports must all come back nonzero.
+    """
+    layout = dataset.network.layout
+    specs: list[str] = []
+    seen: set[int] = set()
+    for header in dataset.headers:
+        prefix = layout.extract(header, "dst_ip") >> 8 << 8
+        if prefix in seen:
+            continue
+        seen.add(prefix)
+        if not dataset.classifier.query(header, ingress).delivered_hosts():
+            continue
+        specs.append(f"{ingress}:dst_ip={format_ipv4(prefix)}/24->drop@99")
+        if len(specs) == count:
+            break
+    assert len(specs) == count, (
+        f"trace yields only {len(specs)} delivered /24s from {ingress}"
+    )
+    return specs
+
+
+def test_what_if_under_load(i2, stan, quick):
+    recorder = Recorder()
+    dataset = i2 if quick else stan
+    ingress = sorted(dataset.network.boxes)[0]
+    headers = list(dataset.headers)
+    rounds = QUICK_LOAD_ROUNDS if quick else LOAD_ROUNDS
+    whatif_count = QUICK_WHATIF_QUERIES if quick else WHATIF_QUERIES
+    specs = _delivered_drop_specs(dataset, ingress, whatif_count)
+
+    async def scenario():
+        async with QueryService(
+            dataset.classifier, max_delay_s=0, recorder=recorder
+        ) as service:
+            # Baseline: the live path alone.
+            baseline = []
+            for index in range(rounds):
+                started = time.perf_counter()
+                await service.classify(headers[index % len(headers)])
+                baseline.append(time.perf_counter() - started)
+
+            # Under load: classify traffic in a background loop while
+            # what-if queries run to completion one after another.
+            during: list[float] = []
+            stop = asyncio.Event()
+
+            async def classify_loop():
+                index = 0
+                while not stop.is_set():
+                    started = time.perf_counter()
+                    await service.classify(headers[index % len(headers)])
+                    during.append(time.perf_counter() - started)
+                    index += 1
+                    await asyncio.sleep(0)
+
+            load_task = asyncio.create_task(classify_loop())
+            whatif_lat = []
+            reports = []
+            for spec in specs:
+                started = time.perf_counter()
+                report = await service.what_if(ingress, add=[spec], limit=5)
+                whatif_lat.append(time.perf_counter() - started)
+                reports.append(report)
+            stop.set()
+            await load_task
+            return baseline, during, whatif_lat, reports
+
+    baseline, during, whatif_lat, reports = asyncio.run(scenario())
+
+    for report in reports:
+        assert report["changed_volume"] > 0
+        json.dumps(report, allow_nan=False)  # strict-JSON contract
+
+    base_p50 = _percentile(baseline, 0.50)
+    live_p50 = _percentile(during, 0.50)
+    live_p99 = _percentile(during, 0.99)
+    whatif_p50 = _percentile(whatif_lat, 0.50)
+    whatif_p99 = _percentile(whatif_lat, 0.99)
+    slowdown = live_p50 / base_p50 if base_p50 > 0 else 1.0
+
+    emit(
+        "diff_whatif_load",
+        render_table(
+            f"What-if under serving load ({dataset.name})",
+            ["metric", "value"],
+            [
+                ("baseline classify p50", f"{base_p50 * 1e6:.0f} us"),
+                ("classify p50 under what-ifs", f"{live_p50 * 1e6:.0f} us"),
+                ("classify p99 under what-ifs", f"{live_p99 * 1e6:.0f} us"),
+                ("what-if p50", f"{whatif_p50 * 1000:.1f} ms"),
+                ("what-if p99", f"{whatif_p99 * 1000:.1f} ms"),
+                ("live p50 slowdown", f"{slowdown:.2f}x"),
+            ],
+        ),
+    )
+
+    assert live_p50 <= max(MAX_LIVE_SLOWDOWN * base_p50, LIVE_FLOOR_S), (
+        f"live classify p50 regressed {slowdown:.1f}x while what-ifs ran "
+        f"(baseline {base_p50 * 1e6:.0f} us, under load "
+        f"{live_p50 * 1e6:.0f} us)"
+    )
+
+    payload = _load_payload()
+    payload["whatif_under_load"] = {
+        "dataset": dataset.name,
+        "ingress": ingress,
+        "classify_rounds": rounds,
+        "whatif_queries": whatif_count,
+        "baseline_classify_p50_s": base_p50,
+        "live_classify_p50_s": live_p50,
+        "live_classify_p99_s": live_p99,
+        "whatif_p50_s": whatif_p50,
+        "whatif_p99_s": whatif_p99,
+        "live_p50_slowdown": slowdown,
+        "max_live_slowdown": MAX_LIVE_SLOWDOWN,
+    }
+    RESULT_JSON.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
+
+    if OBS_SIDECARS:
+        emit_obs("diff_api", recorder)
+
+
+def _load_payload() -> dict:
+    """Both legs write one JSON file; merge instead of clobbering."""
+    if RESULT_JSON.exists():
+        try:
+            return json.loads(RESULT_JSON.read_text())
+        except json.JSONDecodeError:
+            pass
+    return {}

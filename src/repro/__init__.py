@@ -47,7 +47,7 @@ from .network import (
     Match,
     Network,
 )
-from . import config, persist
+from . import config, diff, persist
 
 __version__ = "1.0.0"
 
@@ -75,6 +75,7 @@ __all__ = [
     "Acl",
     "AclRule",
     "config",
+    "diff",
     "persist",
     "__version__",
 ]

@@ -12,6 +12,9 @@ Examples::
     ap-classifier load /tmp/i2.apc
     ap-classifier query --artifact /tmp/i2.apc --dst-ip 10.1.0.1 --ingress SEAT
     ap-classifier query --snapshot /tmp/i2.json --dst-ip 10.1.0.1 --ingress SEAT
+    ap-classifier diff /tmp/before.apc /tmp/after.apc --ingress SEAT
+    ap-classifier whatif --dataset internet2 --ingress SEAT \
+        --add-rule 'SEAT:dst_ip=10.3.0.0/24->to_SALT'
     ap-classifier serve --dataset internet2 --port 9000 --serve-workers 4
 
 Error contract: operational failures (unknown dataset names, missing or
@@ -357,6 +360,57 @@ def _cmd_load(args: argparse.Namespace) -> int:
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
+    """``diff``: which packets changed behavior between two generations?
+
+    Two modes share the subcommand:
+
+    * two positional paths -- saved classifiers (binary artifact or
+      classifier JSON); the exact atom-pairing sweep of
+      :mod:`repro.diff` runs across their managers and the full report
+      (changed classes, sat-count volumes, witnesses) prints as strict
+      JSON;
+    * ``--before``/``--after`` -- bare network snapshot JSONs; both are
+      built fresh on one manager and the human-readable delta list of
+      :func:`repro.core.delta.behavior_delta` prints instead.
+
+    Exit code 1 when any class changed behavior, 0 when none did.
+    """
+    if args.generations:
+        if len(args.generations) != 2:
+            raise CLIError(
+                "diff takes exactly two saved classifier files "
+                "(or --before/--after network snapshots)"
+            )
+        if args.before or args.after:
+            raise CLIError(
+                "positional generation files and --before/--after are exclusive"
+            )
+        return _diff_generation_files(args)
+    if not args.before or not args.after:
+        raise CLIError(
+            "diff needs two saved classifier files or both "
+            "--before and --after network snapshots"
+        )
+    return _diff_snapshots(args)
+
+
+def _diff_generation_files(args: argparse.Namespace) -> int:
+    from .diff import diff_generations
+
+    before = _load_classifier_file(args.generations[0])
+    after = _load_classifier_file(args.generations[1])
+    for classifier in (before, after):
+        if args.ingress not in classifier.dataplane.network.boxes:
+            raise CLIError(f"unknown ingress box {args.ingress!r}")
+    try:
+        report = diff_generations(before, after, args.ingress)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+    print(json.dumps(report.to_json(args.limit), indent=2, allow_nan=False))
+    return 1 if report.entries else 0
+
+
+def _diff_snapshots(args: argparse.Namespace) -> int:
     from .core.delta import behavior_delta
     from .network.dataplane import DataPlane
 
@@ -381,6 +435,37 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     if len(deltas) > args.limit:
         print(f"  ... and {len(deltas) - args.limit} more")
     return 1
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    """``whatif``: diff a candidate rule change without applying it.
+
+    The base classifier (``--dataset``/``--snapshot``/``--artifact``) is
+    never modified: the candidate ``--add-rule``/``--remove-rule`` specs
+    are applied to a shadow fork through the incremental engine and the
+    shadow is diffed against the base generation.  The report prints as
+    strict JSON; exit code is 0 whether or not behavior would change
+    (the answer is the report, not a verdict).
+    """
+    from .diff import parse_rule_spec, what_if
+
+    classifier = _build(args)
+    if args.ingress not in classifier.dataplane.network.boxes:
+        raise CLIError(f"unknown ingress box {args.ingress!r}")
+    layout = classifier.dataplane.layout
+    try:
+        add = [parse_rule_spec(spec, layout) for spec in args.add_rule]
+        remove = [parse_rule_spec(spec, layout) for spec in args.remove_rule]
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+    if not add and not remove:
+        raise CLIError("whatif needs at least one --add-rule/--remove-rule")
+    try:
+        report = what_if(classifier, args.ingress, add=add, remove=remove)
+    except (KeyError, ValueError) as exc:
+        raise CLIError(str(exc)) from exc
+    print(json.dumps(report.to_json(args.limit), indent=2, allow_nan=False))
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -570,8 +655,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(
         dest="command",
         required=True,
-        metavar="{stats,query,reachability,tree,verify,save,load,diff,serve,"
-        "shard-split}",
+        metavar="{stats,query,reachability,tree,verify,save,load,diff,whatif,"
+        "serve,shard-split}",
     )
 
     def common(sub_parser: argparse.ArgumentParser) -> None:
@@ -686,13 +771,58 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.set_defaults(func=_cmd_snapshot)
 
     diff = sub.add_parser(
-        "diff", help="behavior changes between two network snapshots"
+        "diff",
+        help="which packets changed behavior between two generations "
+        "(saved classifiers -> strict JSON, or network snapshots)",
     )
-    diff.add_argument("--before", required=True, help="baseline snapshot JSON")
-    diff.add_argument("--after", required=True, help="changed snapshot JSON")
+    diff.add_argument(
+        "generations",
+        nargs="*",
+        metavar="GENERATION",
+        help="two saved classifiers (`save` artifacts or classifier "
+        "JSON) to diff exactly via atom pairing",
+    )
+    diff.add_argument("--before", default="", help="baseline network snapshot JSON")
+    diff.add_argument("--after", default="", help="changed network snapshot JSON")
     diff.add_argument("--ingress", required=True)
-    diff.add_argument("--limit", type=int, default=10)
-    diff.set_defaults(func=_cmd_diff, dataset="(snapshots)")
+    diff.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="most changed classes shown (summary counters cover all)",
+    )
+    diff.set_defaults(func=_cmd_diff, dataset="(generations)")
+
+    whatif = sub.add_parser(
+        "whatif",
+        help="diff a candidate rule change on a shadow fork, live "
+        "classifier untouched (strict JSON)",
+    )
+    common(whatif)
+    whatif.add_argument(
+        "--add-rule",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="candidate rule to add, as "
+        "BOX:FIELD=VALUE/PLEN->PORT[,PORT...][@PRIO] "
+        "(action `drop` discards; repeatable)",
+    )
+    whatif.add_argument(
+        "--remove-rule",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="candidate rule to remove, same spec syntax (repeatable)",
+    )
+    whatif.add_argument("--ingress", required=True)
+    whatif.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="most changed classes shown (summary counters cover all)",
+    )
+    whatif.set_defaults(func=_cmd_whatif)
 
     serve = sub.add_parser(
         "serve",

@@ -9,6 +9,7 @@ entire evaluation (Figs. 4-14) is built on.  See DESIGN.md
 
 from .recorder import (
     BDDCounters,
+    DiffCounters,
     ParallelCounters,
     PersistCounters,
     Recorder,
@@ -20,6 +21,7 @@ from .schema import SNAPSHOT_SCHEMA, SchemaError, validate_snapshot
 
 __all__ = [
     "BDDCounters",
+    "DiffCounters",
     "ParallelCounters",
     "PersistCounters",
     "Recorder",

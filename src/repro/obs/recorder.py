@@ -30,6 +30,7 @@ from typing import Iterator
 
 __all__ = [
     "BDDCounters",
+    "DiffCounters",
     "ParallelCounters",
     "PersistCounters",
     "Recorder",
@@ -55,7 +56,10 @@ __all__ = [
 #: requests) and the serve ``shard`` block (multi-node router: topology,
 #: per-shard routed counts, retries/failovers, generation-handoff count
 #: and latency).
-SCHEMA_ID = "repro.obs.snapshot/7"
+#: /8 added the "diff" section (differential/what-if queries: generation
+#: comparisons, shadow-fork builds and build time, atom pairs examined,
+#: model-counting time, and the changed-volume-share histogram).
+SCHEMA_ID = "repro.obs.snapshot/8"
 
 #: Service latencies kept for the percentile summary; same bounded-
 #: reservoir treatment as update latencies.
@@ -537,6 +541,93 @@ class PersistCounters:
         }
 
 
+class DiffCounters:
+    """Differential-query counters (:mod:`repro.diff`).
+
+    Populated by :func:`repro.diff.diff_generations` and
+    :func:`repro.diff.what_if`: how many generation comparisons and
+    what-if queries ran, how many shadow classifiers were forked (and
+    how long the forks took), the atom-pair volume each sweep examined,
+    and where the model-counting time went.  The changed-volume
+    histogram buckets each comparison by the *share* of the header
+    space whose behavior changed -- the operational question a diff
+    answers ("how big is this change?") at a glance.
+    """
+
+    __slots__ = (
+        "comparisons",
+        "whatifs",
+        "shadow_builds",
+        "shadow_build_seconds",
+        "pairs_examined",
+        "changed_classes",
+        "sat_count_seconds",
+        "share_histogram",
+    )
+
+    #: Upper bounds (exclusive) of the changed-volume-share buckets; a
+    #: share of exactly zero lands in its own "0" bucket.
+    _SHARE_BUCKETS = (
+        (0.001, "<0.1%"),
+        (0.01, "<1%"),
+        (0.1, "<10%"),
+        (0.5, "<50%"),
+    )
+
+    def __init__(self) -> None:
+        self.comparisons = 0
+        self.whatifs = 0
+        self.shadow_builds = 0
+        self.shadow_build_seconds = 0.0
+        self.pairs_examined = 0
+        self.changed_classes = 0
+        self.sat_count_seconds = 0.0
+        self.share_histogram: dict[str, int] = {}
+
+    def record_comparison(
+        self, *, pairs: int, changed: int, share: float, sat_count_s: float
+    ) -> None:
+        """One generation diff: its sweep size, outcome, and count time."""
+        self.comparisons += 1
+        self.pairs_examined += pairs
+        self.changed_classes += changed
+        self.sat_count_seconds += sat_count_s
+        bucket = ">=50%"
+        if share == 0.0:
+            bucket = "0"
+        else:
+            for bound, name in self._SHARE_BUCKETS:
+                if share < bound:
+                    bucket = name
+                    break
+        self.share_histogram[bucket] = self.share_histogram.get(bucket, 0) + 1
+
+    def record_shadow_build(self, seconds: float) -> None:
+        """One shadow classifier forked from a live generation."""
+        self.shadow_builds += 1
+        self.shadow_build_seconds += seconds
+
+    def record_whatif(self) -> None:
+        """One complete what-if query answered."""
+        self.whatifs += 1
+
+    def summary(self) -> dict:
+        """The JSON-shaped ``diff`` snapshot section (schema /8)."""
+        return {
+            "comparisons": self.comparisons,
+            "whatifs": self.whatifs,
+            "shadow_builds": self.shadow_builds,
+            "shadow_build_seconds": self.shadow_build_seconds,
+            "pairs_examined": self.pairs_examined,
+            "changed_classes": self.changed_classes,
+            "sat_count_seconds": self.sat_count_seconds,
+            "changed_volume_histogram": {
+                bucket: self.share_histogram[bucket]
+                for bucket in sorted(self.share_histogram)
+            },
+        }
+
+
 class Recorder:
     """Collects instrumentation from every component it is attached to.
 
@@ -554,6 +645,7 @@ class Recorder:
         self.parallel = ParallelCounters()
         self.serve = ServeCounters()
         self.persist = PersistCounters()
+        self.diff = DiffCounters()
         self.timeline: list[dict] = []
         self._managers: list = []  # BDDManager instances under observation
         self._nodes_at_attach: list[int] = []
@@ -625,7 +717,7 @@ class Recorder:
         """The collected state as a JSON-serializable dict.
 
         The shape is pinned by :data:`repro.obs.schema.SNAPSHOT_SCHEMA`
-        (currently ``repro.obs.snapshot/7``) and checked by
+        (currently ``repro.obs.snapshot/8``) and checked by
         :func:`repro.obs.schema.validate_snapshot`; every number is
         finite, so ``json.dumps(..., allow_nan=False)`` always succeeds.
         Sections: ``bdd`` (cache and node-table counters), ``tree``
@@ -633,7 +725,8 @@ class Recorder:
         (splits, rebuilds, staleness fallbacks), ``parallel`` (offline
         pipeline phases), ``serve`` (the query service's batch/queue/
         latency counters), ``persist`` (artifact/snapshot save and load
-        traffic), and ``timeline`` (dynamic-run samples).
+        traffic), ``diff`` (generation diffs and what-if queries), and
+        ``timeline`` (dynamic-run samples).
         """
         bdd = self.bdd
         tree = self.tree
@@ -740,6 +833,7 @@ class Recorder:
             },
             "serve": self.serve.summary(),
             "persist": self.persist.summary(),
+            "diff": self.diff.summary(),
             "timeline": list(self.timeline),
         }
 

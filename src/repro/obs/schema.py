@@ -42,7 +42,7 @@ def _cache_section() -> dict:
 SNAPSHOT_SCHEMA: dict = {
     "type": "object",
     "required": {
-        "schema": {"type": "const", "value": "repro.obs.snapshot/7"},
+        "schema": {"type": "const", "value": "repro.obs.snapshot/8"},
         "bdd": {
             "type": "object",
             "required": {
@@ -231,6 +231,23 @@ SNAPSHOT_SCHEMA: dict = {
                 "bytes_read": {"type": "integer"},
                 "mmap_loads": {"type": "integer"},
                 "copy_loads": {"type": "integer"},
+            },
+        },
+        "diff": {
+            "type": "object",
+            "required": {
+                "comparisons": {"type": "integer"},
+                "whatifs": {"type": "integer"},
+                "shadow_builds": {"type": "integer"},
+                "shadow_build_seconds": {"type": "number"},
+                "pairs_examined": {"type": "integer"},
+                "changed_classes": {"type": "integer"},
+                "sat_count_seconds": {"type": "number"},
+                "changed_volume_histogram": {
+                    "type": "object",
+                    "required": {},
+                    "values": {"type": "integer"},
+                },
             },
         },
         "timeline": {

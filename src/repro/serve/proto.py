@@ -25,10 +25,14 @@ per-connection.  Frame types:
 ``SHARD_CLASSIFY``  0x03  ``u32 generation | u32 count | u8 width |
                        count u32`` frontiers ``| count*width u64`` headers
 ``METRICS``      0x04  empty; answered with ``METRICS_RESULT`` (JSON)
+``DIFF``         0x05  UTF-8 JSON request; answered with ``DIFF_RESULT``
+``WHATIF``       0x06  UTF-8 JSON request; answered with ``WHATIF_RESULT``
 ``PONG``         0x81  empty
 ``RESULT``       0x82  ``u32 count | count i64`` atom ids
 ``SHARD_RESULT`` 0x83  ``u32 generation | u32 count | count i64`` atom ids
 ``METRICS_RESULT``  0x84  UTF-8 JSON object
+``DIFF_RESULT``  0x85  UTF-8 JSON object (the generation-diff report)
+``WHATIF_RESULT``  0x86  UTF-8 JSON object (the what-if report)
 ``ERROR``        0x7F  UTF-8 message
 ===============  ====  ======================================================
 
@@ -65,9 +69,13 @@ __all__ = [
     "CLASSIFY",
     "SHARD_CLASSIFY",
     "METRICS",
+    "DIFF",
+    "WHATIF",
     "RESULT",
     "SHARD_RESULT",
     "METRICS_RESULT",
+    "DIFF_RESULT",
+    "WHATIF_RESULT",
     "ERROR",
     "FrameError",
     "RemoteError",
@@ -95,10 +103,14 @@ PING = 0x01
 CLASSIFY = 0x02
 SHARD_CLASSIFY = 0x03
 METRICS = 0x04
+DIFF = 0x05
+WHATIF = 0x06
 PONG = 0x81
 RESULT = 0x82
 SHARD_RESULT = 0x83
 METRICS_RESULT = 0x84
+DIFF_RESULT = 0x85
+WHATIF_RESULT = 0x86
 ERROR = 0x7F
 
 _HEADER = struct.Struct("<BIB")

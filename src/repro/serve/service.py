@@ -319,6 +319,10 @@ class QueryService:
         # classify request for it.  Confined to the event-loop thread;
         # entries are removed wherever their future is completed.
         self._inflight: dict[int, asyncio.Future] = {}
+        # Serialized live generation for diff/what-if isolation, keyed
+        # by the serving tree's identity + version (same freshness stamp
+        # as the result cache).  Confined to the event-loop thread.
+        self._snapshot_cache: tuple[object, int, str] | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -818,6 +822,127 @@ class QueryService:
     def _compile_now(self) -> None:
         self.classifier.compile(self.backend)
         self._updates_since_compile = 0
+
+    # ------------------------------------------------------------------
+    # Verification queries: generation diff and what-if (repro.diff)
+    # ------------------------------------------------------------------
+
+    def _live_snapshot_json(self) -> str:
+        """Serialize the live generation, cached per tree version.
+
+        Must run under a read section of the swap lock on the loop
+        thread: the snapshot is the consistency point -- everything
+        downstream of it (artifact loads, shadow forks, BDD sweeps)
+        works on private managers in an executor thread and can never
+        see a half-applied update.  Repeated diff/what-if calls at the
+        same generation reuse the cached text, so only the first call
+        after a mutation pays the serialization.
+        """
+        from .. import persist
+
+        tree = self.classifier.tree
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] is tree and cached[1] == tree.version:
+            return cached[2]
+        text = persist.classifier_to_json(self.classifier)
+        self._snapshot_cache = (tree, tree.version, text)
+        return text
+
+    async def diff_generation(
+        self,
+        other: "APClassifier | str",
+        ingress_box: str,
+        *,
+        limit: int | None = None,
+    ) -> dict:
+        """Diff the live generation against another one (strict JSON).
+
+        ``other`` is a loaded :class:`APClassifier` or a path to a saved
+        artifact/snapshot.  The live side is snapshotted under the swap
+        lock (one consistent generation) and the sweep runs on a private
+        replica in the default executor, so serving latency sees only
+        the snapshot cost -- never the BDD intersections.
+        """
+        if not self.running:
+            raise ServiceClosed("service is not running")
+        async with self._swap_lock.read():
+            snapshot = self._live_snapshot_json()
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self._diff_worker, snapshot, other, ingress_box, limit
+        )
+
+    def _diff_worker(
+        self, snapshot: str, other, ingress_box: str, limit: int | None
+    ) -> dict:
+        """Executor-thread half of :meth:`diff_generation`."""
+        from .. import persist
+        from ..diff import diff_generations
+
+        live = persist.classifier_from_json(snapshot)
+        after = (
+            other
+            if isinstance(other, APClassifier)
+            else persist.load(other)
+        )
+        report = diff_generations(
+            live, after, ingress_box, recorder=self.recorder
+        )
+        return report.to_json(limit)
+
+    async def what_if(
+        self,
+        ingress_box: str,
+        *,
+        add: list = (),
+        remove: list = (),
+        limit: int | None = None,
+    ) -> dict:
+        """Answer a what-if rule-change query (strict JSON).
+
+        ``add``/``remove`` entries are ``(box, rule)`` pairs or rule
+        spec strings (:func:`repro.diff.parse_rule_spec`).  The
+        candidate rules are applied to a *shadow* fork of the live
+        snapshot through the incremental engine and diffed against it;
+        the live classifier is never touched -- in-flight batches and
+        subsequent updates proceed as if the query never happened.
+        """
+        if not self.running:
+            raise ServiceClosed("service is not running")
+        from ..diff import parse_rule_spec
+
+        layout = self.classifier.dataplane.layout
+        add = [
+            parse_rule_spec(entry, layout) if isinstance(entry, str) else entry
+            for entry in add
+        ]
+        remove = [
+            parse_rule_spec(entry, layout) if isinstance(entry, str) else entry
+            for entry in remove
+        ]
+        async with self._swap_lock.read():
+            snapshot = self._live_snapshot_json()
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self._what_if_worker, snapshot, add, remove, ingress_box, limit
+        )
+
+    def _what_if_worker(
+        self, snapshot: str, add, remove, ingress_box: str, limit: int | None
+    ) -> dict:
+        """Executor-thread half of :meth:`what_if`."""
+        from .. import persist
+        from ..diff import what_if
+
+        live = persist.classifier_from_json(snapshot)
+        report = what_if(
+            live,
+            ingress_box,
+            add=add,
+            remove=remove,
+            recorder=self.recorder,
+        )
+        return report.to_json(limit)
 
     # ------------------------------------------------------------------
     # Reconstruction (Section VI-B, served live)

@@ -12,6 +12,17 @@ Requests (``op`` selects the action)::
     {"op": "classify", "packet": {"dst_ip": "10.0.0.1"}}
     {"op": "query", "packet": {"dst_ip": "10.0.0.1"}, "ingress": "SEAT"}
     {"op": "metrics"}
+    {"op": "diff", "artifact": "/path/to/other.apc", "ingress": "SEAT"}
+    {"op": "whatif", "add": ["SEAT:dst_ip=10.3.0.0/24->to_SALT"],
+     "ingress": "SEAT"}
+
+``diff`` compares the live generation against a saved artifact or JSON
+snapshot on the server's filesystem; ``whatif`` applies candidate rule
+specs (:func:`repro.diff.parse_rule_spec` syntax, ``add``/``remove``
+lists) to a shadow fork and diffs it against the live generation.  Both
+accept an optional integer ``limit`` capping the per-class entries in
+the report (default :data:`DEFAULT_DIFF_LIMIT`; the summary counters
+always cover the full diff).
 
 Responses always carry ``ok``::
 
@@ -49,6 +60,11 @@ __all__ = ["start_tcp_server", "serve_forever"]
 #: Refuse absurd lines instead of buffering them (64 KiB is far beyond
 #: any legitimate request in this protocol).
 MAX_LINE_BYTES = 64 * 1024
+
+#: Per-class entry cap applied to diff/what-if reports when the request
+#: does not pick its own ``limit`` -- keeps responses inside one frame
+#: even for churn-heavy diffs (summary counters always cover everything).
+DEFAULT_DIFF_LIMIT = 50
 
 #: Packet-field keys parsed as dotted-quad IPv4 strings; everything else
 #: in a ``packet`` object must already be an integer field value.
@@ -95,12 +111,58 @@ def _behavior_payload(atom_id: int, behavior) -> dict:
     }
 
 
+def _diff_args(request: dict) -> tuple[str, str, int]:
+    """Validate a diff request's ``artifact``/``ingress``/``limit``."""
+    artifact = request.get("artifact")
+    if not isinstance(artifact, str) or not artifact:
+        raise _BadRequest("'diff' needs a non-empty string 'artifact' path")
+    return artifact, _ingress_of(request, "diff"), _limit_of(request)
+
+
+def _whatif_args(request: dict) -> tuple[list[str], list[str], str, int]:
+    """Validate a what-if request's rule-spec lists and ingress."""
+    add = request.get("add", [])
+    remove = request.get("remove", [])
+    for name, specs in (("add", add), ("remove", remove)):
+        if not isinstance(specs, list) or not all(
+            isinstance(spec, str) for spec in specs
+        ):
+            raise _BadRequest(f"'whatif' {name!r} must be a list of rule specs")
+    if not add and not remove:
+        raise _BadRequest("'whatif' needs at least one rule in 'add'/'remove'")
+    return add, remove, _ingress_of(request, "whatif"), _limit_of(request)
+
+
+def _ingress_of(request: dict, op: str) -> str:
+    ingress = request.get("ingress")
+    if not isinstance(ingress, str) or not ingress:
+        raise _BadRequest(f"{op!r} needs a non-empty string 'ingress'")
+    return ingress
+
+
+def _limit_of(request: dict) -> int:
+    limit = request.get("limit", DEFAULT_DIFF_LIMIT)
+    if not isinstance(limit, int) or isinstance(limit, bool) or limit < 0:
+        raise _BadRequest("'limit' must be a non-negative integer")
+    return limit
+
+
 async def _handle_request(service: QueryService, request: dict) -> dict:
     op = request.get("op")
     if op == "ping":
         return {"ok": True, "pong": True}
     if op == "metrics":
         return {"ok": True, "metrics": service.metrics()}
+    if op == "diff":
+        artifact, ingress, limit = _diff_args(request)
+        report = await service.diff_generation(artifact, ingress, limit=limit)
+        return {"ok": True, "diff": report}
+    if op == "whatif":
+        add, remove, ingress, limit = _whatif_args(request)
+        report = await service.what_if(
+            ingress, add=add, remove=remove, limit=limit
+        )
+        return {"ok": True, "whatif": report}
     layout = service.classifier.dataplane.layout
     if op == "classify":
         atom_id = await service.classify(_header_of(layout, request))
@@ -117,6 +179,17 @@ async def _handle_request(service: QueryService, request: dict) -> dict:
         )
         return _behavior_payload(behavior.atom_id, behavior)
     raise _BadRequest(f"unknown op {op!r}")
+
+
+def _framed_json(payload: bytes) -> dict:
+    """Decode a framed request's UTF-8 JSON object payload."""
+    try:
+        request = json.loads(payload)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _BadRequest(f"frame payload is not valid JSON: {exc}") from None
+    if not isinstance(request, dict):
+        raise _BadRequest("frame payload must be a JSON object")
+    return request
 
 
 async def _read_line(reader: asyncio.StreamReader) -> tuple[bytes, bool]:
@@ -177,6 +250,26 @@ async def _handle_framed(
                 response = proto.pack_frame(
                     proto.METRICS_RESULT,
                     json.dumps(service.metrics(), allow_nan=False).encode(),
+                )
+            elif ftype == proto.DIFF:
+                artifact, ingress, limit = _diff_args(_framed_json(payload))
+                report = await service.diff_generation(
+                    artifact, ingress, limit=limit
+                )
+                response = proto.pack_frame(
+                    proto.DIFF_RESULT,
+                    json.dumps(report, allow_nan=False).encode(),
+                )
+            elif ftype == proto.WHATIF:
+                add, remove, ingress, limit = _whatif_args(
+                    _framed_json(payload)
+                )
+                report = await service.what_if(
+                    ingress, add=add, remove=remove, limit=limit
+                )
+                response = proto.pack_frame(
+                    proto.WHATIF_RESULT,
+                    json.dumps(report, allow_nan=False).encode(),
                 )
             else:
                 raise proto.FrameError(f"unsupported frame type {ftype:#04x}")
