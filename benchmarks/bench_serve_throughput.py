@@ -35,6 +35,13 @@ corrupt the shared session fixtures):
   on every update, so the timeline stays fresh throughout and no
   reconstruction is needed.
 
+The churn-storm leg also runs standalone against any registry scenario:
+``pytest bench_serve_throughput.py::test_churn_storm_scenario
+--scenario sdn-policy`` draws the storm from the scenario's own seeded
+update stream, serves it under incremental maintenance, and writes
+``results/serve_churn_<name>.json`` plus (with ``REPRO_OBS_SIDECAR=1``)
+a scenario-tagged ``results/serve_churn_<name>.obs.json`` sidecar.
+
 Two serving axes are configurable without editing the file:
 
 * ``REPRO_ENGINE=native|numpy|stdlib`` picks the classification engine
@@ -69,7 +76,7 @@ import random
 import time
 from pathlib import Path
 
-from conftest import OBS_SIDECARS, emit, emit_obs
+from conftest import OBS_SIDECARS, emit, emit_json, emit_obs
 
 from repro import config
 from repro.analysis.reporting import format_qps, render_series, render_table
@@ -353,7 +360,9 @@ async def run_degradation(classifier, headers) -> list[dict]:
     return samples
 
 
-async def run_churn_storm(classifier, headers, maintenance: str) -> dict:
+async def run_churn_storm(
+    classifier, headers, maintenance: str, storm=None, recorder=None
+) -> dict:
     """Degradation timeline for a churn *storm* under one maintenance mode.
 
     The counterpart to :func:`run_degradation`: the same client load and
@@ -368,9 +377,28 @@ async def run_churn_storm(classifier, headers, maintenance: str) -> dict:
     turns over its generation on every update in both modes (asserted
     via the invalidation counter), so a patched artifact can never
     serve a stale cached atom id.
+
+    ``storm`` overrides the churn rules as ``(box, rule)`` pairs --
+    inserted in order, then withdrawn in order.  The default is the
+    legacy burst of drop /24s on SEAT (Internet2-shaped); the
+    ``--scenario`` leg passes rules drawn from the scenario's own
+    seeded update stream instead.
     """
     state = {"done": 0, "stop": False, "phase": "fresh"}
-    storm_prefixes = [f"10.{octet}.77.0" for octet in range(3, 11)]
+    if storm is None:
+        storm = [
+            (
+                "SEAT",
+                ForwardingRule(
+                    Match.prefix(
+                        "dst_ip", parse_ipv4(f"10.{octet}.77.0"), 24
+                    ),
+                    (),
+                    24,
+                ),
+            )
+            for octet in range(3, 11)
+        ]
     fresh_after_update = []
 
     async def client(seed: int) -> None:
@@ -384,21 +412,16 @@ async def run_churn_storm(classifier, headers, maintenance: str) -> dict:
     async def controller() -> None:
         await asyncio.sleep(4 * BUCKET_S)
         state["phase"] = "storm"
-        rules = []
         # Paced across sampler buckets so the storm phase actually spans
         # the timeline (patched updates are so fast that back-to-back
         # application would fit inside a single bucket).
-        for index, dotted in enumerate(storm_prefixes):
-            rule = ForwardingRule(
-                Match.prefix("dst_ip", parse_ipv4(dotted), 24), (), 24
-            )
-            rules.append(rule)
-            await service.insert_rule("SEAT", rule)
+        for index, (box, rule) in enumerate(storm):
+            await service.insert_rule(box, rule)
             fresh_after_update.append(classifier.compiled_fresh)
             if index % 2 == 1:
                 await asyncio.sleep(BUCKET_S)
-        for index, rule in enumerate(rules):
-            await service.remove_rule("SEAT", rule)
+        for index, (box, rule) in enumerate(storm):
+            await service.remove_rule(box, rule)
             fresh_after_update.append(classifier.compiled_fresh)
             if index % 2 == 1:
                 await asyncio.sleep(BUCKET_S)
@@ -431,6 +454,7 @@ async def run_churn_storm(classifier, headers, maintenance: str) -> dict:
         backend=ENGINE,
         cache_size=CACHE_SIZE,
         maintenance=maintenance,
+        recorder=recorder,
     )
     async with service:
         clients = [
@@ -439,7 +463,7 @@ async def run_churn_storm(classifier, headers, maintenance: str) -> dict:
         await asyncio.gather(controller(), sampler())
         await asyncio.gather(*clients)
     engine = classifier._engine
-    updates = 2 * len(storm_prefixes)
+    updates = 2 * len(storm)
     # No reconstruction ran in either mode, and every structural update
     # retired the cached generation.
     assert service.counters.swaps == 0
@@ -640,6 +664,93 @@ def test_serve_throughput():
 
         asyncio.run(observed_run())
         emit_obs("serve_throughput", recorder)
+
+
+def test_churn_storm_scenario(scenario_dataset, quick):
+    """Churn storm on the ``--scenario`` workload, incremental mode only.
+
+    The storm rules come from the scenario's own seeded update stream
+    (all inserts, so the withdraw half of the storm removes exactly what
+    the insert half added), the client trace from its canonical packet
+    trace.  The whole serve run is observed: the sidecar must show the
+    incremental engine patching in place -- zero full rebuilds, zero
+    stale-fallback queries -- with the scenario tag identifying the
+    workload.
+    """
+    ds = scenario_dataset
+    scenario = ds.scenario
+    classifier = APClassifier.build(ds.network, strategy="oapt")
+    headers = list(
+        scenario.trace(classifier.universe, 500 if quick else 2000).headers
+    )
+    storm = [
+        (update.box, update.rule)
+        for update in scenario.update_stream(
+            count=4 if quick else 8, insert_fraction=1.0
+        )
+    ]
+
+    recorder = Recorder()
+    recorder.set_scenario(scenario)
+    with recorder.observe(classifier):
+        result = asyncio.run(
+            run_churn_storm(
+                classifier,
+                headers,
+                "incremental",
+                storm=storm,
+                recorder=recorder,
+            )
+        )
+    means = phase_means(result["timeline"])
+
+    emit(
+        f"serve_churn_{scenario.name}",
+        render_series(
+            f"Serving {scenario.name} through a churn storm "
+            f"({result['updates']} updates, incremental maintenance)",
+            "time",
+            "throughput / compiled",
+            [
+                (
+                    f"{s['time_s']:.2f}s [{s['phase']}]",
+                    f"{format_qps(s['throughput_qps'])} "
+                    f"({'fresh' if s['compiled_fresh'] else 'STALE'})",
+                )
+                for s in result["timeline"]
+            ],
+        ),
+    )
+
+    # The acceptance bar: the compiled artifact never went stale under
+    # the scenario's own churn, and the instrumented run agrees -- every
+    # update was patched in place, none fell back or forced a rebuild.
+    assert all(result["fresh_after_update"])
+    assert all(s["compiled_fresh"] for s in result["timeline"])
+    assert result["patches"] > 0
+    assert result["full_rebuilds"] == 0
+    assert all(means[phase] > 0 for phase in means)
+
+    snapshot = recorder.snapshot()
+    assert snapshot["scenario"]["name"] == scenario.name
+    assert snapshot["updates"]["incremental"]["patches"] > 0
+    assert snapshot["updates"]["incremental"]["full_rebuilds"] == 0
+    assert snapshot["updates"]["stale_fallbacks"]["total"] == 0
+
+    emit_json(
+        f"serve_churn_{scenario.name}",
+        {
+            "scenario": scenario.name,
+            "params": dict(scenario.params),
+            "seed": scenario.seed,
+            "engine": ENGINE or "default",
+            "maintenance": "incremental",
+            "quick": quick,
+            **{k: v for k, v in result.items() if k != "maintenance"},
+            "phase_means_qps": means,
+        },
+    )
+    emit_obs(f"serve_churn_{scenario.name}", recorder)
 
 
 # ----------------------------------------------------------------------

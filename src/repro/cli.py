@@ -3,7 +3,9 @@ invariants, snapshot networks, and run the online query service.
 
 Examples::
 
+    ap-classifier scenarios
     ap-classifier stats --dataset internet2
+    ap-classifier stats --dataset acl-heavy:lists=16,overlap=0.9
     ap-classifier query --dataset internet2 --dst-ip 10.1.0.1 --ingress SEAT
     ap-classifier tree --dataset stanford --strategy quick_ordering
     ap-classifier verify --dataset fattree --ingress edge_0_0
@@ -33,7 +35,7 @@ from .analysis.memory import memory_report
 from .analysis.reporting import render_table
 from .core.classifier import APClassifier
 from .core.verifier import NetworkVerifier
-from .datasets import fattree, internet2_like, stanford_like, toy_network
+from .datasets import ScenarioError, get_scenario, list_scenarios
 from .headerspace.fields import parse_ipv4
 from .headerspace.header import Packet
 from .network.builder import Network
@@ -41,16 +43,42 @@ from .network.serialize import load_network, save_network
 
 __all__ = ["main"]
 
-_DATASETS = {
-    "internet2": internet2_like,
-    "stanford": stanford_like,
-    "toy": toy_network,
-    "fattree": fattree,
-}
-
 
 class CLIError(Exception):
     """Operational failure reported as a one-line message (exit code 2)."""
+
+
+def _parse_dataset_spec(spec: str) -> tuple[str, dict[str, str]]:
+    """Split ``name[:key=val,...]`` into the scenario name and params.
+
+    Values stay strings; the registry coerces them to each param's
+    declared type (and rejects unknown keys or bad values).
+    """
+    name, _, param_text = spec.partition(":")
+    params: dict[str, str] = {}
+    if param_text:
+        for pair in param_text.split(","):
+            key, eq, value = pair.partition("=")
+            if not eq or not key.strip():
+                raise CLIError(
+                    f"malformed dataset param {pair!r} in {spec!r} "
+                    "(expected key=value)"
+                )
+            params[key.strip()] = value.strip()
+    return name, params
+
+
+def _get_scenario(spec: str):
+    """A bound :class:`repro.datasets.Scenario` from a CLI dataset spec."""
+    name, params = _parse_dataset_spec(spec)
+    if name not in list_scenarios():
+        raise CLIError(
+            f"unknown dataset {name!r}; choose from {list_scenarios()}"
+        )
+    try:
+        return get_scenario(name, **params)
+    except ScenarioError as exc:
+        raise CLIError(str(exc)) from exc
 
 
 def _load(args: argparse.Namespace) -> Network:
@@ -62,13 +90,7 @@ def _load(args: argparse.Namespace) -> Network:
             raise CLIError(f"cannot read snapshot {snapshot!r}: {exc}") from exc
         except ValueError as exc:
             raise CLIError(f"malformed snapshot {snapshot!r}: {exc}") from exc
-    try:
-        factory = _DATASETS[args.dataset]
-    except KeyError:
-        raise CLIError(
-            f"unknown dataset {args.dataset!r}; choose from {sorted(_DATASETS)}"
-        ) from None
-    return factory()
+    return _get_scenario(args.dataset).network()
 
 
 def _load_snapshot(path: str) -> Network:
@@ -120,6 +142,8 @@ def _instrumented_stats(args: argparse.Namespace) -> int:
 
     classifier = _build(args)
     recorder = Recorder(time_bdd_ops=True)
+    if not getattr(args, "snapshot", "") and not getattr(args, "artifact", ""):
+        recorder.set_scenario(_get_scenario(args.dataset))
     rng = random.Random(7)
     with recorder.observe(classifier):
         trace = uniform_over_atoms(classifier.universe, 512, rng)
@@ -611,6 +635,26 @@ def _serve_sharded(args: argparse.Namespace, classifier: APClassifier) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """``scenarios``: the registry catalog as strict JSON.
+
+    Without an argument, one array entry per registered scenario (name,
+    description, stress axis, typed params with defaults). With a
+    ``name[:key=val,...]`` spec, the single bound scenario -- so scripts
+    can check how a param string resolves before paying for a build.
+    Unknown names and params follow the standard error contract (one
+    ``error:`` line, exit code 2).
+    """
+    from .datasets import describe_scenarios
+
+    if args.name:
+        payload: object = _get_scenario(args.name).describe()
+    else:
+        payload = describe_scenarios()
+    print(json.dumps(payload, indent=2, allow_nan=False, sort_keys=True))
+    return 0
+
+
 def _cmd_shard_split(args: argparse.Namespace) -> int:
     """``shard-split``: write per-shard slice artifacts + cluster manifest."""
     from .artifact import ArtifactError, write_shard_split
@@ -656,11 +700,16 @@ def build_parser() -> argparse.ArgumentParser:
         dest="command",
         required=True,
         metavar="{stats,query,reachability,tree,verify,save,load,diff,whatif,"
-        "serve,shard-split}",
+        "serve,shard-split,scenarios}",
     )
 
     def common(sub_parser: argparse.ArgumentParser) -> None:
-        sub_parser.add_argument("--dataset", default="internet2")
+        sub_parser.add_argument(
+            "--dataset",
+            default="internet2",
+            help="scenario name, optionally with params: name[:key=val,...] "
+            "(see `scenarios` for the catalog)",
+        )
         sub_parser.add_argument(
             "--snapshot", default="", help="load the network from a JSON snapshot"
         )
@@ -887,6 +936,19 @@ def build_parser() -> argparse.ArgumentParser:
                              help="engine slices are compiled with "
                              "(default: REPRO_ENGINE, else best available)")
     shard_split.set_defaults(func=_cmd_shard_split)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="list registered scenarios and their params (strict JSON)",
+    )
+    scenarios.add_argument(
+        "name",
+        nargs="?",
+        default="",
+        help="describe one scenario; accepts name:key=val,... to show "
+        "the bound values",
+    )
+    scenarios.set_defaults(func=_cmd_scenarios, dataset="(registry)")
     return parser
 
 

@@ -4,12 +4,30 @@ The paper evaluates on the Internet2 and Stanford backbone snapshots,
 which are not redistributable; :func:`internet2_like` and
 :func:`stanford_like` build structurally equivalent synthetic planes (see
 DESIGN.md for the substitution argument).  Workload generators reproduce
-the paper's query traces and update streams.
+the paper's query traces and update streams, and the scenario foundry
+(:mod:`repro.datasets.acl`, :mod:`repro.datasets.fattree`,
+:mod:`repro.datasets.ipv6_wan`, :mod:`repro.datasets.sdn`) adds the
+adversarial regimes the ROADMAP calls for.
+
+Prefer :func:`get_scenario` / :func:`list_scenarios` over calling the
+generators directly: the registry binds every generator to typed params,
+a single master seed, and the canonical trace/update workloads.
 """
 
-from .fattree import fattree
+from .acl import acl_heavy
+from .fattree import clos_ecmp, fattree
 from .internet2 import INTERNET2_LINKS, INTERNET2_ROUTERS, internet2_like
+from .ipv6_wan import ipv6_wan
 from .middleboxes import group_atoms, make_middlebox
+from .registry import (
+    Scenario,
+    ScenarioError,
+    derive_seed,
+    describe_scenarios,
+    get_scenario,
+    list_scenarios,
+)
+from .sdn import SDNEvent, packet_in_stream, sdn_policy
 from .stanford import ZONE_COUNT, stanford_like
 from .synthetic import random_network, toy_network
 from .updates import RuleUpdate, rule_update_stream
@@ -24,6 +42,12 @@ from .workloads import (
 
 __all__ = [
     "fattree",
+    "clos_ecmp",
+    "acl_heavy",
+    "ipv6_wan",
+    "sdn_policy",
+    "SDNEvent",
+    "packet_in_stream",
     "internet2_like",
     "INTERNET2_ROUTERS",
     "INTERNET2_LINKS",
@@ -31,6 +55,12 @@ __all__ = [
     "ZONE_COUNT",
     "toy_network",
     "random_network",
+    "Scenario",
+    "ScenarioError",
+    "derive_seed",
+    "get_scenario",
+    "list_scenarios",
+    "describe_scenarios",
     "RuleUpdate",
     "rule_update_stream",
     "PacketTrace",

@@ -1,0 +1,135 @@
+"""ACL-heavy firewall corpus generator (Hazelhurst-style).
+
+Hazelhurst's BDD-based analysis of firewall and router access lists
+(PAPERS.md) works on *dense, overlapping, first-match-heavy* rule
+corpora: many lists stamped onto many interfaces, every list a deep
+first-match chain, and the matched ranges -- source prefixes and
+destination port ranges -- drawn from a small shared region of header
+space so that rules from different lists intersect each other heavily.
+That regime is the worst case for atomic-predicate counts: each ACL
+predicate is the complement of a union of ranges, and when the ranges
+of different lists nest and straddle one another the membership vectors
+multiply combinatorially instead of adding.
+
+:func:`acl_heavy` builds exactly that corpus, with the two knobs the
+regime is defined by:
+
+* ``overlap`` -- the fraction of deny rules whose range is drawn from a
+  shared "hot" region (prefixes of random length nested inside one /8,
+  port ranges nested inside the privileged ports).  The remaining rules
+  draw private, pairwise-disjoint /24s, which add atoms only linearly.
+  Raising ``overlap`` is what makes the atom count grow super-linearly
+  in the rule count (property-tested in ``tests/test_scenarios.py``).
+* ``rules_per_list`` -- the first-match depth of every chain.  Later
+  rules are partially shadowed by earlier ones, so depth exercises the
+  first-match subtraction in the predicate compiler, not just unions.
+
+Topology is deliberately small -- a border router feeding one firewall
+with ``lists`` filtered customer ports -- because the stress here is
+predicate *structure*, not path length.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..headerspace.fields import five_tuple_layout
+from ..network.builder import Network
+from ..network.rules import AclRule, Match
+
+__all__ = ["acl_heavy"]
+
+#: The shared hot region deny prefixes nest inside: 172.0.0.0/8.
+_HOT_SRC_BASE = 172 << 24
+#: Privileged destination ports; hot port ranges nest under 1024.
+_HOT_PORT_BITS = 6  # ranges of size 2^(16-len), len in [6, 14]
+
+
+def _hot_src_rule(rng: random.Random) -> Match:
+    """A deny source prefix nested inside the hot /8.
+
+    Length is drawn from [9, 24]: short prefixes straddle many longer
+    ones, which is what makes distinct lists refine each other.
+    """
+    plen = rng.randrange(9, 25)
+    offset = rng.getrandbits(plen - 8) << (32 - plen)
+    return Match.prefix("src_ip", _HOT_SRC_BASE | offset, plen)
+
+
+def _hot_port_rule(rng: random.Random) -> Match:
+    """A deny destination port range nested under the privileged ports."""
+    plen = rng.randrange(_HOT_PORT_BITS, 15)
+    value = rng.getrandbits(plen) << (16 - plen)
+    return Match.prefix("dst_port", value, plen)
+
+
+def _cold_src_rule(rng: random.Random, list_index: int) -> Match:
+    """A private /24 disjoint from every other list's cold rules.
+
+    Each list owns its own /16 of cold space (192.<list>.0.0/16), so two
+    cold rules from different lists can never intersect -- they add
+    equivalence classes linearly, never multiplicatively.
+    """
+    value = (192 << 24) | (list_index << 16) | (rng.randrange(256) << 8)
+    return Match.prefix("src_ip", value, 24)
+
+
+def acl_heavy(
+    lists: int = 8,
+    rules_per_list: int = 10,
+    overlap: float = 0.8,
+    port_rule_fraction: float = 0.3,
+    seed: int = 2019,
+) -> Network:
+    """Build the ACL-heavy firewall network.
+
+    ``lists`` filtered customer ports on one firewall, each with its own
+    first-match chain of ``rules_per_list`` rules (depth includes the
+    final permit-any).  A rule denies either a hot overlapping range
+    (probability ``overlap``; source prefix or, with probability
+    ``port_rule_fraction``, a destination port range) or a private cold
+    /24.  ``seed`` fixes the whole corpus.
+    """
+    if lists < 1:
+        raise ValueError("lists must be >= 1")
+    if rules_per_list < 2:
+        raise ValueError("rules_per_list must be >= 2 (deny chain + permit)")
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError("overlap must be in [0, 1]")
+    rng = random.Random(seed)
+    network = Network(five_tuple_layout(), name="acl-heavy")
+    network.add_box("border")
+    network.add_box("fw")
+    network.link("border", "to_fw", "fw", "to_border")
+    network.link("fw", "to_border", "border", "to_fw")
+
+    # Forwarding: each customer port serves its own /16; the border sends
+    # the whole aggregate to the firewall.
+    network.add_forwarding_rule(
+        "border", Match.prefix("dst_ip", 10 << 24, 8), "to_fw", priority=8
+    )
+    for index in range(lists):
+        port = f"cust{index}"
+        network.attach_host("fw", port, f"net_{port}")
+        network.add_forwarding_rule(
+            "fw",
+            Match.prefix("dst_ip", (10 << 24) | ((index + 1) << 16), 16),
+            port,
+            priority=16,
+        )
+
+    # The first-match chains: deny ... deny, then permit-any.
+    for index in range(lists):
+        rules: list[AclRule] = []
+        for _ in range(rules_per_list - 1):
+            if rng.random() < overlap:
+                if rng.random() < port_rule_fraction:
+                    match = _hot_port_rule(rng)
+                else:
+                    match = _hot_src_rule(rng)
+            else:
+                match = _cold_src_rule(rng, index)
+            rules.append(AclRule(match, permit=False))
+        rules.append(AclRule(Match.any(), permit=True))
+        network.add_output_acl("fw", f"cust{index}", rules)
+    return network

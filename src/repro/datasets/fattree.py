@@ -1,4 +1,4 @@
-"""k-ary fat-tree datacenter data plane.
+"""k-ary fat-tree / Clos datacenter data planes.
 
 The paper motivates AP Classifier with datacenter-scale query rates
 ("hundreds of thousands of new flows per second", Section I, citing the
@@ -12,6 +12,14 @@ fat-tree (Al-Fares et al., SIGCOMM'08) with two-level routing:
   (a deterministic stand-in for ECMP, which keeps behavior per-packet
   well-defined as the model requires).
 
+:func:`clos_ecmp` is the multipath variant: every upward route carries a
+*group* of uplink ports instead of a single pick, so one rule emits the
+packet on ``ecmp_width`` ports at once. In the behavior model that is
+multicast -- exactly how a header-space treatment of ECMP looks before a
+hash function collapses the choice -- and it multiplies the reachable
+(box, port) sets per header, stressing the stage-2 behavior machinery
+(multicast R-sets) rather than predicate structure.
+
 Useful for scale tests (predicate and atom counts grow with k) and for
 the traffic-engineering example.
 """
@@ -22,7 +30,7 @@ from ..headerspace.fields import dst_ip_layout
 from ..network.builder import Network
 from ..network.rules import Match
 
-__all__ = ["fattree"]
+__all__ = ["fattree", "clos_ecmp"]
 
 
 def _pod_subnet(pod: int, edge: int) -> int:
@@ -30,16 +38,22 @@ def _pod_subnet(pod: int, edge: int) -> int:
     return (10 << 24) | (pod << 16) | (edge << 8)
 
 
-def fattree(k: int = 4, hosts_per_edge: int = 1) -> Network:
-    """Build a k-ary fat-tree network (k even, >= 2)."""
-    if k < 2 or k % 2:
-        raise ValueError("fat-tree arity k must be even and >= 2")
+def _uplink_group(prefix: str, start: int, width: int, half: int) -> tuple[str, ...]:
+    """``width`` uplink ports starting at ``start``, wrapping modulo ``half``.
+
+    With ``width == 1`` this degenerates to the classic deterministic
+    suffix spread, so :func:`fattree` output is unchanged by the refactor.
+    """
+    return tuple(f"{prefix}_{(start + i) % half}" for i in range(width))
+
+
+def _build(k: int, hosts_per_edge: int, ecmp_width: int, name: str) -> Network:
     half = k // 2
-    network = Network(dst_ip_layout(), name=f"fattree-{k}")
+    network = Network(dst_ip_layout(), name=name)
 
     cores = [f"core_{i}_{j}" for i in range(half) for j in range(half)]
-    for name in cores:
-        network.add_box(name)
+    for box in cores:
+        network.add_box(box)
     aggs: dict[tuple[int, int], str] = {}
     edges: dict[tuple[int, int], str] = {}
     for pod in range(k):
@@ -92,14 +106,15 @@ def fattree(k: int = 4, hosts_per_edge: int = 1) -> Network:
                     f"down_{edge_index}",
                     priority=24,
                 )
-            # Upward: spread other pods across core uplinks by pod parity.
+            # Upward: spread other pods across core uplinks by pod suffix;
+            # with ecmp_width > 1 each route carries the whole uplink group.
             for other_pod in range(k):
                 if other_pod == pod:
                     continue
                 network.add_forwarding_rule(
                     agg,
                     Match.prefix("dst_ip", (10 << 24) | (other_pod << 16), 16),
-                    f"core_{other_pod % half}",
+                    _uplink_group("core", other_pod % half, ecmp_width, half),
                     priority=16,
                 )
 
@@ -113,7 +128,7 @@ def fattree(k: int = 4, hosts_per_edge: int = 1) -> Network:
                 network.add_forwarding_rule(
                     edge,
                     Match.prefix("dst_ip", _pod_subnet(pod, other_edge), 24),
-                    f"up_{other_edge % half}",
+                    _uplink_group("up", other_edge % half, ecmp_width, half),
                     priority=24,
                 )
             for other_pod in range(k):
@@ -122,7 +137,7 @@ def fattree(k: int = 4, hosts_per_edge: int = 1) -> Network:
                 network.add_forwarding_rule(
                     edge,
                     Match.prefix("dst_ip", (10 << 24) | (other_pod << 16), 16),
-                    f"up_{other_pod % half}",
+                    _uplink_group("up", other_pod % half, ecmp_width, half),
                     priority=16,
                 )
 
@@ -138,3 +153,27 @@ def fattree(k: int = 4, hosts_per_edge: int = 1) -> Network:
                     priority=16,
                 )
     return network
+
+
+def fattree(k: int = 4, hosts_per_edge: int = 1) -> Network:
+    """Build a k-ary fat-tree network (k even, >= 2)."""
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree arity k must be even and >= 2")
+    return _build(k, hosts_per_edge, ecmp_width=1, name=f"fattree-{k}")
+
+
+def clos_ecmp(k: int = 4, hosts_per_edge: int = 1, ecmp_width: int = 0) -> Network:
+    """Build a k-ary Clos fabric with ECMP uplink groups.
+
+    ``ecmp_width`` is the number of uplinks in every upward route's
+    multipath group; ``0`` (the default) means *all* ``k/2`` uplinks.
+    ``ecmp_width=1`` collapses to the plain :func:`fattree` routing.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("Clos arity k must be even and >= 2")
+    half = k // 2
+    if ecmp_width == 0:
+        ecmp_width = half
+    if not 1 <= ecmp_width <= half:
+        raise ValueError(f"ecmp_width must be in [1, {half}] (or 0 for all uplinks)")
+    return _build(k, hosts_per_edge, ecmp_width, name=f"clos-{k}-ecmp{ecmp_width}")

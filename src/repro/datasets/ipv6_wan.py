@@ -1,0 +1,102 @@
+"""IPv6-width WAN data plane.
+
+The paper's evaluation is IPv4-only, but nothing in the AP construction
+is width-specific: predicates, atoms, and the AP Tree are all functions
+of the BDD variable order. This scenario re-runs the Internet2-like
+backbone shape at IPv6 width -- a 128-bit ``dst_ip6`` header over the
+same 9-router Abilene topology -- so the BDD layer is exercised with 4x
+the variables of the friendly WAN case and the on-disk artifact carries
+128 levels per node column instead of 32. That is the stress axis:
+variable count and artifact size, not rule semantics.
+
+Address plan (documentation range, RFC 3849):
+
+* each router originates customer /48s under ``2001:db8::/32``,
+  round-robin, one customer port per prefix (mirroring
+  :func:`repro.datasets.internet2_like`);
+* a ``te_fraction`` of prefixes grow a /56 exception homed at a
+  different router, giving the non-hierarchical equivalence classes a
+  real backbone has.
+
+Addresses are built with :func:`repro.headerspace.fields.parse_ipv6`, so
+the plan reads like a router config rather than bit arithmetic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..headerspace.fields import dst_ip6_layout, parse_ipv6
+from ..network.builder import Network
+from ..network.rules import Match
+from .internet2 import INTERNET2_LINKS, INTERNET2_ROUTERS, _shortest_next_hops
+
+__all__ = ["ipv6_wan"]
+
+#: All customer prefixes nest under the RFC 3849 documentation /32.
+_V6_BASE = parse_ipv6("2001:db8::")
+
+
+def ipv6_wan(
+    prefixes_per_router: int = 4,
+    te_fraction: float = 0.25,
+    seed: int = 2021,
+) -> Network:
+    """Build the IPv6 WAN network.
+
+    ``prefixes_per_router`` customer /48s per router under 2001:db8::/32,
+    each on its own customer port; ``te_fraction`` of prefixes also get a
+    /56 exception homed at a different router.
+    """
+    if prefixes_per_router <= 0:
+        raise ValueError("prefixes_per_router must be positive")
+    rng = random.Random(seed)
+    network = Network(dst_ip6_layout(), name="ipv6-wan")
+    adjacency: dict[str, list[str]] = {name: [] for name in INTERNET2_ROUTERS}
+    for left, right in INTERNET2_LINKS:
+        adjacency[left].append(right)
+        adjacency[right].append(left)
+
+    for name in INTERNET2_ROUTERS:
+        network.add_box(name)
+    for left, right in INTERNET2_LINKS:
+        network.link(left, f"to_{right}", right, f"to_{left}")
+        network.link(right, f"to_{left}", left, f"to_{right}")
+
+    next_hop = _shortest_next_hops(adjacency)
+
+    # Prefix plan: 2001:db8:<index>::/48, owner round-robin over routers.
+    prefixes: list[tuple[int, int, str, str]] = []  # (value, plen, owner, port)
+    index = 1
+    for position in range(prefixes_per_router):
+        for owner in INTERNET2_ROUTERS:
+            value = _V6_BASE | (index << 80)
+            prefixes.append((value, 48, owner, f"cust{position}"))
+            index += 1
+
+    # Traffic-engineered /56 exceptions: a sub-prefix homed elsewhere.
+    exceptions: list[tuple[int, int, str, str]] = []
+    for value, _plen, owner, _port in prefixes:
+        if rng.random() >= te_fraction:
+            continue
+        other = rng.choice([r for r in INTERNET2_ROUTERS if r != owner])
+        sub_value = value | (rng.randrange(1, 255) << 72)
+        exceptions.append((sub_value, 56, other, "te0"))
+
+    host_ports: set[tuple[str, str]] = set()
+    for value, plen, owner, port in prefixes + exceptions:
+        if (owner, port) not in host_ports:
+            host_ports.add((owner, port))
+            network.attach_host(owner, port, f"net_{owner}_{port}")
+        for router in INTERNET2_ROUTERS:
+            if router == owner:
+                out_port = port
+            else:
+                out_port = f"to_{next_hop[(router, owner)]}"
+            network.add_forwarding_rule(
+                router,
+                Match.prefix("dst_ip6", value, plen),
+                out_port,
+                priority=plen,
+            )
+    return network

@@ -1,0 +1,163 @@
+"""SDN policy workload: packet-in queries under concurrent policy churn.
+
+Modeled on nmeta-style SDN controllers (ROADMAP): the controller holds a
+traffic-classification policy (per-edge-port ACLs denying well-known
+service ports for guest subnets), answers a stream of packet-in queries
+against the data plane, and *concurrently* pushes rule updates as the
+policy and routing evolve. For AP Classifier that is the adversarial
+serving regime -- ``QueryService`` micro-batches the packet-in stream
+while ``IncrementalEngine`` patches atoms between batches -- so the
+scenario ships both halves:
+
+* :func:`sdn_policy` -- a leaf/spine fabric over the 5-tuple layout with
+  shared policy-ACL templates stamped onto every leaf's host port (the
+  controller pushes the *same* policy everywhere, so predicates overlap
+  across leaves exactly as template-sharing does on stanford-like);
+* :func:`packet_in_stream` -- the interleave: bursts of packet-in
+  queries between the events of a rule-update stream, as one replayable
+  event list.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..headerspace.fields import five_tuple_layout
+from ..network.builder import Network
+from ..network.rules import AclRule, Match
+from .updates import RuleUpdate
+from .workloads import PacketTrace
+
+__all__ = ["sdn_policy", "SDNEvent", "packet_in_stream"]
+
+#: Service ports an nmeta-style TC policy blocks at the access edge.
+_POLICY_PORTS = (22, 23, 25, 445, 3389)
+
+
+def sdn_policy(
+    leaves: int = 4,
+    policies: int = 3,
+    guest_subnets: int = 2,
+    seed: int = 2022,
+) -> Network:
+    """Build the SDN policy network.
+
+    ``leaves`` leaf switches under two spines, leaf *i* serving
+    10.(i+1).0.0/16 on a host port. ``policies`` ACL templates are drawn
+    once from ``seed`` and stamped round-robin onto the leaf host ports:
+    each template denies a couple of blocked service ports for
+    ``guest_subnets`` guest /24s, then permits.
+    """
+    if leaves < 1:
+        raise ValueError("leaves must be >= 1")
+    if policies < 1:
+        raise ValueError("policies must be >= 1")
+    rng = random.Random(seed)
+    network = Network(five_tuple_layout(), name="sdn-policy")
+
+    spines = ("spine0", "spine1")
+    for spine in spines:
+        network.add_box(spine)
+    for index in range(leaves):
+        leaf = f"leaf{index}"
+        network.add_box(leaf)
+        for spine_index, spine in enumerate(spines):
+            network.link(leaf, f"up{spine_index}", spine, f"down{index}")
+            network.link(spine, f"down{index}", leaf, f"up{spine_index}")
+        network.attach_host(leaf, "hosts", f"net_{leaf}")
+
+    for index in range(leaves):
+        leaf = f"leaf{index}"
+        own = (10 << 24) | ((index + 1) << 16)
+        network.add_forwarding_rule(
+            leaf, Match.prefix("dst_ip", own, 16), "hosts", priority=16
+        )
+        for other in range(leaves):
+            if other == index:
+                continue
+            # Deterministic spine pick by destination parity (the same
+            # per-packet-well-defined ECMP stand-in fattree uses).
+            network.add_forwarding_rule(
+                leaf,
+                Match.prefix("dst_ip", (10 << 24) | ((other + 1) << 16), 16),
+                f"up{other % 2}",
+                priority=16,
+            )
+    for spine in spines:
+        for index in range(leaves):
+            network.add_forwarding_rule(
+                spine,
+                Match.prefix("dst_ip", (10 << 24) | ((index + 1) << 16), 16),
+                f"down{index}",
+                priority=16,
+            )
+
+    # Policy templates: deny (guest /24, blocked dst_port) pairs, then
+    # permit. One template object per policy; leaves share them
+    # round-robin, so the same ACL body lands on many ports.
+    templates: list[list[AclRule]] = []
+    for _ in range(policies):
+        rules: list[AclRule] = []
+        for _ in range(guest_subnets):
+            guest = (10 << 24) | (rng.randrange(1, leaves + 1) << 16) | (
+                rng.randrange(200, 255) << 8
+            )
+            for port in rng.sample(_POLICY_PORTS, 2):
+                match = Match.prefix("src_ip", guest, 24).with_prefix(
+                    "dst_port", port, 16
+                )
+                rules.append(AclRule(match, permit=False))
+        rules.append(AclRule(Match.any(), permit=True))
+        templates.append(rules)
+    for index in range(leaves):
+        network.add_output_acl(f"leaf{index}", "hosts", templates[index % policies])
+    return network
+
+
+@dataclass(frozen=True)
+class SDNEvent:
+    """One controller event: a packet-in query or a rule update."""
+
+    kind: str  # "packet_in" | "update"
+    header: int | None = None
+    update: RuleUpdate | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind == "packet_in":
+            if self.header is None or self.update is not None:
+                raise ValueError("packet_in events carry a header only")
+        elif self.kind == "update":
+            if self.update is None or self.header is not None:
+                raise ValueError("update events carry an update only")
+        else:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+
+
+def packet_in_stream(
+    trace: PacketTrace,
+    updates: list[RuleUpdate],
+    rng: random.Random,
+    burst: int = 16,
+) -> list[SDNEvent]:
+    """Interleave a query trace with a rule-update stream.
+
+    Before each update a burst of packet-in queries arrives (size drawn
+    uniformly from [burst/2, burst]); headers are consumed from ``trace``
+    in order and any remainder trails after the last update, so every
+    header and every update appears exactly once.
+    """
+    if burst < 1:
+        raise ValueError("burst must be >= 1")
+    events: list[SDNEvent] = []
+    cursor = 0
+    headers = trace.headers
+    for update in updates:
+        size = rng.randint(max(1, burst // 2), burst)
+        for header in headers[cursor : cursor + size]:
+            events.append(SDNEvent("packet_in", header=header))
+        cursor += size
+        events.append(SDNEvent("update", update=update))
+    for header in headers[cursor:]:
+        events.append(SDNEvent("packet_in", header=header))
+    return events

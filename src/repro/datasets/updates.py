@@ -33,6 +33,23 @@ class RuleUpdate:
             raise ValueError(f"unknown update kind {self.kind!r}")
 
 
+def _churn_match(network: Network, rng: random.Random) -> tuple[Match, int]:
+    """A random churn prefix at the network's destination-field width.
+
+    IPv4 planes get /24 exceptions under 10.0.0.0/8 (the shape of BGP
+    more-specific churn); IPv6 planes get the analogous /56 exceptions
+    under 2001:db8::/32.  The two-draw rng sequence is identical either
+    way, so pre-existing v4 streams replay bit-identically.
+    """
+    high = rng.randrange(1, 200)
+    low = rng.randrange(1, 255)
+    if "dst_ip6" in network.layout:
+        value = (0x20010DB8 << 96) | (high << 80) | (low << 72)
+        return Match.prefix("dst_ip6", value, 56), 56
+    value = (10 << 24) | (high << 16) | (low << 8)
+    return Match.prefix("dst_ip", value, 24), 24
+
+
 def rule_update_stream(
     network: Network,
     count: int,
@@ -41,7 +58,8 @@ def rule_update_stream(
 ) -> list[RuleUpdate]:
     """A mixed insert/withdraw stream against an existing network.
 
-    Inserts add /24 exceptions under 10.0.0.0/8 pointing at an existing
+    Inserts add more-specific exceptions (/24 under 10.0.0.0/8, or /56
+    under 2001:db8::/32 on IPv6-width planes) pointing at an existing
     out port of the chosen box (a realistic BGP-churn shape); removals
     withdraw rules previously inserted by this stream, falling back to an
     insert when none remain.  The stream never withdraws the base plane's
@@ -57,15 +75,11 @@ def rule_update_stream(
             ports = network.box(box).table.out_ports()
             if not ports:
                 continue
-            value = (
-                (10 << 24)
-                | (rng.randrange(1, 200) << 16)
-                | (rng.randrange(1, 255) << 8)
-            )
+            match, plen = _churn_match(network, rng)
             rule = ForwardingRule(
-                Match.prefix("dst_ip", value, 24),
+                match,
                 (rng.choice(ports),),
-                priority=24,
+                priority=plen,
             )
             update = RuleUpdate("insert", box, rule)
             inserted.append(update)

@@ -59,7 +59,9 @@ __all__ = [
 #: /8 added the "diff" section (differential/what-if queries: generation
 #: comparisons, shadow-fork builds and build time, atom pairs examined,
 #: model-counting time, and the changed-volume-share histogram).
-SCHEMA_ID = "repro.obs.snapshot/8"
+#: /9 added the "scenario" section (which registry scenario produced the
+#: workload: name, master seed, bound params; empty name = untagged).
+SCHEMA_ID = "repro.obs.snapshot/9"
 
 #: Service latencies kept for the percentile summary; same bounded-
 #: reservoir treatment as update latencies.
@@ -647,8 +649,26 @@ class Recorder:
         self.persist = PersistCounters()
         self.diff = DiffCounters()
         self.timeline: list[dict] = []
+        # Which registry scenario produced the observed workload; the
+        # empty name means the run was not scenario-tagged.
+        self.scenario: dict = {"name": "", "seed": 0, "params": {}}
         self._managers: list = []  # BDDManager instances under observation
         self._nodes_at_attach: list[int] = []
+
+    def set_scenario(self, scenario) -> None:
+        """Tag snapshots with a :class:`repro.datasets.Scenario`.
+
+        Accepts the scenario object itself (name/seed/params attributes)
+        or ``None`` to clear the tag.
+        """
+        if scenario is None:
+            self.scenario = {"name": "", "seed": 0, "params": {}}
+        else:
+            self.scenario = {
+                "name": scenario.name,
+                "seed": scenario.seed,
+                "params": dict(scenario.params),
+            }
 
     # ------------------------------------------------------------------
     # Attachment
@@ -717,10 +737,11 @@ class Recorder:
         """The collected state as a JSON-serializable dict.
 
         The shape is pinned by :data:`repro.obs.schema.SNAPSHOT_SCHEMA`
-        (currently ``repro.obs.snapshot/8``) and checked by
+        (currently ``repro.obs.snapshot/9``) and checked by
         :func:`repro.obs.schema.validate_snapshot`; every number is
         finite, so ``json.dumps(..., allow_nan=False)`` always succeeds.
-        Sections: ``bdd`` (cache and node-table counters), ``tree``
+        Sections: ``scenario`` (which registry scenario produced the
+        workload), ``bdd`` (cache and node-table counters), ``tree``
         (per-query evaluation counts and depth histogram), ``updates``
         (splits, rebuilds, staleness fallbacks), ``parallel`` (offline
         pipeline phases), ``serve`` (the query service's batch/queue/
@@ -737,6 +758,7 @@ class Recorder:
         ordered_latencies = sorted(updates.latency_samples)
         return {
             "schema": SCHEMA_ID,
+            "scenario": dict(self.scenario),
             "bdd": {
                 "apply_cache": {
                     "hits": bdd.apply_hits,

@@ -42,7 +42,17 @@ def _cache_section() -> dict:
 SNAPSHOT_SCHEMA: dict = {
     "type": "object",
     "required": {
-        "schema": {"type": "const", "value": "repro.obs.snapshot/8"},
+        "schema": {"type": "const", "value": "repro.obs.snapshot/9"},
+        "scenario": {
+            "type": "object",
+            "required": {
+                "name": {"type": "string"},
+                "seed": {"type": "integer"},
+                # Free-form bound params (values are scenario-typed:
+                # ints and floats; names vary per scenario).
+                "params": {"type": "object", "required": {}},
+            },
+        },
         "bdd": {
             "type": "object",
             "required": {

@@ -387,7 +387,7 @@ class TestObservability:
 
         run(scenario())
         snapshot = validate_snapshot(recorder.snapshot())
-        assert snapshot["schema"] == "repro.obs.snapshot/8"
+        assert snapshot["schema"] == "repro.obs.snapshot/9"
         section = snapshot["serve"]["result_cache"]
         assert section["hits"] >= len(set(headers))
         assert section["invalidations"] >= 1
